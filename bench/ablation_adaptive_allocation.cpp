@@ -1,0 +1,65 @@
+// Ablation — precise (rate-adaptive) buffer allocation, the §5 extension.
+//
+// Hosts ask for a blanket 20-packet buffer regardless of their actual
+// traffic; with the extension the PAR replaces the request with
+// observed-rate × expected-blackout. With many low-rate hosts the pools
+// stretch much further at no loss cost.
+
+#include "bench_common.hpp"
+#include "scenario/paper_topology.hpp"
+#include "transport/cbr.hpp"
+#include "transport/sink.hpp"
+
+using namespace fhmip;
+using namespace fhmip::timeliterals;
+
+namespace {
+
+std::uint64_t run(bool adaptive, int hosts, double kbps) {
+  PaperTopologyConfig cfg;
+  cfg.num_mhs = hosts;
+  cfg.scheme.classify = false;
+  cfg.scheme.pool_pkts = 40;
+  cfg.scheme.request_pkts = 20;
+  cfg.scheme.adaptive_request = adaptive;
+  PaperTopology topo(cfg);
+  std::vector<std::unique_ptr<UdpSink>> sinks;
+  std::vector<std::unique_ptr<CbrSource>> sources;
+  for (int i = 0; i < hosts; ++i) {
+    auto& m = topo.mobile(i);
+    sinks.push_back(std::make_unique<UdpSink>(*m.node, 7000));
+    CbrSource::Config c;
+    c.dst = m.regional;
+    c.dst_port = 7000;
+    c.packet_bytes = 160;
+    c.interval = CbrSource::interval_for_rate(kbps, 160);
+    c.flow = i + 1;
+    sources.push_back(std::make_unique<CbrSource>(
+        topo.cn(), static_cast<std::uint16_t>(5000 + i), c));
+    sources.back()->start(2_s);
+    sources.back()->stop(16_s);
+  }
+  topo.start();
+  topo.simulation().run_until(20_s);
+  return topo.simulation().stats().totals().dropped;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation",
+                "precise buffer allocation (§5) — blanket vs. adaptive");
+  bench::note("pool 40/AR, blanket request 20/host, 32 kb/s flows");
+
+  Series blanket("blanket_drops"), adaptive("adaptive_drops");
+  for (int hosts : {2, 4, 6, 8, 10, 12}) {
+    blanket.add(hosts, static_cast<double>(run(false, hosts, 32)));
+    adaptive.add(hosts, static_cast<double>(run(true, hosts, 32)));
+  }
+  print_series_table("drops vs. simultaneous low-rate hosts", "hosts",
+                     {blanket, adaptive});
+  std::printf("\nexpected: blanket saturates both pools after 4 hosts; "
+              "adaptive requests (~8 pkts)\nstretch the same pools to ~10 "
+              "hosts before dropping.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Ablation — buffer-release pacing (§4.2.3: the router "cannot dump all
+// the buffered packets at the same time").
+//
+// The drain gap is the per-packet processing delay when releasing a
+// handoff buffer. Zero = dump everything into the wireless queue at once
+// (burst); larger gaps smooth the burst but extend the tail delay.
+
+#include "bench_common.hpp"
+
+using namespace fhmip;
+
+int main() {
+  bench::header("Ablation", "buffer release pacing (drain gap)");
+  bench::note(bench::flow_legend());
+
+  Series max_d("max_delay_s"), mean_d("mean_delay_s"), drops("drops");
+  for (std::int64_t gap_us : {0LL, 100LL, 200LL, 500LL, 1000LL, 2000LL}) {
+    DelayCaptureParams p;
+    p.classify = false;
+    p.drain_gap = SimTime::micros(gap_us);
+    p.pool_pkts = 30;
+    p.request_pkts = 30;
+    const auto r = run_delay_capture(p);
+    const auto series = delay_series(r);
+    double mx = 0, sum = 0;
+    std::size_t n = 0;
+    std::uint64_t dropped = 0;
+    for (const auto& s : series) {
+      mx = std::max(mx, s.max_y());
+      for (const auto& [x, y] : s.points()) {
+        sum += y;
+        ++n;
+      }
+    }
+    for (const auto& f : r.flows) dropped += f.dropped;
+    max_d.add(static_cast<double>(gap_us), mx);
+    mean_d.add(static_cast<double>(gap_us), n > 0 ? sum / n : 0);
+    drops.add(static_cast<double>(gap_us), static_cast<double>(dropped));
+  }
+  print_series_table("release pacing vs. delay/drops", "gap (us)",
+                     {max_d, mean_d, drops});
+  std::printf("\nexpected: longer gaps inflate the buffered packets' tail "
+              "delay; pacing has little effect on loss at these rates\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Ablation — forwarding-path queue discipline under congestion.
+//
+// §3.3 argues the scheme maps onto Diffserv PHBs; this harness shows what
+// the class-priority link discipline buys on a congested wired hop,
+// independent of handovers: three equal flows (RT/HP/BE) overload a
+// bottleneck; with DropTail they suffer alike, with the priority queue the
+// real-time band keeps low delay and the loss lands on best effort.
+
+#include <memory>
+
+#include "bench_common.hpp"
+#include "net/network.hpp"
+#include "transport/cbr.hpp"
+#include "transport/sink.hpp"
+
+using namespace fhmip;
+using namespace fhmip::timeliterals;
+
+namespace {
+
+struct Outcome {
+  double mean_delay_ms[3];
+  std::uint64_t dropped[3];
+};
+
+Outcome run(QueueDiscipline disc) {
+  Simulation sim(1);
+  sim.stats().set_keep_samples(true);
+  Network net(sim);
+  Node& cn = net.add_node("cn");
+  Node& r = net.add_node("r");
+  Node& host = net.add_node("host");
+  cn.add_address({10, 1});
+  r.add_address({20, 1});
+  host.add_address({30, 1});
+  net.connect(cn, r, 100e6, 1_ms, 200);
+  // Bottleneck: 1 Mb/s against ~1.15 Mb/s of offered load.
+  net.connect(r, host, 1e6, 5_ms, 30, disc);
+  net.compute_routes();
+
+  const TrafficClass classes[3] = {TrafficClass::kRealTime,
+                                   TrafficClass::kHighPriority,
+                                   TrafficClass::kBestEffort};
+  std::vector<std::unique_ptr<UdpSink>> sinks;
+  std::vector<std::unique_ptr<CbrSource>> sources;
+  for (int i = 0; i < 3; ++i) {
+    const auto port = static_cast<std::uint16_t>(7000 + i);
+    sinks.push_back(std::make_unique<UdpSink>(host, port));
+    CbrSource::Config c;
+    c.dst = {30, 1};
+    c.dst_port = port;
+    c.packet_bytes = 480;
+    c.interval = 10_ms;  // 384 kb/s each
+    c.jitter = 2_ms;     // break phase lock between the three sources
+    c.tclass = classes[i];
+    c.flow = i + 1;
+    sources.push_back(std::make_unique<CbrSource>(
+        cn, static_cast<std::uint16_t>(5000 + i), c));
+    // Stagger the phases so tail-drop victims are not decided by the
+    // emission order within a tick.
+    sources.back()->start(1_s + SimTime::micros(3'700) * i);
+    sources.back()->stop(21_s);
+  }
+  sim.run_until(25_s);
+
+  Outcome o{};
+  for (int i = 0; i < 3; ++i) {
+    const auto& samples = sim.stats().samples(i + 1);
+    double sum = 0;
+    for (const auto& s : samples) sum += s.delay.sec();
+    o.mean_delay_ms[i] =
+        samples.empty() ? 0 : sum / static_cast<double>(samples.size()) * 1e3;
+    o.dropped[i] = sim.stats().flow(i + 1).dropped;
+  }
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation", "DropTail vs. class-priority link discipline");
+  bench::note("three 384 kb/s flows into a 1 Mb/s bottleneck (15% overload); "
+              "F1 = real-time, F2 = high priority, F3 = best effort");
+
+  const Outcome dt = run(QueueDiscipline::kDropTail);
+  const Outcome pq = run(QueueDiscipline::kClassPriority);
+
+  TextTable t({"discipline", "flow", "mean delay (ms)", "dropped"});
+  const char* flows[3] = {"F1 (RT)", "F2 (HP)", "F3 (BE)"};
+  for (int i = 0; i < 3; ++i) {
+    char d[32];
+    std::snprintf(d, sizeof(d), "%.1f", dt.mean_delay_ms[i]);
+    t.add_row({"DropTail", flows[i], d, std::to_string(dt.dropped[i])});
+  }
+  for (int i = 0; i < 3; ++i) {
+    char d[32];
+    std::snprintf(d, sizeof(d), "%.1f", pq.mean_delay_ms[i]);
+    t.add_row({"ClassPriority", flows[i], d, std::to_string(pq.dropped[i])});
+  }
+  t.print("congested-bottleneck outcome by discipline");
+  std::printf("\nexpected: DropTail treats classes alike; the priority "
+              "discipline keeps real-time\ndelay near the propagation floor "
+              "and concentrates the overload loss on best effort.\n");
+  return 0;
+}

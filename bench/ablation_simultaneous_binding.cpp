@@ -1,0 +1,82 @@
+// Ablation — simultaneous binding (§3.1.1) vs. the proposed buffering.
+//
+// The thesis dismisses the bicast family because a single-radio 802.11
+// host is deaf during the L2 handoff regardless of where packets are sent,
+// and bicasting doubles core-network load. This harness quantifies both
+// points on the Figure 4.1 network.
+
+#include "bench_common.hpp"
+#include "scenario/paper_topology.hpp"
+#include "transport/cbr.hpp"
+#include "transport/sink.hpp"
+
+using namespace fhmip;
+using namespace fhmip::timeliterals;
+
+namespace {
+
+struct Outcome {
+  std::uint64_t sent, delivered, dropped;
+  std::uint64_t core_copies;  // MAP-emitted packets (tunneled + bicast)
+};
+
+Outcome run(bool buffering, bool bicast) {
+  PaperTopologyConfig cfg;
+  cfg.scheme.mode = buffering ? BufferMode::kDual : BufferMode::kNone;
+  cfg.scheme.classify = false;
+  cfg.scheme.pool_pkts = 40;
+  cfg.scheme.request_pkts = 40;
+  cfg.use_fast_handover = buffering;
+  cfg.request_buffers = buffering;
+  cfg.simultaneous_binding = bicast;
+  PaperTopology topo(cfg);
+  auto& m = topo.mobile(0);
+  UdpSink sink(*m.node, 7000);
+  CbrSource::Config c;
+  c.dst = m.regional;
+  c.dst_port = 7000;
+  c.packet_bytes = 160;
+  c.interval = 10_ms;
+  c.flow = 1;
+  CbrSource src(topo.cn(), 5000, c);
+  src.start(2_s);
+  src.stop(16_s);
+  topo.start();
+  topo.simulation().run_until(20_s);
+  const FlowCounters& fc = topo.simulation().stats().flow(1);
+  return {fc.sent, fc.delivered, fc.dropped,
+          topo.map_agent().packets_tunneled() +
+              topo.map_agent().packets_bicast()};
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation",
+                "simultaneous binding (bicast) vs. the proposed buffering");
+  bench::note("one 128 kb/s flow across one PAR->NAR handover (200 ms L2)");
+
+  TextTable t({"scheme", "sent", "delivered", "lost", "MAP copies emitted"});
+  struct Row {
+    const char* name;
+    bool buffering;
+    bool bicast;
+  };
+  const Row rows[] = {
+      {"nothing (plain handover)", false, false},
+      {"simultaneous binding", false, true},
+      {"proposed dual buffering", true, false},
+      {"both", true, true},
+  };
+  for (const Row& row : rows) {
+    const Outcome o = run(row.buffering, row.bicast);
+    t.add_row({row.name, std::to_string(o.sent), std::to_string(o.delivered),
+               std::to_string(o.sent - std::min(o.sent, o.delivered)),
+               std::to_string(o.core_copies)});
+  }
+  t.print("one-handover outcome per scheme");
+  std::printf("\nexpected: bicast still loses the blackout packets (deaf "
+              "radio) while emitting\nnearly 2x the copies during the "
+              "anticipation window; buffering loses none.\n");
+  return 0;
+}

@@ -1,0 +1,28 @@
+#pragma once
+
+// Shared helpers for the figure-reproduction harnesses. Each bench binary
+// prints the series/rows of one table or figure from the thesis's
+// evaluation (Chapter 4), in both aligned-table and CSV form.
+
+#include <cstdio>
+
+#include "scenario/experiment.hpp"
+#include "stats/recorder.hpp"
+#include "stats/table.hpp"
+
+namespace fhmip::bench {
+
+inline void header(const char* id, const char* caption) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id, caption);
+  std::printf("==============================================================\n");
+}
+
+inline void note(const char* text) { std::printf("note: %s\n", text); }
+
+/// The three flows used throughout §4.2.2-§4.2.3.
+inline const char* flow_legend() {
+  return "F1 = real-time, F2 = high priority, F3 = best effort";
+}
+
+}  // namespace fhmip::bench

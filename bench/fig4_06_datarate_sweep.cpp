@@ -1,0 +1,43 @@
+// Figure 4.6 — packet loss per class for one handoff as the per-flow data
+// rate grows (the paper's x axis: 51.2 ... 426.7 kb/s).
+//
+// Paper claim: the high-priority flow (F2) always loses the least; when the
+// buffers overflow, best-effort and real-time packets are sacrificed.
+
+#include "bench_common.hpp"
+
+using namespace fhmip;
+
+int main() {
+  bench::header("Figure 4.6", "packet loss vs. data rate (one handoff)");
+  bench::note(bench::flow_legend());
+
+  // The paper's rate ladder (kb/s per flow).
+  const double rates[] = {51.2, 55.7, 61.0,  67.4,  75.3,  85.3,
+                          98.5, 116.4, 142.2, 182.9, 256.0, 426.7};
+  QosDropParams base;
+  base.mode = BufferMode::kDual;
+  base.classify = true;
+  base.pool_pkts = 20;
+  base.request_pkts = 20;
+
+  Series f1("F1"), f2("F2"), f3("F3");
+  for (double kbps : rates) {
+    const auto flows = run_rate_probe(base, kbps);
+    f1.add(kbps, static_cast<double>(flows[0].dropped));
+    f2.add(kbps, static_cast<double>(flows[1].dropped));
+    f3.add(kbps, static_cast<double>(flows[2].dropped));
+  }
+  print_series_table("Data rate vs. drop", "kb/s", {f1, f2, f3});
+
+  bool f2_lowest = true;
+  for (std::size_t i = 0; i < f2.points().size(); ++i) {
+    if (f2.points()[i].second > f1.points()[i].second ||
+        f2.points()[i].second > f3.points()[i].second) {
+      f2_lowest = false;
+    }
+  }
+  std::printf("\nhigh-priority flow lowest at every rate: %s\n",
+              f2_lowest ? "yes" : "NO (unexpected)");
+  return 0;
+}

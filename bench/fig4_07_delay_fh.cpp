@@ -1,0 +1,29 @@
+// Figure 4.7 — per-packet end-to-end delay around one handoff, original
+// Fast Handover (all packets buffered at the NAR, buffer = 40).
+//
+// Paper claim: the buffered packets show a linear delay ramp (oldest waited
+// the full blackout) that decays back to the baseline; no PAR->NAR transfer
+// delay because everything is already at the NAR.
+
+#include "bench_common.hpp"
+
+using namespace fhmip;
+
+int main() {
+  bench::header("Figure 4.7", "end-to-end delay, fast handover (buffer=40)");
+  bench::note(bench::flow_legend());
+
+  DelayCaptureParams p;
+  p.mode = BufferMode::kNarOnly;
+  p.classify = false;
+  p.pool_pkts = 40;
+  p.request_pkts = 40;
+  const auto r = run_delay_capture(p);
+  const auto series = delay_series(r);
+  print_series_table("Fast handover (buffer=40): delay (s) vs. seq",
+                     "packet seq", series);
+  std::printf("\nwindow: packets %u..%u; max delays F1=%.3f F2=%.3f F3=%.3f s\n",
+              r.seq_begin, r.seq_end, series[0].max_y(), series[1].max_y(),
+              series[2].max_y());
+  return 0;
+}

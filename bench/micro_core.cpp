@@ -1,0 +1,100 @@
+// Microbenchmarks of the hot core data structures (google-benchmark):
+// the event scheduler, drop-tail queue, handoff buffer and policy decision.
+
+#include <benchmark/benchmark.h>
+
+#include "buffer/buffer_manager.hpp"
+#include "buffer/policy.hpp"
+#include "net/queue.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/simulation.hpp"
+
+namespace fhmip {
+namespace {
+
+void BM_SchedulerScheduleRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Scheduler s;
+    int sink = 0;
+    for (int i = 0; i < n; ++i) {
+      s.schedule_at(SimTime::micros((i * 7919) % 100000),
+                    [&sink] { ++sink; });
+    }
+    s.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SchedulerScheduleRun)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_SchedulerCancelHalf(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Scheduler s;
+    std::vector<EventId> ids;
+    ids.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      ids.push_back(s.schedule_at(SimTime::micros(i), [] {}));
+    }
+    for (int i = 0; i < n; i += 2) s.cancel(ids[i]);
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SchedulerCancelHalf)->Arg(10000);
+
+void BM_DropTailQueuePushPop(benchmark::State& state) {
+  Simulation sim;
+  DropTailQueue q(1024);
+  for (auto _ : state) {
+    auto p = make_packet(sim, {1, 1}, {2, 2}, 160);
+    q.push(p);
+    benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DropTailQueuePushPop);
+
+void BM_PolicyDecision(benchmark::State& state) {
+  BufferSchemeConfig cfg;
+  int i = 0;
+  for (auto _ : state) {
+    const AllocationCase ac{(i & 1) != 0, (i & 2) != 0};
+    const auto cls = static_cast<TrafficClass>(i % 4);
+    benchmark::DoNotOptimize(decide_buffering(cfg, ac, cls));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PolicyDecision);
+
+void BM_HandoffBufferEvictingPush(benchmark::State& state) {
+  Simulation sim;
+  HandoffBuffer buf(64);
+  for (auto _ : state) {
+    auto p = make_packet(sim, {1, 1}, {2, 2}, 160);
+    p->tclass = TrafficClass::kRealTime;
+    PacketPtr evicted;
+    buf.push_evict_oldest_realtime(p, evicted);
+    benchmark::DoNotOptimize(evicted);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HandoffBufferEvictingPush);
+
+void BM_BufferManagerAllocateRelease(benchmark::State& state) {
+  BufferManager m(1 << 20);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const auto k = BufferManager::key(static_cast<MhId>(i % 64), ArRole::kNar);
+    m.allocate(k, 16);
+    m.release(k);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferManagerAllocateRelease);
+
+}  // namespace
+}  // namespace fhmip

@@ -1,0 +1,24 @@
+// Table 3.1 — values in the class-of-service field, as implemented.
+
+#include "bench_common.hpp"
+#include "buffer/traffic_class.hpp"
+
+using namespace fhmip;
+
+int main() {
+  bench::header("Table 3.1", "values in class of service field");
+  TextTable t({"Class of service field", "Type of service", "Diffserv PHB"});
+  const TrafficClass classes[] = {
+      TrafficClass::kUnspecified, TrafficClass::kRealTime,
+      TrafficClass::kHighPriority, TrafficClass::kBestEffort};
+  const char* phb_names[] = {"default/BE", "EF", "AF"};
+  for (TrafficClass c : classes) {
+    const char* desc = c == TrafficClass::kUnspecified
+                           ? "Not specified, treated as Best effort packets"
+                           : to_string(c);
+    t.add_row({std::to_string(class_of_service_value(c)), desc,
+               phb_names[static_cast<int>(phb_from_traffic_class(c))]});
+  }
+  t.print("class-of-service values (with the §3.3 Diffserv mapping)");
+  return 0;
+}

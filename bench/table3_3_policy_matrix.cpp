@@ -1,0 +1,44 @@
+// Tables 3.2 + 3.3 — allocation cases and the per-class buffering
+// operations, printed from the implemented policy (decide_buffering) so any
+// drift from the thesis is visible.
+
+#include "bench_common.hpp"
+#include "buffer/policy.hpp"
+
+using namespace fhmip;
+
+int main() {
+  bench::header("Table 3.2/3.3", "allocation cases and buffering operations");
+
+  TextTable alloc({"", "PAR yes", "PAR no"});
+  alloc.add_row({"NAR yes", "Case 1", "Case 2"});
+  alloc.add_row({"NAR no", "Case 3", "Case 4"});
+  alloc.print("Table 3.2 — allocation of buffer spaces");
+
+  BufferSchemeConfig cfg;  // dual, classified — the proposed scheme
+  TextTable ops({"Case", "Traffic type", "Buffering operation"});
+  const TrafficClass classes[] = {TrafficClass::kRealTime,
+                                  TrafficClass::kHighPriority,
+                                  TrafficClass::kBestEffort};
+  const char* cls_names[] = {"Real-time (a)", "High Priority (b)",
+                             "Best effort (c)"};
+  const AllocationCase cases[] = {
+      {true, true}, {true, false}, {false, true}, {false, false}};
+  for (const AllocationCase& ac : cases) {
+    for (int i = 0; i < 3; ++i) {
+      ops.add_row({"Case " + std::to_string(ac.case_number()), cls_names[i],
+                   to_string(decide_buffering(cfg, ac, classes[i]))});
+    }
+  }
+  ops.print("Table 3.3 — buffering operations (as implemented)");
+
+  TextTable off({"Case", "Buffering operation (classification disabled)"});
+  cfg.classify = false;
+  for (const AllocationCase& ac : cases) {
+    off.add_row({"Case " + std::to_string(ac.case_number()),
+                 to_string(decide_buffering(cfg, ac,
+                                            TrafficClass::kBestEffort))});
+  }
+  off.print("class-disabled variant (Figures 4.2/4.4/4.8 runs)");
+  return 0;
+}

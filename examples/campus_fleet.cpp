@@ -1,0 +1,63 @@
+// Campus fleet: a shuttle full of devices crosses from one WLAN cell to the
+// next, all handing off at once — the scalability problem of §3.1.1. The
+// example compares how many concurrent audio streams each buffering
+// mechanism carries through the handover without loss (the Figure 4.2
+// capacity story, played as an application).
+//
+//   ./build/examples/campus_fleet [num_devices]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "scenario/experiment.hpp"
+#include "stats/table.hpp"
+
+using namespace fhmip;
+
+int main(int argc, char** argv) {
+  const int devices = argc > 1 ? std::atoi(argv[1]) : 8;
+  std::printf("%d devices on the shuttle, one 64 kb/s stream each;\n"
+              "access routers hold a 36-packet pool, each device asks for "
+              "12 packets\n\n",
+              devices);
+
+  TextTable t({"mechanism", "streams intact", "packets dropped",
+               "drop rate %"});
+  struct Row {
+    const char* name;
+    BufferMode mode;
+  };
+  const Row rows[] = {
+      {"fast handover, no buffer", BufferMode::kNone},
+      {"original FH (NAR buffer)", BufferMode::kNarOnly},
+      {"PAR buffer only", BufferMode::kParOnly},
+      {"proposed (dual buffers)", BufferMode::kDual},
+  };
+  for (const Row& row : rows) {
+    SimultaneousHandoffParams p;
+    p.mode = row.mode;
+    p.classify = false;
+    p.num_mhs = devices;
+    p.pool_pkts = 36;
+    p.request_pkts = 12;
+    const auto r = run_simultaneous_handoffs(p);
+    // A stream is "intact" if it lost nothing; estimate from totals: each
+    // unserved device loses the ~10-12 blackout packets.
+    const int lost_streams =
+        static_cast<int>((r.total_dropped + 6) / 11);  // round to devices
+    char rate[32];
+    std::snprintf(rate, sizeof(rate), "%.2f",
+                  100.0 * static_cast<double>(r.total_dropped) /
+                      static_cast<double>(r.total_sent));
+    t.add_row({row.name,
+               std::to_string(std::max(0, devices - lost_streams)) + "/" +
+                   std::to_string(devices),
+               std::to_string(r.total_dropped), rate});
+  }
+  t.print("simultaneous-handover capacity by buffering mechanism");
+
+  std::printf("\nthe dual scheme serves about twice the devices of either "
+              "single-buffer variant\nbecause hosts denied at the NAR fall "
+              "back to PAR-side buffering (Table 3.2 case 3).\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// VoIP roaming: a commuter bounces between two WLAN cells for two minutes
+// while receiving three audio streams of different service classes —
+// a real-time stream (voice), a high-priority stream (signalling/critical
+// data) and a best-effort stream (background sync).
+//
+// The example runs the scenario twice — with the classification function
+// off and on — and prints the per-class loss and delay, showing what the
+// enhanced buffer management buys (Chapter 4.2.2 of the thesis).
+//
+//   ./build/examples/voip_roaming
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "scenario/paper_topology.hpp"
+#include "stats/table.hpp"
+#include "transport/cbr.hpp"
+#include "transport/sink.hpp"
+
+using namespace fhmip;
+using namespace fhmip::timeliterals;
+
+namespace {
+
+struct RunResult {
+  std::uint64_t sent[3], delivered[3], dropped[3];
+  double max_delay[3];
+};
+
+RunResult run(bool classify) {
+  PaperTopologyConfig cfg;
+  cfg.bounce = true;
+  cfg.scheme.mode = BufferMode::kDual;
+  cfg.scheme.classify = classify;
+  cfg.scheme.pool_pkts = 20;
+  cfg.scheme.request_pkts = 20;
+  PaperTopology topo(cfg);
+  Simulation& sim = topo.simulation();
+  sim.stats().set_keep_samples(true);
+
+  auto& m = topo.mobile(0);
+  const TrafficClass classes[3] = {TrafficClass::kRealTime,
+                                   TrafficClass::kHighPriority,
+                                   TrafficClass::kBestEffort};
+  std::vector<std::unique_ptr<UdpSink>> sinks;
+  std::vector<std::unique_ptr<CbrSource>> sources;
+  for (int i = 0; i < 3; ++i) {
+    const std::uint16_t port = static_cast<std::uint16_t>(7000 + i);
+    sinks.push_back(std::make_unique<UdpSink>(*m.node, port));
+    CbrSource::Config c;
+    c.dst = m.regional;
+    c.dst_port = port;
+    c.packet_bytes = 160;
+    c.interval = 10_ms;  // 128 kb/s audio
+    c.tclass = classes[i];
+    c.flow = i + 1;
+    sources.push_back(std::make_unique<CbrSource>(
+        topo.cn(), static_cast<std::uint16_t>(5000 + i), c));
+    sources.back()->start(2_s);
+    sources.back()->stop(118_s);
+  }
+  topo.start();
+  sim.run_until(120_s);
+
+  RunResult r{};
+  for (int i = 0; i < 3; ++i) {
+    const FlowCounters& c = sim.stats().flow(i + 1);
+    r.sent[i] = c.sent;
+    r.delivered[i] = c.delivered;
+    r.dropped[i] = c.dropped;
+    double mx = 0;
+    for (const auto& s : sim.stats().samples(i + 1)) {
+      mx = std::max(mx, s.delay.sec());
+    }
+    r.max_delay[i] = mx;
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("VoIP roaming across ~5 handovers (120 s, 10 m/s bounce)\n");
+  std::printf("three 128 kb/s flows: F1 real-time, F2 high priority, "
+              "F3 best effort; buffer 20 pkts per AR\n\n");
+
+  const RunResult off = run(false);
+  const RunResult on = run(true);
+
+  TextTable t({"flow", "class", "mode", "sent", "delivered", "dropped",
+               "loss %", "max delay (ms)"});
+  const char* names[3] = {"F1", "F2", "F3"};
+  const char* classes[3] = {"real-time", "high-priority", "best-effort"};
+  for (int mode = 0; mode < 2; ++mode) {
+    const RunResult& r = mode == 0 ? off : on;
+    for (int i = 0; i < 3; ++i) {
+      char loss[32], delay[32];
+      std::snprintf(loss, sizeof(loss), "%.2f",
+                    100.0 * static_cast<double>(r.dropped[i]) /
+                        static_cast<double>(r.sent[i]));
+      std::snprintf(delay, sizeof(delay), "%.1f", r.max_delay[i] * 1000);
+      t.add_row({names[i], classes[i],
+                 mode == 0 ? "class off" : "class on",
+                 std::to_string(r.sent[i]), std::to_string(r.delivered[i]),
+                 std::to_string(r.dropped[i]), loss, delay});
+    }
+  }
+  t.print("per-class outcome, classification off vs. on");
+
+  std::printf("\nwhat to look for:\n");
+  std::printf(" * class off — all three flows lose the same share.\n");
+  std::printf(" * class on  — the high-priority flow is protected (lowest"
+              " loss),\n   real-time keeps the lowest buffered delay"
+              " (stale packets are evicted,\n   fresh ones wait at the NAR"
+              " instead of crossing the inter-AR link).\n");
+  return 0;
+}

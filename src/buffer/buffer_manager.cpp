@@ -1,0 +1,44 @@
+#include "buffer/buffer_manager.hpp"
+
+#include <algorithm>
+
+namespace fhmip {
+
+std::uint32_t BufferManager::allocate(LeaseKey k, std::uint32_t requested) {
+  release(k);
+  if (requested == 0) return 0;
+  std::uint32_t grant = 0;
+  if (available() >= requested) {
+    grant = requested;
+  } else if (allow_partial_ && available() > 0) {
+    grant = available();
+  }
+  if (grant == 0) {
+    ++rejections_;
+    return 0;
+  }
+  leased_ += grant;
+  peak_leased_ = std::max(peak_leased_, leased_);
+  leases_.emplace(k, HandoffBuffer(grant));
+  ++grants_;
+  return grant;
+}
+
+void BufferManager::release(LeaseKey k) {
+  auto it = leases_.find(k);
+  if (it == leases_.end()) return;
+  leased_ -= it->second.capacity();
+  leases_.erase(it);
+}
+
+HandoffBuffer* BufferManager::buffer(LeaseKey k) {
+  auto it = leases_.find(k);
+  return it == leases_.end() ? nullptr : &it->second;
+}
+
+const HandoffBuffer* BufferManager::buffer(LeaseKey k) const {
+  auto it = leases_.find(k);
+  return it == leases_.end() ? nullptr : &it->second;
+}
+
+}  // namespace fhmip

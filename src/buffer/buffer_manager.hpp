@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "buffer/handoff_buffer.hpp"
+#include "buffer/policy.hpp"
+#include "net/messages.hpp"
+
+namespace fhmip {
+
+/// The role an access router plays for a given mobile host's handoff; one
+/// router can simultaneously be PAR for departing hosts, NAR for arriving
+/// ones, and the anchor of a pure link-layer handoff (§3.2.2.4).
+enum class ArRole : std::uint8_t { kPar = 0, kNar = 1, kIntra = 2 };
+
+/// Per-access-router buffer pool. Mobile hosts lease buffer space out of a
+/// shared pool of `pool_pkts` slots (the scarce resource whose utilization
+/// Figure 4.2 measures). Grants are all-or-nothing as in the thesis unless
+/// `allow_partial` is set (listed as future work in §5).
+class BufferManager {
+ public:
+  using LeaseKey = std::uint64_t;
+  static LeaseKey key(MhId mh, ArRole role) {
+    return (static_cast<LeaseKey>(mh) << 2) | static_cast<LeaseKey>(role);
+  }
+
+  BufferManager(std::uint32_t pool_pkts, bool allow_partial = false)
+      : pool_(pool_pkts), allow_partial_(allow_partial) {}
+
+  /// Tries to lease `requested` slots. Returns the granted size (0 = none).
+  /// Re-allocating an existing lease releases the old one first (its
+  /// contents are discarded through `flush` by the caller beforehand).
+  std::uint32_t allocate(LeaseKey k, std::uint32_t requested);
+
+  /// Returns the lease's slots to the pool. Any packets still buffered are
+  /// destroyed; callers flush first if they need them.
+  void release(LeaseKey k);
+
+  /// nullptr if no lease exists.
+  HandoffBuffer* buffer(LeaseKey k);
+  const HandoffBuffer* buffer(LeaseKey k) const;
+  bool has_lease(LeaseKey k) const { return leases_.count(k) > 0; }
+
+  std::uint32_t pool_pkts() const { return pool_; }
+  std::uint32_t leased() const { return leased_; }
+  std::uint32_t available() const { return pool_ - leased_; }
+  std::size_t active_leases() const { return leases_.size(); }
+
+  std::uint64_t total_grants() const { return grants_; }
+  std::uint64_t total_rejections() const { return rejections_; }
+  std::uint32_t peak_leased() const { return peak_leased_; }
+
+ private:
+  std::uint32_t pool_;
+  bool allow_partial_;
+  std::uint32_t leased_ = 0;
+  std::uint32_t peak_leased_ = 0;
+  std::map<LeaseKey, HandoffBuffer> leases_;
+  std::uint64_t grants_ = 0;
+  std::uint64_t rejections_ = 0;
+};
+
+}  // namespace fhmip

@@ -1,0 +1,42 @@
+#include "buffer/handoff_buffer.hpp"
+
+#include <algorithm>
+
+namespace fhmip {
+
+HandoffBuffer::PushResult HandoffBuffer::push(PacketPtr& p) {
+  if (full()) return PushResult::kRejected;
+  q_.push_back(std::move(p));
+  ++stored_;
+  peak_ = std::max<std::uint32_t>(peak_, size());
+  return PushResult::kStored;
+}
+
+HandoffBuffer::PushResult HandoffBuffer::push_evict_oldest_realtime(
+    PacketPtr& p, PacketPtr& evicted) {
+  if (!full()) {
+    q_.push_back(std::move(p));
+    ++stored_;
+    peak_ = std::max<std::uint32_t>(peak_, size());
+    return PushResult::kStored;
+  }
+  auto it = std::find_if(q_.begin(), q_.end(), [](const PacketPtr& q) {
+    return effective_class(q->tclass) == TrafficClass::kRealTime;
+  });
+  if (it == q_.end()) return PushResult::kRejected;
+  evicted = std::move(*it);
+  q_.erase(it);
+  ++evictions_;
+  q_.push_back(std::move(p));
+  ++stored_;
+  return PushResult::kStoredEvicting;
+}
+
+PacketPtr HandoffBuffer::pop() {
+  if (q_.empty()) return nullptr;
+  PacketPtr p = std::move(q_.front());
+  q_.pop_front();
+  return p;
+}
+
+}  // namespace fhmip

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "net/packet.hpp"
+
+namespace fhmip {
+
+/// A per-mobile-host handoff buffer: FIFO storage with a fixed capacity
+/// leased from the router's pool. Supports the two overflow behaviours of
+/// Table 3.3:
+///  * tail rejection (default; caller accounts the drop), and
+///  * evicting the oldest *real-time* packet to admit a new one (Case 1.a /
+///    2.a: "if buffer full, drop the first real-time packet").
+class HandoffBuffer {
+ public:
+  explicit HandoffBuffer(std::uint32_t capacity_pkts)
+      : capacity_(capacity_pkts) {}
+
+  enum class PushResult {
+    kStored,
+    kRejected,        // buffer full, packet not stored (caller still owns it)
+    kStoredEvicting,  // stored after evicting the oldest real-time packet
+  };
+
+  /// Plain FIFO admission with tail rejection.
+  PushResult push(PacketPtr& p);
+
+  /// Admission for real-time packets: when full, the oldest real-time
+  /// packet in the buffer is evicted (returned through `evicted`) and the
+  /// new packet stored. If the buffer holds no real-time packet to evict,
+  /// the new packet is rejected.
+  PushResult push_evict_oldest_realtime(PacketPtr& p, PacketPtr& evicted);
+
+  PacketPtr pop();
+
+  bool empty() const { return q_.empty(); }
+  bool full() const { return q_.size() >= capacity_; }
+  std::uint32_t size() const { return static_cast<std::uint32_t>(q_.size()); }
+  std::uint32_t capacity() const { return capacity_; }
+  std::uint32_t free_slots() const {
+    return capacity_ - static_cast<std::uint32_t>(q_.size());
+  }
+
+  std::uint32_t peak_occupancy() const { return peak_; }
+  std::uint64_t total_stored() const { return stored_; }
+  std::uint64_t total_evictions() const { return evictions_; }
+
+  /// Empties the buffer through `fn` (used on lifetime expiry).
+  template <typename Fn>
+  void flush(Fn&& fn) {
+    while (!q_.empty()) {
+      fn(std::move(q_.front()));
+      q_.pop_front();
+    }
+  }
+
+ private:
+  std::deque<PacketPtr> q_;
+  std::uint32_t capacity_;
+  std::uint32_t peak_ = 0;
+  std::uint64_t stored_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace fhmip

@@ -1,0 +1,95 @@
+#include "buffer/policy.hpp"
+
+namespace fhmip {
+
+const char* to_string(BufferMode m) {
+  switch (m) {
+    case BufferMode::kNone:
+      return "none";
+    case BufferMode::kNarOnly:
+      return "nar-only";
+    case BufferMode::kParOnly:
+      return "par-only";
+    case BufferMode::kDual:
+      return "dual";
+  }
+  return "?";
+}
+
+const char* to_string(BufferAction a) {
+  switch (a) {
+    case BufferAction::kBufferAtNar:
+      return "buffer-at-NAR";
+    case BufferAction::kBufferAtBoth:
+      return "buffer-at-both";
+    case BufferAction::kBufferAtParIfHeadroom:
+      return "buffer-at-PAR-if-headroom";
+    case BufferAction::kBufferAtPar:
+      return "buffer-at-PAR";
+    case BufferAction::kForwardOnly:
+      return "forward-only";
+    case BufferAction::kDrop:
+      return "drop";
+  }
+  return "?";
+}
+
+BufferAction decide_buffering(const BufferSchemeConfig& cfg,
+                              AllocationCase alloc, TrafficClass cls) {
+  // Degenerate modes first: they model the comparison lines of Figure 4.2
+  // and the original Fast Handover protocol (all packets to one buffer).
+  switch (cfg.mode) {
+    case BufferMode::kNone:
+      return BufferAction::kForwardOnly;
+    case BufferMode::kNarOnly:
+      return alloc.nar_has_space ? BufferAction::kBufferAtNar
+                                 : BufferAction::kForwardOnly;
+    case BufferMode::kParOnly:
+      return alloc.par_has_space ? BufferAction::kBufferAtPar
+                                 : BufferAction::kForwardOnly;
+    case BufferMode::kDual:
+      break;
+  }
+
+  const TrafficClass c =
+      cfg.classify ? effective_class(cls) : TrafficClass::kHighPriority;
+
+  switch (alloc.case_number()) {
+    case 1:  // NAR yes, PAR yes
+      switch (c) {
+        case TrafficClass::kRealTime:
+          return BufferAction::kBufferAtNar;  // 1.a (drop-front on full)
+        case TrafficClass::kHighPriority:
+          return BufferAction::kBufferAtBoth;  // 1.b
+        default:
+          return BufferAction::kBufferAtParIfHeadroom;  // 1.c
+      }
+    case 2:  // NAR yes, PAR no
+      switch (c) {
+        case TrafficClass::kRealTime:
+        case TrafficClass::kHighPriority:
+          return BufferAction::kBufferAtNar;  // 2.a / 2.b
+        default:
+          return BufferAction::kForwardOnly;  // 2.c
+      }
+    case 3:  // NAR no, PAR yes
+      switch (c) {
+        case TrafficClass::kRealTime:
+          return BufferAction::kForwardOnly;  // 3.a
+        case TrafficClass::kHighPriority:
+          return BufferAction::kBufferAtPar;  // 3.b
+        default:
+          return BufferAction::kBufferAtParIfHeadroom;  // 3.c
+      }
+    default:  // Case 4: no buffer space anywhere
+      switch (c) {
+        case TrafficClass::kRealTime:
+        case TrafficClass::kHighPriority:
+          return BufferAction::kForwardOnly;  // 4.a / 4.b
+        default:
+          return BufferAction::kDrop;  // 4.c
+      }
+  }
+}
+
+}  // namespace fhmip

@@ -1,0 +1,44 @@
+#include "buffer/rate_estimator.hpp"
+
+#include <cmath>
+
+namespace fhmip {
+
+void RateEstimator::roll(SimTime now) const {
+  // Close every full window that has elapsed; empty windows decay the
+  // estimate toward zero.
+  while (now - window_start_ >= window_) {
+    const double window_pps =
+        static_cast<double>(count_) / window_.sec();
+    smoothed_pps_ = primed_ ? alpha_ * window_pps + (1 - alpha_) * smoothed_pps_
+                            : window_pps;
+    primed_ = true;
+    count_ = 0;
+    window_start_ += window_;
+  }
+}
+
+void RateEstimator::on_packet(SimTime now) {
+  if (total_ == 0) window_start_ = now;
+  roll(now);
+  ++count_;
+  ++total_;
+}
+
+double RateEstimator::rate_pps(SimTime now) const {
+  if (total_ == 0) return 0;
+  roll(now);
+  if (!primed_) {
+    // Inside the very first window: use the raw partial count.
+    const double elapsed = (now - window_start_).sec();
+    return elapsed > 0 ? static_cast<double>(count_) / elapsed : 0;
+  }
+  return smoothed_pps_;
+}
+
+std::uint32_t RateEstimator::packets_in(SimTime horizon, SimTime now) const {
+  return static_cast<std::uint32_t>(
+      std::ceil(rate_pps(now) * horizon.sec()));
+}
+
+}  // namespace fhmip

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace fhmip {
+
+/// Windowed packet-rate estimator with exponential smoothing. Access
+/// routers keep one per attached mobile host to size buffer requests
+/// precisely (§5's first future-work item: "a more precise buffer
+/// allocation when a mobile host handoffs").
+class RateEstimator {
+ public:
+  explicit RateEstimator(SimTime window = SimTime::millis(500),
+                         double smoothing = 0.5)
+      : window_(window), alpha_(smoothing) {}
+
+  /// Records one packet observed at `now`.
+  void on_packet(SimTime now);
+
+  /// Smoothed packets-per-second estimate as of `now`. Falls to zero as
+  /// the stream goes quiet.
+  double rate_pps(SimTime now) const;
+
+  /// Packets expected within `horizon` at the current estimate, rounded
+  /// up — the precise buffer size for an anticipated disconnection.
+  std::uint32_t packets_in(SimTime horizon, SimTime now) const;
+
+  std::uint64_t total_packets() const { return total_; }
+
+ private:
+  void roll(SimTime now) const;
+
+  SimTime window_;
+  double alpha_;
+  mutable SimTime window_start_;
+  mutable std::uint32_t count_ = 0;
+  mutable double smoothed_pps_ = 0;
+  mutable bool primed_ = false;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace fhmip

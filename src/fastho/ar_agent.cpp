@@ -1,0 +1,767 @@
+#include "fastho/ar_agent.hpp"
+
+#include "net/link.hpp"
+
+namespace fhmip {
+
+ArAgent::ArAgent(Node& node, BufferSchemeConfig cfg)
+    : node_(node),
+      cfg_(cfg),
+      buffers_(cfg.pool_pkts, cfg.allow_partial_grant) {
+  // Everything addressed into this router's subnet that is not the router
+  // itself flows through the agent (LCoA delivery, handoff redirection).
+  node_.routes().set_prefix_route(
+      prefix(),
+      Route::to([this](PacketPtr p) { handle_subnet_packet(std::move(p)); }));
+  node_.add_control_handler([this](PacketPtr& p) { return handle_control(p); });
+}
+
+bool ArAgent::par_redirecting(MhId mh) const {
+  auto it = par_.find(mh);
+  return it != par_.end() && it->second.redirecting;
+}
+
+void ArAgent::send_control(Address dst, MessageVariant m, std::uint32_t bytes) {
+  node_.send(make_control(node_.sim(), address(), dst, std::move(m), bytes));
+}
+
+void ArAgent::drop(PacketPtr p, DropReason reason) {
+  node_.sim().stats().record_drop(p->flow, reason);
+  if (node_.sim().logger().enabled(LogLevel::kDebug)) {
+    node_.sim().log(LogLevel::kDebug,
+                    node_.name() + " AR-drop " +
+                        std::string(message_name(p->msg)) + " seq=" +
+                        std::to_string(p->seq) + " (" + to_string(reason) +
+                        ")");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Control plane
+// ---------------------------------------------------------------------------
+
+bool ArAgent::handle_control(PacketPtr& p) {
+  if (const auto* m = std::get_if<RtSolPrMsg>(&p->msg)) {
+    on_rtsolpr(*m, p->src);
+    return true;
+  }
+  if (const auto* m = std::get_if<HiMsg>(&p->msg)) {
+    on_hi(*m);
+    return true;
+  }
+  if (const auto* m = std::get_if<HackMsg>(&p->msg)) {
+    on_hack(*m);
+    return true;
+  }
+  if (const auto* m = std::get_if<FbuMsg>(&p->msg)) {
+    on_fbu(*m);
+    return true;
+  }
+  if (const auto* m = std::get_if<FnaMsg>(&p->msg)) {
+    on_fna(*m);
+    return true;
+  }
+  if (const auto* m = std::get_if<BfMsg>(&p->msg)) {
+    on_bf(*m);
+    return true;
+  }
+  if (const auto* m = std::get_if<BufferFullMsg>(&p->msg)) {
+    on_buffer_full(*m);
+    return true;
+  }
+  if (const auto* m = std::get_if<BiMsg>(&p->msg)) {
+    on_bi(*m);
+    return true;
+  }
+  if (std::get_if<FbackMsg>(&p->msg) != nullptr) {
+    // FBAck copy sent toward the new link (we hold it for the MH; the MH
+    // completes the handshake via the PCoA copy in this implementation).
+    return true;
+  }
+  return false;
+}
+
+void ArAgent::on_rtsolpr(const RtSolPrMsg& m, Address src) {
+  ++counters_.rtsolpr;
+  Simulation& sim = node_.sim();
+  Node* target_ar = ap_resolver_ ? ap_resolver_(m.target_ap) : nullptr;
+  // The PCoA is the address the host actually uses on this subnet — taken
+  // from the solicitation's source (it may be a collision substitute).
+  const Address pcoa =
+      src.net == prefix() ? src : make_coa(prefix(), m.mh);
+
+  // Cancellation: start time and lifetime both zero (§3.2.2.1).
+  if (m.has_bi && m.bi.lifetime.is_zero() && m.bi.start_time.is_zero() &&
+      m.bi.size_pkts == 0) {
+    teardown_par(m.mh);
+    teardown_intra(m.mh);
+    return;
+  }
+
+  if (target_ar == &node_ || target_ar == nullptr) {
+    // §3.2.2.4 — pure link-layer handoff under this same router: allocate
+    // locally and answer with PrRtAdv directly.
+    ++counters_.intra_handoffs;
+    teardown_intra(m.mh);
+    IntraContext ctx;
+    ctx.mh = m.mh;
+    if (m.has_bi) {
+      ctx.grant = buffers_.allocate(BufferManager::key(m.mh, ArRole::kIntra),
+                                    m.bi.size_pkts);
+      if (m.bi.start_time > sim.now()) {
+        ctx.start_timer = sim.at(m.bi.start_time, [this, mh = m.mh] {
+          auto it = intra_.find(mh);
+          if (it != intra_.end()) it->second.buffering = true;
+        });
+      }
+      const SimTime life =
+          m.bi.lifetime.is_zero() ? cfg_.lifetime : m.bi.lifetime;
+      ctx.lifetime_timer =
+          sim.in(life, [this, mh = m.mh] { teardown_intra(mh); });
+    }
+    PrRtAdvMsg adv;
+    adv.mh = m.mh;
+    adv.intra_ar = true;
+    adv.nar_node = node_.id();
+    adv.nar_addr = address();
+    adv.nar_prefix = prefix();
+    adv.grant.par_ok = ctx.grant > 0;
+    adv.grant.par_pkts = ctx.grant;
+    intra_.emplace(m.mh, std::move(ctx));
+    ++counters_.prrtadv_sent;
+    node_.send(make_control(sim, address(), pcoa, adv));
+    return;
+  }
+
+  // Inter-AR handover: open a PAR context and negotiate with the NAR.
+  teardown_par(m.mh);
+  ParContext ctx;
+  ctx.mh = m.mh;
+  ctx.pcoa = pcoa;
+  ctx.nar_addr = target_ar->address();
+  ctx.request = m.has_bi ? m.bi : BufferRequest{};
+  if (cfg_.adaptive_request && m.has_bi && ctx.request.size_pkts > 0) {
+    // Precise allocation (§5): replace the host's blanket request with the
+    // observed downstream rate over the expected disconnection, clamped to
+    // [min_request, requested].
+    std::uint32_t est = cfg_.min_request_pkts;
+    if (auto it = rates_.find(m.mh); it != rates_.end()) {
+      est = std::max(est, it->second.packets_in(cfg_.expected_blackout,
+                                                sim.now()));
+    }
+    ctx.request.size_pkts = std::min(est, ctx.request.size_pkts);
+  }
+  if (ctx.request.start_time > sim.now()) {
+    // Safety valve for fast-moving hosts: buffering starts even if the FBU
+    // never arrives on the old link.
+    ctx.start_timer = sim.at(ctx.request.start_time, [this, mh = m.mh] {
+      auto it = par_.find(mh);
+      if (it != par_.end()) it->second.redirecting = true;
+    });
+  }
+  const SimTime life =
+      ctx.request.lifetime.is_zero() ? cfg_.lifetime : ctx.request.lifetime;
+  ctx.lifetime_timer = sim.in(life, [this, mh = m.mh] { teardown_par(mh); });
+
+  HiMsg hi;
+  hi.mh = m.mh;
+  hi.pcoa = pcoa;
+  hi.ncoa = make_coa(ctx.nar_addr.net, m.mh);
+  hi.par_addr = address();
+  const bool nar_buffering =
+      cfg_.mode == BufferMode::kNarOnly || cfg_.mode == BufferMode::kDual;
+  if (m.has_bi && nar_buffering) {
+    hi.br = ctx.request;
+    hi.has_br = true;
+  }
+  hi.auth_token = m.auth_token;
+  const Address nar = ctx.nar_addr;
+  par_[m.mh] = std::move(ctx);
+  ++counters_.hi_sent;
+  send_control(nar, hi);
+}
+
+void ArAgent::on_hi(const HiMsg& m) {
+  ++counters_.hi_received;
+  if (!auth_.verify(m.mh, m.auth_token)) {
+    // §5: the NAR refuses unauthenticated handovers — no buffer, no host
+    // route, no tunnel endpoint. The host may still attach at L2 and
+    // re-register the slow way.
+    HackMsg hack;
+    hack.mh = m.mh;
+    hack.accepted = false;
+    ++counters_.hack_sent;
+    send_control(m.par_addr, hack);
+    return;
+  }
+  teardown_nar(m.mh);
+  NarContext ctx;
+  ctx.mh = m.mh;
+  ctx.pcoa = m.pcoa;
+  ctx.par_addr = m.par_addr;
+  ctx.mh_here = attached_.count(m.mh) > 0;
+  // Validate the proposed NCoA against addresses already in use on this
+  // subnet; a collision gets the next free interface identifier.
+  Address ncoa = m.ncoa.valid() ? m.ncoa : make_coa(prefix(), m.mh);
+  if (reserved_hosts_.count(ncoa.host) > 0) {
+    ++ncoa_collisions_;
+    // Re-use a previously assigned substitute for this host, if any — the
+    // assignment is an address lease that outlives the handover context.
+    std::uint32_t host = 0;
+    for (const auto& [h, owner] : host_alias_) {
+      if (owner == m.mh) {
+        host = h;
+        break;
+      }
+    }
+    if (host == 0) {
+      host = ncoa.host;
+      while (reserved_hosts_.count(host) > 0 || host_alias_.count(host) > 0) {
+        host += 100'000;  // outside the node-id space
+      }
+      host_alias_[host] = m.mh;
+    }
+    ncoa = make_coa(prefix(), host);
+  }
+  if (m.has_br) {
+    ctx.grant = buffers_.allocate(BufferManager::key(m.mh, ArRole::kNar),
+                                  m.br.size_pkts);
+  }
+  const SimTime life =
+      (m.has_br && !m.br.lifetime.is_zero()) ? m.br.lifetime : cfg_.lifetime;
+  ctx.lifetime_timer =
+      node_.sim().in(life, [this, mh = m.mh] { teardown_nar(mh); });
+  // Host route for the PCoA: packets tunneled here with the old address
+  // must not bounce back toward the PAR's subnet.
+  node_.routes().set_host_route(
+      m.pcoa,
+      Route::to([this](PacketPtr p) { handle_subnet_packet(std::move(p)); }));
+
+  HackMsg hack;
+  hack.mh = m.mh;
+  hack.accepted = true;
+  hack.ncoa = ncoa;
+  hack.granted_pkts = ctx.grant;
+  hack.buffer_ok = ctx.grant > 0;
+  nar_[m.mh] = std::move(ctx);
+  ++counters_.hack_sent;
+  send_control(m.par_addr, hack);
+}
+
+void ArAgent::on_hack(const HackMsg& m) {
+  ++counters_.hack_received;
+  auto it = par_.find(m.mh);
+  if (it == par_.end()) return;
+  ParContext& ctx = it->second;
+  ctx.hack_received = true;
+  ctx.nar_grant = m.buffer_ok ? m.granted_pkts : 0;
+  if (!m.accepted) {
+    // The NAR refused the handover (authentication): no tunnel exists, so
+    // the PAR must not redirect or buffer — the host gets a plain, lossy
+    // handoff. Report the empty grant.
+    ctx.nar_rejected = true;
+    PrRtAdvMsg adv;
+    adv.mh = m.mh;
+    adv.nar_addr = ctx.nar_addr;
+    adv.nar_prefix = ctx.nar_addr.net;
+    ++counters_.prrtadv_sent;
+    node_.send(make_control(node_.sim(), address(), ctx.pcoa, adv));
+    return;
+  }
+
+  // PAR-side allocation policy: with classification on, the PAR's share is
+  // needed for best-effort and high-priority overflow (Table 3.3 cases
+  // 1.b/1.c/3.b/3.c); with it off the PAR buffer is the backup used when
+  // the NAR denied — this is what lets the network as a whole serve twice
+  // the handoffs (Figure 4.2).
+  const bool par_buffering =
+      cfg_.mode == BufferMode::kParOnly || cfg_.mode == BufferMode::kDual;
+  if (par_buffering && ctx.request.size_pkts > 0) {
+    const bool need_local = cfg_.mode == BufferMode::kParOnly ||
+                            cfg_.classify || ctx.nar_grant == 0;
+    if (need_local) {
+      ctx.par_grant = buffers_.allocate(
+          BufferManager::key(m.mh, ArRole::kPar), ctx.request.size_pkts);
+    }
+  }
+
+  PrRtAdvMsg adv;
+  adv.mh = m.mh;
+  adv.nar_node = kNoNode;
+  adv.nar_addr = ctx.nar_addr;
+  adv.nar_prefix = ctx.nar_addr.net;
+  adv.ncoa = m.ncoa;
+  adv.grant.nar_ok = ctx.nar_grant > 0;
+  adv.grant.nar_pkts = ctx.nar_grant;
+  adv.grant.par_ok = ctx.par_grant > 0;
+  adv.grant.par_pkts = ctx.par_grant;
+  ++counters_.prrtadv_sent;
+  node_.send(make_control(node_.sim(), address(), ctx.pcoa, adv));
+}
+
+void ArAgent::on_fbu(const FbuMsg& m) {
+  ++counters_.fbu;
+  // Intra-AR (link-layer) handoff: start buffering locally (§3.2.2.4).
+  if (auto it = intra_.find(m.mh); it != intra_.end()) {
+    it->second.buffering = true;
+    FbackMsg fb;
+    fb.mh = m.mh;
+    fb.ok = true;
+    ++counters_.fback_sent;
+    send_control(make_coa(prefix(), m.mh), fb);
+    return;
+  }
+  auto it = par_.find(m.mh);
+  if (it == par_.end()) {
+    // Non-anticipated handoff: the FBU arrives via the new link with no
+    // prepared context — redirect with no buffers (Table 3.2 case 4).
+    if (!m.nar_addr.valid()) return;
+    ParContext ctx;
+    ctx.mh = m.mh;
+    ctx.pcoa = m.pcoa.valid() ? m.pcoa : make_coa(prefix(), m.mh);
+    ctx.nar_addr = m.nar_addr;
+    ctx.redirecting = true;
+    ctx.lifetime_timer =
+        node_.sim().in(cfg_.lifetime, [this, mh = m.mh] { teardown_par(mh); });
+    it = par_.emplace(m.mh, std::move(ctx)).first;
+  }
+  ParContext& ctx = it->second;
+  ctx.redirecting = true;
+  if (ctx.start_timer != kInvalidEvent) {
+    node_.sim().cancel(ctx.start_timer);
+    ctx.start_timer = kInvalidEvent;
+  }
+  FbackMsg fb;
+  fb.mh = m.mh;
+  fb.ok = true;
+  ++counters_.fback_sent;
+  // FBAck to the (possibly gone) old link and a copy toward the NAR.
+  node_.send(make_control(node_.sim(), address(), ctx.pcoa, fb));
+  send_control(ctx.nar_addr, fb);
+}
+
+void ArAgent::on_fna(const FnaMsg& m) {
+  ++counters_.fna;
+  if (auto it = intra_.find(m.mh); it != intra_.end()) {
+    it->second.buffering = false;
+    if (m.has_bf) drain_intra(m.mh);
+    return;
+  }
+  auto it = nar_.find(m.mh);
+  if (it == nar_.end()) return;
+  NarContext& ctx = it->second;
+  ctx.mh_here = true;
+  if (m.has_bf) {
+    BfMsg bf;
+    bf.mh = m.mh;
+    ++counters_.bf_sent;
+    send_control(ctx.par_addr, bf);
+    drain_nar(m.mh);
+  }
+}
+
+void ArAgent::on_bf(const BfMsg& m) {
+  ++counters_.bf_received;
+  if (auto it = intra_.find(m.mh); it != intra_.end()) {
+    it->second.buffering = false;
+    it->second.forward_to = m.forward_to;
+    drain_intra(m.mh);
+    return;
+  }
+  auto it = par_.find(m.mh);
+  if (it == par_.end()) return;
+  it->second.bf_received = true;
+  drain_par(m.mh);
+}
+
+void ArAgent::on_buffer_full(const BufferFullMsg& m) {
+  ++counters_.buffer_full_received;
+  auto it = par_.find(m.mh);
+  if (it != par_.end()) it->second.nar_full = true;
+}
+
+void ArAgent::on_bi(const BiMsg& m) {
+  // Standalone smooth-handover baseline (§2.4): allocate, acknowledge, and
+  // buffer from start_time (or immediately) until BF.
+  teardown_intra(m.mh);
+  Simulation& sim = node_.sim();
+  IntraContext ctx;
+  ctx.mh = m.mh;
+  ctx.grant = buffers_.allocate(BufferManager::key(m.mh, ArRole::kIntra),
+                                m.req.size_pkts);
+  if (m.req.start_time > sim.now()) {
+    ctx.start_timer = sim.at(m.req.start_time, [this, mh = m.mh] {
+      auto it = intra_.find(mh);
+      if (it != intra_.end()) it->second.buffering = true;
+    });
+  } else {
+    ctx.buffering = ctx.grant > 0;
+  }
+  const SimTime life = m.req.lifetime.is_zero() ? cfg_.lifetime : m.req.lifetime;
+  ctx.lifetime_timer = sim.in(life, [this, mh = m.mh] { teardown_intra(mh); });
+  BaMsg ba;
+  ba.mh = m.mh;
+  ba.ok = ctx.grant > 0;
+  ba.granted_pkts = ctx.grant;
+  intra_[m.mh] = std::move(ctx);
+  node_.send(make_control(sim, address(), make_coa(prefix(), m.mh), ba));
+}
+
+// ---------------------------------------------------------------------------
+// Data plane
+// ---------------------------------------------------------------------------
+
+void ArAgent::handle_subnet_packet(PacketPtr p) {
+  MhId mh = p->dst.host;
+  if (auto alias = host_alias_.find(p->dst.host);
+      alias != host_alias_.end()) {
+    mh = alias->second;  // substituted NCoA (collision avoidance)
+  }
+
+  if (auto it = nar_.find(mh); it != nar_.end()) {
+    nar_handle(it->second, std::move(p));
+    return;
+  }
+  if (auto it = intra_.find(mh); it != intra_.end()) {
+    IntraContext& ctx = it->second;
+    const bool attached = attached_.count(mh) > 0;
+    HandoffBuffer* buf =
+        buffers_.buffer(BufferManager::key(mh, ArRole::kIntra));
+    // Buffering is active from the FBU / BI start until BF, regardless of
+    // attachment — the smooth-handover baseline buffers while the host is
+    // still on the link (§2.4 step III).
+    const bool hold = ctx.buffering;
+    const bool keep_order = ctx.draining && buf != nullptr && !buf->empty();
+    if ((hold || keep_order) && buf != nullptr) {
+      if (buf->push(p) == HandoffBuffer::PushResult::kStored) {
+        ++counters_.buffered_local;
+      } else {
+        drop(std::move(p), DropReason::kBufferTailDrop);
+      }
+      return;
+    }
+    if (attached) {
+      deliver(mh, std::move(p));
+    } else {
+      drop(std::move(p), DropReason::kUnattached);
+    }
+    return;
+  }
+  if (auto it = par_.find(mh); it != par_.end() && it->second.redirecting) {
+    par_redirect(it->second, std::move(p));
+    return;
+  }
+  if (attached_.count(mh) > 0) {
+    deliver(mh, std::move(p));
+    return;
+  }
+  drop(std::move(p), DropReason::kUnattached);
+}
+
+void ArAgent::par_redirect(ParContext& ctx, PacketPtr p) {
+  ++counters_.redirected;
+  if (ctx.nar_rejected) {
+    // No tunnel endpoint exists at the NAR: the packet has nowhere to go
+    // while the host is detached (and routing recovers after the binding
+    // update once the host reattaches).
+    drop(std::move(p), DropReason::kUnattached);
+    return;
+  }
+  if (p->directive == ForwardDirective::kBounceToPar) {
+    // The NAR's buffer overflowed and sent this packet back (Case 1.b):
+    // buffer it here or lose it — re-forwarding would ping-pong.
+    p->directive = ForwardDirective::kNone;
+    par_buffer_local(ctx, std::move(p));
+    return;
+  }
+  if (ctx.bf_received) {
+    // The MH is up at the NAR and buffers were released: plain forwarding
+    // through the tunnel until the binding update reroutes traffic.
+    tunnel_to(ctx.nar_addr, ForwardDirective::kForwardOnly, std::move(p));
+    return;
+  }
+  const AllocationCase alloc{ctx.nar_grant > 0, ctx.par_grant > 0};
+  switch (decide_buffering(cfg_, alloc, p->tclass)) {
+    case BufferAction::kBufferAtNar:
+      tunnel_to(ctx.nar_addr, ForwardDirective::kBufferAtNar, std::move(p));
+      return;
+    case BufferAction::kBufferAtBoth:
+      if (!ctx.nar_full) {
+        tunnel_to(ctx.nar_addr, ForwardDirective::kBufferAtNar, std::move(p));
+      } else {
+        par_buffer_local(ctx, std::move(p));
+      }
+      return;
+    case BufferAction::kBufferAtParIfHeadroom: {
+      HandoffBuffer* buf =
+          buffers_.buffer(BufferManager::key(ctx.mh, ArRole::kPar));
+      if (buf != nullptr && buf->free_slots() > cfg_.reserve_a) {
+        if (buf->push(p) == HandoffBuffer::PushResult::kStored) {
+          ++counters_.buffered_local;
+          return;
+        }
+      }
+      drop(std::move(p), DropReason::kPolicyDrop);
+      return;
+    }
+    case BufferAction::kBufferAtPar:
+      par_buffer_local(ctx, std::move(p));
+      return;
+    case BufferAction::kForwardOnly:
+      tunnel_to(ctx.nar_addr, ForwardDirective::kForwardOnly, std::move(p));
+      return;
+    case BufferAction::kDrop:
+      drop(std::move(p), DropReason::kPolicyDrop);
+      return;
+  }
+}
+
+void ArAgent::par_buffer_local(ParContext& ctx, PacketPtr p) {
+  const auto k = BufferManager::key(ctx.mh, ArRole::kPar);
+  HandoffBuffer* buf = buffers_.buffer(k);
+  if (buf == nullptr) {
+    // The NAR filled up and we never held a lease (class-disabled backup
+    // path): allocate one now if the pool allows it.
+    const std::uint32_t want =
+        ctx.request.size_pkts > 0 ? ctx.request.size_pkts : cfg_.request_pkts;
+    ctx.par_grant = buffers_.allocate(k, want);
+    buf = buffers_.buffer(k);
+  }
+  if (buf == nullptr || buf->push(p) != HandoffBuffer::PushResult::kStored) {
+    drop(std::move(p), DropReason::kBufferTailDrop);
+    return;
+  }
+  ++counters_.buffered_local;
+}
+
+void ArAgent::nar_handle(NarContext& ctx, PacketPtr p) {
+  if (ctx.mh_here) {
+    // Preserve ordering while a drain is in progress: arrivals meant for
+    // the buffer join the back of it instead of overtaking.
+    HandoffBuffer* buf =
+        buffers_.buffer(BufferManager::key(ctx.mh, ArRole::kNar));
+    if (ctx.draining && buf != nullptr && !buf->empty() &&
+        p->directive == ForwardDirective::kBufferAtNar) {
+      if (buf->push(p) == HandoffBuffer::PushResult::kStored) {
+        ++counters_.buffered_local;
+        return;
+      }
+    }
+    deliver(ctx.mh, std::move(p));
+    return;
+  }
+  switch (p->directive) {
+    case ForwardDirective::kBufferAtNar:
+      nar_buffer(ctx, std::move(p));
+      return;
+    default:
+      // Forward-only traffic (and anything unmarked) is lost while the MH
+      // is detached — exactly the loss the buffering exists to prevent.
+      drop(std::move(p), DropReason::kUnattached);
+      return;
+  }
+}
+
+void ArAgent::nar_buffer(NarContext& ctx, PacketPtr p) {
+  HandoffBuffer* buf =
+      buffers_.buffer(BufferManager::key(ctx.mh, ArRole::kNar));
+  if (buf == nullptr) {
+    drop(std::move(p), DropReason::kUnattached);
+    return;
+  }
+  const TrafficClass cls = effective_class(p->tclass);
+  if (cfg_.classify && cls == TrafficClass::kRealTime) {
+    // Case 1.a/2.a: "if buffer full, drop the first real-time packet".
+    PacketPtr evicted;
+    switch (buf->push_evict_oldest_realtime(p, evicted)) {
+      case HandoffBuffer::PushResult::kStored:
+        ++counters_.buffered_local;
+        return;
+      case HandoffBuffer::PushResult::kStoredEvicting:
+        ++counters_.buffered_local;
+        drop(std::move(evicted), DropReason::kBufferFrontDrop);
+        return;
+      case HandoffBuffer::PushResult::kRejected:
+        drop(std::move(p), DropReason::kBufferTailDrop);
+        return;
+    }
+    return;
+  }
+  if (buf->push(p) == HandoffBuffer::PushResult::kStored) {
+    ++counters_.buffered_local;
+    return;
+  }
+  // Buffer full. High-priority packets (or any packet in class-disabled
+  // dual mode) switch to PAR-side buffering: signal Buffer Full once and
+  // bounce the packet back (Case 1.b — "the PAR buffers the rest").
+  const bool dual_path =
+      cfg_.mode == BufferMode::kDual &&
+      (!cfg_.classify || cls == TrafficClass::kHighPriority);
+  if (dual_path) {
+    if (!ctx.full_signalled) {
+      ctx.full_signalled = true;
+      BufferFullMsg full;
+      full.mh = ctx.mh;
+      ++counters_.buffer_full_sent;
+      send_control(ctx.par_addr, full);
+    }
+    ++counters_.bounced;
+    tunnel_to(ctx.par_addr, ForwardDirective::kBounceToPar, std::move(p));
+    return;
+  }
+  drop(std::move(p), DropReason::kBufferTailDrop);
+}
+
+void ArAgent::deliver(MhId mh, PacketPtr p) {
+  auto it = attached_.find(mh);
+  if (it == attached_.end()) {
+    drop(std::move(p), DropReason::kUnattached);
+    return;
+  }
+  if (!p->is_control()) rates_[mh].on_packet(node_.sim().now());
+  p->directive = ForwardDirective::kNone;
+  ++counters_.delivered_wireless;
+  it->second->transmit(std::move(p));
+}
+
+double ArAgent::estimated_pps(MhId mh) const {
+  auto it = rates_.find(mh);
+  return it == rates_.end() ? 0.0
+                            : it->second.rate_pps(node_.sim().now());
+}
+
+void ArAgent::tunnel_to(Address ar, ForwardDirective d, PacketPtr p) {
+  p->directive = d;
+  p->encapsulate(ar);
+  node_.send(std::move(p));
+}
+
+// ---------------------------------------------------------------------------
+// Buffer release (§3.2.2.3)
+// ---------------------------------------------------------------------------
+
+void ArAgent::drain_par(MhId mh) {
+  auto it = par_.find(mh);
+  if (it == par_.end()) return;
+  ParContext& ctx = it->second;
+  const auto k = BufferManager::key(mh, ArRole::kPar);
+  HandoffBuffer* buf = buffers_.buffer(k);
+  if (buf == nullptr || buf->empty()) {
+    ctx.draining = false;
+    buffers_.release(k);
+    ctx.par_grant = 0;
+    return;
+  }
+  ctx.draining = true;
+  PacketPtr p = buf->pop();
+  ++counters_.drained;
+  tunnel_to(ctx.nar_addr, ForwardDirective::kDrain, std::move(p));
+  node_.sim().in(cfg_.drain_gap, [this, mh] { drain_par(mh); });
+}
+
+void ArAgent::drain_nar(MhId mh) {
+  auto it = nar_.find(mh);
+  if (it == nar_.end()) return;
+  NarContext& ctx = it->second;
+  const auto k = BufferManager::key(mh, ArRole::kNar);
+  HandoffBuffer* buf = buffers_.buffer(k);
+  if (buf == nullptr || buf->empty()) {
+    ctx.draining = false;
+    buffers_.release(k);
+    ctx.grant = 0;
+    return;
+  }
+  ctx.draining = true;
+  PacketPtr p = buf->pop();
+  ++counters_.drained;
+  deliver(mh, std::move(p));
+  node_.sim().in(cfg_.drain_gap, [this, mh] { drain_nar(mh); });
+}
+
+void ArAgent::drain_intra(MhId mh) {
+  auto it = intra_.find(mh);
+  if (it == intra_.end()) return;
+  IntraContext& ctx = it->second;
+  const auto k = BufferManager::key(mh, ArRole::kIntra);
+  HandoffBuffer* buf = buffers_.buffer(k);
+  if (buf == nullptr || buf->empty()) {
+    ctx.draining = false;
+    buffers_.release(k);
+    ctx.grant = 0;
+    return;
+  }
+  ctx.draining = true;
+  PacketPtr p = buf->pop();
+  ++counters_.drained;
+  if (ctx.forward_to.valid()) {
+    // Smooth-handover baseline: tunnel to the MH's new care-of address.
+    p->directive = ForwardDirective::kNone;
+    p->encapsulate(ctx.forward_to);
+    node_.send(std::move(p));
+  } else {
+    deliver(mh, std::move(p));
+  }
+  node_.sim().in(cfg_.drain_gap, [this, mh] { drain_intra(mh); });
+}
+
+// ---------------------------------------------------------------------------
+// Context teardown
+// ---------------------------------------------------------------------------
+
+void ArAgent::teardown_par(MhId mh) {
+  auto it = par_.find(mh);
+  if (it == par_.end()) return;
+  ParContext& ctx = it->second;
+  node_.sim().cancel(ctx.start_timer);
+  node_.sim().cancel(ctx.lifetime_timer);
+  const auto k = BufferManager::key(mh, ArRole::kPar);
+  if (HandoffBuffer* buf = buffers_.buffer(k)) {
+    buf->flush(
+        [this](PacketPtr p) { drop(std::move(p), DropReason::kBufferExpired); });
+  }
+  buffers_.release(k);
+  par_.erase(it);
+}
+
+void ArAgent::teardown_nar(MhId mh) {
+  auto it = nar_.find(mh);
+  if (it == nar_.end()) return;
+  NarContext& ctx = it->second;
+  node_.sim().cancel(ctx.lifetime_timer);
+  node_.routes().remove_host_route(ctx.pcoa);
+  const auto k = BufferManager::key(mh, ArRole::kNar);
+  if (HandoffBuffer* buf = buffers_.buffer(k)) {
+    buf->flush(
+        [this](PacketPtr p) { drop(std::move(p), DropReason::kBufferExpired); });
+  }
+  buffers_.release(k);
+  nar_.erase(it);
+}
+
+void ArAgent::teardown_intra(MhId mh) {
+  auto it = intra_.find(mh);
+  if (it == intra_.end()) return;
+  IntraContext& ctx = it->second;
+  node_.sim().cancel(ctx.start_timer);
+  node_.sim().cancel(ctx.lifetime_timer);
+  const auto k = BufferManager::key(mh, ArRole::kIntra);
+  if (HandoffBuffer* buf = buffers_.buffer(k)) {
+    buf->flush(
+        [this](PacketPtr p) { drop(std::move(p), DropReason::kBufferExpired); });
+  }
+  buffers_.release(k);
+  intra_.erase(it);
+}
+
+// ---------------------------------------------------------------------------
+// Attachment events from the WLAN layer
+// ---------------------------------------------------------------------------
+
+void ArAgent::on_mh_attached(MhId mh, NodeId /*ap*/, SimplexLink& downlink) {
+  attached_[mh] = &downlink;
+  if (auto it = nar_.find(mh); it != nar_.end()) it->second.mh_here = true;
+}
+
+void ArAgent::on_mh_detached(MhId mh) { attached_.erase(mh); }
+
+}  // namespace fhmip

@@ -1,0 +1,169 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "buffer/buffer_manager.hpp"
+#include "buffer/policy.hpp"
+#include "buffer/rate_estimator.hpp"
+#include "fastho/auth.hpp"
+#include "fastho/messages.hpp"
+#include "net/node.hpp"
+#include "wireless/access_point.hpp"
+
+namespace fhmip {
+
+/// Access Router agent implementing both sides of the Fast Handover
+/// protocol with the thesis's enhanced buffer management:
+///
+///  * PAR role — answers RtSolPr(+BI), negotiates buffer space with the NAR
+///    over HI(+BR)/HAck(+BA), redirects PCoA traffic after the FBU according
+///    to the Table 3.3 policy, buffers its share, and releases on BF.
+///  * NAR role — allocates the requested buffer, installs a host route for
+///    the PCoA, buffers tunneled packets while the MH is detached, signals
+///    Buffer Full (Case 1.b, bouncing the overflowing packet back for
+///    PAR-side buffering), and drains on FNA+BF.
+///  * Intra-AR role — §3.2.2.4 buffering across pure link-layer handoffs,
+///    and the standalone BI/BA/BF smooth-handover baseline (§2.4).
+///
+/// Counters are exposed for tests and benches.
+class ArAgent : public ArAttachListener {
+ public:
+  struct Counters {
+    std::uint64_t rtsolpr = 0;
+    std::uint64_t hi_sent = 0, hi_received = 0;
+    std::uint64_t hack_sent = 0, hack_received = 0;
+    std::uint64_t prrtadv_sent = 0;
+    std::uint64_t fbu = 0, fback_sent = 0;
+    std::uint64_t fna = 0, bf_sent = 0, bf_received = 0;
+    std::uint64_t buffer_full_sent = 0, buffer_full_received = 0;
+    std::uint64_t bounced = 0;
+    std::uint64_t redirected = 0;
+    std::uint64_t buffered_local = 0;   // stored in this AR's buffers
+    std::uint64_t drained = 0;          // released toward the MH
+    std::uint64_t delivered_wireless = 0;
+    std::uint64_t intra_handoffs = 0;
+  };
+
+  ArAgent(Node& node, BufferSchemeConfig cfg);
+
+  /// Resolves an access-point id to the access router node that owns it
+  /// (provided by the scenario from the WlanManager). Needed to answer
+  /// RtSolPr: the MH names a link-layer target, the PAR maps it to the NAR.
+  void set_ap_resolver(std::function<Node*(NodeId ap)> fn) {
+    ap_resolver_ = std::move(fn);
+  }
+
+  // ArAttachListener (wired to the WLAN layer).
+  void on_mh_attached(MhId mh, NodeId ap, SimplexLink& downlink) override;
+  void on_mh_detached(MhId mh) override;
+
+  Node& node() { return node_; }
+  Address address() const { return node_.address(); }
+  std::uint32_t prefix() const { return node_.address().net; }
+  BufferManager& buffers() { return buffers_; }
+  /// Handover admission control (NAR side; off by default).
+  HandoverAuthenticator& auth() { return auth_; }
+  /// Marks an interface identifier as already in use on this subnet —
+  /// NCoA proposals colliding with it get a substitute address (§2.3.2's
+  /// "verifying if NCoA ... is a valid address in the subnet").
+  void reserve_host_id(std::uint32_t host) { reserved_hosts_.insert(host); }
+  std::uint64_t ncoa_collisions() const { return ncoa_collisions_; }
+  /// Downstream rate estimate for an attached host (adaptive allocation).
+  double estimated_pps(MhId mh) const;
+  const Counters& counters() const { return counters_; }
+  const BufferSchemeConfig& config() const { return cfg_; }
+  bool mh_attached(MhId mh) const { return attached_.count(mh) > 0; }
+  bool has_par_context(MhId mh) const { return par_.count(mh) > 0; }
+  bool has_nar_context(MhId mh) const { return nar_.count(mh) > 0; }
+  bool par_redirecting(MhId mh) const;
+
+ private:
+  struct ParContext {
+    MhId mh = kNoNode;
+    Address pcoa;
+    Address nar_addr;
+    std::uint32_t par_grant = 0;   // local lease size (0 = none)
+    std::uint32_t nar_grant = 0;   // what the NAR granted via HAck+BA
+    bool nar_rejected = false;     // HAck refused (failed authentication)
+    bool hack_received = false;
+    bool redirecting = false;
+    bool nar_full = false;         // Buffer Full received from the NAR
+    bool bf_received = false;      // NAR released; stop buffering
+    bool draining = false;
+    BufferRequest request;
+    EventId start_timer = kInvalidEvent;
+    EventId lifetime_timer = kInvalidEvent;
+  };
+  struct NarContext {
+    MhId mh = kNoNode;
+    Address pcoa;
+    Address par_addr;
+    std::uint32_t grant = 0;
+    bool mh_here = false;  // FNA received / attach seen
+    bool full_signalled = false;
+    bool draining = false;
+    EventId lifetime_timer = kInvalidEvent;
+  };
+  struct IntraContext {
+    MhId mh = kNoNode;
+    std::uint32_t grant = 0;
+    bool buffering = false;
+    bool draining = false;
+    Address forward_to;  // standalone-BF forwarding target (baseline mode)
+    EventId start_timer = kInvalidEvent;
+    EventId lifetime_timer = kInvalidEvent;
+  };
+
+  // Control-plane handlers.
+  bool handle_control(PacketPtr& p);
+  void on_rtsolpr(const RtSolPrMsg& m, Address src);
+  void on_hi(const HiMsg& m);
+  void on_hack(const HackMsg& m);
+  void on_fbu(const FbuMsg& m);
+  void on_fna(const FnaMsg& m);
+  void on_bf(const BfMsg& m);
+  void on_buffer_full(const BufferFullMsg& m);
+  void on_bi(const BiMsg& m);
+
+  // Data plane.
+  void handle_subnet_packet(PacketPtr p);
+  void par_redirect(ParContext& ctx, PacketPtr p);
+  void par_buffer_local(ParContext& ctx, PacketPtr p);
+  void nar_handle(NarContext& ctx, PacketPtr p);
+  void nar_buffer(NarContext& ctx, PacketPtr p);
+  void deliver(MhId mh, PacketPtr p);
+  void tunnel_to(Address ar, ForwardDirective d, PacketPtr p);
+  void drop(PacketPtr p, DropReason reason);
+
+  // Buffer release (§3.2.2.3), paced by cfg_.drain_gap.
+  void drain_par(MhId mh);
+  void drain_nar(MhId mh);
+  void drain_intra(MhId mh);
+
+  void teardown_par(MhId mh);
+  void teardown_nar(MhId mh);
+  void teardown_intra(MhId mh);
+
+  void send_control(Address dst, MessageVariant m,
+                    std::uint32_t bytes = kCtrlMsgBytes);
+
+  Node& node_;
+  BufferSchemeConfig cfg_;
+  BufferManager buffers_;
+  std::function<Node*(NodeId)> ap_resolver_;
+  std::map<MhId, ParContext> par_;
+  std::map<MhId, NarContext> nar_;
+  std::map<MhId, IntraContext> intra_;
+  std::map<MhId, SimplexLink*> attached_;
+  std::map<MhId, RateEstimator> rates_;
+  HandoverAuthenticator auth_;
+  std::set<std::uint32_t> reserved_hosts_;
+  std::map<std::uint32_t, MhId> host_alias_;  // substituted NCoA hosts
+  std::uint64_t ncoa_collisions_ = 0;
+  Counters counters_;
+};
+
+}  // namespace fhmip

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/messages.hpp"
+
+namespace fhmip {
+
+/// Handover authentication (§5's third future-work item: "authentication
+/// mechanism is required before the NAR accepts handoffs from mobile
+/// hosts").
+///
+/// Model: each mobile host shares a symmetric key with the domain's access
+/// routers (provisioned out of band, e.g. at AAA time). The host stamps its
+/// RtSolPr with token = H(mh, key); the PAR copies it into the HI; the NAR
+/// recomputes and compares before allocating buffers or installing the
+/// PCoA host route. A missing/false token makes the NAR refuse the
+/// handover assistance (the host can still attach at L2 and re-register,
+/// it just gets no Fast Handover service).
+class HandoverAuthenticator {
+ public:
+  /// Deterministic 64-bit mix of (mh, key) standing in for an HMAC.
+  static std::uint64_t token(MhId mh, std::uint64_t key);
+
+  void set_required(bool required) { required_ = required; }
+  bool required() const { return required_; }
+
+  /// Provisions the shared key for a host.
+  void register_key(MhId mh, std::uint64_t key) { keys_[mh] = key; }
+  void revoke(MhId mh) { keys_.erase(mh); }
+
+  /// True when authentication passes (or is not required).
+  bool verify(MhId mh, std::uint64_t presented) const;
+
+  std::uint64_t accepted() const { return accepted_; }
+  std::uint64_t rejected() const { return rejected_; }
+
+ private:
+  bool required_ = false;
+  std::unordered_map<MhId, std::uint64_t> keys_;
+  mutable std::uint64_t accepted_ = 0;
+  mutable std::uint64_t rejected_ = 0;
+};
+
+}  // namespace fhmip

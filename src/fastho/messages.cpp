@@ -1,0 +1,3 @@
+#include "fastho/messages.hpp"
+
+namespace fhmip {}

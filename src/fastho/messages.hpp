@@ -1,0 +1,18 @@
+#pragma once
+
+// Fast Handover message definitions live with the packet layer
+// (net/messages.hpp) because packets carry them by value; this header is the
+// protocol-facing include point.
+
+#include "net/messages.hpp"
+#include "net/packet.hpp"
+
+namespace fhmip {
+
+/// Default control-message sizes (bytes on the wire, approximating the
+/// IPv6 + ICMPv6 option encodings; the buffer extensions piggyback at zero
+/// extra message cost, §3.3).
+inline constexpr std::uint32_t kCtrlMsgBytes = 64;
+inline constexpr std::uint32_t kRtAdvBytes = 80;
+
+}  // namespace fhmip

@@ -1,0 +1,186 @@
+#include "fastho/mh_agent.hpp"
+
+#include "fastho/auth.hpp"
+
+namespace fhmip {
+
+MhAgent::MhAgent(Node& node, Config cfg, MobileIpClient* mip)
+    : node_(node), cfg_(cfg), mip_(mip) {
+  node_.add_control_handler([this](PacketPtr& p) { return handle_control(p); });
+}
+
+bool MhAgent::handle_control(PacketPtr& p) {
+  if (const auto* adv = std::get_if<PrRtAdvMsg>(&p->msg)) {
+    if (adv->mh != id()) return false;
+    ++counters_.prrtadv_received;
+    prrtadv_received_ = true;
+    last_grant_ = adv->grant;
+    negotiated_ncoa_ = adv->ncoa;
+    if (adv->intra_ar) intra_pending_ = true;
+    return true;
+  }
+  if (const auto* fb = std::get_if<FbackMsg>(&p->msg)) {
+    if (fb->mh != id()) return false;
+    ++counters_.fback_received;
+    return true;
+  }
+  if (std::get_if<BaMsg>(&p->msg) != nullptr) return true;
+  if (std::get_if<RouterAdvMsg>(&p->msg) != nullptr) {
+    // Movement detection input; anticipation is driven by L2 triggers in
+    // this implementation, so advertisements are informational.
+    return true;
+  }
+  return false;
+}
+
+void MhAgent::on_l2_trigger(NodeId target_ap, Node& target_ar) {
+  ++counters_.l2_triggers;
+  if (!first_attach_done_) return;
+  if (cfg_.simultaneous_binding && mip_ != nullptr &&
+      target_ar.address() != current_ar_addr_) {
+    mip_->send_simultaneous_binding(
+        make_coa(target_ar.address().net, id()), cfg_.bu_lifetime);
+  }
+  if (!cfg_.use_fast_handover || !cfg_.anticipate) return;
+  target_ap_ = target_ap;
+  target_ar_addr_ = target_ar.address();
+  intra_pending_ = target_ar_addr_ == current_ar_addr_;
+  prrtadv_received_ = false;
+  fbu_sent_on_old_link_ = false;
+  anticipated_ = true;
+  send_rtsolpr(target_ap);
+}
+
+void MhAgent::send_rtsolpr(NodeId target_ap) {
+  RtSolPrMsg m;
+  m.mh = id();
+  m.target_ap = target_ap;
+  if (cfg_.auth_key != 0) {
+    m.auth_token = HandoverAuthenticator::token(id(), cfg_.auth_key);
+  }
+  if (cfg_.request_buffers) {
+    m.has_bi = true;
+    m.bi.size_pkts = cfg_.scheme.request_pkts;
+    m.bi.lifetime = cfg_.scheme.lifetime;
+    if (!cfg_.start_time_offset.is_zero()) {
+      m.bi.start_time = node_.sim().now() + cfg_.start_time_offset;
+    }
+  }
+  ++counters_.rtsolpr_sent;
+  node_.send(make_control(node_.sim(), pcoa_, current_ar_addr_, m));
+}
+
+void MhAgent::send_fbu(Address to, Address nar_addr, bool from_new_link) {
+  FbuMsg m;
+  m.mh = id();
+  m.pcoa = pcoa_;
+  m.nar_addr = nar_addr;
+  m.from_new_link = from_new_link;
+  ++counters_.fbu_sent;
+  node_.send(make_control(node_.sim(), pcoa_, to, m));
+}
+
+void MhAgent::on_predisconnect(NodeId target_ap, Node& target_ar) {
+  if (!cfg_.use_fast_handover || !first_attach_done_) return;
+  if (anticipated_ && target_ap_ == target_ap) {
+    // Anticipated path: FBU on the old link just before it drops.
+    send_fbu(current_ar_addr_, target_ar.address(), /*from_new_link=*/false);
+    fbu_sent_on_old_link_ = true;
+  } else {
+    // We never anticipated this target; the FBU will go via the new link.
+    target_ap_ = target_ap;
+    target_ar_addr_ = target_ar.address();
+    intra_pending_ = target_ar_addr_ == current_ar_addr_;
+    anticipated_ = false;
+  }
+}
+
+void MhAgent::on_detached() {}
+
+void MhAgent::on_attached(NodeId /*ap*/, Node& ar) {
+  Simulation& sim = node_.sim();
+  const Address ar_addr = ar.address();
+  // Use the NAR-validated NCoA when one was negotiated for this subnet
+  // (it differs from the default when the proposal collided, §2.3.2).
+  const Address new_coa =
+      (negotiated_ncoa_.valid() && negotiated_ncoa_.net == ar_addr.net)
+          ? negotiated_ncoa_
+          : make_coa(ar_addr.net, id());
+  negotiated_ncoa_ = kNoAddress;
+
+  if (!first_attach_done_) {
+    // Initial association: configure the care-of address and register with
+    // the MAP so correspondent traffic starts flowing.
+    first_attach_done_ = true;
+    current_ar_addr_ = ar_addr;
+    pcoa_ = new_coa;
+    node_.add_address(pcoa_, /*advertised=*/false);
+    if (mip_ != nullptr) mip_->send_binding_update(pcoa_, cfg_.bu_lifetime);
+    return;
+  }
+
+  ++counters_.handoffs;
+
+  if (ar_addr == current_ar_addr_) {
+    // §3.2.2.4: pure link-layer handoff under the same access router —
+    // FNA+BF releases the locally buffered packets.
+    ++counters_.intra_handoffs;
+    if (cfg_.use_fast_handover) {
+      FnaMsg fna;
+      fna.mh = id();
+      fna.has_bf = cfg_.request_buffers;
+      ++counters_.fna_sent;
+      node_.send(make_control(sim, pcoa_, current_ar_addr_, fna));
+    }
+    anticipated_ = false;
+    target_ap_ = kNoNode;
+    return;
+  }
+
+  // Inter-AR handover completed at the link layer.
+  const Address old_ar = current_ar_addr_;
+  node_.add_address(new_coa, /*advertised=*/false);
+
+  if (cfg_.use_fast_handover) {
+    if (!fbu_sent_on_old_link_) {
+      // Non-anticipated handoff: FBU from the new link toward the PAR.
+      ++counters_.non_anticipated;
+      send_fbu(old_ar, ar_addr, /*from_new_link=*/true);
+    }
+    FnaMsg fna;
+    fna.mh = id();
+    fna.has_bf = cfg_.request_buffers;
+    ++counters_.fna_sent;
+    node_.send(make_control(sim, new_coa, ar_addr, fna));
+  }
+
+  // HMIPv6 local binding update: reroute the regional address to the new
+  // LCoA at the MAP (§2.2.1 step 4).
+  if (mip_ != nullptr) mip_->send_binding_update(new_coa, cfg_.bu_lifetime);
+
+  current_ar_addr_ = ar_addr;
+  pcoa_ = new_coa;
+  anticipated_ = false;
+  prrtadv_received_ = false;
+  fbu_sent_on_old_link_ = false;
+  target_ap_ = kNoNode;
+}
+
+void MhAgent::send_buffer_init(std::uint32_t size_pkts, SimTime start_time,
+                               SimTime lifetime) {
+  BiMsg m;
+  m.mh = id();
+  m.req.size_pkts = size_pkts;
+  m.req.start_time = start_time;
+  m.req.lifetime = lifetime;
+  node_.send(make_control(node_.sim(), pcoa_, current_ar_addr_, m));
+}
+
+void MhAgent::send_buffer_forward(Address to_ar, Address forward_to) {
+  BfMsg m;
+  m.mh = id();
+  m.forward_to = forward_to;
+  node_.send(make_control(node_.sim(), pcoa_, to_ar, m));
+}
+
+}  // namespace fhmip

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+
+#include "buffer/policy.hpp"
+#include "fastho/messages.hpp"
+#include "mip/mobile_ip.hpp"
+#include "net/node.hpp"
+#include "wireless/wlan.hpp"
+
+namespace fhmip {
+
+/// Mobile-host protocol agent: drives the Fast Handover choreography from
+/// the MH side (Figure 3.2) in response to link-layer events:
+///
+///   L2-ST            → RtSolPr+BI to the PAR (anticipation)
+///   PrRtAdv          → form the NCoA, note the buffer grants
+///   radio about down → FBU (starts packet redirection)
+///   attach at NAR    → FNA+BF, then HMIPv6 binding update to the MAP
+///
+/// Also handles the §3.2.2.4 intra-AR (pure link-layer) handoff and the
+/// non-anticipated path (FBU from the new link).
+class MhAgent : public L2Callbacks {
+ public:
+  struct Config {
+    BufferSchemeConfig scheme;
+    bool use_fast_handover = true;
+    /// Piggyback BI on RtSolPr (the thesis's enhancement; false = plain
+    /// Fast Handover signaling).
+    bool request_buffers = true;
+    /// React to L2-ST triggers; false exercises the non-anticipated path
+    /// (the FBU goes via the new link after attachment, §2.3.2).
+    bool anticipate = true;
+    /// §3.1.1's alternative scheme: on anticipation, add the prospective
+    /// NCoA as a secondary (bicast) binding at the MAP instead of / in
+    /// addition to buffering. Kept as a comparison baseline — a
+    /// single-radio host cannot hear the second cell, which is the
+    /// thesis's argument for buffering.
+    bool simultaneous_binding = false;
+    /// Shared handover-authentication key (0 = none). The token derived
+    /// from it is stamped on RtSolPr and verified by the NAR (§5).
+    std::uint64_t auth_key = 0;
+    /// BI start_time = trigger time + this offset; zero disables the
+    /// fast-mover safety valve.
+    SimTime start_time_offset;
+    SimTime bu_lifetime = SimTime::seconds(60);
+  };
+
+  struct Counters {
+    std::uint32_t l2_triggers = 0;
+    std::uint32_t rtsolpr_sent = 0;
+    std::uint32_t prrtadv_received = 0;
+    std::uint32_t fbu_sent = 0;
+    std::uint32_t fback_received = 0;
+    std::uint32_t fna_sent = 0;
+    std::uint32_t handoffs = 0;        // attach events after the first
+    std::uint32_t intra_handoffs = 0;
+    std::uint32_t non_anticipated = 0;
+  };
+
+  MhAgent(Node& node, Config cfg, MobileIpClient* mip);
+
+  // L2Callbacks.
+  void on_l2_trigger(NodeId target_ap, Node& target_ar) override;
+  void on_predisconnect(NodeId target_ap, Node& target_ar) override;
+  void on_attached(NodeId ap, Node& ar) override;
+  void on_detached() override;
+
+  Node& node() { return node_; }
+  MhId id() const { return node_.id(); }
+  Address pcoa() const { return pcoa_; }
+  Address current_ar_addr() const { return current_ar_addr_; }
+  const Counters& counters() const { return counters_; }
+  const BufferGrant& last_grant() const { return last_grant_; }
+
+  /// Smooth-handover baseline (§2.4): standalone BI to the current AR.
+  void send_buffer_init(std::uint32_t size_pkts, SimTime start_time,
+                        SimTime lifetime);
+  /// Baseline release: BF to `to_ar` (usually the previous AR) with an
+  /// optional forwarding target for the buffered packets.
+  void send_buffer_forward(Address to_ar, Address forward_to = kNoAddress);
+
+ private:
+  bool handle_control(PacketPtr& p);
+  void send_rtsolpr(NodeId target_ap);
+  void send_fbu(Address to, Address nar_addr, bool from_new_link);
+
+  Node& node_;
+  Config cfg_;
+  MobileIpClient* mip_;
+
+  Address current_ar_addr_;  // AR we are (were) attached to
+  Address pcoa_;             // care-of address on the current subnet
+  bool first_attach_done_ = false;
+
+  // Handoff-in-progress state.
+  NodeId target_ap_ = kNoNode;
+  Address target_ar_addr_;
+  bool anticipated_ = false;      // RtSolPr sent for the current target
+  bool prrtadv_received_ = false;
+  bool fbu_sent_on_old_link_ = false;
+  bool intra_pending_ = false;
+  Address negotiated_ncoa_;  // validated by the NAR (may differ on collision)
+  BufferGrant last_grant_;
+
+  Counters counters_;
+};
+
+}  // namespace fhmip

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "net/address.hpp"
+#include "sim/time.hpp"
+
+namespace fhmip {
+
+/// A mobility binding: some stable address (home address or RCoA) currently
+/// maps to a care-of address, until `expires`.
+struct BindingEntry {
+  Address coa;
+  SimTime expires;
+};
+
+/// The binding cache kept by home agents and MAPs (§2.1.1 "mobility binding
+/// table", §2.2.1 MAP binding cache). Lookup is lazy-expiring.
+class BindingCache {
+ public:
+  void update(Address key, Address coa, SimTime now, SimTime lifetime);
+  void remove(Address key);
+
+  /// Returns the care-of address if a live binding exists.
+  std::optional<Address> lookup(Address key, SimTime now) const;
+
+  std::size_t size() const { return entries_.size(); }
+  void purge_expired(SimTime now);
+
+ private:
+  std::unordered_map<std::uint64_t, BindingEntry> entries_;
+};
+
+}  // namespace fhmip

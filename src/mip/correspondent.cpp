@@ -1,0 +1,35 @@
+#include "mip/correspondent.hpp"
+
+namespace fhmip {
+
+CorrespondentAgent::CorrespondentAgent(Node& node) : node_(node) {
+  node_.set_forward_filter([this](Packet& p) { maybe_reroute(p); });
+  node_.add_control_handler([this](PacketPtr& p) { return handle_control(p); });
+}
+
+CorrespondentAgent::~CorrespondentAgent() {
+  node_.set_forward_filter(nullptr);
+}
+
+void CorrespondentAgent::maybe_reroute(Packet& p) {
+  if (p.is_control() || p.tunneled()) return;
+  const auto coa = bindings_.lookup(p.dst, node_.sim().now());
+  if (!coa) return;
+  p.encapsulate(*coa);
+  ++optimized_;
+}
+
+bool CorrespondentAgent::handle_control(PacketPtr& p) {
+  const auto* bu = std::get_if<BindingUpdateMsg>(&p->msg);
+  if (bu == nullptr) return false;
+  Simulation& sim = node_.sim();
+  ++updates_;
+  bindings_.update(bu->regional, bu->lcoa, sim.now(), bu->lifetime);
+  BindingAckMsg ack;
+  ack.mh = bu->mh;
+  ack.accepted = true;
+  node_.send(make_control(sim, node_.address(), bu->lcoa, ack));
+  return true;
+}
+
+}  // namespace fhmip

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+#include "mip/binding.hpp"
+#include "net/node.hpp"
+
+namespace fhmip {
+
+/// MIPv6 route optimization at a correspondent node (§2.1.2: "Route
+/// Optimization is built in as a fundamental part of Mobile IPv6").
+///
+/// The correspondent keeps its own binding cache; once the mobile host
+/// sends it a binding update, locally originated traffic is tunneled
+/// straight to the care-of address instead of triangle-routing through the
+/// home agent / MAP. Installed via the node's forward filter, so it sees
+/// every packet the correspondent originates.
+class CorrespondentAgent {
+ public:
+  explicit CorrespondentAgent(Node& node);
+  ~CorrespondentAgent();
+
+  CorrespondentAgent(const CorrespondentAgent&) = delete;
+  CorrespondentAgent& operator=(const CorrespondentAgent&) = delete;
+
+  BindingCache& bindings() { return bindings_; }
+  std::uint64_t packets_optimized() const { return optimized_; }
+  std::uint64_t binding_updates() const { return updates_; }
+
+ private:
+  bool handle_control(PacketPtr& p);
+  void maybe_reroute(Packet& p);
+
+  Node& node_;
+  BindingCache bindings_;
+  std::uint64_t optimized_ = 0;
+  std::uint64_t updates_ = 0;
+};
+
+}  // namespace fhmip

@@ -1,0 +1,124 @@
+#include "mip/foreign_agent.hpp"
+
+namespace fhmip {
+
+ForeignAgent::ForeignAgent(Node& node) : node_(node) {
+  node_.add_control_handler([this](PacketPtr& p) { return handle_control(p); });
+}
+
+void ForeignAgent::advertise_to(Address mh_addr) {
+  AgentAdvertisementMsg adv;
+  adv.agent_node = node_.id();
+  adv.agent_addr = address();
+  adv.care_of_addr = care_of_address();
+  adv.is_foreign_agent = true;
+  adv.registration_lifetime = SimTime::seconds(60);
+  adv.sequence = ++adv_sequence_;
+  ++adverts_;
+  node_.send(make_control(node_.sim(), address(), mh_addr, adv, 80));
+}
+
+const ForeignAgent::Visitor* ForeignAgent::visitor(MhId mh) const {
+  auto it = visitors_.find(mh);
+  return it == visitors_.end() ? nullptr : &it->second;
+}
+
+void ForeignAgent::purge_expired() {
+  const SimTime now = node_.sim().now();
+  for (auto it = visitors_.begin(); it != visitors_.end();) {
+    if (it->second.expires <= now) {
+      node_.routes().remove_host_route(it->second.home_addr);
+      it = visitors_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool ForeignAgent::handle_control(PacketPtr& p) {
+  Simulation& sim = node_.sim();
+
+  if (const auto* sol = std::get_if<AgentSolicitationMsg>(&p->msg)) {
+    (void)sol;
+    advertise_to(p->src);
+    return true;
+  }
+
+  if (const auto* req = std::get_if<RegistrationRequestMsg>(&p->msg)) {
+    // Stage 2c: the FA records the visitor and relays the request to the
+    // home agent under its own address. A request naming this agent as
+    // the home agent is a misconfiguration — relaying it would loop.
+    if (req->home_agent == address() || !req->home_agent.valid()) {
+      return true;
+    }
+    Visitor& v = visitors_[req->mh];
+    v.mh = req->mh;
+    v.home_addr = req->home_addr;
+    v.home_agent = req->home_agent;
+    v.expires = sim.now() + req->lifetime;
+    v.registered = false;
+    RegistrationRequestMsg relay = *req;
+    relay.coa = care_of_address();  // FA-CoA mode
+    ++relayed_;
+    node_.send(make_control(sim, address(), req->home_agent, relay));
+    return true;
+  }
+
+  if (const auto* rep = std::get_if<RegistrationReplyMsg>(&p->msg)) {
+    auto it = visitors_.find(rep->mh);
+    if (it == visitors_.end()) return true;  // stale reply
+    Visitor& v = it->second;
+    RegistrationReplyMsg relay = *rep;
+    const Address mh_dst = v.home_addr;
+    const MhId mh = v.mh;
+    if (rep->accepted && !rep->lifetime.is_zero()) {
+      // Stage 2e: complete the visitor entry and start serving the host:
+      // tunneled packets for its home address terminate here.
+      v.registered = true;
+      v.expires = sim.now() + rep->lifetime;
+      node_.routes().set_host_route(
+          v.home_addr, Route::to([this](PacketPtr pkt) {
+            handle_visitor_packet(std::move(pkt));
+          }));
+    } else {
+      // Deregistration (or refusal): drop the visitor state.
+      node_.routes().remove_host_route(v.home_addr);
+      visitors_.erase(it);
+    }
+    ++replies_;
+    auto out = make_control(sim, address(), mh_dst, relay);
+    if (deliver_) {
+      deliver_(mh, std::move(out));
+    } else {
+      node_.send(std::move(out));
+    }
+    return true;
+  }
+
+  return false;
+}
+
+void ForeignAgent::handle_visitor_packet(PacketPtr p) {
+  // Stage 3c: decapsulation already happened at the node layer (the outer
+  // destination was this agent's address); what arrives here carries the
+  // visitor's home address.
+  auto it = visitors_.end();
+  for (auto v = visitors_.begin(); v != visitors_.end(); ++v) {
+    if (v->second.home_addr == p->dst) {
+      it = v;
+      break;
+    }
+  }
+  if (it == visitors_.end() || !it->second.registered) {
+    node_.sim().stats().record_drop(p->flow, DropReason::kUnattached);
+    return;
+  }
+  ++delivered_;
+  if (deliver_) {
+    deliver_(it->second.mh, std::move(p));
+  } else {
+    node_.sim().stats().record_drop(p->flow, DropReason::kNoRoute);
+  }
+}
+
+}  // namespace fhmip

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "net/node.hpp"
+
+namespace fhmip {
+
+/// Mobile IPv4 foreign agent (§2.1.1): answers agent solicitations with
+/// advertisements offering its own address as the foreign-agent care-of
+/// address, relays registration requests to the visitor's home agent,
+/// maintains the visitor list ("home address, home agent address, MAC
+/// address of the mobile node, association lifetime"), decapsulates
+/// HA-tunneled traffic and forwards it to the visiting host.
+///
+/// Delivery to visitors uses a caller-provided hook (`set_delivery`) so the
+/// agent composes with any link layer (a plain wired leaf in tests, the
+/// WLAN layer in scenarios).
+class ForeignAgent {
+ public:
+  struct Visitor {
+    MhId mh = kNoNode;
+    Address home_addr;
+    Address home_agent;
+    SimTime expires;
+    bool registered = false;  // reply from the HA seen
+  };
+
+  explicit ForeignAgent(Node& node);
+
+  Node& node() { return node_; }
+  Address address() const { return node_.address(); }
+  /// The care-of address offered to visitors (the FA's own address —
+  /// "foreign agent care-of address" mode).
+  Address care_of_address() const { return node_.address(); }
+
+  /// How the FA reaches a visiting host (e.g. transmit on its radio link).
+  void set_delivery(std::function<void(MhId, PacketPtr)> fn) {
+    deliver_ = std::move(fn);
+  }
+
+  /// Periodic advertisement to a specific visitor (stage 1a); the WLAN
+  /// layer drives the fan-out.
+  void advertise_to(Address mh_addr);
+
+  const Visitor* visitor(MhId mh) const;
+  std::size_t visitor_count() const { return visitors_.size(); }
+  void purge_expired();
+
+  std::uint64_t advertisements_sent() const { return adverts_; }
+  std::uint64_t requests_relayed() const { return relayed_; }
+  std::uint64_t replies_relayed() const { return replies_; }
+  std::uint64_t packets_delivered() const { return delivered_; }
+
+ private:
+  bool handle_control(PacketPtr& p);
+  void handle_visitor_packet(PacketPtr p);
+
+  Node& node_;
+  std::function<void(MhId, PacketPtr)> deliver_;
+  std::map<MhId, Visitor> visitors_;
+  std::uint32_t adv_sequence_ = 0;
+  std::uint64_t adverts_ = 0;
+  std::uint64_t relayed_ = 0;
+  std::uint64_t replies_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace fhmip

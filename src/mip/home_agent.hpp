@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+
+#include "mip/binding.hpp"
+#include "net/node.hpp"
+
+namespace fhmip {
+
+/// Mobile IP home agent (§2.1.1): keeps the mobility binding table for hosts
+/// whose home address lives in this router's prefix, answers registration
+/// requests, and tunnels intercepted traffic to the registered care-of
+/// address. Used for macro mobility; the MAP handles the local level.
+class HomeAgent {
+ public:
+  explicit HomeAgent(Node& node);
+
+  Node& node() { return node_; }
+  Address address() const { return node_.address(); }
+  std::uint32_t home_prefix() const { return node_.address().net; }
+
+  BindingCache& bindings() { return bindings_; }
+  std::uint64_t packets_tunneled() const { return tunneled_; }
+  std::uint64_t registrations() const { return registrations_; }
+  std::uint64_t deregistrations() const { return deregistrations_; }
+
+ private:
+  void intercept(PacketPtr p);
+  bool handle_control(PacketPtr& p);
+
+  Node& node_;
+  BindingCache bindings_;
+  std::uint64_t tunneled_ = 0;
+  std::uint64_t registrations_ = 0;
+  std::uint64_t deregistrations_ = 0;
+};
+
+}  // namespace fhmip

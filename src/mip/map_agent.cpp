@@ -1,0 +1,53 @@
+#include "mip/map_agent.hpp"
+
+namespace fhmip {
+
+MapAgent::MapAgent(Node& node) : node_(node) {
+  // Intercept everything in the regional prefix that is not the MAP itself.
+  node_.routes().set_prefix_route(
+      regional_prefix(),
+      Route::to([this](PacketPtr p) { intercept(std::move(p)); }));
+  node_.add_control_handler([this](PacketPtr& p) { return handle_control(p); });
+}
+
+void MapAgent::intercept(PacketPtr p) {
+  Simulation& sim = node_.sim();
+  const auto coa = bindings_.lookup(p->dst, sim.now());
+  if (!coa) {
+    sim.stats().record_drop(p->flow, DropReason::kNoRoute);
+    return;
+  }
+  // Simultaneous binding: bicast a copy toward the secondary care-of
+  // address (the duplicate does not count as a fresh `sent`).
+  if (const auto second = secondary_.lookup(p->dst, sim.now())) {
+    auto copy = p->clone(sim.next_uid());
+    copy->encapsulate(*second);
+    ++bicast_;
+    node_.send(std::move(copy));
+  }
+  ++tunneled_;
+  p->encapsulate(*coa);
+  node_.send(std::move(p));
+}
+
+bool MapAgent::handle_control(PacketPtr& p) {
+  const auto* bu = std::get_if<BindingUpdateMsg>(&p->msg);
+  if (bu == nullptr) return false;
+  Simulation& sim = node_.sim();
+  ++updates_;
+  if (bu->simultaneous) {
+    secondary_.update(bu->regional, bu->lcoa, sim.now(), bu->lifetime);
+  } else {
+    bindings_.update(bu->regional, bu->lcoa, sim.now(), bu->lifetime);
+    secondary_.remove(bu->regional);
+  }
+  BindingAckMsg ack;
+  ack.mh = bu->mh;
+  ack.accepted = true;
+  // Reply to the LCoA so the ack reaches the host at its new location even
+  // before any other state converges.
+  node_.send(make_control(sim, address(), bu->lcoa, ack));
+  return true;
+}
+
+}  // namespace fhmip

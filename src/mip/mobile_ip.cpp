@@ -1,0 +1,73 @@
+#include "mip/mobile_ip.hpp"
+
+namespace fhmip {
+
+MobileIpClient::MobileIpClient(Node& node, Address regional_addr,
+                               Address map_addr)
+    : node_(node), regional_(regional_addr), map_(map_addr) {
+  node_.add_control_handler([this](PacketPtr& p) { return handle_control(p); });
+}
+
+void MobileIpClient::send_binding_update(Address lcoa, SimTime lifetime) {
+  BindingUpdateMsg bu;
+  bu.mh = node_.id();
+  bu.regional = regional_;
+  bu.lcoa = lcoa;
+  bu.lifetime = lifetime;
+  ++updates_sent_;
+  node_.send(make_control(node_.sim(), lcoa, map_, bu));
+}
+
+void MobileIpClient::send_binding_update_to(Address correspondent,
+                                            Address lcoa, SimTime lifetime) {
+  BindingUpdateMsg bu;
+  bu.mh = node_.id();
+  bu.regional = regional_;
+  bu.lcoa = lcoa;
+  bu.lifetime = lifetime;
+  ++updates_sent_;
+  node_.send(make_control(node_.sim(), lcoa, correspondent, bu));
+}
+
+void MobileIpClient::send_simultaneous_binding(Address lcoa,
+                                               SimTime lifetime) {
+  BindingUpdateMsg bu;
+  bu.mh = node_.id();
+  bu.regional = regional_;
+  bu.lcoa = lcoa;
+  bu.lifetime = lifetime;
+  bu.simultaneous = true;
+  ++updates_sent_;
+  // Sent from the *current* address; the new LCoA is not usable yet.
+  node_.send(make_control(node_.sim(), regional_, map_, bu));
+}
+
+void MobileIpClient::send_registration(Address via, Address home_agent,
+                                       Address home_addr, Address coa,
+                                       SimTime lifetime) {
+  RegistrationRequestMsg req;
+  req.mh = node_.id();
+  req.home_addr = home_addr;
+  req.home_agent = home_agent;
+  req.coa = coa;
+  req.lifetime = lifetime;
+  ++registrations_sent_;
+  node_.send(make_control(node_.sim(), coa, via, req));
+}
+
+bool MobileIpClient::handle_control(PacketPtr& p) {
+  if (const auto* ack = std::get_if<BindingAckMsg>(&p->msg)) {
+    if (ack->mh != node_.id()) return false;
+    ++acks_received_;
+    if (on_binding_ack_) on_binding_ack_();
+    return true;
+  }
+  if (const auto* rep = std::get_if<RegistrationReplyMsg>(&p->msg)) {
+    if (rep->mh != node_.id()) return false;
+    if (on_registration_reply_) on_registration_reply_(rep->accepted);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace fhmip

@@ -1,0 +1,13 @@
+#include "net/address.hpp"
+
+#include <cstdio>
+
+namespace fhmip {
+
+std::string Address::to_string() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%u:%u", net, host);
+  return buf;
+}
+
+}  // namespace fhmip

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace fhmip {
+
+/// A two-level network address: a 32-bit network (prefix) part and a 32-bit
+/// host part. This models the IPv6 prefix/interface-identifier split the
+/// thesis relies on (care-of addresses share the host part and take the
+/// network part of the access router's subnet).
+struct Address {
+  std::uint32_t net = 0;
+  std::uint32_t host = 0;
+
+  constexpr bool valid() const { return net != 0; }
+  constexpr std::uint64_t key() const {
+    return (static_cast<std::uint64_t>(net) << 32) | host;
+  }
+  friend constexpr bool operator==(Address, Address) = default;
+  friend constexpr auto operator<=>(Address, Address) = default;
+
+  std::string to_string() const;
+};
+
+inline constexpr Address kNoAddress{};
+
+/// Builds the on-link care-of address for host `host` in subnet `net`
+/// (HMIPv6 LCoA formation: router prefix + interface identifier).
+constexpr Address make_coa(std::uint32_t net, std::uint32_t host) {
+  return Address{net, host};
+}
+
+}  // namespace fhmip
+
+template <>
+struct std::hash<fhmip::Address> {
+  std::size_t operator()(const fhmip::Address& a) const noexcept {
+    return std::hash<std::uint64_t>{}(a.key());
+  }
+};

@@ -1,0 +1,163 @@
+#include "net/link.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "net/node.hpp"
+
+namespace fhmip {
+
+namespace {
+
+TraceEvent trace_event(SimTime at, TraceKind kind, const std::string& where,
+                       const Packet& p) {
+  TraceEvent e;
+  e.at = at;
+  e.kind = kind;
+  e.where = where.c_str();
+  e.uid = p.uid;
+  e.flow = p.flow;
+  e.seq = p.seq;
+  e.bytes = p.size_bytes;
+  e.msg = message_name(p.msg);
+  return e;
+}
+
+std::variant<DropTailQueue, ClassPriorityQueue> make_queue(
+    QueueDiscipline discipline, std::size_t limit) {
+  if (discipline == QueueDiscipline::kClassPriority) {
+    return ClassPriorityQueue(limit);
+  }
+  return DropTailQueue(limit);
+}
+
+}  // namespace
+
+SimplexLink::SimplexLink(Simulation& sim, Node& to, double bandwidth_bps,
+                         SimTime delay, std::size_t queue_limit,
+                         std::string name, QueueDiscipline discipline)
+    : sim_(sim),
+      to_(to),
+      bandwidth_(bandwidth_bps),
+      delay_(delay),
+      queue_(make_queue(discipline, queue_limit)),
+      name_(std::move(name)) {}
+
+DropTailQueue* SimplexLink::queue() {
+  return std::get_if<DropTailQueue>(&queue_);
+}
+
+ClassPriorityQueue* SimplexLink::priority_queue() {
+  return std::get_if<ClassPriorityQueue>(&queue_);
+}
+
+std::size_t SimplexLink::queue_size() const {
+  return std::visit([](const auto& q) { return q.size(); }, queue_);
+}
+
+bool SimplexLink::queue_push(PacketPtr& p) {
+  return std::visit([&p](auto& q) { return q.push(p); }, queue_);
+}
+
+PacketPtr SimplexLink::queue_pop() {
+  return std::visit([](auto& q) { return q.pop(); }, queue_);
+}
+
+void SimplexLink::drop_queued() {
+  std::visit(
+      [this](auto& q) {
+        q.drain([this](PacketPtr p) {
+          drop(std::move(p), DropReason::kWirelessDown);
+        });
+      },
+      queue_);
+}
+
+SimTime SimplexLink::tx_time(std::uint32_t bytes) const {
+  return SimTime::from_seconds(static_cast<double>(bytes) * 8.0 / bandwidth_);
+}
+
+void SimplexLink::transmit(PacketPtr p) {
+  if (!up_) {
+    drop(std::move(p), DropReason::kWirelessDown);
+    return;
+  }
+  if (loss_rate_ > 0.0 && sim_.rng().chance(loss_rate_)) {
+    drop(std::move(p), DropReason::kRandomLoss);
+    return;
+  }
+  if (busy_) {
+    if (!queue_push(p)) drop(std::move(p), DropReason::kQueueOverflow);
+    return;
+  }
+  start_tx(std::move(p));
+}
+
+void SimplexLink::start_tx(PacketPtr p) {
+  busy_ = true;
+  if (sim_.trace().enabled()) {
+    sim_.trace().emit(
+        trace_event(sim_.now(), TraceKind::kTransmit, name_, *p));
+  }
+  const SimTime tx = tx_time(p->size_bytes);
+  // Move the packet into the completion event.
+  auto* raw = p.release();
+  sim_.in(tx, [this, raw] { finish_tx(PacketPtr(raw)); });
+}
+
+void SimplexLink::finish_tx(PacketPtr p) {
+  // Serialization finished: the packet is committed to the air/wire and
+  // will be delivered even if the link is torn down meanwhile (ns-2
+  // semantics: link-down affects packets that have not started
+  // transmission, not ones already in flight).
+  auto* raw = p.release();
+  sim_.in(delay_, [this, raw] {
+    PacketPtr pkt(raw);
+    ++delivered_;
+    bytes_delivered_ += pkt->size_bytes;
+    if (sim_.trace().enabled()) {
+      sim_.trace().emit(
+          trace_event(sim_.now(), TraceKind::kDeliver, name_, *pkt));
+    }
+    to_.receive(std::move(pkt));
+  });
+  busy_ = false;
+  if (PacketPtr next = queue_pop()) start_tx(std::move(next));
+}
+
+void SimplexLink::drop(PacketPtr p, DropReason reason) {
+  ++dropped_;
+  sim_.stats().record_drop(p->flow, reason);
+  if (sim_.trace().enabled()) {
+    TraceEvent e = trace_event(sim_.now(), TraceKind::kDrop, name_, *p);
+    e.reason = reason;
+    sim_.trace().emit(e);
+  }
+  if (sim_.logger().enabled(LogLevel::kDebug)) {
+    sim_.log(LogLevel::kDebug, "link " + name_ + " dropped " +
+                                   std::string(message_name(p->msg)) + " (" +
+                                   to_string(reason) + ")");
+  }
+}
+
+void SimplexLink::set_up(bool up) {
+  up_ = up;
+  if (!up_) {
+    // Everything sitting in the transmit queue dies with the link.
+    drop_queued();
+  }
+}
+
+DuplexLink::DuplexLink(Simulation& sim, Node& a, Node& b, double bandwidth_bps,
+                       SimTime delay, std::size_t queue_limit,
+                       std::string name, QueueDiscipline discipline)
+    : a_(a),
+      b_(b),
+      ab_(sim, b, bandwidth_bps, delay, queue_limit, name + ">", discipline),
+      ba_(sim, a, bandwidth_bps, delay, queue_limit, name + "<", discipline) {}
+
+SimplexLink& DuplexLink::toward(const Node& n) {
+  return (&n == &b_) ? ab_ : ba_;
+}
+
+}  // namespace fhmip

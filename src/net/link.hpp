@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "net/priority_queue.hpp"
+#include "net/queue.hpp"
+#include "sim/simulation.hpp"
+
+namespace fhmip {
+
+class Node;
+
+/// Transmit-queue discipline for a link (§3.3's Diffserv note: the scheme
+/// can ride on class-aware forwarding).
+enum class QueueDiscipline { kDropTail, kClassPriority };
+
+/// A unidirectional link with finite bandwidth, fixed propagation delay and
+/// a drop-tail queue — the ns-2 link model. A packet occupies the
+/// transmitter for size*8/bandwidth seconds, then arrives delay later.
+///
+/// Wireless behaviour: when `set_up(false)` (MH out of range / L2 handoff
+/// blackout), packets attempted or in flight are dropped with
+/// DropReason::kWirelessDown — the single-radio disconnection of §2.4.
+class SimplexLink {
+ public:
+  SimplexLink(Simulation& sim, Node& to, double bandwidth_bps, SimTime delay,
+              std::size_t queue_limit, std::string name = {},
+              QueueDiscipline discipline = QueueDiscipline::kDropTail);
+
+  /// Hands the packet to the link. May drop (queue overflow / link down /
+  /// random loss).
+  void transmit(PacketPtr p);
+
+  void set_up(bool up);
+  bool up() const { return up_; }
+
+  /// Random per-packet loss (wireless corruption model); 0 disables.
+  void set_loss_rate(double p) { loss_rate_ = p; }
+  double loss_rate() const { return loss_rate_; }
+
+  double bandwidth_bps() const { return bandwidth_; }
+  SimTime delay() const { return delay_; }
+  SimTime tx_time(std::uint32_t bytes) const;
+  Node& destination() const { return to_; }
+  const std::string& name() const { return name_; }
+
+  /// The drop-tail queue (valid for the default discipline, else nullptr).
+  DropTailQueue* queue();
+  /// The class-priority queue (valid for kClassPriority, else nullptr).
+  ClassPriorityQueue* priority_queue();
+  std::size_t queue_size() const;
+
+  std::uint64_t packets_delivered() const { return delivered_; }
+  std::uint64_t packets_dropped() const { return dropped_; }
+  std::uint64_t bytes_delivered() const { return bytes_delivered_; }
+  bool busy() const { return busy_; }
+
+ private:
+  bool queue_push(PacketPtr& p);
+  PacketPtr queue_pop();
+  void drop_queued();
+  void start_tx(PacketPtr p);
+  void finish_tx(PacketPtr p);
+  void drop(PacketPtr p, DropReason reason);
+
+  Simulation& sim_;
+  Node& to_;
+  double bandwidth_;
+  SimTime delay_;
+  std::variant<DropTailQueue, ClassPriorityQueue> queue_;
+  std::string name_;
+  bool up_ = true;
+  bool busy_ = false;
+  double loss_rate_ = 0.0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t bytes_delivered_ = 0;
+};
+
+/// A pair of simplex links, the usual wired duplex link.
+class DuplexLink {
+ public:
+  DuplexLink(Simulation& sim, Node& a, Node& b, double bandwidth_bps,
+             SimTime delay, std::size_t queue_limit, std::string name = {},
+             QueueDiscipline discipline = QueueDiscipline::kDropTail);
+
+  SimplexLink& toward(const Node& n);
+  SimplexLink& a_to_b() { return ab_; }
+  SimplexLink& b_to_a() { return ba_; }
+  Node& a() const { return a_; }
+  Node& b() const { return b_; }
+
+ private:
+  Node& a_;
+  Node& b_;
+  SimplexLink ab_;
+  SimplexLink ba_;
+};
+
+}  // namespace fhmip

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "sim/simulation.hpp"
+
+namespace fhmip {
+
+/// Owns a topology's nodes and wired links and computes static shortest-path
+/// routes (Dijkstra, weighted by link propagation delay, hop count as
+/// tiebreaker). Wireless links are owned by the WLAN layer and layered on
+/// top via host/default routes.
+class Network {
+ public:
+  explicit Network(Simulation& sim) : sim_(sim) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  Node& add_node(const std::string& name);
+
+  DuplexLink& connect(Node& a, Node& b, double bandwidth_bps, SimTime delay,
+                      std::size_t queue_limit = 100,
+                      QueueDiscipline discipline = QueueDiscipline::kDropTail);
+
+  /// Installs prefix routes on every node for every advertised address net.
+  /// Call after the wired topology is final; idempotent.
+  void compute_routes();
+
+  Simulation& sim() { return sim_; }
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t num_links() const { return links_.size(); }
+  Node& node(std::size_t index) { return *nodes_.at(index); }
+
+ private:
+  Simulation& sim_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<DuplexLink>> links_;
+  NodeId next_node_id_ = 1;
+};
+
+}  // namespace fhmip

@@ -1,0 +1,144 @@
+#include "net/node.hpp"
+
+#include <algorithm>
+
+#include "net/link.hpp"
+
+namespace fhmip {
+
+namespace {
+
+TraceEvent node_trace(SimTime at, TraceKind kind, const std::string& where,
+                      const Packet& p) {
+  TraceEvent e;
+  e.at = at;
+  e.kind = kind;
+  e.where = where.c_str();
+  e.uid = p.uid;
+  e.flow = p.flow;
+  e.seq = p.seq;
+  e.bytes = p.size_bytes;
+  e.msg = message_name(p.msg);
+  return e;
+}
+
+}  // namespace
+
+Node::Node(Simulation& sim, NodeId id, std::string name)
+    : sim_(sim), id_(id), name_(std::move(name)) {}
+
+void Node::add_address(Address a, bool advertised) {
+  if (!has_address(a)) addrs_.emplace_back(a, advertised);
+}
+
+void Node::remove_address(Address a) {
+  std::erase_if(addrs_, [a](const auto& pr) { return pr.first == a; });
+}
+
+bool Node::has_address(Address a) const {
+  return std::any_of(addrs_.begin(), addrs_.end(),
+                     [a](const auto& pr) { return pr.first == a; });
+}
+
+Address Node::address() const {
+  for (const auto& [a, adv] : addrs_)
+    if (adv) return a;
+  return addrs_.empty() ? kNoAddress : addrs_.front().first;
+}
+
+void Node::register_port(std::uint16_t port, PortHandler h) {
+  ports_[port] = std::move(h);
+}
+
+void Node::unregister_port(std::uint16_t port) { ports_.erase(port); }
+
+void Node::add_control_handler(ControlHandler h) {
+  control_handlers_.push_back(std::move(h));
+}
+
+void Node::receive(PacketPtr p) {
+  if (has_address(p->dst)) {
+    if (p->tunneled()) {
+      // Tunnel endpoint: strip the outer header and re-admit the inner
+      // packet (it may be for us — e.g. a care-of address — or in transit).
+      p->decapsulate();
+      receive(std::move(p));
+      return;
+    }
+    deliver_local(std::move(p));
+    return;
+  }
+  forward(std::move(p), /*decrement_ttl=*/true);
+}
+
+void Node::send(PacketPtr p) {
+  if (has_address(p->dst) && !p->tunneled()) {
+    deliver_local(std::move(p));
+    return;
+  }
+  forward(std::move(p), /*decrement_ttl=*/false);
+}
+
+void Node::forward(PacketPtr p, bool decrement_ttl) {
+  if (forward_filter_) forward_filter_(*p);
+  if (decrement_ttl) {
+    if (p->ttl == 0) {
+      drop(std::move(p), DropReason::kTtlExpired);
+      return;
+    }
+    --p->ttl;
+  }
+  const Route* r = routes_.lookup(p->dst);
+  if (r == nullptr || !r->valid()) {
+    drop(std::move(p), DropReason::kNoRoute);
+    return;
+  }
+  ++forwarded_;
+  if (sim_.trace().enabled()) {
+    sim_.trace().emit(node_trace(sim_.now(), TraceKind::kForward, name_, *p));
+  }
+  if (r->link != nullptr) {
+    r->link->transmit(std::move(p));
+  } else {
+    r->handler(std::move(p));
+  }
+}
+
+void Node::deliver_local(PacketPtr p) {
+  ++received_local_;
+  if (sim_.trace().enabled()) {
+    sim_.trace().emit(
+        node_trace(sim_.now(), TraceKind::kLocalDeliver, name_, *p));
+  }
+  if (p->is_control()) {
+    for (auto& h : control_handlers_) {
+      if (h(p)) return;
+    }
+    // Unclaimed control message: harmless (e.g. advertisement nobody
+    // listens to) — discard without accounting, control is flow-less.
+    return;
+  }
+  auto it = ports_.find(p->dst_port);
+  if (it != ports_.end()) {
+    it->second(std::move(p));
+    return;
+  }
+  drop(std::move(p), DropReason::kNoRoute);
+}
+
+void Node::drop(PacketPtr p, DropReason reason) {
+  sim_.stats().record_drop(p->flow, reason);
+  if (sim_.trace().enabled()) {
+    TraceEvent e = node_trace(sim_.now(), TraceKind::kDrop, name_, *p);
+    e.reason = reason;
+    sim_.trace().emit(e);
+  }
+  if (sim_.logger().enabled(LogLevel::kDebug)) {
+    sim_.log(LogLevel::kDebug,
+             name_ + " dropped " + std::string(message_name(p->msg)) +
+                 " dst=" + p->dst.to_string() + " (" + to_string(reason) +
+                 ")");
+  }
+}
+
+}  // namespace fhmip

@@ -1,0 +1,116 @@
+#include "net/packet.hpp"
+
+#include <cassert>
+
+#include "sim/simulation.hpp"
+
+namespace fhmip {
+
+bool is_control(const MessageVariant& m) {
+  return !std::holds_alternative<std::monostate>(m) &&
+         !std::holds_alternative<TcpSegMsg>(m);
+}
+
+const char* message_name(const MessageVariant& m) {
+  struct Visitor {
+    const char* operator()(std::monostate) const { return "data"; }
+    const char* operator()(const RouterAdvMsg&) const { return "RtAdv"; }
+    const char* operator()(const RtSolPrMsg&) const { return "RtSolPr"; }
+    const char* operator()(const PrRtAdvMsg&) const { return "PrRtAdv"; }
+    const char* operator()(const HiMsg&) const { return "HI"; }
+    const char* operator()(const HackMsg&) const { return "HAck"; }
+    const char* operator()(const FbuMsg&) const { return "FBU"; }
+    const char* operator()(const FbackMsg&) const { return "FBAck"; }
+    const char* operator()(const FnaMsg&) const { return "FNA"; }
+    const char* operator()(const BfMsg&) const { return "BF"; }
+    const char* operator()(const BufferFullMsg&) const { return "BufferFull"; }
+    const char* operator()(const BiMsg&) const { return "BI"; }
+    const char* operator()(const BaMsg&) const { return "BA"; }
+    const char* operator()(const BindingUpdateMsg&) const { return "BU"; }
+    const char* operator()(const BindingAckMsg&) const { return "BAck"; }
+    const char* operator()(const AgentAdvertisementMsg&) const {
+      return "AgentAdv";
+    }
+    const char* operator()(const AgentSolicitationMsg&) const {
+      return "AgentSol";
+    }
+    const char* operator()(const RegistrationRequestMsg&) const {
+      return "RegReq";
+    }
+    const char* operator()(const RegistrationReplyMsg&) const {
+      return "RegRep";
+    }
+    const char* operator()(const TcpSegMsg&) const { return "TCP"; }
+  };
+  return std::visit(Visitor{}, m);
+}
+
+const char* to_string(TrafficClass c) {
+  switch (c) {
+    case TrafficClass::kUnspecified:
+      return "unspecified";
+    case TrafficClass::kRealTime:
+      return "real-time";
+    case TrafficClass::kHighPriority:
+      return "high-priority";
+    case TrafficClass::kBestEffort:
+      return "best-effort";
+  }
+  return "?";
+}
+
+TrafficClass effective_class(TrafficClass c) {
+  return c == TrafficClass::kUnspecified ? TrafficClass::kBestEffort : c;
+}
+
+void Packet::encapsulate(Address outer) {
+  tunnel_stack.push_back(dst);
+  dst = outer;
+  size_bytes += kIpHeaderBytes;
+}
+
+void Packet::decapsulate() {
+  assert(!tunnel_stack.empty());
+  dst = tunnel_stack.back();
+  tunnel_stack.pop_back();
+  size_bytes -= kIpHeaderBytes;
+}
+
+PacketPtr Packet::clone(std::uint64_t new_uid) const {
+  auto p = std::make_unique<Packet>();
+  p->uid = new_uid;
+  p->src = src;
+  p->dst = dst;
+  p->size_bytes = size_bytes;
+  p->ttl = ttl;
+  p->tclass = tclass;
+  p->flow = flow;
+  p->seq = seq;
+  p->src_port = src_port;
+  p->dst_port = dst_port;
+  p->created_at = created_at;
+  p->directive = directive;
+  p->tunnel_stack = tunnel_stack;
+  p->msg = msg;
+  return p;
+}
+
+PacketPtr make_packet(Simulation& sim, Address src, Address dst,
+                      std::uint32_t size_bytes) {
+  auto p = std::make_unique<Packet>();
+  p->uid = sim.next_uid();
+  p->src = src;
+  p->dst = dst;
+  p->size_bytes = size_bytes;
+  p->created_at = sim.now();
+  return p;
+}
+
+PacketPtr make_control(Simulation& sim, Address src, Address dst,
+                       MessageVariant msg, std::uint32_t size_bytes) {
+  auto p = make_packet(sim, src, dst, size_bytes);
+  p->msg = std::move(msg);
+  return p;
+}
+
+}  // namespace fhmip

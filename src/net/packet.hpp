@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/address.hpp"
+#include "net/messages.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace fhmip {
+
+/// IPv6 traffic-class values as defined by the thesis (Table 3.1).
+enum class TrafficClass : std::uint8_t {
+  kUnspecified = 0,   // treated as best effort
+  kRealTime = 1,
+  kHighPriority = 2,
+  kBestEffort = 3,
+};
+
+const char* to_string(TrafficClass c);
+
+/// Returns the class used for buffering decisions: kUnspecified maps to
+/// kBestEffort (Table 3.1, value 0).
+TrafficClass effective_class(TrafficClass c);
+
+/// How a packet redirected through the PAR→NAR tunnel should be handled at
+/// the receiving router while the MH is detached (Table 3.3 outcomes).
+enum class ForwardDirective : std::uint8_t {
+  kNone = 0,       // normal forwarding
+  kBufferAtNar,    // buffer at the NAR if the MH is not attached yet
+  kForwardOnly,    // deliver if attached, otherwise the packet is lost
+  kBounceToPar,    // NAR buffer full: send back for PAR-side buffering
+  kDrain,          // buffered packet being released after BF
+};
+
+inline constexpr std::uint32_t kIpHeaderBytes = 40;  // per tunnel layer
+
+/// A simulated packet. Packets are move-only and owned by exactly one
+/// entity (link, queue, buffer, or agent) at a time.
+struct Packet {
+  std::uint64_t uid = 0;
+  Address src;
+  Address dst;
+  std::uint32_t size_bytes = 0;
+  std::uint8_t ttl = 64;
+  TrafficClass tclass = TrafficClass::kUnspecified;
+  FlowId flow = kNoFlow;
+  std::uint32_t seq = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  SimTime created_at;
+  ForwardDirective directive = ForwardDirective::kNone;
+  std::vector<Address> tunnel_stack;  // inner destinations, outermost last
+  MessageVariant msg;
+
+  Packet() = default;
+  Packet(const Packet&) = delete;
+  Packet& operator=(const Packet&) = delete;
+  Packet(Packet&&) = default;
+  Packet& operator=(Packet&&) = default;
+
+  bool is_control() const { return fhmip::is_control(msg); }
+  bool tunneled() const { return !tunnel_stack.empty(); }
+
+  /// IP-in-IP encapsulation: the packet is readdressed to `outer` and the
+  /// original destination pushed on the tunnel stack (+40 B header).
+  void encapsulate(Address outer);
+
+  /// Pops one tunnel layer, restoring the inner destination (-40 B header).
+  /// Precondition: tunneled().
+  void decapsulate();
+
+  /// Deep copy with a fresh uid (used e.g. for FBAck sent to two receivers).
+  std::unique_ptr<Packet> clone(std::uint64_t new_uid) const;
+};
+
+using PacketPtr = std::unique_ptr<Packet>;
+
+class Simulation;
+
+/// Convenience factory: stamps uid and creation time from the simulation.
+PacketPtr make_packet(Simulation& sim, Address src, Address dst,
+                      std::uint32_t size_bytes);
+
+/// Control-message factory: small packet carrying `msg`.
+PacketPtr make_control(Simulation& sim, Address src, Address dst,
+                       MessageVariant msg, std::uint32_t size_bytes = 64);
+
+}  // namespace fhmip

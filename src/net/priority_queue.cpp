@@ -1,0 +1,50 @@
+#include "net/priority_queue.hpp"
+
+namespace fhmip {
+
+ClassPriorityQueue::ClassPriorityQueue(std::size_t limit_pkts)
+    : limit_(limit_pkts),
+      bands_{DropTailQueue(limit_pkts - 2 * (limit_pkts / 3)),
+             DropTailQueue(limit_pkts / 3), DropTailQueue(limit_pkts / 3)} {}
+
+std::size_t ClassPriorityQueue::band_index(TrafficClass c) {
+  switch (effective_class(c)) {
+    case TrafficClass::kRealTime:
+      return 0;
+    case TrafficClass::kHighPriority:
+      return 1;
+    default:
+      return 2;
+  }
+}
+
+bool ClassPriorityQueue::push(PacketPtr& p) {
+  const bool ok = bands_[band_index(p->tclass)].push(p);
+  if (ok) {
+    ++enqueued_;
+  } else {
+    ++rejected_;
+  }
+  return ok;
+}
+
+PacketPtr ClassPriorityQueue::pop() {
+  for (auto& band : bands_) {
+    if (!band.empty()) return band.pop();
+  }
+  return nullptr;
+}
+
+std::size_t ClassPriorityQueue::size() const {
+  return bands_[0].size() + bands_[1].size() + bands_[2].size();
+}
+
+std::size_t ClassPriorityQueue::band_size(TrafficClass c) const {
+  return bands_[band_index(c)].size();
+}
+
+std::size_t ClassPriorityQueue::band_limit(TrafficClass c) const {
+  return bands_[band_index(c)].limit();
+}
+
+}  // namespace fhmip

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <array>
+
+#include "net/queue.hpp"
+
+namespace fhmip {
+
+/// Strict-priority queue over the Table 3.1 service classes, the Diffserv
+/// PHB-style discipline §3.3 anticipates: real-time is always served first,
+/// then high priority, then best effort (unspecified maps to best effort).
+/// Each class has its own FIFO share of the packet limit, so a best-effort
+/// burst cannot starve real-time *admission* either.
+class ClassPriorityQueue {
+ public:
+  /// `limit_pkts` is the total; each class gets a proportional share
+  /// (remainders go to the real-time band).
+  explicit ClassPriorityQueue(std::size_t limit_pkts = 50);
+
+  /// Admission into the packet's class band; false = that band is full.
+  bool push(PacketPtr& p);
+
+  /// Serves the highest-priority non-empty band.
+  PacketPtr pop();
+
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+  std::size_t limit() const { return limit_; }
+  std::size_t band_size(TrafficClass c) const;
+  std::size_t band_limit(TrafficClass c) const;
+
+  std::uint64_t total_enqueued() const { return enqueued_; }
+  std::uint64_t total_rejected() const { return rejected_; }
+
+  template <typename Fn>
+  void drain(Fn&& fn) {
+    for (auto& band : bands_) {
+      band.drain(fn);
+    }
+  }
+
+ private:
+  static std::size_t band_index(TrafficClass c);
+
+  std::size_t limit_;
+  std::array<DropTailQueue, 3> bands_;  // RT, HP, BE
+  std::uint64_t enqueued_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace fhmip

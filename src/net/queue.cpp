@@ -1,0 +1,24 @@
+#include "net/queue.hpp"
+
+namespace fhmip {
+
+bool DropTailQueue::push(PacketPtr& p) {
+  if (q_.size() >= limit_) {
+    ++rejected_;
+    return false;
+  }
+  bytes_ += p->size_bytes;
+  ++enqueued_;
+  q_.push_back(std::move(p));
+  return true;
+}
+
+PacketPtr DropTailQueue::pop() {
+  if (q_.empty()) return nullptr;
+  PacketPtr p = std::move(q_.front());
+  q_.pop_front();
+  bytes_ -= p->size_bytes;
+  return p;
+}
+
+}  // namespace fhmip

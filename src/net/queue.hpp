@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "net/packet.hpp"
+
+namespace fhmip {
+
+/// FIFO drop-tail queue with a packet-count limit (ns-2's DropTail).
+/// Rejected packets are returned to the caller so it can account the drop.
+class DropTailQueue {
+ public:
+  explicit DropTailQueue(std::size_t limit_pkts = 50) : limit_(limit_pkts) {}
+
+  /// Returns true if stored; false if the queue is full (packet untouched).
+  bool push(PacketPtr& p);
+
+  PacketPtr pop();
+
+  std::size_t size() const { return q_.size(); }
+  std::size_t limit() const { return limit_; }
+  void set_limit(std::size_t limit_pkts) { limit_ = limit_pkts; }
+  bool empty() const { return q_.empty(); }
+  bool full() const { return q_.size() >= limit_; }
+  std::uint64_t bytes() const { return bytes_; }
+
+  std::uint64_t total_enqueued() const { return enqueued_; }
+  std::uint64_t total_rejected() const { return rejected_; }
+
+  /// Drops everything currently queued, invoking `fn` per packet.
+  template <typename Fn>
+  void drain(Fn&& fn) {
+    while (!q_.empty()) {
+      fn(std::move(q_.front()));
+      q_.pop_front();
+    }
+    bytes_ = 0;
+  }
+
+ private:
+  std::deque<PacketPtr> q_;
+  std::size_t limit_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t enqueued_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace fhmip

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "net/address.hpp"
+#include "net/packet.hpp"
+
+namespace fhmip {
+
+class SimplexLink;
+
+/// A routing-table entry. Exactly one of the members is meaningful:
+///  * `link`    — forward over this outgoing link;
+///  * `handler` — hand the packet to a protocol hook (MAP interception, AR
+///                delivery/handoff redirection, host routes for PCoA, ...).
+struct Route {
+  SimplexLink* link = nullptr;
+  std::function<void(PacketPtr)> handler;
+
+  static Route via(SimplexLink& l) { return Route{&l, nullptr}; }
+  static Route to(std::function<void(PacketPtr)> h) {
+    return Route{nullptr, std::move(h)};
+  }
+  bool valid() const { return link != nullptr || handler != nullptr; }
+};
+
+/// Longest-prefix-first lookup over our two-level address space:
+/// host routes (full address) beat prefix routes (net) beat the default.
+class RoutingTable {
+ public:
+  void set_prefix_route(std::uint32_t net, Route r) {
+    prefix_[net] = std::move(r);
+  }
+  void set_host_route(Address a, Route r) { host_[a.key()] = std::move(r); }
+  void remove_host_route(Address a) { host_.erase(a.key()); }
+  void set_default_route(Route r) { default_ = std::move(r); }
+  void clear_prefix_routes() { prefix_.clear(); }
+
+  bool has_host_route(Address a) const { return host_.count(a.key()) > 0; }
+
+  /// Returns nullptr when no route matches.
+  const Route* lookup(Address dst) const;
+
+  std::size_t num_host_routes() const { return host_.size(); }
+  std::size_t num_prefix_routes() const { return prefix_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, Route> host_;
+  std::unordered_map<std::uint32_t, Route> prefix_;
+  std::optional<Route> default_;
+};
+
+}  // namespace fhmip

@@ -1,0 +1,150 @@
+#pragma once
+
+#include <vector>
+
+#include "scenario/paper_topology.hpp"
+#include "scenario/wlan_topology.hpp"
+#include "stats/recorder.hpp"
+#include "transport/tcp.hpp"
+
+namespace fhmip {
+
+/// One downstream audio flow from the CN toward a mobile host.
+struct FlowSpec {
+  FlowId id = 0;
+  TrafficClass tclass = TrafficClass::kUnspecified;
+  double kbps = 64;
+  std::uint32_t packet_bytes = 160;
+};
+
+/// Per-flow outcome of a handoff experiment.
+struct FlowOutcome {
+  FlowId id = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::vector<DeliverySample> samples;  // only when keep_samples
+};
+
+// ---------------------------------------------------------------------------
+// Figure 4.2 — buffer utilization: N mobile hosts handing off at once.
+// ---------------------------------------------------------------------------
+
+struct SimultaneousHandoffParams {
+  BufferMode mode = BufferMode::kDual;
+  bool classify = false;  // the Fig 4.2 workload is a single unmarked flow
+  int num_mhs = 1;
+  std::uint32_t pool_pkts = 35;
+  std::uint32_t request_pkts = 10;
+  double flow_kbps = 64;
+  std::uint32_t packet_bytes = 160;
+  std::uint64_t seed = 1;
+};
+
+struct SimultaneousHandoffResult {
+  std::uint64_t total_sent = 0;
+  std::uint64_t total_delivered = 0;
+  std::uint64_t total_dropped = 0;
+  std::uint32_t handoffs = 0;
+};
+
+SimultaneousHandoffResult run_simultaneous_handoffs(
+    const SimultaneousHandoffParams& p);
+
+// ---------------------------------------------------------------------------
+// Figures 4.3–4.5 — per-class cumulative drops over repeated handoffs.
+// ---------------------------------------------------------------------------
+
+struct QosDropParams {
+  BufferMode mode = BufferMode::kDual;
+  bool classify = true;
+  std::uint32_t pool_pkts = 20;   // per AR ("Buffer=20"); FH run uses 40
+  std::uint32_t request_pkts = 20;
+  std::uint32_t reserve_a = 5;    // Case 1.c/3.c headroom constant
+  int handoffs = 100;
+  double flow_kbps = 128;  // three flows, F1 RT / F2 HP / F3 BE
+  std::uint32_t packet_bytes = 160;
+  std::uint64_t seed = 1;
+};
+
+struct QosDropResult {
+  /// Cumulative dropped packets per flow, indexed by handoff count;
+  /// series are named F1/F2/F3 as in the figures.
+  std::vector<Series> per_flow_drops;
+  std::vector<FlowOutcome> flows;
+};
+
+QosDropResult run_qos_drop_experiment(const QosDropParams& p);
+
+// ---------------------------------------------------------------------------
+// Figure 4.6 — per-class drops in one handoff vs. data rate.
+// ---------------------------------------------------------------------------
+
+/// Runs one handoff at the given per-flow rate; returns drops per flow
+/// (F1, F2, F3).
+std::vector<FlowOutcome> run_rate_probe(const QosDropParams& base,
+                                        double flow_kbps);
+
+// ---------------------------------------------------------------------------
+// Figures 4.7–4.10 — per-packet end-to-end delay around one handoff.
+// ---------------------------------------------------------------------------
+
+struct DelayCaptureParams {
+  BufferMode mode = BufferMode::kDual;
+  bool classify = true;
+  std::uint32_t pool_pkts = 20;
+  std::uint32_t request_pkts = 20;
+  SimTime par_nar_delay = SimTime::millis(2);
+  SimTime drain_gap = SimTime::micros(200);  // buffer-release pacing
+  double flow_kbps = 128;  // 160 B / 10 ms
+  std::uint32_t packet_bytes = 160;
+  std::uint64_t seed = 1;
+};
+
+struct DelayCaptureResult {
+  std::vector<FlowOutcome> flows;  // samples filled
+  /// Sequence-number window covering the handoff disturbance.
+  std::uint32_t seq_begin = 0;
+  std::uint32_t seq_end = 0;
+};
+
+DelayCaptureResult run_delay_capture(const DelayCaptureParams& p);
+
+/// Extracts delay-vs-sequence series (one per flow) limited to the window.
+std::vector<Series> delay_series(const DelayCaptureResult& r);
+
+// ---------------------------------------------------------------------------
+// Figures 4.12–4.14 — TCP across a pure link-layer handoff.
+// ---------------------------------------------------------------------------
+
+struct TcpHandoffParams {
+  bool buffering = true;  // proposed method vs. plain (lossy) L2 handoff
+  SimTime handoff_at = SimTime::from_millis(11470);  // §4.2.4: 11.47 s
+  SimTime run_until = SimTime::seconds(16);
+  std::uint32_t mss = 1000;
+  std::uint32_t pool_pkts = 60;
+  std::uint64_t seed = 1;
+};
+
+struct TcpHandoffResult {
+  std::vector<TcpSender::TracePoint> send_trace;
+  std::vector<TcpSender::TracePoint> ack_trace;
+  std::vector<TcpSender::TracePoint> recv_trace;
+  std::uint64_t bytes_acked = 0;
+  int timeouts = 0;
+  int fast_retransmits = 0;
+  std::uint32_t mss = 0;
+};
+
+TcpHandoffResult run_tcp_handoff(const TcpHandoffParams& p);
+
+/// Throughput series (Mbit/s in 100 ms bins) from the receiver trace.
+Series tcp_throughput_series(const TcpHandoffResult& r, const char* name,
+                             double t_begin, double t_end);
+
+/// The longest gap between consecutive receiver arrivals inside
+/// [t_begin, t_end] — the "stall" the TCP figures visualize.
+SimTime max_receiver_gap(const TcpHandoffResult& r, double t_begin,
+                         double t_end);
+
+}  // namespace fhmip

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fastho/ar_agent.hpp"
+#include "fastho/mh_agent.hpp"
+#include "mip/map_agent.hpp"
+#include "net/network.hpp"
+#include "transport/cbr.hpp"
+#include "transport/sink.hpp"
+#include "wireless/wlan.hpp"
+
+namespace fhmip {
+
+/// Well-known address nets used by the paper topologies.
+namespace nets {
+inline constexpr std::uint32_t kCn = 10;
+inline constexpr std::uint32_t kGw = 20;
+inline constexpr std::uint32_t kMap = 30;  // regional (RCoA) prefix
+inline constexpr std::uint32_t kPar = 40;
+inline constexpr std::uint32_t kNar = 50;
+}  // namespace nets
+
+/// Figure 4.1 — the hierarchical MIPv6 reference network:
+///
+///   CN --- GW --- MAP --+--- PAR ((AP))      MH -> moves PAR-side to
+///                        \--- NAR ((AP))            NAR-side (212 m apart)
+///                  PAR --- NAR (direct link, delay varied in Figs 4.9/4.10)
+struct PaperTopologyConfig {
+  std::uint64_t seed = 1;
+
+  // Wired links (bandwidth Mb/s and delay as drawn beside Fig 4.1's links;
+  // the scanned figure is unreadable, values chosen to be conventional).
+  double cn_gw_mbps = 100, gw_map_mbps = 100, map_ar_mbps = 10,
+         par_nar_mbps = 10;
+  SimTime cn_gw_delay = SimTime::millis(5);
+  SimTime gw_map_delay = SimTime::millis(2);
+  SimTime map_ar_delay = SimTime::millis(2);
+  SimTime par_nar_delay = SimTime::millis(2);
+  std::size_t queue_limit = 200;
+
+  // Geometry and motion (§4.1): ARs 212 m apart, ~112 m coverage
+  // (12 m overlap), 10 m/s.
+  double ar_distance_m = 212;
+  double ap_radius_m = 112;
+  double speed_mps = 10;
+  bool bounce = false;  // false: one PAR→NAR pass; true: back-and-forth
+  SimTime mobility_start = SimTime::millis(100);
+
+  WlanConfig wlan;  // 200 ms L2 handoff, 1 s router advertisements
+  BufferSchemeConfig scheme;
+  int num_mhs = 1;
+  /// MH-side knobs (BI piggybacking, start-time safety valve, the
+  /// non-anticipated path, the §3.1.1 bicast baseline).
+  bool use_fast_handover = true;
+  bool request_buffers = true;
+  bool anticipate = true;
+  bool simultaneous_binding = false;
+  std::uint64_t auth_key = 0;
+  SimTime start_time_offset;
+};
+
+class PaperTopology {
+ public:
+  explicit PaperTopology(const PaperTopologyConfig& cfg);
+
+  struct Mobile {
+    Node* node = nullptr;
+    Address regional;  // the address correspondents use
+    std::unique_ptr<MobileIpClient> mip;
+    std::unique_ptr<MhAgent> agent;
+  };
+
+  /// Starts the WLAN layer (initial association + binding updates).
+  void start();
+
+  /// Duration of one PAR→NAR leg for the configured geometry.
+  SimTime leg_duration() const;
+
+  Simulation& simulation() { return sim_; }
+  Network& network() { return *net_; }
+  Node& cn() { return *cn_; }
+  Node& par() { return *par_; }
+  Node& nar() { return *nar_; }
+  Node& map_router() { return *map_; }
+  MapAgent& map_agent() { return *map_agent_; }
+  ArAgent& par_agent() { return *par_agent_; }
+  ArAgent& nar_agent() { return *nar_agent_; }
+  WlanManager& wlan() { return *wlan_; }
+  /// The direct inter-AR link carrying the handover tunnel.
+  DuplexLink& par_nar_link() { return *par_nar_link_; }
+  AccessPoint& ap_par() { return *ap_par_; }
+  AccessPoint& ap_nar() { return *ap_nar_; }
+  Mobile& mobile(std::size_t i) { return mobiles_.at(i); }
+  std::size_t num_mobiles() const { return mobiles_.size(); }
+  const PaperTopologyConfig& config() const { return cfg_; }
+
+ private:
+  PaperTopologyConfig cfg_;
+  Simulation sim_;
+  std::unique_ptr<Network> net_;
+  Node* cn_ = nullptr;
+  Node* gw_ = nullptr;
+  Node* map_ = nullptr;
+  Node* par_ = nullptr;
+  Node* nar_ = nullptr;
+  std::unique_ptr<MapAgent> map_agent_;
+  std::unique_ptr<ArAgent> par_agent_;
+  std::unique_ptr<ArAgent> nar_agent_;
+  std::unique_ptr<WlanManager> wlan_;
+  DuplexLink* par_nar_link_ = nullptr;
+  AccessPoint* ap_par_ = nullptr;
+  AccessPoint* ap_nar_ = nullptr;
+  std::vector<Mobile> mobiles_;
+};
+
+}  // namespace fhmip

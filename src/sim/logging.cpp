@@ -1,0 +1,35 @@
+#include "sim/logging.hpp"
+
+#include <cstdio>
+
+namespace fhmip {
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+void Logger::log(LogLevel level, SimTime at, const std::string& msg) {
+  if (!enabled(level)) return;
+  if (sink_) {
+    sink_(level, at, msg);
+    return;
+  }
+  std::fprintf(stderr, "[%s %s] %s\n", to_string(level),
+               at.to_string().c_str(), msg.c_str());
+}
+
+}  // namespace fhmip

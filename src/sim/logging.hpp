@@ -1,0 +1,33 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace fhmip {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+const char* to_string(LogLevel level);
+
+/// Minimal leveled logger. Disabled (kOff → stderr suppressed) by default in
+/// tests and benches; scenario debugging flips the level. A sink hook lets
+/// tests capture output.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, SimTime, const std::string&)>;
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  bool enabled(LogLevel level) const { return level >= level_; }
+  void log(LogLevel level, SimTime at, const std::string& msg);
+
+ private:
+  LogLevel level_ = LogLevel::kOff;
+  Sink sink_;
+};
+
+}  // namespace fhmip

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+
+namespace fhmip {
+
+/// Deterministic xoshiro256** PRNG seeded via splitmix64. Self-contained so
+/// results are identical across standard libraries and platforms (std::
+/// distributions are not portable across implementations).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive (requires lo <= hi).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+  /// Bernoulli trial.
+  bool chance(double p);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace fhmip

@@ -1,0 +1,75 @@
+#include "sim/scheduler.hpp"
+
+#include <utility>
+
+namespace fhmip {
+
+EventId Scheduler::schedule_at(SimTime t, Action fn) {
+  if (t < now_) t = now_;
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, id, std::move(fn)});
+  live_.insert(id);
+  return id;
+}
+
+void Scheduler::cancel(EventId id) {
+  if (id == kInvalidEvent) return;
+  if (live_.count(id)) cancelled_.insert(id);
+}
+
+bool Scheduler::pending(EventId id) const {
+  return id != kInvalidEvent && live_.count(id) && !cancelled_.count(id);
+}
+
+bool Scheduler::pop_next(Entry& out) {
+  while (!heap_.empty()) {
+    // priority_queue::top() is const; the Entry must be moved out, so we
+    // const_cast the action (safe: the element is popped immediately after).
+    Entry& top = const_cast<Entry&>(heap_.top());
+    Entry e{top.at, top.id, std::move(top.fn)};
+    heap_.pop();
+    live_.erase(e.id);
+    if (cancelled_.erase(e.id)) continue;
+    out = std::move(e);
+    return true;
+  }
+  return false;
+}
+
+bool Scheduler::step() {
+  Entry e;
+  if (!pop_next(e)) return false;
+  now_ = e.at;
+  ++executed_;
+  e.fn();
+  return true;
+}
+
+std::size_t Scheduler::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+std::size_t Scheduler::run_until(SimTime t) {
+  std::size_t n = 0;
+  Entry e;
+  while (!heap_.empty()) {
+    // Peek without popping: skip over cancelled entries first.
+    while (!heap_.empty() && cancelled_.count(heap_.top().id)) {
+      cancelled_.erase(heap_.top().id);
+      live_.erase(heap_.top().id);
+      heap_.pop();
+    }
+    if (heap_.empty() || heap_.top().at > t) break;
+    if (!pop_next(e)) break;
+    now_ = e.at;
+    ++executed_;
+    ++n;
+    e.fn();
+  }
+  if (now_ < t) now_ = t;
+  return n;
+}
+
+}  // namespace fhmip

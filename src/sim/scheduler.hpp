@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace fhmip {
+
+/// Opaque handle for a scheduled event; used for cancellation.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+/// Deterministic single-threaded discrete-event scheduler.
+///
+/// Events at the same timestamp execute in scheduling order (FIFO), which is
+/// the property protocol state machines in this library rely on. Cancellation
+/// is lazy: cancelled ids are skipped when they reach the head of the queue.
+class Scheduler {
+ public:
+  using Action = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t`. Scheduling in the past is clamped
+  /// to `now()` (the event still runs, after currently pending events).
+  EventId schedule_at(SimTime t, Action fn);
+
+  /// Schedules `fn` at `now() + delay`.
+  EventId schedule_in(SimTime delay, Action fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancels a pending event. Cancelling an already-run or invalid id is a
+  /// harmless no-op, so callers can keep stale handles.
+  void cancel(EventId id);
+
+  /// True if `id` is still pending (scheduled, not yet run, not cancelled).
+  bool pending(EventId id) const;
+
+  /// Runs events until the queue is empty or `max_events` have run.
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  /// Runs all events with timestamp <= `t`, then advances the clock to `t`.
+  std::size_t run_until(SimTime t);
+
+  /// Executes exactly one event if available. Returns false on empty queue.
+  bool step();
+
+  std::size_t queue_size() const { return heap_.size() - cancelled_.size(); }
+  bool empty() const { return queue_size() == 0; }
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime at;
+    EventId id;  // also the tiebreaker: ids are issued monotonically
+    Action fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;
+    }
+  };
+
+  bool pop_next(Entry& out);
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  std::unordered_set<EventId> live_;
+  SimTime now_;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace fhmip

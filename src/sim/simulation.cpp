@@ -1,0 +1,7 @@
+#include "sim/simulation.hpp"
+
+namespace fhmip {
+
+Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
+
+}  // namespace fhmip

@@ -1,0 +1,92 @@
+#include "sim/stats.hpp"
+
+namespace fhmip {
+
+const FlowCounters StatsHub::kEmpty{};
+const std::vector<DeliverySample> StatsHub::kNoSamples{};
+
+const char* to_string(DropReason reason) {
+  switch (reason) {
+    case DropReason::kQueueOverflow:
+      return "queue-overflow";
+    case DropReason::kWirelessDown:
+      return "wireless-down";
+    case DropReason::kUnattached:
+      return "unattached";
+    case DropReason::kNoRoute:
+      return "no-route";
+    case DropReason::kTtlExpired:
+      return "ttl-expired";
+    case DropReason::kPolicyDrop:
+      return "policy-drop";
+    case DropReason::kBufferTailDrop:
+      return "buffer-tail-drop";
+    case DropReason::kBufferFrontDrop:
+      return "buffer-front-drop";
+    case DropReason::kBufferExpired:
+      return "buffer-expired";
+    case DropReason::kRandomLoss:
+      return "random-loss";
+  }
+  return "?";
+}
+
+void StatsHub::record_sent(FlowId flow) { ++flows_[flow].sent; }
+
+void StatsHub::record_delivery(FlowId flow, SimTime at, std::uint32_t seq,
+                               SimTime delay, std::uint32_t bytes) {
+  auto& f = flows_[flow];
+  ++f.delivered;
+  f.bytes_delivered += bytes;
+  if (keep_samples_) samples_[flow].push_back({at, seq, delay});
+}
+
+void StatsHub::record_drop(FlowId flow, DropReason reason) {
+  auto& f = flows_[flow];
+  ++f.dropped;
+  ++f.drops_by_reason[static_cast<int>(reason)];
+}
+
+const FlowCounters& StatsHub::flow(FlowId id) const {
+  auto it = flows_.find(id);
+  return it == flows_.end() ? kEmpty : it->second;
+}
+
+FlowCounters StatsHub::totals() const {
+  FlowCounters t;
+  for (const auto& [id, f] : flows_) {
+    t.sent += f.sent;
+    t.delivered += f.delivered;
+    t.dropped += f.dropped;
+    t.bytes_delivered += f.bytes_delivered;
+    for (int i = 0; i < kNumDropReasons; ++i)
+      t.drops_by_reason[i] += f.drops_by_reason[i];
+  }
+  return t;
+}
+
+const std::vector<DeliverySample>& StatsHub::samples(FlowId id) const {
+  auto it = samples_.find(id);
+  return it == samples_.end() ? kNoSamples : it->second;
+}
+
+std::vector<FlowId> StatsHub::flows() const {
+  std::vector<FlowId> out;
+  out.reserve(flows_.size());
+  for (const auto& [id, f] : flows_) out.push_back(id);
+  return out;
+}
+
+std::uint64_t StatsHub::total_drops(DropReason reason) const {
+  std::uint64_t n = 0;
+  for (const auto& [id, f] : flows_)
+    n += f.drops_by_reason[static_cast<int>(reason)];
+  return n;
+}
+
+void StatsHub::reset() {
+  flows_.clear();
+  samples_.clear();
+}
+
+}  // namespace fhmip

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace fhmip {
+
+using FlowId = std::int32_t;
+inline constexpr FlowId kNoFlow = -1;
+
+/// Why a packet died. Used for per-flow accounting and conservation checks.
+enum class DropReason {
+  kQueueOverflow,    // tail drop in a link queue
+  kWirelessDown,     // in flight on a wireless link when the MH detached
+  kUnattached,       // arrived at an AR with no attached MH and no buffer
+  kNoRoute,          // routing failure
+  kTtlExpired,       // forwarding loop guard
+  kPolicyDrop,       // dropped by the buffer policy (e.g. Case 4 best effort)
+  kBufferTailDrop,   // handoff buffer full, new packet rejected
+  kBufferFrontDrop,  // handoff buffer full, oldest real-time packet evicted
+  kBufferExpired,    // buffer lifetime elapsed before release
+  kRandomLoss,       // injected per-packet loss (wireless corruption model)
+};
+
+const char* to_string(DropReason reason);
+inline constexpr int kNumDropReasons = 10;
+
+/// A delivered packet's end-to-end record; benches turn these into the
+/// per-sequence delay plots (Figures 4.7-4.10).
+struct DeliverySample {
+  SimTime at;      // delivery time
+  std::uint32_t seq;
+  SimTime delay;   // at - packet creation time
+};
+
+struct FlowCounters {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t bytes_delivered = 0;
+  std::uint64_t drops_by_reason[kNumDropReasons] = {};
+
+  std::uint64_t in_flight() const { return sent - delivered - dropped; }
+};
+
+/// Central packet accounting. Every packet source reports `sent`; every sink
+/// reports `delivered`; every dropping entity reports the drop with a reason.
+/// The invariant sent == delivered + dropped + in_flight is what the
+/// property tests check.
+class StatsHub {
+ public:
+  void record_sent(FlowId flow);
+  void record_delivery(FlowId flow, SimTime at, std::uint32_t seq,
+                       SimTime delay, std::uint32_t bytes);
+  void record_drop(FlowId flow, DropReason reason);
+
+  /// When true, per-packet delivery samples are retained (delay figures).
+  void set_keep_samples(bool keep) { keep_samples_ = keep; }
+
+  const FlowCounters& flow(FlowId id) const;
+  FlowCounters totals() const;
+  const std::vector<DeliverySample>& samples(FlowId id) const;
+  std::vector<FlowId> flows() const;
+
+  std::uint64_t total_drops(DropReason reason) const;
+
+  void reset();
+
+ private:
+  std::map<FlowId, FlowCounters> flows_;
+  std::map<FlowId, std::vector<DeliverySample>> samples_;
+  bool keep_samples_ = false;
+  static const FlowCounters kEmpty;
+  static const std::vector<DeliverySample> kNoSamples;
+};
+
+}  // namespace fhmip

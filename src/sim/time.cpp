@@ -1,0 +1,30 @@
+#include "sim/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace fhmip {
+
+SimTime SimTime::from_seconds(double s) {
+  return SimTime{static_cast<std::int64_t>(std::llround(s * 1e9))};
+}
+
+SimTime SimTime::from_millis(double ms) {
+  return SimTime{static_cast<std::int64_t>(std::llround(ms * 1e6))};
+}
+
+std::string SimTime::to_string() const {
+  char buf[48];
+  if (ns_ % 1'000'000'000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%llds",
+                  static_cast<long long>(ns_ / 1'000'000'000));
+  } else if (ns_ % 1'000'000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%lldms",
+                  static_cast<long long>(ns_ / 1'000'000));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6fs", sec());
+  }
+  return buf;
+}
+
+}  // namespace fhmip

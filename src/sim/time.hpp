@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace fhmip {
+
+/// Simulation time, stored as integer nanoseconds for exact, deterministic
+/// arithmetic. Negative values are permitted in intermediate arithmetic but
+/// the scheduler never executes events before time zero.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  /// Named constructors. Fractional inputs are rounded to the nearest ns.
+  static constexpr SimTime nanos(std::int64_t v) { return SimTime{v}; }
+  static constexpr SimTime micros(std::int64_t v) { return SimTime{v * 1000}; }
+  static constexpr SimTime millis(std::int64_t v) {
+    return SimTime{v * 1'000'000};
+  }
+  static constexpr SimTime seconds(std::int64_t v) {
+    return SimTime{v * 1'000'000'000};
+  }
+  static SimTime from_seconds(double s);
+  static SimTime from_millis(double ms);
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double micros_f() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double millis_f() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr bool is_zero() const { return ns_ == 0; }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime{a.ns_ + b.ns_};
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime{a.ns_ - b.ns_};
+  }
+  friend constexpr SimTime operator*(SimTime a, std::int64_t k) {
+    return SimTime{a.ns_ * k};
+  }
+  friend constexpr SimTime operator*(std::int64_t k, SimTime a) {
+    return SimTime{a.ns_ * k};
+  }
+  constexpr SimTime& operator+=(SimTime o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  /// "12.345ms"-style rendering for logs and traces.
+  std::string to_string() const;
+
+ private:
+  explicit constexpr SimTime(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+namespace timeliterals {
+constexpr SimTime operator""_ns(unsigned long long v) {
+  return SimTime::nanos(static_cast<std::int64_t>(v));
+}
+constexpr SimTime operator""_us(unsigned long long v) {
+  return SimTime::micros(static_cast<std::int64_t>(v));
+}
+constexpr SimTime operator""_ms(unsigned long long v) {
+  return SimTime::millis(static_cast<std::int64_t>(v));
+}
+constexpr SimTime operator""_s(unsigned long long v) {
+  return SimTime::seconds(static_cast<std::int64_t>(v));
+}
+}  // namespace timeliterals
+
+}  // namespace fhmip

@@ -1,0 +1,41 @@
+#include "sim/trace.hpp"
+
+#include <cstdio>
+
+namespace fhmip {
+
+const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kTransmit:
+      return "+";
+    case TraceKind::kDeliver:
+      return "r";
+    case TraceKind::kForward:
+      return "f";
+    case TraceKind::kLocalDeliver:
+      return "^";
+    case TraceKind::kDrop:
+      return "d";
+  }
+  return "?";
+}
+
+std::string format_trace_line(const TraceEvent& e) {
+  char buf[192];
+  if (e.kind == TraceKind::kDrop) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s %.6f %s %s uid %llu flow %d seq %u %uB (%s)",
+                  to_string(e.kind), e.at.sec(), e.where, e.msg,
+                  static_cast<unsigned long long>(e.uid), e.flow, e.seq,
+                  e.bytes, to_string(e.reason));
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "%s %.6f %s %s uid %llu flow %d seq %u %uB",
+                  to_string(e.kind), e.at.sec(), e.where, e.msg,
+                  static_cast<unsigned long long>(e.uid), e.flow, e.seq,
+                  e.bytes);
+  }
+  return buf;
+}
+
+}  // namespace fhmip

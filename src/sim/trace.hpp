@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace fhmip {
+
+/// Packet-level trace events, the equivalent of ns-2's trace file. Disabled
+/// (and free) unless a sink is attached.
+enum class TraceKind {
+  kTransmit,      // serialization onto a link began
+  kDeliver,       // handed to the receiving node
+  kForward,       // routed through a node
+  kLocalDeliver,  // consumed at its destination node
+  kDrop,          // died, with a DropReason
+};
+
+const char* to_string(TraceKind kind);
+
+struct TraceEvent {
+  SimTime at;
+  TraceKind kind = TraceKind::kTransmit;
+  /// Name of the link or node where the event happened. Points at storage
+  /// owned by that component; copy if retained past its lifetime.
+  const char* where = "";
+  std::uint64_t uid = 0;
+  FlowId flow = kNoFlow;
+  std::uint32_t seq = 0;
+  std::uint32_t bytes = 0;
+  const char* msg = "";  // message-type name ("data", "FBU", ...)
+  DropReason reason = DropReason::kQueueOverflow;  // valid for kDrop only
+};
+
+/// ns-2-flavoured one-line rendering:
+///   "d 11.312000 par data uid 42 flow 1 seq 917 160B (unattached)".
+std::string format_trace_line(const TraceEvent& e);
+
+/// Trace hub owned by the Simulation. `emit` is called from the packet
+/// pipeline; with no sink attached it is a branch and a return.
+class PacketTrace {
+ public:
+  using Sink = std::function<void(const TraceEvent&)>;
+
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+  void clear() { sink_ = nullptr; }
+  bool enabled() const { return static_cast<bool>(sink_); }
+
+  void emit(const TraceEvent& e) {
+    if (sink_) sink_(e);
+  }
+
+ private:
+  Sink sink_;
+};
+
+}  // namespace fhmip

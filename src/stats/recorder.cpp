@@ -1,0 +1,137 @@
+#include "stats/recorder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+namespace fhmip {
+
+double Series::max_y() const {
+  double m = 0;
+  for (const auto& [x, y] : points_) m = std::max(m, y);
+  return m;
+}
+
+double Series::min_y() const {
+  if (points_.empty()) return 0;
+  double m = points_.front().second;
+  for (const auto& [x, y] : points_) m = std::min(m, y);
+  return m;
+}
+
+namespace {
+
+// Collates series by x value (exact match on the printed representation).
+std::map<double, std::vector<std::pair<std::size_t, double>>> collate(
+    const std::vector<Series>& series) {
+  std::map<double, std::vector<std::pair<std::size_t, double>>> rows;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    for (const auto& [x, y] : series[i].points()) {
+      rows[x].push_back({i, y});
+    }
+  }
+  return rows;
+}
+
+}  // namespace
+
+void print_series_table(const std::string& title, const std::string& x_label,
+                        const std::vector<Series>& series) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::printf("%14s", x_label.c_str());
+  for (const auto& s : series) std::printf(" %14s", s.name().c_str());
+  std::printf("\n");
+  for (const auto& [x, cells] : collate(series)) {
+    std::printf("%14.4g", x);
+    std::size_t ci = 0;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      if (ci < cells.size() && cells[ci].first == i) {
+        std::printf(" %14.6g", cells[ci].second);
+        ++ci;
+      } else {
+        std::printf(" %14s", "");
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+void print_series_csv(const std::string& x_label,
+                      const std::vector<Series>& series) {
+  std::printf("%s", x_label.c_str());
+  for (const auto& s : series) std::printf(",%s", s.name().c_str());
+  std::printf("\n");
+  for (const auto& [x, cells] : collate(series)) {
+    std::printf("%.6g", x);
+    std::size_t ci = 0;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      if (ci < cells.size() && cells[ci].first == i) {
+        std::printf(",%.6g", cells[ci].second);
+        ++ci;
+      } else {
+        std::printf(",");
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  if (p <= 0) return values.front();
+  if (p >= 100) return values.back();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(values.size())));
+  return values[rank == 0 ? 0 : rank - 1];
+}
+
+DelaySummary summarize_delays(const std::vector<DeliverySample>& samples) {
+  DelaySummary s;
+  if (samples.empty()) return s;
+  std::vector<double> delays;
+  delays.reserve(samples.size());
+  double sum = 0;
+  for (const auto& d : samples) {
+    delays.push_back(d.delay.sec());
+    sum += d.delay.sec();
+  }
+  s.count = delays.size();
+  s.mean = sum / static_cast<double>(delays.size());
+  double jitter_sum = 0;
+  for (std::size_t i = 1; i < delays.size(); ++i) {
+    jitter_sum += std::abs(delays[i] - delays[i - 1]);
+  }
+  if (delays.size() > 1) {
+    s.jitter = jitter_sum / static_cast<double>(delays.size() - 1);
+  }
+  s.min = percentile(delays, 0);
+  s.p50 = percentile(delays, 50);
+  s.p95 = percentile(delays, 95);
+  s.p99 = percentile(delays, 99);
+  s.max = percentile(delays, 100);
+  return s;
+}
+
+Series bin_throughput(
+    const std::string& name,
+    const std::vector<std::pair<double, std::uint64_t>>& arrivals,
+    double bin_seconds, double t_begin, double t_end) {
+  Series out(name);
+  if (bin_seconds <= 0 || t_end <= t_begin) return out;
+  const std::size_t bins =
+      static_cast<std::size_t>(std::ceil((t_end - t_begin) / bin_seconds));
+  std::vector<std::uint64_t> bytes(bins, 0);
+  for (const auto& [t, b] : arrivals) {
+    if (t < t_begin || t >= t_end) continue;
+    bytes[static_cast<std::size_t>((t - t_begin) / bin_seconds)] += b;
+  }
+  for (std::size_t i = 0; i < bins; ++i) {
+    const double mid = t_begin + (i + 0.5) * bin_seconds;
+    out.add(mid, bytes[i] * 8.0 / bin_seconds / 1e6);
+  }
+  return out;
+}
+
+}  // namespace fhmip

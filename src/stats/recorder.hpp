@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hpp"
+
+namespace fhmip {
+
+/// A named (x, y) series, the unit benches print for each figure.
+class Series {
+ public:
+  explicit Series(std::string name) : name_(std::move(name)) {}
+
+  void add(double x, double y) { points_.push_back({x, y}); }
+  const std::string& name() const { return name_; }
+  const std::vector<std::pair<double, double>>& points() const {
+    return points_;
+  }
+  bool empty() const { return points_.empty(); }
+  std::size_t size() const { return points_.size(); }
+
+  double max_y() const;
+  double min_y() const;
+  double last_y() const { return points_.empty() ? 0 : points_.back().second; }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<double, double>> points_;
+};
+
+/// Prints a set of series sharing an x axis as an aligned text table (one
+/// row per x value; missing points are blank), preceded by a title line.
+/// This is the "same rows/series the paper reports" output format.
+void print_series_table(const std::string& title, const std::string& x_label,
+                        const std::vector<Series>& series);
+
+/// CSV variant (x,name1,name2,...) for downstream plotting.
+void print_series_csv(const std::string& x_label,
+                      const std::vector<Series>& series);
+
+/// Bins event times into fixed windows and returns throughput in Mbit/s
+/// per window midpoint — used by the TCP throughput figure.
+Series bin_throughput(const std::string& name,
+                      const std::vector<std::pair<double, std::uint64_t>>&
+                          arrivals /* (time s, bytes) */,
+                      double bin_seconds, double t_begin, double t_end);
+
+/// Nearest-rank percentile, p in [0, 100]. Returns 0 for empty input.
+double percentile(std::vector<double> values, double p);
+
+/// Order statistics over a flow's delivery delays (seconds). `jitter` is
+/// the mean absolute difference between consecutive packets' delays (the
+/// RFC 3550 interarrival-jitter estimator without the smoothing filter).
+struct DelaySummary {
+  std::size_t count = 0;
+  double min = 0, mean = 0, p50 = 0, p95 = 0, p99 = 0, max = 0;
+  double jitter = 0;
+};
+DelaySummary summarize_delays(const std::vector<DeliverySample>& samples);
+
+}  // namespace fhmip

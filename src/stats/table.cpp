@@ -1,0 +1,40 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace fhmip {
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      out << "| " << cell << std::string(widths[c] - cell.size() + 1, ' ');
+    }
+    out << "|\n";
+  };
+  emit_row(headers_);
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    out << "|" << std::string(widths[c] + 2, '-');
+  }
+  out << "|\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void TextTable::print(const std::string& title) const {
+  std::printf("\n== %s ==\n%s", title.c_str(), render().c_str());
+}
+
+}  // namespace fhmip

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fhmip {
+
+/// Aligned text table for bench/table outputs (headers + string rows).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Renders with per-column width = max cell width + padding.
+  std::string render() const;
+  void print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fhmip

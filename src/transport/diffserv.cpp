@@ -1,0 +1,36 @@
+#include "transport/diffserv.hpp"
+
+namespace fhmip {
+
+DiffservMarker::DiffservMarker(Node& edge) : edge_(edge) {
+  edge_.set_forward_filter([this](Packet& p) { mark(p); });
+}
+
+DiffservMarker::~DiffservMarker() { edge_.set_forward_filter(nullptr); }
+
+void DiffservMarker::add_rule(std::uint16_t dst_port, DiffservPhb phb) {
+  rules_[dst_port] = phb;
+}
+
+void DiffservMarker::remove_rule(std::uint16_t dst_port) {
+  rules_.erase(dst_port);
+}
+
+void DiffservMarker::set_default_phb(DiffservPhb phb) {
+  has_default_ = true;
+  default_phb_ = phb;
+}
+
+void DiffservMarker::mark(Packet& p) {
+  if (p.is_control()) return;  // signaling is never remarked
+  auto it = rules_.find(p.dst_port);
+  if (it != rules_.end()) {
+    p.tclass = traffic_class_from_phb(it->second);
+    ++marked_;
+  } else if (has_default_) {
+    p.tclass = traffic_class_from_phb(default_phb_);
+    ++marked_;
+  }
+}
+
+}  // namespace fhmip

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "buffer/traffic_class.hpp"
+#include "net/node.hpp"
+
+namespace fhmip {
+
+/// Diffserv ingress edge (§5's second future-work item: "the proposed
+/// method should be able to cooperate with a DiffServ network; the mapping
+/// between DiffServ traffic and the buffering mechanism should be
+/// defined").
+///
+/// Installed on an edge router, the marker classifies forwarded packets by
+/// destination port into a PHB and rewrites the traffic-class field with
+/// the corresponding Table 3.1 value, so unmarked application traffic
+/// still receives class-aware handoff buffering downstream.
+class DiffservMarker {
+ public:
+  explicit DiffservMarker(Node& edge);
+  ~DiffservMarker();
+
+  DiffservMarker(const DiffservMarker&) = delete;
+  DiffservMarker& operator=(const DiffservMarker&) = delete;
+
+  /// Classifies traffic to `dst_port` under `phb`.
+  void add_rule(std::uint16_t dst_port, DiffservPhb phb);
+  void remove_rule(std::uint16_t dst_port);
+
+  /// PHB for unmatched traffic (default: leave the packet unmodified).
+  void set_default_phb(DiffservPhb phb);
+
+  std::uint64_t packets_marked() const { return marked_; }
+  std::size_t num_rules() const { return rules_.size(); }
+
+ private:
+  void mark(Packet& p);
+
+  Node& edge_;
+  std::unordered_map<std::uint16_t, DiffservPhb> rules_;
+  bool has_default_ = false;
+  DiffservPhb default_phb_ = DiffservPhb::kDefault;
+  std::uint64_t marked_ = 0;
+};
+
+}  // namespace fhmip

@@ -1,0 +1,21 @@
+#include "transport/sink.hpp"
+
+namespace fhmip {
+
+UdpSink::UdpSink(Node& node, std::uint16_t port) : udp_(node, port) {
+  udp_.set_receive_callback([this](PacketPtr p) { handle(std::move(p)); });
+}
+
+void UdpSink::handle(PacketPtr p) {
+  ++received_;
+  bytes_ += p->size_bytes;
+  Simulation& sim = udp_.node().sim();
+  const SimTime delay = sim.now() - p->created_at;
+  if (received_ > 1 && p->seq < max_seq_) ++out_of_order_;
+  if (p->seq > max_seq_) max_seq_ = p->seq;
+  last_arrival_ = sim.now();
+  sim.stats().record_delivery(p->flow, sim.now(), p->seq, delay,
+                              p->size_bytes);
+}
+
+}  // namespace fhmip

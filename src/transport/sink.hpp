@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+
+#include "transport/udp.hpp"
+
+namespace fhmip {
+
+/// UDP sink: records per-flow delivery, end-to-end delay and sequence
+/// numbers into the simulation StatsHub (enable keep_samples there for the
+/// per-packet delay figures).
+class UdpSink {
+ public:
+  UdpSink(Node& node, std::uint16_t port);
+
+  std::uint64_t packets_received() const { return received_; }
+  std::uint64_t bytes_received() const { return bytes_; }
+  std::uint32_t max_seq() const { return max_seq_; }
+  std::uint64_t out_of_order() const { return out_of_order_; }
+  SimTime last_arrival() const { return last_arrival_; }
+
+ private:
+  void handle(PacketPtr p);
+
+  UdpAgent udp_;
+  std::uint64_t received_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint32_t max_seq_ = 0;
+  std::uint64_t out_of_order_ = 0;
+  SimTime last_arrival_;
+};
+
+}  // namespace fhmip

@@ -1,0 +1,263 @@
+#include "transport/tcp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fhmip {
+
+namespace {
+constexpr std::uint32_t kTcpIpHeaderBytes = 40;
+}
+
+TcpSender::TcpSender(Node& node, Config cfg) : node_(node), cfg_(cfg) {
+  cwnd_ = cfg_.mss;
+  ssthresh_ = cfg_.initial_ssthresh_pkts * cfg_.mss;
+  node_.register_port(cfg_.src_port,
+                      [this](PacketPtr p) { handle_packet(std::move(p)); });
+}
+
+TcpSender::~TcpSender() { node_.unregister_port(cfg_.src_port); }
+
+void TcpSender::start(SimTime at) {
+  node_.sim().at(at, [this] {
+    started_ = true;
+    try_send();
+  });
+}
+
+std::uint64_t TcpSender::app_limit() const {
+  return cfg_.total_bytes == 0 ? UINT64_MAX : cfg_.total_bytes;
+}
+
+SimTime TcpSender::current_rto() const {
+  double rto_s;
+  if (have_srtt_) {
+    rto_s = srtt_s_ + 4.0 * rttvar_s_;
+  } else {
+    rto_s = 3.0;  // conventional initial RTO
+  }
+  rto_s = std::max(rto_s, cfg_.min_rto.sec()) * backoff_;
+  // Round up to the coarse tick granularity.
+  const double tick = cfg_.tick.sec();
+  rto_s = std::ceil(rto_s / tick) * tick;
+  return SimTime::from_seconds(rto_s);
+}
+
+void TcpSender::try_send() {
+  if (!started_) return;
+  const std::uint32_t wnd = std::min<std::uint32_t>(
+      static_cast<std::uint32_t>(cwnd_), cfg_.rwnd_pkts * cfg_.mss);
+  while (snd_nxt_ < snd_una_ + wnd && snd_nxt_ < app_limit()) {
+    send_segment(snd_nxt_, /*retransmission=*/false);
+    snd_nxt_ += cfg_.mss;
+  }
+  if (flight_size() > 0 && rtx_timer_ == kInvalidEvent) arm_timer();
+}
+
+void TcpSender::send_segment(std::uint32_t seq, bool retransmission) {
+  Simulation& sim = node_.sim();
+  auto p = make_packet(sim, node_.address(), cfg_.dst,
+                       cfg_.mss + kTcpIpHeaderBytes);
+  p->src_port = cfg_.src_port;
+  p->dst_port = cfg_.dst_port;
+  p->flow = cfg_.flow;
+  p->seq = seq / cfg_.mss;
+  TcpSegMsg seg;
+  seg.seq = seq;
+  seg.len = cfg_.mss;
+  p->msg = seg;
+  sim.stats().record_sent(cfg_.flow);
+  send_trace_.push_back({sim.now(), seq});
+  // RTT sampling: one sample at a time, never on retransmissions (Karn).
+  if (!retransmission && !rtt_pending_) {
+    rtt_pending_ = true;
+    rtt_seq_ = seq + cfg_.mss;
+    rtt_sent_at_ = sim.now();
+  }
+  node_.send(std::move(p));
+}
+
+void TcpSender::handle_packet(PacketPtr p) {
+  const auto* seg = std::get_if<TcpSegMsg>(&p->msg);
+  if (seg == nullptr || !seg->is_ack) return;
+  ack_trace_.push_back({node_.sim().now(), seg->ack});
+  on_ack(seg->ack);
+}
+
+void TcpSender::on_ack(std::uint32_t ack) {
+  if (ack > snd_una_) {
+    // New data acknowledged.
+    if (rtt_pending_ && ack >= rtt_seq_) {
+      const double sample = (node_.sim().now() - rtt_sent_at_).sec();
+      if (have_srtt_) {
+        const double err = sample - srtt_s_;
+        srtt_s_ += err / 8.0;
+        rttvar_s_ += (std::abs(err) - rttvar_s_) / 4.0;
+      } else {
+        srtt_s_ = sample;
+        rttvar_s_ = sample / 2.0;
+        have_srtt_ = true;
+      }
+      rtt_pending_ = false;
+    }
+    if (in_recovery_) {
+      if (cfg_.newreno && ack < recover_) {
+        // NewReno partial ACK: the next hole is lost too — retransmit it,
+        // deflate by the amount acked, stay in recovery.
+        const std::uint32_t acked = ack - snd_una_;
+        send_segment(ack, /*retransmission=*/true);
+        cwnd_ = std::max<double>(cwnd_ - acked + cfg_.mss, cfg_.mss);
+        snd_una_ = ack;
+        disarm_timer();
+        arm_timer();
+        return;
+      }
+      // Full ACK (or classic Reno): fast recovery ends and the window
+      // deflates back to ssthresh.
+      in_recovery_ = false;
+      cwnd_ = ssthresh_;
+    } else if (cwnd_ < ssthresh_) {
+      cwnd_ += cfg_.mss;  // slow start
+    } else {
+      cwnd_ += static_cast<double>(cfg_.mss) * cfg_.mss / cwnd_;  // CA
+    }
+    snd_una_ = ack;
+    if (snd_nxt_ < snd_una_) snd_nxt_ = snd_una_;
+    dupacks_ = 0;
+    backoff_ = 1;
+    disarm_timer();
+    if (flight_size() > 0) arm_timer();
+    try_send();
+    return;
+  }
+  if (ack == snd_una_ && flight_size() > 0) {
+    ++dupacks_;
+    if (!in_recovery_ && dupacks_ == 3) {
+      // Fast retransmit + fast recovery.
+      ssthresh_ = std::max(flight_size() / 2, 2 * cfg_.mss);
+      send_segment(snd_una_, /*retransmission=*/true);
+      ++fast_retransmits_;
+      cwnd_ = ssthresh_ + 3.0 * cfg_.mss;
+      in_recovery_ = true;
+      recover_ = snd_nxt_;
+      disarm_timer();
+      arm_timer();
+    } else if (in_recovery_) {
+      cwnd_ += cfg_.mss;  // window inflation per extra dupack
+      try_send();
+    }
+  }
+}
+
+void TcpSender::arm_timer() {
+  // BSD-style coarse timer: expiry lands on a tick-grid boundary, so the
+  // effective timeout is RTO rounded up to the next tick edge — this is
+  // what produces the 1–1.5 s stalls in Figure 4.12.
+  const SimTime rto = current_rto();
+  const std::int64_t tick_ns = cfg_.tick.ns();
+  const std::int64_t expiry_ns = node_.sim().now().ns() + rto.ns();
+  const std::int64_t aligned =
+      ((expiry_ns + tick_ns - 1) / tick_ns) * tick_ns;
+  rtx_timer_ = node_.sim().at(SimTime::nanos(aligned), [this] {
+    rtx_timer_ = kInvalidEvent;
+    on_timeout();
+  });
+}
+
+void TcpSender::disarm_timer() {
+  if (rtx_timer_ != kInvalidEvent) {
+    node_.sim().cancel(rtx_timer_);
+    rtx_timer_ = kInvalidEvent;
+  }
+}
+
+void TcpSender::on_timeout() {
+  if (flight_size() == 0) return;
+  ++timeouts_;
+  ssthresh_ = std::max(flight_size() / 2, 2 * cfg_.mss);
+  cwnd_ = cfg_.mss;
+  dupacks_ = 0;
+  in_recovery_ = false;
+  backoff_ = std::min(backoff_ * 2, 64);
+  rtt_pending_ = false;  // Karn: never sample across a retransmit
+  // Go-back-N: rewind and retransmit from the first unacknowledged byte.
+  snd_nxt_ = snd_una_;
+  send_segment(snd_nxt_, /*retransmission=*/true);
+  snd_nxt_ += cfg_.mss;
+  arm_timer();
+}
+
+TcpSink::TcpSink(Node& node, std::uint16_t port) : node_(node), port_(port) {
+  node_.register_port(port_,
+                      [this](PacketPtr p) { handle_packet(std::move(p)); });
+}
+
+TcpSink::~TcpSink() {
+  node_.sim().cancel(ack_timer_);
+  node_.unregister_port(port_);
+}
+
+void TcpSink::set_delayed_ack(bool on, SimTime delay) {
+  delayed_ack_ = on;
+  ack_delay_ = delay;
+}
+
+void TcpSink::send_ack(Address to, std::uint16_t to_port) {
+  Simulation& sim = node_.sim();
+  auto ack = make_packet(sim, node_.address(), to, kTcpIpHeaderBytes);
+  ack->src_port = port_;
+  ack->dst_port = to_port;
+  ack->flow = ack_flow_;
+  TcpSegMsg a;
+  a.is_ack = true;
+  a.ack = rcv_nxt_;
+  ack->msg = a;
+  if (ack_flow_ != kNoFlow) sim.stats().record_sent(ack_flow_);
+  ++acks_sent_;
+  ack_pending_ = false;
+  sim.cancel(ack_timer_);
+  ack_timer_ = kInvalidEvent;
+  node_.send(std::move(ack));
+}
+
+void TcpSink::handle_packet(PacketPtr p) {
+  const auto* seg = std::get_if<TcpSegMsg>(&p->msg);
+  if (seg == nullptr || seg->is_ack) return;
+  Simulation& sim = node_.sim();
+  recv_trace_.push_back({sim.now(), seg->seq});
+  sim.stats().record_delivery(p->flow, sim.now(), p->seq,
+                              sim.now() - p->created_at, p->size_bytes);
+  const bool in_order = seg->seq == rcv_nxt_;
+  if (in_order) {
+    rcv_nxt_ += seg->len;
+    // Consume any contiguous out-of-order segments.
+    auto it = ooo_.begin();
+    while (it != ooo_.end() && it->first <= rcv_nxt_) {
+      rcv_nxt_ = std::max(rcv_nxt_, it->first + it->second);
+      it = ooo_.erase(it);
+    }
+  } else if (seg->seq > rcv_nxt_) {
+    ooo_[seg->seq] = seg->len;
+  }
+  const Address peer = p->src;
+  const std::uint16_t peer_port = p->src_port;
+  if (delayed_ack_ && in_order && ooo_.empty()) {
+    if (ack_pending_) {
+      send_ack(peer, peer_port);  // every second segment
+    } else {
+      ack_pending_ = true;
+      pending_peer_ = peer;
+      pending_peer_port_ = peer_port;
+      ack_timer_ = sim.in(ack_delay_, [this] {
+        ack_timer_ = kInvalidEvent;
+        if (ack_pending_) send_ack(pending_peer_, pending_peer_port_);
+      });
+    }
+    return;
+  }
+  // Immediate cumulative ACK (always for out-of-order data — duplicate
+  // ACKs are the fast-retransmit signal).
+  send_ack(peer, peer_port);
+}
+
+}  // namespace fhmip

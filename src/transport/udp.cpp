@@ -1,0 +1,28 @@
+#include "transport/udp.hpp"
+
+namespace fhmip {
+
+UdpAgent::UdpAgent(Node& node, std::uint16_t port)
+    : node_(node), port_(port) {
+  node_.register_port(port_, [this](PacketPtr p) {
+    if (on_receive_) on_receive_(std::move(p));
+  });
+}
+
+UdpAgent::~UdpAgent() { node_.unregister_port(port_); }
+
+void UdpAgent::send_to(Address dst, std::uint16_t dst_port,
+                       std::uint32_t bytes, TrafficClass tclass, FlowId flow,
+                       std::uint32_t seq, bool record) {
+  const Address src = source_.valid() ? source_ : node_.address();
+  auto p = make_packet(node_.sim(), src, dst, bytes);
+  p->src_port = port_;
+  p->dst_port = dst_port;
+  p->tclass = tclass;
+  p->flow = flow;
+  p->seq = seq;
+  if (record) node_.sim().stats().record_sent(flow);
+  node_.send(std::move(p));
+}
+
+}  // namespace fhmip

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/node.hpp"
+#include "net/packet.hpp"
+
+namespace fhmip {
+
+/// A minimal UDP endpoint bound to one port of a node. Sending stamps flow,
+/// sequence and traffic class onto the packet; receiving invokes the
+/// callback with the delivered packet.
+class UdpAgent {
+ public:
+  UdpAgent(Node& node, std::uint16_t port);
+  ~UdpAgent();
+
+  UdpAgent(const UdpAgent&) = delete;
+  UdpAgent& operator=(const UdpAgent&) = delete;
+
+  void set_receive_callback(std::function<void(PacketPtr)> cb) {
+    on_receive_ = std::move(cb);
+  }
+
+  /// Sends a datagram from this endpoint. `record` controls whether the
+  /// packet counts toward the flow's `sent` statistic.
+  void send_to(Address dst, std::uint16_t dst_port, std::uint32_t bytes,
+               TrafficClass tclass = TrafficClass::kUnspecified,
+               FlowId flow = kNoFlow, std::uint32_t seq = 0,
+               bool record = true);
+
+  /// Source address used on outgoing datagrams (defaults to the node's
+  /// primary address at send time; mobile hosts pin it to the home/regional
+  /// address).
+  void set_source(Address a) { source_ = a; }
+
+  Node& node() { return node_; }
+  std::uint16_t port() const { return port_; }
+
+ private:
+  Node& node_;
+  std::uint16_t port_;
+  Address source_;
+  std::function<void(PacketPtr)> on_receive_;
+};
+
+}  // namespace fhmip

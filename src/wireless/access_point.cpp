@@ -1,0 +1,6 @@
+#include "wireless/access_point.hpp"
+
+// AccessPoint is header-only; this TU anchors the vtable for
+// ArAttachListener.
+
+namespace fhmip {}

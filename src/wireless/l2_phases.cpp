@@ -1,0 +1,32 @@
+#include "wireless/l2_phases.hpp"
+
+namespace fhmip {
+
+namespace {
+
+SimTime uniform_between(Rng& rng, SimTime lo, SimTime hi) {
+  if (hi <= lo) return lo;
+  return SimTime::nanos(rng.uniform_int(lo.ns(), hi.ns()));
+}
+
+}  // namespace
+
+L2PhaseModel::Sample L2PhaseModel::sample(Rng& rng) const {
+  Sample s;
+  s.probe = uniform_between(rng, probe_min, probe_max);
+  s.auth = uniform_between(rng, auth_min, auth_max);
+  s.assoc = uniform_between(rng, assoc_min, assoc_max);
+  return s;
+}
+
+L2PhaseModel L2PhaseModel::fixed(SimTime total) {
+  L2PhaseModel m;
+  // Probe dominates; keep the small exchanges at zero so the total is
+  // exactly `total` deterministically.
+  m.probe_min = m.probe_max = total;
+  m.auth_min = m.auth_max = SimTime{};
+  m.assoc_min = m.assoc_max = SimTime{};
+  return m;
+}
+
+}  // namespace fhmip

@@ -1,0 +1,221 @@
+#include "wireless/wlan.hpp"
+
+#include <limits>
+
+namespace fhmip {
+
+WlanManager::WlanManager(Simulation& sim, WlanConfig cfg)
+    : sim_(sim), cfg_(cfg) {}
+
+AccessPoint& WlanManager::add_ap(Node& ar_node, Vec2 pos, double radius_m,
+                                 ArAttachListener* listener) {
+  aps_.push_back(std::make_unique<AccessPoint>(next_ap_id_++, ar_node, pos,
+                                               radius_m, listener));
+  return *aps_.back();
+}
+
+void WlanManager::add_mh(Node& mh_node, std::unique_ptr<MobilityModel> mob,
+                         L2Callbacks* callbacks) {
+  MhRecord rec;
+  rec.node = &mh_node;
+  rec.mobility = std::move(mob);
+  rec.cb = callbacks;
+  mhs_.emplace(mh_node.id(), std::move(rec));
+}
+
+void WlanManager::start() {
+  running_ = true;
+  for (auto& [mh, rec] : mhs_) evaluate(mh, rec);
+  sim_.in(cfg_.tick, [this] { tick(); });
+  if (cfg_.send_router_adv) {
+    for (auto& ap : aps_) {
+      // Stagger advertisement phases so ARs don't beacon in lockstep.
+      const SimTime phase =
+          SimTime::from_seconds(sim_.rng().uniform(0.0, cfg_.ra_interval.sec()));
+      AccessPoint* a = ap.get();
+      sim_.in(phase, [this, a] { send_router_adv(*a); });
+    }
+  }
+}
+
+void WlanManager::stop() { running_ = false; }
+
+void WlanManager::tick() {
+  if (!running_) return;
+  for (auto& [mh, rec] : mhs_) evaluate(mh, rec);
+  sim_.in(cfg_.tick, [this] { tick(); });
+}
+
+AccessPoint* WlanManager::best_candidate(Vec2 pos, NodeId exclude) {
+  AccessPoint* best = nullptr;
+  double best_dist = std::numeric_limits<double>::max();
+  for (auto& ap : aps_) {
+    if (ap->id() == exclude) continue;
+    const double d = ap->distance_to(pos);
+    if (d <= ap->radius() && d < best_dist) {
+      best = ap.get();
+      best_dist = d;
+    }
+  }
+  return best;
+}
+
+void WlanManager::evaluate(MhId mh, MhRecord& rec) {
+  if (rec.in_handoff) return;
+  const Vec2 pos = rec.mobility->position(sim_.now());
+
+  if (rec.attached == kNoNode) {
+    if (AccessPoint* target = best_candidate(pos, kNoNode)) {
+      attach(mh, rec, *target);
+    }
+    return;
+  }
+
+  AccessPoint* cur = ap(rec.attached);
+  const double d = cur->distance_to(pos);
+
+  // Fire the anticipation trigger (L2-ST) once per candidate AP per visit.
+  for (auto& other : aps_) {
+    if (other->id() == rec.attached) continue;
+    if (other->covers(pos) && !rec.triggered.count(other->id())) {
+      rec.triggered.insert(other->id());
+      if (rec.cb) rec.cb->on_l2_trigger(other->id(), other->ar_node());
+    }
+  }
+
+  if (d > cur->radius()) {
+    // Fell out of coverage without anticipating: hard detach, and if some
+    // AP covers us, hand off immediately (non-anticipated path).
+    if (AccessPoint* target = best_candidate(pos, rec.attached)) {
+      start_handoff(mh, rec, *target);
+    } else {
+      detach(mh, rec);
+      rec.attached = kNoNode;
+      if (rec.cb) rec.cb->on_detached();
+    }
+    return;
+  }
+
+  if (d > cur->radius() - cfg_.exit_margin_m) {
+    if (AccessPoint* target = best_candidate(pos, rec.attached)) {
+      start_handoff(mh, rec, *target);
+    }
+  }
+}
+
+void WlanManager::force_handoff(MhId mh, NodeId target_ap, SimTime at) {
+  sim_.at(at, [this, mh, target_ap] {
+    auto it = mhs_.find(mh);
+    if (it == mhs_.end() || it->second.in_handoff) return;
+    if (AccessPoint* target = ap(target_ap)) {
+      if (target->id() != it->second.attached) {
+        start_handoff(mh, it->second, *target);
+      }
+    }
+  });
+}
+
+void WlanManager::start_handoff(MhId mh, MhRecord& rec, AccessPoint& target) {
+  rec.in_handoff = true;
+  ++handoffs_;
+  // Blackout: fixed (§4.1's 200 ms) or sampled from the empirical
+  // probe/auth/assoc decomposition of Mishra et al.
+  const SimTime blackout = cfg_.l2_phase_model
+                               ? cfg_.l2_phase_model->sample(sim_.rng()).total()
+                               : cfg_.l2_handoff_delay;
+  last_blackout_ = blackout;
+  if (rec.cb) rec.cb->on_predisconnect(target.id(), target.ar_node());
+  const NodeId target_id = target.id();
+  sim_.in(cfg_.predisconnect_guard, [this, mh, target_id, blackout] {
+    auto& rec = mhs_.at(mh);
+    detach(mh, rec);
+    if (rec.cb) rec.cb->on_detached();
+    sim_.in(blackout, [this, mh, target_id] {
+      auto& rec = mhs_.at(mh);
+      attach(mh, rec, *ap(target_id));
+    });
+  });
+}
+
+void WlanManager::detach(MhId mh, MhRecord& rec) {
+  if (rec.attached == kNoNode) return;
+  AccessPoint* cur = ap(rec.attached);
+  RadioPair& pair = radio(*cur, mh);
+  pair.down->set_up(false);
+  pair.up->set_up(false);
+  if (cur->listener()) cur->listener()->on_mh_detached(mh);
+}
+
+void WlanManager::attach(MhId mh, MhRecord& rec, AccessPoint& target) {
+  RadioPair& pair = radio(target, mh);
+  pair.down->set_up(true);
+  pair.up->set_up(true);
+  rec.attached = target.id();
+  rec.in_handoff = false;
+  rec.triggered.clear();
+  // The MH's way out is the uplink radio.
+  rec.node->routes().set_default_route(Route::via(*pair.up));
+  if (target.listener()) {
+    target.listener()->on_mh_attached(mh, target.id(), *pair.down);
+  }
+  if (rec.cb) rec.cb->on_attached(target.id(), target.ar_node());
+}
+
+WlanManager::RadioPair& WlanManager::radio(const AccessPoint& ap, MhId mh) {
+  const auto key = std::make_pair(ap.id(), mh);
+  auto it = radios_.find(key);
+  if (it == radios_.end()) {
+    RadioPair pair;
+    Node& mh_node = *mhs_.at(mh).node;
+    pair.down = std::make_unique<SimplexLink>(
+        sim_, mh_node, cfg_.bandwidth_bps, cfg_.delay, cfg_.queue_limit,
+        ap.ar_node().name() + ">mh" + std::to_string(mh));
+    pair.up = std::make_unique<SimplexLink>(
+        sim_, ap.ar_node(), cfg_.bandwidth_bps, cfg_.delay, cfg_.queue_limit,
+        "mh" + std::to_string(mh) + ">" + ap.ar_node().name());
+    pair.down->set_up(false);
+    pair.up->set_up(false);
+    it = radios_.emplace(key, std::move(pair)).first;
+  }
+  return it->second;
+}
+
+void WlanManager::send_router_adv(AccessPoint& ap) {
+  if (!running_) return;
+  for (auto& [mh, rec] : mhs_) {
+    if (rec.attached != ap.id()) continue;
+    RouterAdvMsg adv;
+    adv.ar_node = ap.ar_node().id();
+    adv.ar_addr = ap.ar_node().address();
+    adv.prefix = adv.ar_addr.net;
+    adv.buffer_capable = true;  // the "B" flag (§2.4)
+    auto p = make_control(sim_, ap.ar_node().address(),
+                          rec.node->address(), adv, 80);
+    radio(ap, mh).down->transmit(std::move(p));
+  }
+  sim_.in(cfg_.ra_interval, [this, &ap] { send_router_adv(ap); });
+}
+
+Vec2 WlanManager::mh_position(MhId mh) const {
+  auto it = mhs_.find(mh);
+  return it == mhs_.end() ? Vec2{} : it->second.mobility->position(sim_.now());
+}
+
+NodeId WlanManager::attached_ap(MhId mh) const {
+  auto it = mhs_.find(mh);
+  return it == mhs_.end() ? kNoNode : it->second.attached;
+}
+
+bool WlanManager::in_handoff(MhId mh) const {
+  auto it = mhs_.find(mh);
+  return it != mhs_.end() && it->second.in_handoff;
+}
+
+AccessPoint* WlanManager::ap(NodeId id) {
+  for (auto& a : aps_) {
+    if (a->id() == id) return a.get();
+  }
+  return nullptr;
+}
+
+}  // namespace fhmip

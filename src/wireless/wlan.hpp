@@ -1,0 +1,116 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/network.hpp"
+#include "wireless/access_point.hpp"
+#include "wireless/l2_phases.hpp"
+#include "wireless/mobility.hpp"
+
+namespace fhmip {
+
+/// Link-layer events delivered to the mobile host's protocol agent.
+class L2Callbacks {
+ public:
+  virtual ~L2Callbacks() = default;
+  /// L2 source trigger (L2-ST): a candidate AP came into range while still
+  /// attached — the anticipation window opens (§3.2.2.1).
+  virtual void on_l2_trigger(NodeId target_ap, Node& target_ar) = 0;
+  /// The radio will go down in `guard` time; last chance to send the FBU.
+  virtual void on_predisconnect(NodeId target_ap, Node& target_ar) = 0;
+  /// Attached (or re-attached) under `ap` / access router `ar`.
+  virtual void on_attached(NodeId ap, Node& ar) = 0;
+  virtual void on_detached() = 0;
+};
+
+struct WlanConfig {
+  SimTime tick = SimTime::millis(10);
+  /// Link-layer handoff blackout. The paper cites 60–400 ms measured and
+  /// simulates 200 ms (§4.1).
+  SimTime l2_handoff_delay = SimTime::millis(200);
+  /// When set, each handoff's blackout is sampled from the empirical
+  /// probe/auth/assoc model instead of the fixed delay above.
+  std::optional<L2PhaseModel> l2_phase_model;
+  /// Start the handoff this many meters before the coverage edge.
+  double exit_margin_m = 2.0;
+  /// Delay between on_predisconnect (FBU transmission) and radio-down.
+  SimTime predisconnect_guard = SimTime::millis(2);
+  double bandwidth_bps = 11e6;
+  SimTime delay = SimTime::millis(1);
+  std::size_t queue_limit = 200;
+  SimTime ra_interval = SimTime::seconds(1);  // §4.1: one per second
+  bool send_router_adv = true;
+};
+
+/// Owns access points, mobile-host radios and the association state machine:
+/// position sampling, L2 triggers, handoff blackouts, per-(AP,MH) radio
+/// links, and periodic router advertisements.
+class WlanManager {
+ public:
+  WlanManager(Simulation& sim, WlanConfig cfg);
+
+  AccessPoint& add_ap(Node& ar_node, Vec2 pos, double radius_m,
+                      ArAttachListener* listener);
+
+  void add_mh(Node& mh_node, std::unique_ptr<MobilityModel> mobility,
+              L2Callbacks* callbacks);
+
+  /// Starts the tick loop and performs initial association.
+  void start();
+  void stop();
+
+  /// Schedules a handoff to `target_ap` at `at`, regardless of geometry —
+  /// used by the pure-L2-handoff experiments (Figures 4.12–4.14).
+  void force_handoff(MhId mh, NodeId target_ap, SimTime at);
+
+  // Introspection.
+  Vec2 mh_position(MhId mh) const;
+  NodeId attached_ap(MhId mh) const;  // kNoNode while detached
+  bool in_handoff(MhId mh) const;
+  AccessPoint* ap(NodeId id);
+  std::size_t handoffs_started() const { return handoffs_; }
+  /// Blackout actually used by the most recent handoff (fixed or sampled).
+  SimTime last_blackout() const { return last_blackout_; }
+
+  const WlanConfig& config() const { return cfg_; }
+
+ private:
+  struct RadioPair {
+    std::unique_ptr<SimplexLink> down;  // AR -> MH
+    std::unique_ptr<SimplexLink> up;    // MH -> AR
+  };
+  struct MhRecord {
+    Node* node = nullptr;
+    std::unique_ptr<MobilityModel> mobility;
+    L2Callbacks* cb = nullptr;
+    NodeId attached = kNoNode;
+    bool in_handoff = false;
+    std::set<NodeId> triggered;  // APs already L2-ST'd since last attach
+  };
+
+  void tick();
+  void evaluate(MhId mh, MhRecord& rec);
+  AccessPoint* best_candidate(Vec2 pos, NodeId exclude);
+  void start_handoff(MhId mh, MhRecord& rec, AccessPoint& target);
+  void detach(MhId mh, MhRecord& rec);
+  void attach(MhId mh, MhRecord& rec, AccessPoint& target);
+  RadioPair& radio(const AccessPoint& ap, MhId mh);
+  void send_router_adv(AccessPoint& ap);
+
+  Simulation& sim_;
+  WlanConfig cfg_;
+  std::vector<std::unique_ptr<AccessPoint>> aps_;
+  std::map<MhId, MhRecord> mhs_;
+  std::map<std::pair<NodeId, MhId>, RadioPair> radios_;
+  bool running_ = false;
+  std::size_t handoffs_ = 0;
+  SimTime last_blackout_;
+  NodeId next_ap_id_ = 10000;  // AP ids live in a separate space from nodes
+};
+
+}  // namespace fhmip

@@ -1,0 +1,107 @@
+#include "buffer/buffer_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+
+namespace fhmip {
+namespace {
+
+TEST(BufferManager, GrantsFromPool) {
+  BufferManager m(35);
+  EXPECT_EQ(m.allocate(BufferManager::key(1, ArRole::kNar), 10), 10u);
+  EXPECT_EQ(m.available(), 25u);
+  EXPECT_EQ(m.allocate(BufferManager::key(2, ArRole::kNar), 10), 10u);
+  EXPECT_EQ(m.allocate(BufferManager::key(3, ArRole::kNar), 10), 10u);
+  // Only 5 left: an all-or-nothing grant fails.
+  EXPECT_EQ(m.allocate(BufferManager::key(4, ArRole::kNar), 10), 0u);
+  EXPECT_EQ(m.total_rejections(), 1u);
+  EXPECT_EQ(m.active_leases(), 3u);
+}
+
+TEST(BufferManager, PartialGrantExtension) {
+  BufferManager m(15, /*allow_partial=*/true);
+  EXPECT_EQ(m.allocate(BufferManager::key(1, ArRole::kNar), 10), 10u);
+  // 5 remain; the partial policy grants them instead of refusing.
+  EXPECT_EQ(m.allocate(BufferManager::key(2, ArRole::kNar), 10), 5u);
+  EXPECT_EQ(m.available(), 0u);
+  EXPECT_EQ(m.allocate(BufferManager::key(3, ArRole::kNar), 10), 0u);
+}
+
+TEST(BufferManager, ReleaseReturnsSlots) {
+  BufferManager m(20);
+  const auto k = BufferManager::key(1, ArRole::kPar);
+  m.allocate(k, 20);
+  EXPECT_EQ(m.available(), 0u);
+  m.release(k);
+  EXPECT_EQ(m.available(), 20u);
+  EXPECT_FALSE(m.has_lease(k));
+  m.release(k);  // idempotent
+  EXPECT_EQ(m.available(), 20u);
+}
+
+TEST(BufferManager, ReallocationReplacesLease) {
+  BufferManager m(20);
+  const auto k = BufferManager::key(1, ArRole::kNar);
+  m.allocate(k, 5);
+  EXPECT_EQ(m.allocate(k, 10), 10u);  // old 5 released first
+  EXPECT_EQ(m.available(), 10u);
+  EXPECT_EQ(m.buffer(k)->capacity(), 10u);
+}
+
+TEST(BufferManager, RolesAreIndependentLeases) {
+  BufferManager m(30);
+  EXPECT_EQ(m.allocate(BufferManager::key(1, ArRole::kPar), 10), 10u);
+  EXPECT_EQ(m.allocate(BufferManager::key(1, ArRole::kNar), 10), 10u);
+  EXPECT_EQ(m.allocate(BufferManager::key(1, ArRole::kIntra), 10), 10u);
+  EXPECT_EQ(m.active_leases(), 3u);
+  EXPECT_NE(m.buffer(BufferManager::key(1, ArRole::kPar)),
+            m.buffer(BufferManager::key(1, ArRole::kNar)));
+}
+
+TEST(BufferManager, KeyInjectivity) {
+  EXPECT_NE(BufferManager::key(1, ArRole::kPar),
+            BufferManager::key(1, ArRole::kNar));
+  EXPECT_NE(BufferManager::key(1, ArRole::kPar),
+            BufferManager::key(2, ArRole::kPar));
+}
+
+TEST(BufferManager, ZeroRequestGrantsNothing) {
+  BufferManager m(20);
+  EXPECT_EQ(m.allocate(BufferManager::key(1, ArRole::kNar), 0), 0u);
+  EXPECT_FALSE(m.has_lease(BufferManager::key(1, ArRole::kNar)));
+}
+
+TEST(BufferManager, BufferLookup) {
+  BufferManager m(20);
+  const auto k = BufferManager::key(7, ArRole::kNar);
+  EXPECT_EQ(m.buffer(k), nullptr);
+  m.allocate(k, 8);
+  ASSERT_NE(m.buffer(k), nullptr);
+  EXPECT_EQ(m.buffer(k)->capacity(), 8u);
+}
+
+TEST(BufferManager, PeakLeasedTracksHighWater) {
+  BufferManager m(30);
+  m.allocate(BufferManager::key(1, ArRole::kNar), 20);
+  m.release(BufferManager::key(1, ArRole::kNar));
+  m.allocate(BufferManager::key(2, ArRole::kNar), 10);
+  EXPECT_EQ(m.peak_leased(), 20u);
+  EXPECT_EQ(m.leased(), 10u);
+  EXPECT_EQ(m.total_grants(), 2u);
+}
+
+TEST(BufferManager, ReleasedLeaseDiscardsContents) {
+  Simulation sim;
+  BufferManager m(10);
+  const auto k = BufferManager::key(1, ArRole::kNar);
+  m.allocate(k, 5);
+  auto p = make_packet(sim, {1, 1}, {2, 2}, 100);
+  m.buffer(k)->push(p);
+  m.release(k);
+  EXPECT_EQ(m.buffer(k), nullptr);
+  EXPECT_EQ(m.available(), 10u);
+}
+
+}  // namespace
+}  // namespace fhmip

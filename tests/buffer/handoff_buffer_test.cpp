@@ -1,0 +1,142 @@
+#include "buffer/handoff_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+
+namespace fhmip {
+namespace {
+
+struct HandoffBufferFixture : ::testing::Test {
+  Simulation sim;
+
+  PacketPtr pkt(TrafficClass cls, std::uint32_t seq = 0) {
+    auto p = make_packet(sim, {1, 1}, {2, 2}, 160);
+    p->tclass = cls;
+    p->seq = seq;
+    return p;
+  }
+};
+
+TEST_F(HandoffBufferFixture, FifoStorage) {
+  HandoffBuffer buf(5);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    auto p = pkt(TrafficClass::kBestEffort, i);
+    EXPECT_EQ(buf.push(p), HandoffBuffer::PushResult::kStored);
+  }
+  EXPECT_EQ(buf.size(), 3u);
+  EXPECT_EQ(buf.free_slots(), 2u);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    auto p = buf.pop();
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->seq, i);
+  }
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.pop(), nullptr);
+}
+
+TEST_F(HandoffBufferFixture, TailRejectionWhenFull) {
+  HandoffBuffer buf(2);
+  auto a = pkt(TrafficClass::kBestEffort);
+  auto b = pkt(TrafficClass::kBestEffort);
+  auto c = pkt(TrafficClass::kBestEffort);
+  buf.push(a);
+  buf.push(b);
+  EXPECT_EQ(buf.push(c), HandoffBuffer::PushResult::kRejected);
+  EXPECT_NE(c, nullptr);  // caller keeps ownership of the rejected packet
+  EXPECT_TRUE(buf.full());
+}
+
+TEST_F(HandoffBufferFixture, RealtimeEvictionDropsOldestRealtime) {
+  // Case 1.a: "if buffer full, drop the first real-time packet".
+  HandoffBuffer buf(3);
+  auto rt1 = pkt(TrafficClass::kRealTime, 1);
+  auto hp = pkt(TrafficClass::kHighPriority, 2);
+  auto rt2 = pkt(TrafficClass::kRealTime, 3);
+  buf.push(rt1);
+  buf.push(hp);
+  buf.push(rt2);
+  auto fresh = pkt(TrafficClass::kRealTime, 4);
+  PacketPtr evicted;
+  EXPECT_EQ(buf.push_evict_oldest_realtime(fresh, evicted),
+            HandoffBuffer::PushResult::kStoredEvicting);
+  ASSERT_NE(evicted, nullptr);
+  EXPECT_EQ(evicted->seq, 1u);  // the oldest real-time one, not the HP
+  // Remaining order: hp(2), rt(3), rt(4).
+  EXPECT_EQ(buf.pop()->seq, 2u);
+  EXPECT_EQ(buf.pop()->seq, 3u);
+  EXPECT_EQ(buf.pop()->seq, 4u);
+  EXPECT_EQ(buf.total_evictions(), 1u);
+}
+
+TEST_F(HandoffBufferFixture, EvictionRejectsWhenNoRealtimePresent) {
+  HandoffBuffer buf(2);
+  auto a = pkt(TrafficClass::kHighPriority);
+  auto b = pkt(TrafficClass::kBestEffort);
+  buf.push(a);
+  buf.push(b);
+  auto fresh = pkt(TrafficClass::kRealTime);
+  PacketPtr evicted;
+  EXPECT_EQ(buf.push_evict_oldest_realtime(fresh, evicted),
+            HandoffBuffer::PushResult::kRejected);
+  EXPECT_EQ(evicted, nullptr);
+  EXPECT_NE(fresh, nullptr);
+}
+
+TEST_F(HandoffBufferFixture, EvictionNotNeededWhenSpace) {
+  HandoffBuffer buf(2);
+  auto fresh = pkt(TrafficClass::kRealTime);
+  PacketPtr evicted;
+  EXPECT_EQ(buf.push_evict_oldest_realtime(fresh, evicted),
+            HandoffBuffer::PushResult::kStored);
+  EXPECT_EQ(evicted, nullptr);
+}
+
+TEST_F(HandoffBufferFixture, UnspecifiedClassIsNotRealtime) {
+  HandoffBuffer buf(1);
+  auto u = pkt(TrafficClass::kUnspecified);
+  buf.push(u);
+  auto fresh = pkt(TrafficClass::kRealTime);
+  PacketPtr evicted;
+  // The unspecified packet maps to best effort, so nothing is evictable.
+  EXPECT_EQ(buf.push_evict_oldest_realtime(fresh, evicted),
+            HandoffBuffer::PushResult::kRejected);
+}
+
+TEST_F(HandoffBufferFixture, PeakOccupancyAndCounters) {
+  HandoffBuffer buf(4);
+  for (int i = 0; i < 3; ++i) {
+    auto p = pkt(TrafficClass::kBestEffort);
+    buf.push(p);
+  }
+  buf.pop();
+  buf.pop();
+  EXPECT_EQ(buf.peak_occupancy(), 3u);
+  EXPECT_EQ(buf.total_stored(), 3u);
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST_F(HandoffBufferFixture, FlushEmptiesInOrder) {
+  HandoffBuffer buf(4);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    auto p = pkt(TrafficClass::kBestEffort, i);
+    buf.push(p);
+  }
+  std::vector<std::uint32_t> seqs;
+  buf.flush([&](PacketPtr p) { seqs.push_back(p->seq); });
+  EXPECT_EQ(seqs, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST_F(HandoffBufferFixture, ZeroCapacityRejectsEverything) {
+  HandoffBuffer buf(0);
+  auto p = pkt(TrafficClass::kRealTime);
+  EXPECT_EQ(buf.push(p), HandoffBuffer::PushResult::kRejected);
+  PacketPtr evicted;
+  auto q = pkt(TrafficClass::kRealTime);
+  EXPECT_EQ(buf.push_evict_oldest_realtime(q, evicted),
+            HandoffBuffer::PushResult::kRejected);
+}
+
+}  // namespace
+}  // namespace fhmip

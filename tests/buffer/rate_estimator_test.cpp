@@ -1,0 +1,67 @@
+#include "buffer/rate_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fhmip {
+namespace {
+
+using namespace timeliterals;
+
+TEST(RateEstimator, ZeroBeforeAnyPacket) {
+  RateEstimator r;
+  EXPECT_DOUBLE_EQ(r.rate_pps(1_s), 0);
+  EXPECT_EQ(r.packets_in(300_ms, 1_s), 0u);
+}
+
+TEST(RateEstimator, ConvergesToSteadyRate) {
+  RateEstimator r;
+  // 100 packets/s for 3 seconds.
+  for (int i = 0; i < 300; ++i) {
+    r.on_packet(SimTime::millis(10) * i);
+  }
+  EXPECT_NEAR(r.rate_pps(3_s), 100.0, 5.0);
+  // 300 ms at 100 p/s -> 30 packets.
+  EXPECT_NEAR(static_cast<double>(r.packets_in(300_ms, 3_s)), 30.0, 2.0);
+}
+
+TEST(RateEstimator, TracksRateChange) {
+  RateEstimator r;
+  for (int i = 0; i < 100; ++i) r.on_packet(SimTime::millis(10) * i);  // 100/s
+  for (int i = 0; i < 20; ++i) {
+    r.on_packet(1_s + SimTime::millis(50) * i);  // 20/s for 1 s
+  }
+  const double rate = r.rate_pps(2_s);
+  EXPECT_LT(rate, 80.0);  // decayed from 100
+  EXPECT_GT(rate, 15.0);
+}
+
+TEST(RateEstimator, DecaysWhenIdle) {
+  RateEstimator r;
+  for (int i = 0; i < 100; ++i) r.on_packet(SimTime::millis(10) * i);
+  EXPECT_GT(r.rate_pps(1_s), 50.0);
+  // Five seconds of silence: the smoothed estimate collapses.
+  EXPECT_LT(r.rate_pps(6_s), 5.0);
+}
+
+TEST(RateEstimator, PartialFirstWindowEstimates) {
+  RateEstimator r;
+  for (int i = 0; i < 10; ++i) r.on_packet(SimTime::millis(10) * i);
+  // 10 packets in 100 ms: well before the first 500 ms window closes.
+  EXPECT_NEAR(r.rate_pps(SimTime::millis(100)), 100.0, 15.0);
+}
+
+TEST(RateEstimator, CountsTotalPackets) {
+  RateEstimator r;
+  for (int i = 0; i < 7; ++i) r.on_packet(SimTime::millis(i));
+  EXPECT_EQ(r.total_packets(), 7u);
+}
+
+TEST(RateEstimator, PacketsInRoundsUp) {
+  RateEstimator r(500_ms, 1.0);
+  for (int i = 0; i < 50; ++i) r.on_packet(SimTime::millis(20) * i);  // 50/s
+  // 50 p/s * 0.21 s = 10.5 -> 11.
+  EXPECT_EQ(r.packets_in(SimTime::millis(210), 1_s), 11u);
+}
+
+}  // namespace
+}  // namespace fhmip

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "scenario/wlan_topology.hpp"
+#include "transport/cbr.hpp"
+#include "transport/sink.hpp"
+
+namespace fhmip {
+namespace {
+
+using namespace timeliterals;
+
+/// §3.2.2.4 — buffering across a pure link-layer handoff (Figure 4.11
+/// topology: two APs under one access router).
+struct IntraFixture : ::testing::Test {
+  WlanTopologyConfig cfg;
+  std::unique_ptr<WlanTopology> topo;
+  std::unique_ptr<UdpSink> sink;
+  std::unique_ptr<CbrSource> source;
+
+  IntraFixture() {
+    cfg.scheme.pool_pkts = 40;
+    cfg.scheme.request_pkts = 40;
+    cfg.scheme.lifetime = 30_s;  // the L2 trigger fires well before the move
+  }
+
+  void build() {
+    topo = std::make_unique<WlanTopology>(cfg);
+    sink = std::make_unique<UdpSink>(topo->mh(), 7000);
+    CbrSource::Config c;
+    c.dst = topo->mh_coa();
+    c.dst_port = 7000;
+    c.packet_bytes = 160;
+    c.interval = 20_ms;
+    c.flow = 1;
+    source = std::make_unique<CbrSource>(topo->cn(), 5000, c);
+    source->start(1_s);
+    source->stop(9_s);
+    topo->start();
+  }
+};
+
+TEST_F(IntraFixture, IntraHandoffIsAnsweredDirectly) {
+  build();
+  topo->schedule_handoff(5_s);
+  topo->simulation().run_until(10_s);
+  const auto& ar = topo->ar_agent().counters();
+  const auto& mh = topo->mh_agent().counters();
+  // The AR recognizes the link-layer-only case: PrRtAdv sent directly, no
+  // HI/HAck exchange with any peer router (Figure 3.5).
+  EXPECT_GE(ar.intra_handoffs, 1u);
+  EXPECT_EQ(ar.hi_sent, 0u);
+  EXPECT_EQ(ar.hi_received, 0u);
+  EXPECT_GE(mh.prrtadv_received, 1u);
+  EXPECT_EQ(mh.intra_handoffs, 1u);
+}
+
+TEST_F(IntraFixture, NoLossAcrossL2HandoffWithBuffering) {
+  build();
+  topo->schedule_handoff(5_s);
+  topo->simulation().run_until(10_s);
+  const FlowCounters& c = topo->simulation().stats().flow(1);
+  EXPECT_EQ(c.sent, 400u);
+  EXPECT_EQ(c.delivered, 400u);
+  EXPECT_EQ(c.dropped, 0u);
+  EXPECT_GT(topo->ar_agent().counters().buffered_local, 0u);
+  EXPECT_EQ(topo->ar_agent().counters().drained,
+            topo->ar_agent().counters().buffered_local);
+}
+
+TEST_F(IntraFixture, WithoutFastHandoverBlackoutLoses) {
+  cfg.use_fast_handover = false;
+  cfg.request_buffers = false;
+  build();
+  topo->schedule_handoff(5_s);
+  topo->simulation().run_until(10_s);
+  const FlowCounters& c = topo->simulation().stats().flow(1);
+  EXPECT_GE(c.dropped, 9u);   // ~200 ms at 50 p/s
+  EXPECT_LE(c.dropped, 12u);
+}
+
+TEST_F(IntraFixture, RepeatedPingPongHandoffs) {
+  build();
+  topo->schedule_handoff(3_s);
+  topo->schedule_handoff(5_s);
+  topo->schedule_handoff(7_s);
+  topo->simulation().run_until(10_s);
+  const FlowCounters& c = topo->simulation().stats().flow(1);
+  EXPECT_EQ(c.dropped, 0u);
+  EXPECT_EQ(topo->mh_agent().counters().intra_handoffs, 3u);
+}
+
+TEST_F(IntraFixture, SmallBufferTailDropsOverflow) {
+  cfg.scheme.pool_pkts = 5;
+  cfg.scheme.request_pkts = 5;
+  build();
+  topo->schedule_handoff(5_s);
+  topo->simulation().run_until(10_s);
+  const FlowCounters& c = topo->simulation().stats().flow(1);
+  // ~10 packets arrive in the blackout; 5 fit.
+  EXPECT_GE(c.dropped, 4u);
+  EXPECT_LE(c.dropped, 7u);
+  EXPECT_EQ(c.drops_by_reason[static_cast<int>(DropReason::kBufferTailDrop)],
+            c.dropped);
+}
+
+/// The standalone smooth-handover baseline (§2.4): BI/BA then BF releases.
+TEST_F(IntraFixture, SmoothHandoverBaselineBuffersOnDemand) {
+  cfg.use_fast_handover = false;  // no FH signaling at all
+  build();
+  Simulation& sim = topo->simulation();
+  // The MH asks its AR to buffer (poor link quality, §3.3), then releases.
+  sim.at(4_s, [&] {
+    topo->mh_agent().send_buffer_init(40, SimTime{}, 10_s);
+  });
+  sim.at(6_s, [&] { topo->mh_agent().send_buffer_forward(topo->ar().address()); });
+  sim.run_until(10_s);
+  const FlowCounters& c = sim.stats().flow(1);
+  // Packets between 4 s and 6 s were held, none lost; the 2 s of audio
+  // (100 packets) exceeds the 40-slot buffer, so some were tail-dropped.
+  EXPECT_GT(topo->ar_agent().counters().buffered_local, 30u);
+  EXPECT_GT(topo->ar_agent().counters().drained, 30u);
+  EXPECT_EQ(c.delivered + c.dropped, c.sent);
+}
+
+}  // namespace
+}  // namespace fhmip

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "scenario/paper_topology.hpp"
+#include "scenario/wlan_topology.hpp"
+
+namespace fhmip {
+namespace {
+
+using namespace timeliterals;
+
+/// MH-side state machine details not covered by the end-to-end suites.
+struct MhAgentFixture : ::testing::Test {
+  PaperTopologyConfig cfg;
+  std::unique_ptr<PaperTopology> topo;
+
+  void build() { topo = std::make_unique<PaperTopology>(cfg); }
+};
+
+TEST_F(MhAgentFixture, InitialAttachConfiguresPcoaAndBinds) {
+  build();
+  topo->start();
+  topo->simulation().run_until(1_s);
+  auto& m = topo->mobile(0);
+  EXPECT_EQ(m.agent->pcoa(), make_coa(nets::kPar, m.node->id()));
+  EXPECT_EQ(m.agent->current_ar_addr(), topo->par().address());
+  EXPECT_TRUE(m.node->has_address(m.agent->pcoa()));
+  EXPECT_EQ(m.agent->counters().handoffs, 0u);  // first attach is not one
+}
+
+TEST_F(MhAgentFixture, PcoaRollsOverAfterHandover) {
+  build();
+  topo->start();
+  topo->simulation().run_until(20_s);
+  auto& m = topo->mobile(0);
+  EXPECT_EQ(m.agent->pcoa(), make_coa(nets::kNar, m.node->id()));
+  EXPECT_EQ(m.agent->current_ar_addr(), topo->nar().address());
+  // Both care-of addresses remain claimable (packets in flight).
+  EXPECT_TRUE(m.node->has_address(make_coa(nets::kPar, m.node->id())));
+  EXPECT_TRUE(m.node->has_address(make_coa(nets::kNar, m.node->id())));
+}
+
+TEST_F(MhAgentFixture, TriggerWithoutFastHandoverSendsNothing) {
+  cfg.use_fast_handover = false;
+  build();
+  topo->start();
+  topo->simulation().run_until(20_s);
+  const auto& c = topo->mobile(0).agent->counters();
+  EXPECT_GE(c.l2_triggers, 1u);  // the trigger still fires
+  EXPECT_EQ(c.rtsolpr_sent, 0u);
+  EXPECT_EQ(c.fbu_sent, 0u);
+  EXPECT_EQ(c.fna_sent, 0u);
+}
+
+TEST_F(MhAgentFixture, GrantVisibleBeforeDisconnect) {
+  build();
+  topo->start();
+  // After the trigger (~10 s) and the HI/HAck round trip, but before the
+  // blackout (~11.1 s), the MH already knows its grants.
+  topo->simulation().run_until(SimTime::from_millis(10'500));
+  const auto& m = *topo->mobile(0).agent;
+  EXPECT_EQ(m.counters().prrtadv_received, 1u);
+  EXPECT_TRUE(m.last_grant().nar_ok);
+  EXPECT_EQ(m.counters().fbu_sent, 0u);  // not yet
+}
+
+TEST_F(MhAgentFixture, FbackReceivedOnOldLink) {
+  build();
+  topo->start();
+  topo->simulation().run_until(20_s);
+  // The FBU is answered before the radio drops (2 ms guard covers the
+  // 1 ms wireless RTT).
+  EXPECT_GE(topo->mobile(0).agent->counters().fback_received, 1u);
+}
+
+TEST(MhAgentIntra, CountsIntraHandoffsSeparately) {
+  WlanTopologyConfig cfg;
+  cfg.scheme.lifetime = 30_s;
+  WlanTopology topo(cfg);
+  topo.start();
+  topo.schedule_handoff(2_s);
+  topo.schedule_handoff(4_s);
+  topo.simulation().run_until(6_s);
+  const auto& c = topo.mh_agent().counters();
+  EXPECT_EQ(c.handoffs, 2u);
+  EXPECT_EQ(c.intra_handoffs, 2u);
+  EXPECT_EQ(c.non_anticipated, 0u);
+  // Intra handovers never touch the inter-AR machinery.
+  EXPECT_EQ(topo.ar_agent().counters().hi_sent, 0u);
+}
+
+}  // namespace
+}  // namespace fhmip

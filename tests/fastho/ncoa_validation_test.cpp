@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "scenario/paper_topology.hpp"
+#include "transport/cbr.hpp"
+#include "transport/sink.hpp"
+
+namespace fhmip {
+namespace {
+
+using namespace timeliterals;
+
+/// §2.3.2 NCoA verification: the NAR checks the proposed new care-of
+/// address against its subnet and substitutes a free one on collision.
+struct NcoaFixture : ::testing::Test {
+  PaperTopologyConfig cfg;
+  std::unique_ptr<PaperTopology> topo;
+  std::unique_ptr<UdpSink> sink;
+  std::unique_ptr<CbrSource> source;
+
+  void build() {
+    topo = std::make_unique<PaperTopology>(cfg);
+    auto& m = topo->mobile(0);
+    sink = std::make_unique<UdpSink>(*m.node, 7000);
+    CbrSource::Config c;
+    c.dst = m.regional;
+    c.dst_port = 7000;
+    c.packet_bytes = 160;
+    c.interval = 10_ms;
+    c.tclass = TrafficClass::kHighPriority;
+    c.flow = 1;
+    source = std::make_unique<CbrSource>(topo->cn(), 5000, c);
+    source->start(2_s);
+    source->stop(16_s);
+  }
+
+  void run_all() {
+    topo->start();
+    topo->simulation().run_until(20_s);
+  }
+};
+
+TEST_F(NcoaFixture, CleanSubnetKeepsProposedNcoa) {
+  build();
+  run_all();
+  EXPECT_EQ(topo->nar_agent().ncoa_collisions(), 0u);
+  EXPECT_EQ(topo->mobile(0).agent->pcoa(),
+            make_coa(nets::kNar, topo->mobile(0).node->id()));
+}
+
+TEST_F(NcoaFixture, CollisionGetsSubstituteAddressAndStaysLossless) {
+  build();
+  // Another device on the NAR subnet already uses the MH's interface id.
+  const MhId mh = topo->mobile(0).node->id();
+  topo->nar_agent().reserve_host_id(mh);
+  run_all();
+  EXPECT_EQ(topo->nar_agent().ncoa_collisions(), 1u);
+  const Address got = topo->mobile(0).agent->pcoa();
+  EXPECT_EQ(got.net, nets::kNar);
+  EXPECT_NE(got.host, mh);  // substituted
+  // The handover itself was still clean end to end.
+  const FlowCounters& c = topo->simulation().stats().flow(1);
+  EXPECT_EQ(c.dropped, 0u);
+  EXPECT_EQ(c.sent, c.delivered);
+  // The MAP binding points at the substitute and traffic flows through it.
+  EXPECT_EQ(topo->map_agent().bindings().lookup(topo->mobile(0).regional,
+                                                topo->simulation().now()),
+            got);
+}
+
+TEST_F(NcoaFixture, SubstituteSurvivesAfterContextTeardown) {
+  build();
+  const MhId mh = topo->mobile(0).node->id();
+  topo->nar_agent().reserve_host_id(mh);
+  topo->start();
+  // Run far past the allocation lifetime (context torn down at ~20 s).
+  topo->simulation().run_until(25_s);
+  source->stop_now();
+  const FlowCounters& c = topo->simulation().stats().flow(1);
+  // Traffic kept flowing through the aliased address the whole time.
+  EXPECT_EQ(c.dropped, 0u);
+  EXPECT_GT(c.delivered, 1300u);
+}
+
+TEST_F(NcoaFixture, BounceReusesTheSameSubstitute) {
+  cfg.bounce = true;
+  build();
+  const MhId mh = topo->mobile(0).node->id();
+  topo->nar_agent().reserve_host_id(mh);
+  topo->start();
+  Simulation& sim = topo->simulation();
+  const SimTime leg = topo->leg_duration();
+  sim.run_until(cfg.mobility_start + leg);  // out: collision at the NAR
+  const Address first = topo->mobile(0).agent->pcoa();
+  sim.run_until(cfg.mobility_start + 3 * leg);  // back and out again
+  const Address second = topo->mobile(0).agent->pcoa();
+  EXPECT_EQ(first, second);  // the lease is stable across visits
+  EXPECT_EQ(topo->nar_agent().ncoa_collisions(), 2u);
+  source->stop_now();
+}
+
+}  // namespace
+}  // namespace fhmip

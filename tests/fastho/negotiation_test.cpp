@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "scenario/paper_topology.hpp"
+#include "transport/cbr.hpp"
+#include "transport/sink.hpp"
+
+namespace fhmip {
+namespace {
+
+using namespace timeliterals;
+
+/// Buffer negotiation (BI/BR/BA piggybacking) and the Table 3.2 cases.
+struct NegotiationFixture : ::testing::Test {
+  PaperTopologyConfig cfg;
+  std::unique_ptr<PaperTopology> topo;
+  std::vector<std::unique_ptr<UdpSink>> sinks;
+  std::vector<std::unique_ptr<CbrSource>> sources;
+
+  void build() { topo = std::make_unique<PaperTopology>(cfg); }
+
+  void add_flow(std::size_t mh_index, FlowId id,
+                TrafficClass cls = TrafficClass::kUnspecified) {
+    auto& m = topo->mobile(mh_index);
+    const std::uint16_t port = 7000 + static_cast<std::uint16_t>(id);
+    sinks.push_back(std::make_unique<UdpSink>(*m.node, port));
+    CbrSource::Config c;
+    c.dst = m.regional;
+    c.dst_port = port;
+    c.packet_bytes = 160;
+    c.interval = 20_ms;
+    c.tclass = cls;
+    c.flow = id;
+    sources.push_back(std::make_unique<CbrSource>(
+        topo->cn(), static_cast<std::uint16_t>(5000 + id), c));
+    sources.back()->start(2_s);
+    sources.back()->stop(16_s);
+  }
+
+  void run_all() {
+    topo->start();
+    topo->simulation().run_until(20_s);
+  }
+};
+
+TEST_F(NegotiationFixture, GrantReportedToMobileHost) {
+  cfg.scheme.pool_pkts = 20;
+  cfg.scheme.request_pkts = 20;
+  cfg.scheme.classify = true;
+  build();
+  add_flow(0, 1);
+  run_all();
+  const BufferGrant& g = topo->mobile(0).agent->last_grant();
+  EXPECT_TRUE(g.nar_ok);
+  EXPECT_EQ(g.nar_pkts, 20u);
+  EXPECT_TRUE(g.par_ok);  // classification on: the PAR leases its share
+  EXPECT_EQ(g.par_pkts, 20u);
+}
+
+TEST_F(NegotiationFixture, ClassOffSkipsParLeaseWhenNarGranted) {
+  cfg.scheme.classify = false;
+  build();
+  add_flow(0, 1);
+  run_all();
+  const BufferGrant& g = topo->mobile(0).agent->last_grant();
+  EXPECT_TRUE(g.nar_ok);
+  // The PAR's pool stays free as the dual backup (Figure 4.2 capacity
+  // argument) unless the NAR denies.
+  EXPECT_FALSE(g.par_ok);
+}
+
+TEST_F(NegotiationFixture, NarExhaustionFallsBackToPar) {
+  // Two hosts, pool fits exactly one request: the second host must be
+  // served by the PAR side (Table 3.2 case 3).
+  cfg.scheme.classify = false;
+  cfg.scheme.pool_pkts = 20;
+  cfg.scheme.request_pkts = 20;
+  cfg.num_mhs = 2;
+  build();
+  add_flow(0, 1);
+  add_flow(1, 2);
+  run_all();
+  const BufferGrant& g0 = topo->mobile(0).agent->last_grant();
+  const BufferGrant& g1 = topo->mobile(1).agent->last_grant();
+  EXPECT_TRUE(g0.nar_ok != g1.nar_ok);  // exactly one won the NAR pool
+  const BufferGrant& loser = g0.nar_ok ? g1 : g0;
+  EXPECT_TRUE(loser.par_ok);
+  // Both streams survive the simultaneous handoff intact.
+  EXPECT_EQ(topo->simulation().stats().flow(1).dropped, 0u);
+  EXPECT_EQ(topo->simulation().stats().flow(2).dropped, 0u);
+}
+
+TEST_F(NegotiationFixture, NoBuffersAnywhereIsCaseFour) {
+  cfg.scheme.pool_pkts = 0;  // nothing to grant at either router
+  build();
+  add_flow(0, 1, TrafficClass::kBestEffort);
+  run_all();
+  const BufferGrant& g = topo->mobile(0).agent->last_grant();
+  EXPECT_FALSE(g.nar_ok);
+  EXPECT_FALSE(g.par_ok);
+  const FlowCounters& c = topo->simulation().stats().flow(1);
+  // Case 4.c: best effort is dropped at the PAR during the blackout.
+  EXPECT_GT(c.drops_by_reason[static_cast<int>(DropReason::kPolicyDrop)], 0u);
+}
+
+TEST_F(NegotiationFixture, RealTimeForwardedUnbufferedInCaseFour) {
+  cfg.scheme.pool_pkts = 0;
+  build();
+  add_flow(0, 1, TrafficClass::kRealTime);
+  run_all();
+  const FlowCounters& c = topo->simulation().stats().flow(1);
+  // Case 4.a: forwarded to the NAR without buffering -> lost while the MH
+  // is detached, but never policy-dropped at the PAR.
+  EXPECT_EQ(c.drops_by_reason[static_cast<int>(DropReason::kPolicyDrop)], 0u);
+  EXPECT_GT(c.drops_by_reason[static_cast<int>(DropReason::kUnattached)], 0u);
+}
+
+TEST_F(NegotiationFixture, StartTimeSafetyValveRedirectsBeforeFbu) {
+  // The BI start_time is the safety valve for fast movers (§3.2.2.1): the
+  // PAR begins redirecting at that absolute time even with no FBU yet.
+  // With the trigger at ~10 s and the FBU at ~11.1 s, a 500 ms offset
+  // means ~600 ms of traffic is redirected before the FBU arrives.
+  cfg.start_time_offset = 500_ms;
+  cfg.scheme.classify = false;
+  cfg.scheme.pool_pkts = 60;
+  cfg.scheme.request_pkts = 60;
+  build();
+  add_flow(0, 1);
+  run_all();
+  const auto& par = topo->par_agent().counters();
+  // Far more than the ~11 blackout packets pass through the redirect path.
+  EXPECT_GT(par.redirected, 25u);
+  EXPECT_EQ(topo->simulation().stats().flow(1).dropped, 0u);
+}
+
+TEST_F(NegotiationFixture, CancellationReleasesAllocation) {
+  build();
+  topo->start();
+  Simulation& sim = topo->simulation();
+  sim.run_until(SimTime::from_millis(10'300));  // after RtSolPr+BI
+  auto& m = topo->mobile(0);
+  ASSERT_TRUE(topo->par_agent().has_par_context(m.node->id()));
+  // §3.2.2.1: RtSolPr+BI with size, start time and lifetime all zero
+  // cancels the pending handoff preparation.
+  RtSolPrMsg cancel;
+  cancel.mh = m.node->id();
+  cancel.target_ap = topo->ap_nar().id();
+  cancel.has_bi = true;
+  m.node->send(make_control(sim, m.agent->pcoa(),
+                            topo->par_agent().address(), cancel));
+  sim.run_until(SimTime::from_millis(10'400));
+  EXPECT_FALSE(topo->par_agent().has_par_context(m.node->id()));
+  EXPECT_EQ(topo->par_agent().buffers().leased(), 0u);
+}
+
+TEST_F(NegotiationFixture, PartialGrantExtensionNegotiates) {
+  cfg.scheme.allow_partial_grant = true;
+  cfg.scheme.pool_pkts = 12;
+  cfg.scheme.request_pkts = 20;
+  build();
+  add_flow(0, 1);
+  run_all();
+  const BufferGrant& g = topo->mobile(0).agent->last_grant();
+  EXPECT_TRUE(g.nar_ok);
+  EXPECT_EQ(g.nar_pkts, 12u);  // partial: whatever the pool had
+}
+
+}  // namespace
+}  // namespace fhmip

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "scenario/paper_topology.hpp"
+#include "transport/cbr.hpp"
+#include "transport/sink.hpp"
+
+namespace fhmip {
+namespace {
+
+using namespace timeliterals;
+
+/// Adverse-condition behaviour of the handover state machines: duplicate
+/// and stray control messages, expiring allocations, lossy control
+/// channels, and randomized blackouts.
+struct RobustnessFixture : ::testing::Test {
+  PaperTopologyConfig cfg;
+  std::unique_ptr<PaperTopology> topo;
+  std::unique_ptr<UdpSink> sink;
+  std::unique_ptr<CbrSource> source;
+
+  void build(TrafficClass cls = TrafficClass::kHighPriority) {
+    topo = std::make_unique<PaperTopology>(cfg);
+    auto& m = topo->mobile(0);
+    sink = std::make_unique<UdpSink>(*m.node, 7000);
+    CbrSource::Config c;
+    c.dst = m.regional;
+    c.dst_port = 7000;
+    c.packet_bytes = 160;
+    c.interval = 10_ms;
+    c.tclass = cls;
+    c.flow = 1;
+    source = std::make_unique<CbrSource>(topo->cn(), 5000, c);
+    source->start(2_s);
+    source->stop(16_s);
+    topo->start();
+  }
+
+  MhId mh_id() { return topo->mobile(0).node->id(); }
+
+  void send_to_par(MessageVariant m) {
+    auto& mobile = topo->mobile(0);
+    mobile.node->send(make_control(topo->simulation(),
+                                   mobile.agent->pcoa(),
+                                   topo->par_agent().address(), std::move(m)));
+  }
+};
+
+TEST_F(RobustnessFixture, DuplicateFnaAndBfAreIdempotent) {
+  build();
+  Simulation& sim = topo->simulation();
+  // Let the handover complete, then replay FNA+BF and a stray BF.
+  sim.run_until(12_s);
+  FnaMsg fna;
+  fna.mh = mh_id();
+  fna.has_bf = true;
+  auto& mobile = topo->mobile(0);
+  mobile.node->send(make_control(sim, mobile.agent->pcoa(),
+                                 topo->nar_agent().address(), fna));
+  BfMsg bf;
+  bf.mh = mh_id();
+  mobile.node->send(make_control(sim, mobile.agent->pcoa(),
+                                 topo->par_agent().address(), bf));
+  sim.run_until(20_s);
+  const FlowCounters& c = sim.stats().flow(1);
+  EXPECT_EQ(c.sent, c.delivered + c.dropped);
+  EXPECT_EQ(c.dropped, 0u);
+  EXPECT_EQ(topo->nar_agent().buffers().leased(), 0u);
+}
+
+TEST_F(RobustnessFixture, StrayControlForUnknownHostIgnored) {
+  build();
+  Simulation& sim = topo->simulation();
+  sim.run_until(5_s);
+  FbuMsg fbu;
+  fbu.mh = 9999;  // nobody
+  fbu.pcoa = make_coa(nets::kPar, 9999);
+  send_to_par(fbu);
+  FnaMsg fna;
+  fna.mh = 9999;
+  fna.has_bf = true;
+  send_to_par(fna);
+  BufferFullMsg full;
+  full.mh = 9999;
+  send_to_par(full);
+  sim.run_until(20_s);
+  EXPECT_EQ(sim.stats().flow(1).dropped, 0u);
+  // The stray FBU did create a context (non-anticipated path needs that),
+  // but no buffers leaked.
+  EXPECT_EQ(topo->par_agent().buffers().leased(), 0u);
+}
+
+TEST_F(RobustnessFixture, ExpiredAllocationFlushesBufferedPackets) {
+  // Request a very short buffer lifetime: the allocation expires while the
+  // MH is still detached, and the buffered packets are accounted as
+  // kBufferExpired, not leaked.
+  cfg.scheme.lifetime = SimTime::from_millis(1'200);
+  // Trigger at ~10 s, FBU ~11.1 s: 1.2 s lifetime dies mid-blackout.
+  build();
+  Simulation& sim = topo->simulation();
+  sim.run_until(20_s);
+  const FlowCounters& c = sim.stats().flow(1);
+  EXPECT_EQ(c.sent, c.delivered + c.dropped);
+  EXPECT_GT(c.drops_by_reason[static_cast<int>(DropReason::kBufferExpired)] +
+                c.drops_by_reason[static_cast<int>(DropReason::kUnattached)],
+            0u);
+  EXPECT_EQ(topo->par_agent().buffers().leased(), 0u);
+  EXPECT_EQ(topo->nar_agent().buffers().leased(), 0u);
+}
+
+TEST_F(RobustnessFixture, RealTimeEvictionAccounting) {
+  // Flood real-time traffic so the NAR lease overflows and drop-front
+  // evictions kick in; every eviction must be recorded as kBufferFrontDrop.
+  cfg.scheme.pool_pkts = 10;
+  cfg.scheme.request_pkts = 10;
+  build(TrafficClass::kRealTime);
+  Simulation& sim = topo->simulation();
+  sim.run_until(20_s);
+  const FlowCounters& c = sim.stats().flow(1);
+  EXPECT_GT(c.drops_by_reason[static_cast<int>(DropReason::kBufferFrontDrop)],
+            0u);
+  EXPECT_EQ(c.sent, c.delivered + c.dropped);
+  // The freshest real-time packets survive: the NAR drained its lease.
+  EXPECT_EQ(topo->nar_agent().counters().drained, 10u);
+}
+
+TEST_F(RobustnessFixture, SampledBlackoutsKeepInvariants) {
+  cfg.wlan.l2_phase_model = L2PhaseModel{};  // 60-400 ms random blackouts
+  cfg.bounce = true;
+  cfg.scheme.pool_pkts = 60;
+  cfg.scheme.request_pkts = 60;
+  build();
+  Simulation& sim = topo->simulation();
+  sim.run_until(cfg.mobility_start + topo->leg_duration() * 4);
+  const FlowCounters& c = sim.stats().flow(1);
+  EXPECT_GE(topo->mobile(0).agent->counters().handoffs, 3u);
+  EXPECT_EQ(c.sent, c.delivered + c.dropped);
+  EXPECT_EQ(c.dropped, 0u);  // 60-packet lease covers even 400 ms at 100 p/s
+}
+
+TEST_F(RobustnessFixture, LossyInterArLinkDegradesGracefully) {
+  // 30% loss on the inter-AR link randomly kills HI/HAck/BF messages and
+  // tunneled data: handovers degrade (lost grants, lost drains) but the
+  // state machines must neither leak leases nor break conservation.
+  cfg.bounce = true;
+  build();
+  Simulation& sim = topo->simulation();
+  topo->par_nar_link().a_to_b().set_loss_rate(0.3);
+  topo->par_nar_link().b_to_a().set_loss_rate(0.3);
+  // End early in leg 5, before its anticipation window opens (~10 s into
+  // the leg), so no handover is legitimately in progress at shutdown.
+  sim.run_until(cfg.mobility_start + topo->leg_duration() * 4 + 5_s);
+  const FlowCounters& c = sim.stats().flow(1);
+  EXPECT_GT(c.delivered, 0u);
+  EXPECT_EQ(c.sent, c.delivered + c.dropped);
+  EXPECT_GE(topo->mobile(0).agent->counters().handoffs, 3u);
+  EXPECT_EQ(topo->par_agent().buffers().leased(), 0u);
+  EXPECT_EQ(topo->nar_agent().buffers().leased(), 0u);
+}
+
+}  // namespace
+}  // namespace fhmip

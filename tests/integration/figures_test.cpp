@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "scenario/experiment.hpp"
+
+namespace fhmip {
+namespace {
+
+/// Shape assertions for every evaluation claim the benches reproduce. These
+/// use smaller run lengths than the benches; the claims are qualitative.
+
+TEST(Fig42Shape, NoBufferLosesEveryBlackoutPacket) {
+  SimultaneousHandoffParams p;
+  p.mode = BufferMode::kNone;
+  p.num_mhs = 4;
+  const auto r = run_simultaneous_handoffs(p);
+  EXPECT_EQ(r.handoffs, 4u);
+  // ~10-11 packets per host per 200 ms blackout.
+  EXPECT_GE(r.total_dropped, 40u);
+  EXPECT_LE(r.total_dropped, 48u);
+}
+
+TEST(Fig42Shape, SingleBufferServesPoolOverRequestHosts) {
+  SimultaneousHandoffParams p;
+  p.mode = BufferMode::kNarOnly;
+  p.pool_pkts = 36;
+  p.request_pkts = 12;
+  p.num_mhs = 3;
+  EXPECT_LE(run_simultaneous_handoffs(p).total_dropped, 1u);
+  p.num_mhs = 5;
+  // Two hosts beyond capacity lose their blackout packets.
+  EXPECT_GE(run_simultaneous_handoffs(p).total_dropped, 18u);
+}
+
+TEST(Fig42Shape, DualDoublesServableHandoffs) {
+  SimultaneousHandoffParams p;
+  p.pool_pkts = 36;
+  p.request_pkts = 12;
+  p.num_mhs = 6;  // 2x the single-buffer capacity of 3
+  p.mode = BufferMode::kDual;
+  const auto dual = run_simultaneous_handoffs(p);
+  EXPECT_LE(dual.total_dropped, 2u);
+  p.mode = BufferMode::kNarOnly;
+  const auto single = run_simultaneous_handoffs(p);
+  EXPECT_GE(single.total_dropped, 30u);  // 3 of 6 hosts unserved
+}
+
+TEST(Fig42Shape, ParOnlyMatchesNarOnly) {
+  SimultaneousHandoffParams p;
+  p.pool_pkts = 36;
+  p.request_pkts = 12;
+  p.num_mhs = 5;
+  p.mode = BufferMode::kNarOnly;
+  const auto nar = run_simultaneous_handoffs(p);
+  p.mode = BufferMode::kParOnly;
+  const auto par = run_simultaneous_handoffs(p);
+  EXPECT_NEAR(static_cast<double>(nar.total_dropped),
+              static_cast<double>(par.total_dropped), 4.0);
+}
+
+TEST(Fig43to45Shape, EqualDropsWithoutClassification) {
+  QosDropParams q;
+  q.classify = false;
+  q.handoffs = 6;
+  const auto r = run_qos_drop_experiment(q);
+  ASSERT_EQ(r.flows.size(), 3u);
+  const double f1 = static_cast<double>(r.flows[0].dropped);
+  const double f2 = static_cast<double>(r.flows[1].dropped);
+  const double f3 = static_cast<double>(r.flows[2].dropped);
+  EXPECT_GT(f1, 0);
+  // Tail-drop hits all classes alike (Figure 4.4).
+  EXPECT_NEAR(f2, f1, f1 * 0.35 + 3);
+  EXPECT_NEAR(f3, f1, f1 * 0.35 + 3);
+}
+
+TEST(Fig43to45Shape, ClassificationProtectsHighPriority) {
+  QosDropParams q;
+  q.handoffs = 6;
+  q.classify = true;
+  const auto cls = run_qos_drop_experiment(q);
+  q.classify = false;
+  const auto plain = run_qos_drop_experiment(q);
+  // Figure 4.5: F2 (high priority) drops far less than both other flows
+  // and far less than its unclassified self.
+  EXPECT_LT(cls.flows[1].dropped, cls.flows[0].dropped / 2);
+  EXPECT_LT(cls.flows[1].dropped, cls.flows[2].dropped / 2 + 1);
+  EXPECT_LT(cls.flows[1].dropped, plain.flows[1].dropped);
+  // "The QoS function does not result in additional packet drops": totals
+  // stay in the same ballpark.
+  const auto total = [](const QosDropResult& r) {
+    return r.flows[0].dropped + r.flows[1].dropped + r.flows[2].dropped;
+  };
+  EXPECT_NEAR(static_cast<double>(total(cls)),
+              static_cast<double>(total(plain)),
+              static_cast<double>(total(plain)) * 0.25);
+}
+
+TEST(Fig43to45Shape, CumulativeDropSeriesAreMonotone) {
+  QosDropParams q;
+  q.handoffs = 5;
+  const auto r = run_qos_drop_experiment(q);
+  for (const Series& s : r.per_flow_drops) {
+    ASSERT_EQ(s.size(), 5u);
+    for (std::size_t i = 1; i < s.points().size(); ++i) {
+      EXPECT_GE(s.points()[i].second, s.points()[i - 1].second);
+    }
+  }
+}
+
+TEST(Fig46Shape, HighPriorityAlwaysLowestAcrossRates) {
+  QosDropParams base;
+  for (double kbps : {128.0, 256.0, 426.7}) {
+    const auto flows = run_rate_probe(base, kbps);
+    ASSERT_EQ(flows.size(), 3u);
+    EXPECT_LE(flows[1].dropped, flows[0].dropped) << kbps;
+    EXPECT_LE(flows[1].dropped, flows[2].dropped) << kbps;
+  }
+}
+
+TEST(Fig46Shape, DropsGrowWithRate) {
+  QosDropParams base;
+  const auto slow = run_rate_probe(base, 64);
+  const auto fast = run_rate_probe(base, 426.7);
+  const auto total = [](const std::vector<FlowOutcome>& v) {
+    std::uint64_t t = 0;
+    for (const auto& f : v) t += f.dropped;
+    return t;
+  };
+  EXPECT_GT(total(fast), total(slow));
+}
+
+TEST(Fig47to410Shape, BufferedPacketsShowDelayRampAndRecovery) {
+  DelayCaptureParams p;
+  p.classify = false;
+  p.mode = BufferMode::kNarOnly;
+  p.pool_pkts = 40;
+  p.request_pkts = 40;
+  const auto r = run_delay_capture(p);
+  const auto series = delay_series(r);
+  ASSERT_EQ(series.size(), 3u);
+  for (const Series& s : series) {
+    EXPECT_GT(s.max_y(), 0.15);   // blackout-length queueing delay
+    EXPECT_LT(s.min_y(), 0.02);   // steady state on either side
+  }
+}
+
+TEST(Fig47to410Shape, RealTimeDelayLowestWithClassification) {
+  DelayCaptureParams p;
+  p.classify = true;
+  const auto series = delay_series(run_delay_capture(p));
+  // Figure 4.9 discussion: the NAR-buffered real-time flow avoids both the
+  // forwarding delay and most of the queueing delay.
+  EXPECT_LT(series[0].max_y(), series[1].max_y());
+  EXPECT_LT(series[0].max_y(), series[2].max_y());
+}
+
+TEST(Fig47to410Shape, SlowInterArLinkInflatesBestEffortDelay) {
+  DelayCaptureParams p;
+  p.classify = true;
+  p.par_nar_delay = SimTime::millis(2);
+  const auto fast_link = delay_series(run_delay_capture(p));
+  p.par_nar_delay = SimTime::millis(50);
+  const auto slow_link = delay_series(run_delay_capture(p));
+  // Figure 4.10: +~2x48 ms on the PAR-buffered best-effort flow.
+  EXPECT_GT(slow_link[2].max_y(), fast_link[2].max_y() + 0.05);
+  // Real-time (NAR-buffered) barely moves.
+  EXPECT_LT(slow_link[0].max_y(), fast_link[0].max_y() + 0.06);
+}
+
+TEST(Fig412to414Shape, UnbufferedHandoffForcesTimeout) {
+  TcpHandoffParams p;
+  p.buffering = false;
+  const auto r = run_tcp_handoff(p);
+  EXPECT_GE(r.timeouts, 1);
+  // Dead air: nothing received between the blackout and the RTO (>= 1 s
+  // minimum, tick-aligned -> resume no earlier than ~12.5 s).
+  EXPECT_GT(max_receiver_gap(r, 11.0, 14.0), SimTime::seconds(1));
+}
+
+TEST(Fig412to414Shape, BufferedHandoffAvoidsTimeoutAndLoss) {
+  TcpHandoffParams p;
+  p.buffering = true;
+  const auto r = run_tcp_handoff(p);
+  EXPECT_EQ(r.timeouts, 0);
+  EXPECT_EQ(r.fast_retransmits, 0);
+  // Transfer resumes right after the 200 ms blackout.
+  EXPECT_LT(max_receiver_gap(r, 11.0, 14.0), SimTime::millis(400));
+}
+
+TEST(Fig412to414Shape, BufferingImprovesGoodput) {
+  TcpHandoffParams p;
+  p.buffering = true;
+  const auto with_buffer = run_tcp_handoff(p);
+  p.buffering = false;
+  const auto without = run_tcp_handoff(p);
+  EXPECT_GT(with_buffer.bytes_acked, without.bytes_acked);
+}
+
+TEST(Fig412to414Shape, ThroughputDipsOnlyWithoutBuffering) {
+  TcpHandoffParams p;
+  p.buffering = false;
+  const auto r = run_tcp_handoff(p);
+  const Series thr = tcp_throughput_series(r, "no-buffer", 11.0, 14.0);
+  // At least one bin around the handoff collapses to (near) zero.
+  EXPECT_LT(thr.min_y(), 0.5);
+  EXPECT_GT(thr.max_y(), 5.0);
+}
+
+}  // namespace
+}  // namespace fhmip

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "buffer/handoff_buffer.hpp"
+#include "net/routing.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/simulation.hpp"
+
+namespace fhmip {
+namespace {
+
+using namespace timeliterals;
+
+/// Model-based randomized tests: each subject is driven with a random
+/// operation sequence and compared step-by-step against a trivially
+/// correct reference model.
+
+// ---------------------------------------------------------------------------
+// Scheduler vs. a sorted-list reference
+// ---------------------------------------------------------------------------
+
+class SchedulerFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulerFuzz, MatchesSortedReference) {
+  Rng rng(GetParam());
+  Scheduler s;
+  // Reference: (time, id) pairs expected to fire, kept sorted like the
+  // scheduler's contract demands.
+  std::vector<std::pair<std::int64_t, int>> expected;
+  std::vector<std::pair<std::int64_t, int>> fired;
+  std::map<int, EventId> live;
+  int next_tag = 0;
+
+  for (int op = 0; op < 2000; ++op) {
+    const double dice = rng.uniform();
+    if (dice < 0.7) {
+      const std::int64_t at = rng.uniform_int(0, 1'000'000);
+      const int tag = next_tag++;
+      live[tag] = s.schedule_at(SimTime::micros(at), [&fired, at, tag] {
+        fired.push_back({at, tag});
+      });
+      expected.push_back({at, tag});
+    } else if (!live.empty()) {
+      // Cancel a random live event.
+      auto it = live.begin();
+      std::advance(it, rng.uniform_int(0, static_cast<int>(live.size()) - 1));
+      s.cancel(it->second);
+      std::erase_if(expected,
+                    [&](const auto& pr) { return pr.second == it->first; });
+      live.erase(it);
+    }
+  }
+  s.run();
+  // The scheduler fires by (time, insertion order); insertion order within
+  // a timestamp equals tag order here because ids are monotonic.
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.first != b.first) return a.first < b.first;
+                     return a.second < b.second;
+                   });
+  EXPECT_EQ(fired, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------------------------------------------------------------------------
+// HandoffBuffer vs. a deque reference
+// ---------------------------------------------------------------------------
+
+class BufferFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BufferFuzz, MatchesDequeReference) {
+  Rng rng(GetParam());
+  Simulation sim;
+  const std::uint32_t cap = static_cast<std::uint32_t>(rng.uniform_int(1, 12));
+  HandoffBuffer buf(cap);
+  // Reference model: (seq, is_realtime).
+  std::deque<std::pair<std::uint32_t, bool>> model;
+  std::uint32_t next_seq = 0;
+
+  for (int op = 0; op < 3000; ++op) {
+    const double dice = rng.uniform();
+    if (dice < 0.55) {
+      // Push (20% of pushes use the real-time evicting variant).
+      const bool rt = rng.chance(0.4);
+      auto p = make_packet(sim, {1, 1}, {2, 2}, 100);
+      p->seq = next_seq++;
+      p->tclass = rt ? TrafficClass::kRealTime : TrafficClass::kBestEffort;
+      if (rt && rng.chance(0.5)) {
+        PacketPtr evicted;
+        const auto res = buf.push_evict_oldest_realtime(p, evicted);
+        // Model the same semantics.
+        if (model.size() < cap) {
+          ASSERT_EQ(res, HandoffBuffer::PushResult::kStored);
+          model.push_back({p == nullptr ? next_seq - 1 : p->seq, true});
+        } else {
+          auto it = std::find_if(model.begin(), model.end(),
+                                 [](const auto& e) { return e.second; });
+          if (it == model.end()) {
+            ASSERT_EQ(res, HandoffBuffer::PushResult::kRejected);
+          } else {
+            ASSERT_EQ(res, HandoffBuffer::PushResult::kStoredEvicting);
+            ASSERT_NE(evicted, nullptr);
+            ASSERT_EQ(evicted->seq, it->first);
+            model.erase(it);
+            model.push_back({next_seq - 1, true});
+          }
+        }
+      } else {
+        const auto res = buf.push(p);
+        if (model.size() < cap) {
+          ASSERT_EQ(res, HandoffBuffer::PushResult::kStored);
+          model.push_back({next_seq - 1, rt});
+        } else {
+          ASSERT_EQ(res, HandoffBuffer::PushResult::kRejected);
+        }
+      }
+    } else {
+      PacketPtr p = buf.pop();
+      if (model.empty()) {
+        ASSERT_EQ(p, nullptr);
+      } else {
+        ASSERT_NE(p, nullptr);
+        ASSERT_EQ(p->seq, model.front().first);
+        model.pop_front();
+      }
+    }
+    ASSERT_EQ(buf.size(), model.size());
+    ASSERT_EQ(buf.full(), model.size() >= cap);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BufferFuzz,
+                         ::testing::Values(7, 11, 19, 23, 31, 41));
+
+// ---------------------------------------------------------------------------
+// RoutingTable vs. a map reference
+// ---------------------------------------------------------------------------
+
+class RoutingFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoutingFuzz, MatchesMapReference) {
+  Rng rng(GetParam());
+  RoutingTable table;
+  std::map<std::uint64_t, int> host_model;   // addr key -> tag
+  std::map<std::uint32_t, int> prefix_model;  // net -> tag
+  int captured = -1;
+  auto handler_for = [&captured](int tag) {
+    return Route::to([&captured, tag](PacketPtr) { captured = tag; });
+  };
+  int next_tag = 0;
+
+  for (int op = 0; op < 2000; ++op) {
+    const Address addr{static_cast<std::uint32_t>(rng.uniform_int(1, 8)),
+                       static_cast<std::uint32_t>(rng.uniform_int(0, 8))};
+    const double dice = rng.uniform();
+    if (dice < 0.3) {
+      table.set_host_route(addr, handler_for(next_tag));
+      host_model[addr.key()] = next_tag++;
+    } else if (dice < 0.5) {
+      table.set_prefix_route(addr.net, handler_for(next_tag));
+      prefix_model[addr.net] = next_tag++;
+    } else if (dice < 0.6) {
+      table.remove_host_route(addr);
+      host_model.erase(addr.key());
+    } else {
+      // Lookup and compare against the reference resolution order.
+      const Route* r = table.lookup(addr);
+      int expected = -1;
+      if (auto it = host_model.find(addr.key()); it != host_model.end()) {
+        expected = it->second;
+      } else if (auto it2 = prefix_model.find(addr.net);
+                 it2 != prefix_model.end()) {
+        expected = it2->second;
+      }
+      if (expected == -1) {
+        ASSERT_EQ(r, nullptr);
+      } else {
+        ASSERT_NE(r, nullptr);
+        captured = -1;
+        Simulation sim;
+        r->handler(make_packet(sim, {1, 1}, addr, 10));
+        ASSERT_EQ(captured, expected);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoutingFuzz, ::testing::Values(3, 9, 27, 81));
+
+}  // namespace
+}  // namespace fhmip

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "scenario/paper_topology.hpp"
+#include "transport/cbr.hpp"
+#include "transport/sink.hpp"
+
+namespace fhmip {
+namespace {
+
+using namespace timeliterals;
+
+/// Seeded roaming fuzz: repeated bounce handovers with per-seed jittered
+/// traffic phases. Whatever the packet timing relative to the blackouts,
+/// the invariants must hold.
+class RoamingFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoamingFuzz, InvariantsUnderErraticMobility) {
+  const std::uint64_t seed = GetParam();
+
+  PaperTopologyConfig cfg;
+  cfg.seed = seed;
+  cfg.bounce = true;
+  cfg.scheme.pool_pkts = 60;
+  cfg.scheme.request_pkts = 60;
+  PaperTopology topo(cfg);
+  Simulation& sim = topo.simulation();
+
+  auto& m = topo.mobile(0);
+  std::vector<std::unique_ptr<UdpSink>> sinks;
+  std::vector<std::unique_ptr<CbrSource>> sources;
+  const TrafficClass classes[3] = {TrafficClass::kRealTime,
+                                   TrafficClass::kHighPriority,
+                                   TrafficClass::kBestEffort};
+  for (int i = 0; i < 3; ++i) {
+    const auto port = static_cast<std::uint16_t>(7000 + i);
+    sinks.push_back(std::make_unique<UdpSink>(*m.node, port));
+    CbrSource::Config c;
+    c.dst = m.regional;
+    c.dst_port = port;
+    c.interval = 10_ms;
+    c.jitter = SimTime::millis(static_cast<std::int64_t>(seed % 4));
+    c.tclass = classes[i];
+    c.flow = i + 1;
+    sources.push_back(std::make_unique<CbrSource>(
+        topo.cn(), static_cast<std::uint16_t>(5000 + i), c));
+    sources.back()->start(2_s);
+    sources.back()->stop(40_s);
+  }
+  topo.start();
+  sim.run_until(50_s);
+
+  for (FlowId f = 1; f <= 3; ++f) {
+    const FlowCounters& c = sim.stats().flow(f);
+    EXPECT_EQ(c.sent, c.delivered + c.dropped) << "flow " << f;
+  }
+  EXPECT_EQ(topo.par_agent().buffers().leased(), 0u);
+  EXPECT_EQ(topo.nar_agent().buffers().leased(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoamingFuzz,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+/// Waypoint-driven association churn: a host zig-zagging across two cells
+/// (including out-of-coverage detours) must end every trajectory either
+/// attached or cleanly detached, never wedged mid-handoff.
+class WaypointChurn : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WaypointChurn, NeverWedges) {
+  Simulation sim(GetParam());
+  Network net(sim);
+  Node& ar1 = net.add_node("ar1");
+  Node& ar2 = net.add_node("ar2");
+  Node& mh = net.add_node("mh");
+  ar1.add_address({40, 1});
+  ar2.add_address({50, 1});
+  WlanConfig cfg;
+  cfg.send_router_adv = false;
+  WlanManager wlan(sim, cfg);
+  wlan.add_ap(ar1, {0, 0}, 112, nullptr);
+  wlan.add_ap(ar2, {212, 0}, 112, nullptr);
+
+  Rng rng(GetParam() * 31);
+  std::vector<WaypointMobility::Leg> legs;
+  for (int i = 0; i < 15; ++i) {
+    legs.push_back({Vec2{rng.uniform(-80, 300), rng.uniform(-40, 40)},
+                    rng.uniform(5, 25)});
+  }
+  legs.push_back({Vec2{10, 0}, 10});  // finish inside cell 1
+  wlan.add_mh(mh, std::make_unique<WaypointMobility>(Vec2{10, 0}, legs),
+              nullptr);
+  wlan.start();
+  sim.run_until(120_s);
+  EXPECT_FALSE(wlan.in_handoff(mh.id()));
+  EXPECT_NE(wlan.attached_ap(mh.id()), kNoNode);  // parked inside cell 1
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WaypointChurn,
+                         ::testing::Values(1, 4, 9, 16, 25));
+
+}  // namespace
+}  // namespace fhmip

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "scenario/paper_topology.hpp"
+#include "scenario/wlan_topology.hpp"
+#include "transport/cbr.hpp"
+#include "transport/sink.hpp"
+
+namespace fhmip {
+namespace {
+
+using namespace timeliterals;
+
+TEST(PaperTopology, BuildsFigure41Network) {
+  PaperTopologyConfig cfg;
+  PaperTopology topo(cfg);
+  EXPECT_EQ(topo.network().num_nodes(), 6u);  // cn gw map par nar + 1 mh
+  EXPECT_EQ(topo.network().num_links(), 5u);
+  EXPECT_EQ(topo.cn().address(), (Address{nets::kCn, 1}));
+  EXPECT_EQ(topo.par().address(), (Address{nets::kPar, 1}));
+  EXPECT_EQ(topo.nar().address(), (Address{nets::kNar, 1}));
+  EXPECT_EQ(topo.leg_duration(), SimTime::from_seconds(21.2));
+}
+
+TEST(PaperTopology, GeometryMatchesSection41) {
+  PaperTopologyConfig cfg;
+  PaperTopology topo(cfg);
+  // 212 m apart, 112 m radius -> 12 m overlap.
+  EXPECT_DOUBLE_EQ(distance(topo.ap_par().position(),
+                            topo.ap_nar().position()),
+                   212.0);
+  EXPECT_DOUBLE_EQ(topo.ap_par().radius(), 112.0);
+  const double overlap = 2 * 112.0 - 212.0;
+  EXPECT_DOUBLE_EQ(overlap, 12.0);
+}
+
+TEST(PaperTopology, InitialAttachAndRegistration) {
+  PaperTopologyConfig cfg;
+  PaperTopology topo(cfg);
+  topo.start();
+  topo.simulation().run_until(1_s);
+  auto& m = topo.mobile(0);
+  EXPECT_EQ(topo.wlan().attached_ap(m.node->id()), topo.ap_par().id());
+  EXPECT_TRUE(m.mip->bound());
+  EXPECT_EQ(m.agent->pcoa(), make_coa(nets::kPar, m.node->id()));
+}
+
+TEST(PaperTopology, CnReachesMobileHostViaMap) {
+  PaperTopologyConfig cfg;
+  PaperTopology topo(cfg);
+  auto& m = topo.mobile(0);
+  UdpSink sink(*m.node, 7000);
+  CbrSource::Config c;
+  c.dst = m.regional;
+  c.dst_port = 7000;
+  c.interval = 20_ms;
+  c.flow = 1;
+  CbrSource src(topo.cn(), 5000, c);
+  src.start(1_s);
+  src.stop(2_s);
+  topo.start();
+  topo.simulation().run_until(3_s);
+  EXPECT_EQ(sink.packets_received(), 50u);
+  EXPECT_GT(topo.map_agent().packets_tunneled(), 0u);
+}
+
+TEST(PaperTopology, EndToEndBaselineDelay) {
+  // Wired path 5+2+2 ms + 1 ms wireless plus serialization: ~10-12 ms.
+  PaperTopologyConfig cfg;
+  PaperTopology topo(cfg);
+  topo.simulation().stats().set_keep_samples(true);
+  auto& m = topo.mobile(0);
+  UdpSink sink(*m.node, 7000);
+  CbrSource::Config c;
+  c.dst = m.regional;
+  c.dst_port = 7000;
+  c.interval = 20_ms;
+  c.flow = 1;
+  CbrSource src(topo.cn(), 5000, c);
+  src.start(1_s);
+  src.stop(2_s);
+  topo.start();
+  topo.simulation().run_until(3_s);
+  const auto& samples = topo.simulation().stats().samples(1);
+  ASSERT_FALSE(samples.empty());
+  for (const auto& s : samples) {
+    EXPECT_GT(s.delay, 9_ms);
+    EXPECT_LT(s.delay, 15_ms);
+  }
+}
+
+TEST(PaperTopology, MultipleMobileHostsCoexist) {
+  PaperTopologyConfig cfg;
+  cfg.num_mhs = 5;
+  PaperTopology topo(cfg);
+  topo.start();
+  topo.simulation().run_until(1_s);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(topo.wlan().attached_ap(topo.mobile(i).node->id()),
+              topo.ap_par().id());
+    EXPECT_TRUE(topo.mobile(i).mip->bound());
+  }
+}
+
+TEST(WlanTopology, BuildsFigure411Network) {
+  WlanTopologyConfig cfg;
+  WlanTopology topo(cfg);
+  topo.start();
+  topo.simulation().run_until(1_s);
+  EXPECT_EQ(topo.wlan().attached_ap(topo.mh().id()), topo.ap1().id());
+  EXPECT_EQ(topo.ap1().ar_node().id(), topo.ar().id());
+  EXPECT_EQ(topo.ap2().ar_node().id(), topo.ar().id());
+}
+
+TEST(WlanTopology, CnReachesMhDirectly) {
+  WlanTopologyConfig cfg;
+  WlanTopology topo(cfg);
+  UdpSink sink(topo.mh(), 7000);
+  CbrSource::Config c;
+  c.dst = topo.mh_coa();
+  c.dst_port = 7000;
+  c.interval = 20_ms;
+  c.flow = 1;
+  CbrSource src(topo.cn(), 5000, c);
+  src.start(1_s);
+  src.stop(2_s);
+  topo.start();
+  topo.simulation().run_until(3_s);
+  EXPECT_EQ(sink.packets_received(), 50u);
+}
+
+TEST(WlanTopology, AlternatingForcedHandoffs) {
+  WlanTopologyConfig cfg;
+  cfg.scheme.lifetime = 30_s;
+  WlanTopology topo(cfg);
+  topo.start();
+  topo.schedule_handoff(2_s);
+  topo.schedule_handoff(4_s);
+  topo.simulation().run_until(5_s);
+  // Two alternating switches end on ap1 again.
+  EXPECT_EQ(topo.wlan().attached_ap(topo.mh().id()), topo.ap1().id());
+  EXPECT_EQ(topo.wlan().handoffs_started(), 2u);
+}
+
+}  // namespace
+}  // namespace fhmip

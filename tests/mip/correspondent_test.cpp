@@ -1,0 +1,124 @@
+#include "mip/correspondent.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mip/map_agent.hpp"
+#include "mip/mobile_ip.hpp"
+#include "net/network.hpp"
+
+namespace fhmip {
+namespace {
+
+using namespace timeliterals;
+
+/// Triangle topology where route optimization actually matters:
+///
+///   cn ----10ms---- map ----10ms---- ar --- mh
+///     \________________2ms________________/
+///
+/// Unoptimized traffic detours via the MAP (~20 ms); optimized traffic
+/// takes the direct 2 ms edge.
+struct RoFixture : ::testing::Test {
+  Simulation sim;
+  Network net{sim};
+  Node& cn = net.add_node("cn");
+  Node& map_node = net.add_node("map");
+  Node& ar = net.add_node("ar");
+  Node& mh = net.add_node("mh");
+  std::unique_ptr<MapAgent> map;
+  std::unique_ptr<CorrespondentAgent> corr;
+  std::unique_ptr<MobileIpClient> mip;
+
+  Address regional() { return {30, mh.id()}; }
+  Address lcoa() { return {40, mh.id()}; }
+
+  RoFixture() {
+    cn.add_address({10, 1});
+    map_node.add_address({30, 1});
+    ar.add_address({40, 1});
+    net.connect(cn, map_node, 1e9, 10_ms);
+    net.connect(map_node, ar, 1e9, 10_ms);
+    net.connect(cn, ar, 1e9, 2_ms);
+    DuplexLink& w = net.connect(ar, mh, 1e9, 1_ms);
+    net.compute_routes();
+    // Force the unoptimized regional path over the MAP detour (the MAP
+    // owns the regional prefix, so this mirrors prefix routing).
+    ar.routes().set_prefix_route(40, Route::via(w.toward(mh)));
+    mh.routes().set_default_route(Route::via(w.toward(ar)));
+    mh.add_address(regional(), false);
+    mh.add_address(lcoa(), false);
+    map = std::make_unique<MapAgent>(map_node);
+    corr = std::make_unique<CorrespondentAgent>(cn);
+    mip = std::make_unique<MobileIpClient>(mh, regional(), map->address());
+    mip->send_binding_update(lcoa(), 60_s);  // MAP-level binding
+    sim.run();
+  }
+
+  SimTime send_and_measure(FlowId flow) {
+    SimTime arrival = SimTime::seconds(-1);
+    mh.register_port(7, [&](PacketPtr) { arrival = sim.now(); });
+    auto p = make_packet(sim, {10, 1}, regional(), 160);
+    p->dst_port = 7;
+    p->flow = flow;
+    sim.stats().record_sent(flow);
+    const SimTime t0 = sim.now();
+    cn.send(std::move(p));
+    sim.run();
+    return arrival - t0;
+  }
+};
+
+TEST_F(RoFixture, WithoutRoTrafficDetoursViaMap) {
+  const SimTime delay = send_and_measure(1);
+  EXPECT_GT(delay, 20_ms);  // two 10 ms hops
+  EXPECT_EQ(map->packets_tunneled(), 1u);
+  EXPECT_EQ(corr->packets_optimized(), 0u);
+}
+
+TEST_F(RoFixture, BindingUpdateEnablesDirectPath) {
+  mip->send_binding_update_to(cn.address(), lcoa(), 60_s);
+  sim.run();
+  EXPECT_EQ(corr->binding_updates(), 1u);
+  const SimTime delay = send_and_measure(2);
+  EXPECT_LT(delay, 5_ms);  // the 2 ms direct edge
+  EXPECT_EQ(map->packets_tunneled(), 0u);
+  EXPECT_EQ(corr->packets_optimized(), 1u);
+}
+
+TEST_F(RoFixture, BindingExpiryFallsBackToMapPath) {
+  mip->send_binding_update_to(cn.address(), lcoa(), 1_s);
+  sim.run();
+  sim.scheduler().run_until(5_s);
+  const SimTime delay = send_and_measure(3);
+  EXPECT_GT(delay, 20_ms);
+  EXPECT_EQ(map->packets_tunneled(), 1u);
+}
+
+TEST_F(RoFixture, CorrespondentAcksBindingUpdates) {
+  mip->send_binding_update_to(cn.address(), lcoa(), 60_s);
+  sim.run();
+  EXPECT_EQ(mip->acks_received(), 2u);  // MAP ack + CN ack
+}
+
+TEST_F(RoFixture, ControlTrafficIsNeverRerouted) {
+  mip->send_binding_update_to(cn.address(), lcoa(), 60_s);
+  sim.run();
+  // A control message addressed to the regional address must not be
+  // encapsulated by the optimizer (it still flows via the MAP).
+  bool seen = false;
+  mh.add_control_handler([&](PacketPtr& p) {
+    if (std::holds_alternative<BfMsg>(p->msg)) {
+      EXPECT_FALSE(p->tunneled());  // arrived decapsulated via the MAP
+      seen = true;
+      return true;
+    }
+    return false;
+  });
+  cn.send(make_control(sim, {10, 1}, regional(), BfMsg{}));
+  sim.run();
+  EXPECT_TRUE(seen);
+  EXPECT_EQ(corr->packets_optimized(), 0u);
+}
+
+}  // namespace
+}  // namespace fhmip

@@ -1,0 +1,116 @@
+#include "mip/home_agent.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mip/mobile_ip.hpp"
+#include "net/network.hpp"
+
+namespace fhmip {
+namespace {
+
+using namespace timeliterals;
+
+/// cn --- ha (home) --- fa (foreign) --- visiting host.
+struct HomeAgentFixture : ::testing::Test {
+  Simulation sim;
+  Network net{sim};
+  Node& cn = net.add_node("cn");
+  Node& ha_node = net.add_node("ha");
+  Node& fa = net.add_node("fa");
+  Node& mh = net.add_node("mh");
+  std::unique_ptr<HomeAgent> ha;
+
+  Address home_addr() { return {60, mh.id()}; }
+  Address coa() { return {70, mh.id()}; }
+
+  HomeAgentFixture() {
+    cn.add_address({10, 1});
+    ha_node.add_address({60, 1});
+    fa.add_address({70, 1});
+    net.connect(cn, ha_node, 1e9, 1_ms);
+    net.connect(ha_node, fa, 1e9, 1_ms);
+    DuplexLink& w = net.connect(fa, mh, 1e9, 1_ms);
+    net.compute_routes();
+    fa.routes().set_prefix_route(70, Route::via(w.toward(mh)));
+    mh.routes().set_default_route(Route::via(w.toward(fa)));
+    mh.add_address(home_addr(), false);
+    mh.add_address(coa(), false);
+    ha = std::make_unique<HomeAgent>(ha_node);
+  }
+
+  void register_mh(SimTime lifetime = SimTime::seconds(60)) {
+    MobileIpClient mip(mh, home_addr(), ha->address());
+    mip.send_registration(ha->address(), ha->address(), home_addr(), coa(), lifetime);
+    sim.run();
+  }
+};
+
+TEST_F(HomeAgentFixture, RegistrationCreatesBinding) {
+  MobileIpClient mip(mh, home_addr(), ha->address());
+  bool accepted = false;
+  mip.set_on_registration_reply([&](bool ok) { accepted = ok; });
+  mip.send_registration(ha->address(), ha->address(), home_addr(), coa(), 60_s);
+  sim.run();
+  EXPECT_TRUE(accepted);
+  EXPECT_EQ(ha->registrations(), 1u);
+  EXPECT_EQ(ha->bindings().lookup(home_addr(), sim.now()), coa());
+}
+
+TEST_F(HomeAgentFixture, InterceptsAndTunnelsToCoa) {
+  register_mh();
+  int got = 0;
+  mh.register_port(7, [&](PacketPtr p) {
+    ++got;
+    EXPECT_EQ(p->dst, home_addr());
+  });
+  auto p = make_packet(sim, {10, 1}, home_addr(), 100);
+  p->dst_port = 7;
+  cn.send(std::move(p));
+  sim.run();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(ha->packets_tunneled(), 1u);
+}
+
+TEST_F(HomeAgentFixture, UnregisteredHostUnreachable) {
+  auto p = make_packet(sim, {10, 1}, home_addr(), 100);
+  p->flow = 1;
+  cn.send(std::move(p));
+  sim.run();
+  EXPECT_EQ(sim.stats().flow(1).delivered, 0u);
+}
+
+TEST_F(HomeAgentFixture, DeregistrationStopsTunneling) {
+  register_mh();
+  MobileIpClient mip(mh, home_addr(), ha->address());
+  mip.send_registration(ha->address(), ha->address(), home_addr(), coa(), SimTime{});
+  sim.run();
+  EXPECT_EQ(ha->deregistrations(), 1u);
+  auto p = make_packet(sim, {10, 1}, home_addr(), 100);
+  p->flow = 2;
+  cn.send(std::move(p));
+  sim.run();
+  EXPECT_EQ(sim.stats().flow(2).delivered, 0u);
+}
+
+TEST_F(HomeAgentFixture, RegistrationExpires) {
+  register_mh(2_s);
+  sim.scheduler().run_until(10_s);
+  auto p = make_packet(sim, {10, 1}, home_addr(), 100);
+  p->flow = 3;
+  cn.send(std::move(p));
+  sim.run();
+  EXPECT_EQ(sim.stats().flow(3).delivered, 0u);
+}
+
+TEST_F(HomeAgentFixture, HomeAgentOwnTrafficUnaffected) {
+  int got = 0;
+  ha_node.register_port(9, [&](PacketPtr) { ++got; });
+  auto p = make_packet(sim, {10, 1}, {60, 1}, 50);
+  p->dst_port = 9;
+  cn.send(std::move(p));
+  sim.run();
+  EXPECT_EQ(got, 1);
+}
+
+}  // namespace
+}  // namespace fhmip

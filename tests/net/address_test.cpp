@@ -1,0 +1,57 @@
+#include "net/address.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace fhmip {
+namespace {
+
+TEST(Address, DefaultIsInvalid) {
+  Address a;
+  EXPECT_FALSE(a.valid());
+  EXPECT_EQ(a, kNoAddress);
+}
+
+TEST(Address, ValidityRequiresNet) {
+  EXPECT_TRUE((Address{1, 0}).valid());
+  EXPECT_FALSE((Address{0, 5}).valid());
+}
+
+TEST(Address, KeyIsInjective) {
+  std::unordered_set<std::uint64_t> keys;
+  for (std::uint32_t net = 1; net < 20; ++net) {
+    for (std::uint32_t host = 0; host < 20; ++host) {
+      keys.insert(Address{net, host}.key());
+    }
+  }
+  EXPECT_EQ(keys.size(), 19u * 20u);
+}
+
+TEST(Address, EqualityAndOrdering) {
+  EXPECT_EQ((Address{1, 2}), (Address{1, 2}));
+  EXPECT_NE((Address{1, 2}), (Address{1, 3}));
+  EXPECT_LT((Address{1, 9}), (Address{2, 0}));
+}
+
+TEST(Address, MakeCoaFormsLcoA) {
+  // HMIPv6 LCoA formation: AR prefix + MH interface id.
+  const Address lcoa = make_coa(40, 1234);
+  EXPECT_EQ(lcoa.net, 40u);
+  EXPECT_EQ(lcoa.host, 1234u);
+}
+
+TEST(Address, ToString) {
+  EXPECT_EQ((Address{40, 7}).to_string(), "40:7");
+}
+
+TEST(Address, StdHashUsable) {
+  std::unordered_set<Address> set;
+  set.insert({1, 1});
+  set.insert({1, 1});
+  set.insert({1, 2});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace fhmip

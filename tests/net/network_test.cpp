@@ -1,0 +1,168 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fhmip {
+namespace {
+
+using namespace timeliterals;
+
+struct NetworkFixture : ::testing::Test {
+  Simulation sim;
+  Network net{sim};
+
+  int deliver_count = 0;
+  SimTime last_arrival;
+
+  void sink(Node& n, std::uint16_t port = 7) {
+    n.register_port(port, [this](PacketPtr) {
+      ++deliver_count;
+      last_arrival = sim.now();
+    });
+  }
+
+  PacketPtr pkt(Address src, Address dst, std::uint32_t bytes = 1000) {
+    auto p = make_packet(sim, src, dst, bytes);
+    p->dst_port = 7;
+    return p;
+  }
+};
+
+TEST_F(NetworkFixture, LineTopologyRoutesEndToEnd) {
+  Node& a = net.add_node("a");
+  Node& b = net.add_node("b");
+  Node& c = net.add_node("c");
+  a.add_address({1, 1});
+  b.add_address({2, 1});
+  c.add_address({3, 1});
+  net.connect(a, b, 1e9, 1_ms);
+  net.connect(b, c, 1e9, 1_ms);
+  net.compute_routes();
+  sink(c);
+  a.send(pkt({1, 1}, {3, 1}));
+  sim.run();
+  EXPECT_EQ(deliver_count, 1);
+  // Two propagation hops plus two serializations (8 us each at 1 Gb/s).
+  EXPECT_GT(last_arrival, 2_ms);
+  EXPECT_LT(last_arrival, 3_ms);
+}
+
+TEST_F(NetworkFixture, PrefersLowerDelayPath) {
+  // a - b - d (1 ms + 1 ms) vs a - c - d (10 ms + 10 ms).
+  Node& a = net.add_node("a");
+  Node& b = net.add_node("b");
+  Node& c = net.add_node("c");
+  Node& d = net.add_node("d");
+  a.add_address({1, 1});
+  b.add_address({2, 1});
+  c.add_address({3, 1});
+  d.add_address({4, 1});
+  net.connect(a, b, 1e9, 1_ms);
+  net.connect(b, d, 1e9, 1_ms);
+  net.connect(a, c, 1e9, 10_ms);
+  net.connect(c, d, 1e9, 10_ms);
+  net.compute_routes();
+  sink(d);
+  a.send(pkt({1, 1}, {4, 1}));
+  sim.run();
+  EXPECT_EQ(deliver_count, 1);
+  EXPECT_LT(last_arrival, 5_ms);
+  EXPECT_EQ(b.packets_forwarded(), 1u);
+  EXPECT_EQ(c.packets_forwarded(), 0u);
+}
+
+TEST_F(NetworkFixture, BidirectionalRoutes) {
+  Node& a = net.add_node("a");
+  Node& b = net.add_node("b");
+  a.add_address({1, 1});
+  b.add_address({2, 1});
+  net.connect(a, b, 1e9, 1_ms);
+  net.compute_routes();
+  sink(a);
+  sink(b);
+  a.send(pkt({1, 1}, {2, 1}));
+  b.send(pkt({2, 1}, {1, 1}));
+  sim.run();
+  EXPECT_EQ(deliver_count, 2);
+}
+
+TEST_F(NetworkFixture, UnadvertisedAddressesGetNoRoutes) {
+  Node& a = net.add_node("a");
+  Node& b = net.add_node("b");
+  a.add_address({1, 1});
+  b.add_address({2, 1});
+  b.add_address({9, 5}, /*advertised=*/false);
+  net.connect(a, b, 1e9, 1_ms);
+  net.compute_routes();
+  auto p = pkt({1, 1}, {9, 5});
+  p->flow = 1;
+  a.send(std::move(p));
+  sim.run();
+  EXPECT_EQ(sim.stats().flow(1).drops_by_reason[static_cast<int>(
+                DropReason::kNoRoute)],
+            1u);
+}
+
+TEST_F(NetworkFixture, DisconnectedNodesUnreachable) {
+  Node& a = net.add_node("a");
+  Node& b = net.add_node("b");
+  a.add_address({1, 1});
+  b.add_address({2, 1});
+  // no link
+  net.compute_routes();
+  auto p = pkt({1, 1}, {2, 1});
+  p->flow = 1;
+  a.send(std::move(p));
+  sim.run();
+  EXPECT_EQ(sim.stats().flow(1).dropped, 1u);
+}
+
+TEST_F(NetworkFixture, ComputeRoutesIsIdempotent) {
+  Node& a = net.add_node("a");
+  Node& b = net.add_node("b");
+  a.add_address({1, 1});
+  b.add_address({2, 1});
+  net.connect(a, b, 1e9, 1_ms);
+  net.compute_routes();
+  net.compute_routes();
+  sink(b);
+  a.send(pkt({1, 1}, {2, 1}));
+  sim.run();
+  EXPECT_EQ(deliver_count, 1);
+}
+
+TEST_F(NetworkFixture, StarTopologyAllPairs) {
+  Node& hub = net.add_node("hub");
+  hub.add_address({100, 1});
+  std::vector<Node*> leaves;
+  for (std::uint32_t i = 1; i <= 4; ++i) {
+    Node& leaf = net.add_node("leaf" + std::to_string(i));
+    leaf.add_address({i, 1});
+    net.connect(hub, leaf, 1e9, 1_ms);
+    leaves.push_back(&leaf);
+  }
+  net.compute_routes();
+  for (Node* leaf : leaves) sink(*leaf);
+  // Every leaf sends to every other leaf through the hub.
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    for (std::uint32_t j = 0; j < 4; ++j) {
+      if (i == j) continue;
+      leaves[i]->send(pkt({i + 1, 1}, {j + 1, 1}));
+    }
+  }
+  sim.run();
+  EXPECT_EQ(deliver_count, 12);
+  EXPECT_EQ(hub.packets_forwarded(), 12u);
+}
+
+TEST_F(NetworkFixture, NodeCountsAndIds) {
+  Node& a = net.add_node("a");
+  Node& b = net.add_node("b");
+  EXPECT_EQ(net.num_nodes(), 2u);
+  EXPECT_NE(a.id(), b.id());
+  net.connect(a, b, 1e6, 1_ms);
+  EXPECT_EQ(net.num_links(), 1u);
+}
+
+}  // namespace
+}  // namespace fhmip

@@ -1,0 +1,182 @@
+#include "net/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/link.hpp"
+
+namespace fhmip {
+namespace {
+
+using namespace timeliterals;
+
+struct NodeFixture : ::testing::Test {
+  Simulation sim;
+  Node a{sim, 1, "a"};
+  Node b{sim, 2, "b"};
+
+  NodeFixture() {
+    a.add_address({10, 1});
+    b.add_address({20, 1});
+  }
+};
+
+TEST_F(NodeFixture, AddressManagement) {
+  EXPECT_TRUE(a.has_address({10, 1}));
+  EXPECT_FALSE(a.has_address({10, 2}));
+  a.add_address({10, 2}, /*advertised=*/false);
+  EXPECT_TRUE(a.has_address({10, 2}));
+  EXPECT_EQ(a.address(), (Address{10, 1}));  // first advertised wins
+  a.remove_address({10, 2});
+  EXPECT_FALSE(a.has_address({10, 2}));
+}
+
+TEST_F(NodeFixture, UnadvertisedFallbackAddress) {
+  Node c(sim, 3, "c");
+  c.add_address({30, 5}, /*advertised=*/false);
+  EXPECT_EQ(c.address(), (Address{30, 5}));
+}
+
+TEST_F(NodeFixture, PortDemux) {
+  std::uint32_t seen = 0;
+  a.register_port(7, [&](PacketPtr p) { seen = p->seq; });
+  auto p = make_packet(sim, {20, 1}, {10, 1}, 100);
+  p->dst_port = 7;
+  p->seq = 42;
+  a.receive(std::move(p));
+  EXPECT_EQ(seen, 42u);
+  EXPECT_EQ(a.packets_received_local(), 1u);
+}
+
+TEST_F(NodeFixture, UnknownPortDrops) {
+  auto p = make_packet(sim, {20, 1}, {10, 1}, 100);
+  p->dst_port = 99;
+  p->flow = 1;
+  a.receive(std::move(p));
+  EXPECT_EQ(sim.stats().flow(1).drops_by_reason[static_cast<int>(
+                DropReason::kNoRoute)],
+            1u);
+}
+
+TEST_F(NodeFixture, UnregisterPort) {
+  int calls = 0;
+  a.register_port(7, [&](PacketPtr) { ++calls; });
+  a.unregister_port(7);
+  auto p = make_packet(sim, {20, 1}, {10, 1}, 100);
+  p->dst_port = 7;
+  a.receive(std::move(p));
+  EXPECT_EQ(calls, 0);
+}
+
+TEST_F(NodeFixture, ControlHandlerChainFirstClaimWins) {
+  std::vector<int> hits;
+  a.add_control_handler([&](PacketPtr& p) {
+    hits.push_back(1);
+    return std::holds_alternative<FbuMsg>(p->msg);
+  });
+  a.add_control_handler([&](PacketPtr&) {
+    hits.push_back(2);
+    return true;
+  });
+  a.receive(make_control(sim, {20, 1}, {10, 1}, FbuMsg{}));
+  EXPECT_EQ(hits, (std::vector<int>{1}));
+  hits.clear();
+  a.receive(make_control(sim, {20, 1}, {10, 1}, BfMsg{}));
+  EXPECT_EQ(hits, (std::vector<int>{1, 2}));
+}
+
+TEST_F(NodeFixture, ForwardViaPrefixRoute) {
+  SimplexLink to_b(sim, b, 1e6, 1_ms, 10);
+  a.routes().set_prefix_route(20, Route::via(to_b));
+  int got = 0;
+  b.register_port(7, [&](PacketPtr) { ++got; });
+  auto p = make_packet(sim, {10, 1}, {20, 1}, 100);
+  p->dst_port = 7;
+  a.receive(std::move(p));
+  sim.run();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(a.packets_forwarded(), 1u);
+}
+
+TEST_F(NodeFixture, NoRouteDrops) {
+  auto p = make_packet(sim, {10, 1}, {77, 1}, 100);
+  p->flow = 3;
+  a.receive(std::move(p));
+  EXPECT_EQ(sim.stats().flow(3).drops_by_reason[static_cast<int>(
+                DropReason::kNoRoute)],
+            1u);
+}
+
+TEST_F(NodeFixture, TtlExpiryDrops) {
+  SimplexLink loop(sim, a, 1e9, 0_ms, 300);
+  a.routes().set_prefix_route(77, Route::via(loop));  // routes to itself
+  auto p = make_packet(sim, {10, 1}, {77, 1}, 100);
+  p->flow = 4;
+  p->ttl = 5;
+  a.receive(std::move(p));
+  sim.run();
+  EXPECT_EQ(sim.stats().flow(4).drops_by_reason[static_cast<int>(
+                DropReason::kTtlExpired)],
+            1u);
+}
+
+TEST_F(NodeFixture, SendDoesNotDecrementTtlOnFirstHop) {
+  SimplexLink to_b(sim, b, 1e6, 1_ms, 10);
+  a.routes().set_prefix_route(20, Route::via(to_b));
+  std::uint8_t seen_ttl = 0;
+  b.register_port(7, [&](PacketPtr p) { seen_ttl = p->ttl; });
+  auto p = make_packet(sim, {10, 1}, {20, 1}, 100);
+  p->dst_port = 7;
+  p->ttl = 64;
+  a.send(std::move(p));
+  sim.run();
+  EXPECT_EQ(seen_ttl, 64);
+}
+
+TEST_F(NodeFixture, TunnelEndpointDecapsulatesAndRedelivers) {
+  // Packet tunneled to a, inner destination also a (care-of address case).
+  a.add_address({10, 9}, false);
+  int got = 0;
+  a.register_port(7, [&](PacketPtr p) {
+    ++got;
+    EXPECT_EQ(p->dst, (Address{10, 9}));
+    EXPECT_FALSE(p->tunneled());
+  });
+  auto p = make_packet(sim, {20, 1}, {10, 9}, 100);
+  p->dst_port = 7;
+  p->encapsulate({10, 1});
+  a.receive(std::move(p));
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(NodeFixture, TunnelTransitDecapsulatesAndForwards) {
+  SimplexLink to_b(sim, b, 1e6, 1_ms, 10);
+  a.routes().set_prefix_route(20, Route::via(to_b));
+  int got = 0;
+  b.register_port(7, [&](PacketPtr p) {
+    ++got;
+    EXPECT_FALSE(p->tunneled());
+  });
+  auto p = make_packet(sim, {30, 1}, {20, 1}, 100);
+  p->dst_port = 7;
+  p->encapsulate({10, 1});  // tunneled to a; inner dst is b
+  a.receive(std::move(p));
+  sim.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(NodeFixture, LocalSendDeliversLocally) {
+  int got = 0;
+  a.register_port(7, [&](PacketPtr) { ++got; });
+  auto p = make_packet(sim, {10, 1}, {10, 1}, 100);
+  p->dst_port = 7;
+  a.send(std::move(p));
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(NodeFixture, UnclaimedControlIsDiscardedSilently) {
+  a.receive(make_control(sim, {20, 1}, {10, 1}, RouterAdvMsg{}));
+  EXPECT_EQ(sim.stats().totals().dropped, 0u);
+}
+
+}  // namespace
+}  // namespace fhmip

@@ -1,0 +1,105 @@
+#include "net/packet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+
+namespace fhmip {
+namespace {
+
+using namespace timeliterals;
+
+TEST(Packet, MakePacketStampsUidAndTime) {
+  Simulation sim;
+  sim.scheduler().schedule_at(3_ms, [] {});
+  sim.run();
+  auto p = make_packet(sim, {1, 1}, {2, 2}, 160);
+  EXPECT_GT(p->uid, 0u);
+  EXPECT_EQ(p->created_at, 3_ms);
+  EXPECT_EQ(p->size_bytes, 160u);
+  auto q = make_packet(sim, {1, 1}, {2, 2}, 160);
+  EXPECT_NE(p->uid, q->uid);
+}
+
+TEST(Packet, EncapsulatePushesAndGrows) {
+  Simulation sim;
+  auto p = make_packet(sim, {1, 1}, {2, 2}, 100);
+  p->encapsulate({3, 3});
+  EXPECT_EQ(p->dst, (Address{3, 3}));
+  EXPECT_EQ(p->size_bytes, 100u + kIpHeaderBytes);
+  ASSERT_TRUE(p->tunneled());
+  p->decapsulate();
+  EXPECT_EQ(p->dst, (Address{2, 2}));
+  EXPECT_EQ(p->size_bytes, 100u);
+  EXPECT_FALSE(p->tunneled());
+}
+
+TEST(Packet, NestedTunnels) {
+  Simulation sim;
+  auto p = make_packet(sim, {1, 1}, {2, 2}, 100);
+  p->encapsulate({3, 3});
+  p->encapsulate({4, 4});
+  EXPECT_EQ(p->size_bytes, 100u + 2 * kIpHeaderBytes);
+  p->decapsulate();
+  EXPECT_EQ(p->dst, (Address{3, 3}));
+  p->decapsulate();
+  EXPECT_EQ(p->dst, (Address{2, 2}));
+}
+
+TEST(Packet, CloneCopiesEverythingButUid) {
+  Simulation sim;
+  auto p = make_packet(sim, {1, 1}, {2, 2}, 100);
+  p->tclass = TrafficClass::kHighPriority;
+  p->flow = 7;
+  p->seq = 99;
+  p->encapsulate({3, 3});
+  auto q = p->clone(12345);
+  EXPECT_EQ(q->uid, 12345u);
+  EXPECT_EQ(q->dst, p->dst);
+  EXPECT_EQ(q->tclass, p->tclass);
+  EXPECT_EQ(q->flow, p->flow);
+  EXPECT_EQ(q->seq, p->seq);
+  EXPECT_EQ(q->tunnel_stack, p->tunnel_stack);
+}
+
+TEST(Packet, ControlDetection) {
+  Simulation sim;
+  auto data = make_packet(sim, {1, 1}, {2, 2}, 100);
+  EXPECT_FALSE(data->is_control());
+  auto ctrl = make_control(sim, {1, 1}, {2, 2}, FbuMsg{});
+  EXPECT_TRUE(ctrl->is_control());
+  auto tcp = make_packet(sim, {1, 1}, {2, 2}, 100);
+  tcp->msg = TcpSegMsg{};
+  EXPECT_FALSE(tcp->is_control());  // TCP segments are data-plane
+}
+
+TEST(Packet, MessageNames) {
+  MessageVariant m = FbuMsg{};
+  EXPECT_STREQ(message_name(m), "FBU");
+  m = RtSolPrMsg{};
+  EXPECT_STREQ(message_name(m), "RtSolPr");
+  m = BufferFullMsg{};
+  EXPECT_STREQ(message_name(m), "BufferFull");
+  m = std::monostate{};
+  EXPECT_STREQ(message_name(m), "data");
+}
+
+TEST(TrafficClassHelpers, EffectiveClassMapsUnspecified) {
+  // Table 3.1: value 0 is "not specified, treated as best effort".
+  EXPECT_EQ(effective_class(TrafficClass::kUnspecified),
+            TrafficClass::kBestEffort);
+  EXPECT_EQ(effective_class(TrafficClass::kRealTime),
+            TrafficClass::kRealTime);
+  EXPECT_EQ(effective_class(TrafficClass::kHighPriority),
+            TrafficClass::kHighPriority);
+  EXPECT_EQ(effective_class(TrafficClass::kBestEffort),
+            TrafficClass::kBestEffort);
+}
+
+TEST(TrafficClassHelpers, Names) {
+  EXPECT_STREQ(to_string(TrafficClass::kRealTime), "real-time");
+  EXPECT_STREQ(to_string(TrafficClass::kHighPriority), "high-priority");
+}
+
+}  // namespace
+}  // namespace fhmip

@@ -1,0 +1,89 @@
+#include "net/priority_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+
+namespace fhmip {
+namespace {
+
+struct PrioQueueFixture : ::testing::Test {
+  Simulation sim;
+
+  PacketPtr pkt(TrafficClass cls, std::uint32_t seq = 0) {
+    auto p = make_packet(sim, {1, 1}, {2, 2}, 160);
+    p->tclass = cls;
+    p->seq = seq;
+    return p;
+  }
+};
+
+TEST_F(PrioQueueFixture, ServesRealTimeFirst) {
+  ClassPriorityQueue q(9);
+  auto be = pkt(TrafficClass::kBestEffort, 1);
+  auto hp = pkt(TrafficClass::kHighPriority, 2);
+  auto rt = pkt(TrafficClass::kRealTime, 3);
+  q.push(be);
+  q.push(hp);
+  q.push(rt);
+  EXPECT_EQ(q.pop()->seq, 3u);  // RT
+  EXPECT_EQ(q.pop()->seq, 2u);  // HP
+  EXPECT_EQ(q.pop()->seq, 1u);  // BE
+  EXPECT_EQ(q.pop(), nullptr);
+}
+
+TEST_F(PrioQueueFixture, FifoWithinBand) {
+  ClassPriorityQueue q(9);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    auto p = pkt(TrafficClass::kRealTime, i);
+    q.push(p);
+  }
+  for (std::uint32_t i = 0; i < 3; ++i) EXPECT_EQ(q.pop()->seq, i);
+}
+
+TEST_F(PrioQueueFixture, BandLimitsPartitionTheTotal) {
+  ClassPriorityQueue q(10);
+  EXPECT_EQ(q.band_limit(TrafficClass::kRealTime) +
+                q.band_limit(TrafficClass::kHighPriority) +
+                q.band_limit(TrafficClass::kBestEffort),
+            10u);
+  // Remainder slots go to the real-time band.
+  EXPECT_GE(q.band_limit(TrafficClass::kRealTime),
+            q.band_limit(TrafficClass::kBestEffort));
+}
+
+TEST_F(PrioQueueFixture, BestEffortBurstCannotStarveRealTime) {
+  ClassPriorityQueue q(9);  // 3 slots per band
+  for (int i = 0; i < 10; ++i) {
+    auto p = pkt(TrafficClass::kBestEffort);
+    q.push(p);  // overflowing its own band only
+  }
+  EXPECT_EQ(q.band_size(TrafficClass::kBestEffort), 3u);
+  auto rt = pkt(TrafficClass::kRealTime);
+  EXPECT_TRUE(q.push(rt));  // RT band still has room
+  EXPECT_EQ(q.total_rejected(), 7u);
+}
+
+TEST_F(PrioQueueFixture, UnspecifiedMapsToBestEffortBand) {
+  ClassPriorityQueue q(9);
+  auto u = pkt(TrafficClass::kUnspecified);
+  q.push(u);
+  EXPECT_EQ(q.band_size(TrafficClass::kBestEffort), 1u);
+}
+
+TEST_F(PrioQueueFixture, SizeAndDrain) {
+  ClassPriorityQueue q(9);
+  for (TrafficClass c : {TrafficClass::kRealTime, TrafficClass::kBestEffort,
+                         TrafficClass::kHighPriority}) {
+    auto p = pkt(c);
+    q.push(p);
+  }
+  EXPECT_EQ(q.size(), 3u);
+  int drained = 0;
+  q.drain([&](PacketPtr) { ++drained; });
+  EXPECT_EQ(drained, 3);
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace fhmip

@@ -1,0 +1,93 @@
+#include "net/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+
+namespace fhmip {
+namespace {
+
+PacketPtr pkt(Simulation& sim, std::uint32_t bytes = 100) {
+  return make_packet(sim, {1, 1}, {2, 2}, bytes);
+}
+
+TEST(DropTailQueue, FifoOrder) {
+  Simulation sim;
+  DropTailQueue q(10);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    auto p = pkt(sim);
+    p->seq = i;
+    ASSERT_TRUE(q.push(p));
+  }
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    auto p = q.pop();
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->seq, i);
+  }
+  EXPECT_EQ(q.pop(), nullptr);
+}
+
+TEST(DropTailQueue, RejectsWhenFull) {
+  Simulation sim;
+  DropTailQueue q(2);
+  auto a = pkt(sim);
+  auto b = pkt(sim);
+  auto c = pkt(sim);
+  EXPECT_TRUE(q.push(a));
+  EXPECT_TRUE(q.push(b));
+  EXPECT_FALSE(q.push(c));
+  EXPECT_NE(c, nullptr);  // rejected packet stays with the caller
+  EXPECT_TRUE(q.full());
+  EXPECT_EQ(q.total_rejected(), 1u);
+  EXPECT_EQ(q.total_enqueued(), 2u);
+}
+
+TEST(DropTailQueue, TracksBytes) {
+  Simulation sim;
+  DropTailQueue q(10);
+  auto a = pkt(sim, 100);
+  auto b = pkt(sim, 60);
+  q.push(a);
+  q.push(b);
+  EXPECT_EQ(q.bytes(), 160u);
+  q.pop();
+  EXPECT_EQ(q.bytes(), 60u);
+}
+
+TEST(DropTailQueue, DrainEmptiesInOrder) {
+  Simulation sim;
+  DropTailQueue q(10);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    auto p = pkt(sim);
+    p->seq = i;
+    q.push(p);
+  }
+  std::vector<std::uint32_t> seqs;
+  q.drain([&](PacketPtr p) { seqs.push_back(p->seq); });
+  EXPECT_EQ(seqs, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.bytes(), 0u);
+}
+
+TEST(DropTailQueue, SetLimitShrinksFutureAdmissions) {
+  Simulation sim;
+  DropTailQueue q(5);
+  for (int i = 0; i < 3; ++i) {
+    auto p = pkt(sim);
+    q.push(p);
+  }
+  q.set_limit(3);
+  auto p = pkt(sim);
+  EXPECT_FALSE(q.push(p));
+  EXPECT_EQ(q.size(), 3u);
+}
+
+TEST(DropTailQueue, ZeroLimitRejectsAll) {
+  Simulation sim;
+  DropTailQueue q(0);
+  auto p = pkt(sim);
+  EXPECT_FALSE(q.push(p));
+}
+
+}  // namespace
+}  // namespace fhmip

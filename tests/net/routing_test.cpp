@@ -1,0 +1,94 @@
+#include "net/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+
+namespace fhmip {
+namespace {
+
+struct RoutingFixture : ::testing::Test {
+  Simulation sim;
+  Node n{sim, 1, "n"};
+  SimplexLink l1{sim, n, 1e6, SimTime::millis(1), 10};
+  SimplexLink l2{sim, n, 1e6, SimTime::millis(1), 10};
+};
+
+TEST_F(RoutingFixture, EmptyTableHasNoRoute) {
+  RoutingTable t;
+  EXPECT_EQ(t.lookup({1, 2}), nullptr);
+}
+
+TEST_F(RoutingFixture, PrefixRouteMatchesNet) {
+  RoutingTable t;
+  t.set_prefix_route(5, Route::via(l1));
+  const Route* r = t.lookup({5, 99});
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->link, &l1);
+  EXPECT_EQ(t.lookup({6, 99}), nullptr);
+}
+
+TEST_F(RoutingFixture, HostRouteBeatsPrefixRoute) {
+  RoutingTable t;
+  t.set_prefix_route(5, Route::via(l1));
+  t.set_host_route({5, 7}, Route::via(l2));
+  EXPECT_EQ(t.lookup({5, 7})->link, &l2);
+  EXPECT_EQ(t.lookup({5, 8})->link, &l1);
+}
+
+TEST_F(RoutingFixture, DefaultRouteIsLastResort) {
+  RoutingTable t;
+  t.set_default_route(Route::via(l1));
+  t.set_prefix_route(5, Route::via(l2));
+  EXPECT_EQ(t.lookup({9, 1})->link, &l1);
+  EXPECT_EQ(t.lookup({5, 1})->link, &l2);
+}
+
+TEST_F(RoutingFixture, HandlerRoutesInvokeCallback) {
+  RoutingTable t;
+  bool called = false;
+  t.set_host_route({5, 7}, Route::to([&](PacketPtr) { called = true; }));
+  const Route* r = t.lookup({5, 7});
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->link, nullptr);
+  r->handler(make_packet(sim, {1, 1}, {5, 7}, 10));
+  EXPECT_TRUE(called);
+}
+
+TEST_F(RoutingFixture, RemoveHostRouteFallsBackToPrefix) {
+  RoutingTable t;
+  t.set_prefix_route(5, Route::via(l1));
+  t.set_host_route({5, 7}, Route::via(l2));
+  t.remove_host_route({5, 7});
+  EXPECT_EQ(t.lookup({5, 7})->link, &l1);
+  EXPECT_FALSE(t.has_host_route({5, 7}));
+}
+
+TEST_F(RoutingFixture, OverwritingRoutesReplaces) {
+  RoutingTable t;
+  t.set_prefix_route(5, Route::via(l1));
+  t.set_prefix_route(5, Route::via(l2));
+  EXPECT_EQ(t.lookup({5, 1})->link, &l2);
+}
+
+TEST_F(RoutingFixture, RouteCounts) {
+  RoutingTable t;
+  t.set_prefix_route(1, Route::via(l1));
+  t.set_host_route({1, 1}, Route::via(l1));
+  t.set_host_route({1, 2}, Route::via(l1));
+  EXPECT_EQ(t.num_prefix_routes(), 1u);
+  EXPECT_EQ(t.num_host_routes(), 2u);
+  t.clear_prefix_routes();
+  EXPECT_EQ(t.num_prefix_routes(), 0u);
+}
+
+TEST_F(RoutingFixture, RouteValidity) {
+  Route none;
+  EXPECT_FALSE(none.valid());
+  EXPECT_TRUE(Route::via(l1).valid());
+  EXPECT_TRUE(Route::to([](PacketPtr) {}).valid());
+}
+
+}  // namespace
+}  // namespace fhmip

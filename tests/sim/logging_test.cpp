@@ -1,0 +1,85 @@
+#include "sim/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+
+namespace fhmip {
+namespace {
+
+using namespace timeliterals;
+
+TEST(Logger, OffByDefault) {
+  Logger log;
+  EXPECT_EQ(log.level(), LogLevel::kOff);
+  EXPECT_FALSE(log.enabled(LogLevel::kError));
+}
+
+TEST(Logger, LevelFiltering) {
+  Logger log;
+  log.set_level(LogLevel::kInfo);
+  EXPECT_FALSE(log.enabled(LogLevel::kDebug));
+  EXPECT_TRUE(log.enabled(LogLevel::kInfo));
+  EXPECT_TRUE(log.enabled(LogLevel::kError));
+}
+
+TEST(Logger, SinkReceivesMessages) {
+  Logger log;
+  log.set_level(LogLevel::kDebug);
+  std::vector<std::string> got;
+  log.set_sink([&](LogLevel, SimTime, const std::string& m) {
+    got.push_back(m);
+  });
+  log.log(LogLevel::kInfo, 1_ms, "hello");
+  log.log(LogLevel::kTrace, 2_ms, "filtered");
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "hello");
+}
+
+TEST(Logger, SinkSeesLevelAndTime) {
+  Logger log;
+  log.set_level(LogLevel::kTrace);
+  LogLevel seen_level = LogLevel::kOff;
+  SimTime seen_time;
+  log.set_sink([&](LogLevel l, SimTime t, const std::string&) {
+    seen_level = l;
+    seen_time = t;
+  });
+  log.log(LogLevel::kWarn, 7_ms, "x");
+  EXPECT_EQ(seen_level, LogLevel::kWarn);
+  EXPECT_EQ(seen_time, 7_ms);
+}
+
+TEST(Logger, LevelNames) {
+  EXPECT_STREQ(to_string(LogLevel::kTrace), "TRACE");
+  EXPECT_STREQ(to_string(LogLevel::kError), "ERROR");
+  EXPECT_STREQ(to_string(LogLevel::kOff), "OFF");
+}
+
+TEST(Simulation, LogUsesCurrentTime) {
+  Simulation sim;
+  sim.logger().set_level(LogLevel::kInfo);
+  SimTime seen;
+  sim.logger().set_sink(
+      [&](LogLevel, SimTime t, const std::string&) { seen = t; });
+  sim.in(5_ms, [&] { sim.log(LogLevel::kInfo, "tick"); });
+  sim.run();
+  EXPECT_EQ(seen, 5_ms);
+}
+
+TEST(Simulation, UidsAreMonotonic) {
+  Simulation sim;
+  const auto a = sim.next_uid();
+  const auto b = sim.next_uid();
+  EXPECT_LT(a, b);
+}
+
+TEST(Simulation, SeedControlsRng) {
+  Simulation a(9), b(9), c(10);
+  EXPECT_EQ(a.rng().next_u64(), b.rng().next_u64());
+  Simulation a2(9);
+  EXPECT_NE(a2.rng().next_u64(), c.rng().next_u64());
+}
+
+}  // namespace
+}  // namespace fhmip

@@ -1,0 +1,117 @@
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace fhmip {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(7);
+  const std::uint64_t first = a.next_u64();
+  a.next_u64();
+  a.reseed(7);
+  EXPECT_EQ(a.next_u64(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(3);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.0, 2.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 2.0);
+  }
+}
+
+TEST(Rng, UniformMeanApproximatelyHalf) {
+  Rng r(11);
+  double sum = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng r(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = r.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // every value appears
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng r(17);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.uniform_int(9, 9), 9);
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+  Rng r(19);
+  for (int i = 0; i < 100; ++i) {
+    const std::int64_t v = r.uniform_int(-10, -5);
+    EXPECT_GE(v, -10);
+    EXPECT_LE(v, -5);
+  }
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng r(23);
+  double sum = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(0.02);
+  EXPECT_NEAR(sum / n, 0.02, 0.001);
+}
+
+TEST(Rng, ExponentialIsPositive) {
+  Rng r(29);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(r.exponential(1.0), 0.0);
+}
+
+TEST(Rng, ChanceProbability) {
+  Rng r(31);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    if (r.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(37);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace fhmip

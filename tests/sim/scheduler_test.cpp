@@ -1,0 +1,179 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fhmip {
+namespace {
+
+using namespace timeliterals;
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(3_ms, [&] { order.push_back(3); });
+  s.schedule_at(1_ms, [&] { order.push_back(1); });
+  s.schedule_at(2_ms, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 3_ms);
+}
+
+TEST(Scheduler, SameTimestampIsFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(5_ms, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Scheduler, ScheduleInIsRelative) {
+  Scheduler s;
+  SimTime seen;
+  s.schedule_at(10_ms, [&] {
+    s.schedule_in(5_ms, [&] { seen = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(seen, 15_ms);
+}
+
+TEST(Scheduler, PastSchedulingClampsToNow) {
+  Scheduler s;
+  SimTime seen;
+  s.schedule_at(10_ms, [&] {
+    s.schedule_at(2_ms, [&] { seen = s.now(); });  // in the past
+  });
+  s.run();
+  EXPECT_EQ(seen, 10_ms);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool ran = false;
+  const EventId id = s.schedule_at(1_ms, [&] { ran = true; });
+  EXPECT_TRUE(s.pending(id));
+  s.cancel(id);
+  EXPECT_FALSE(s.pending(id));
+  s.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Scheduler, CancelInvalidAndStaleIdsAreNoops) {
+  Scheduler s;
+  s.cancel(kInvalidEvent);
+  const EventId id = s.schedule_at(1_ms, [] {});
+  s.run();
+  s.cancel(id);  // already executed
+  EXPECT_FALSE(s.pending(id));
+}
+
+TEST(Scheduler, CancelOneOfManyAtSameTime) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(1_ms, [&] { order.push_back(0); });
+  const EventId id = s.schedule_at(1_ms, [&] { order.push_back(1); });
+  s.schedule_at(1_ms, [&] { order.push_back(2); });
+  s.cancel(id);
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2}));
+}
+
+TEST(Scheduler, RunUntilStopsAtBoundaryInclusive) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(1_ms, [&] { order.push_back(1); });
+  s.schedule_at(2_ms, [&] { order.push_back(2); });
+  s.schedule_at(3_ms, [&] { order.push_back(3); });
+  s.run_until(2_ms);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(s.now(), 2_ms);
+  s.run_until(10_ms);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 10_ms);  // clock advances even with no events
+}
+
+TEST(Scheduler, RunUntilExecutesEventsScheduledDuringRun) {
+  Scheduler s;
+  int count = 0;
+  // A self-rescheduling ticker.
+  std::function<void()> tick = [&] {
+    ++count;
+    if (count < 5) s.schedule_in(1_ms, tick);
+  };
+  s.schedule_at(1_ms, tick);
+  s.run_until(10_ms);
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Scheduler, StepExecutesExactlyOne) {
+  Scheduler s;
+  int count = 0;
+  s.schedule_at(1_ms, [&] { ++count; });
+  s.schedule_at(2_ms, [&] { ++count; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Scheduler, MaxEventsBound) {
+  Scheduler s;
+  int count = 0;
+  for (int i = 0; i < 100; ++i) s.schedule_at(1_ms, [&] { ++count; });
+  EXPECT_EQ(s.run(30), 30u);
+  EXPECT_EQ(count, 30);
+}
+
+TEST(Scheduler, QueueSizeExcludesCancelled) {
+  Scheduler s;
+  const EventId a = s.schedule_at(1_ms, [] {});
+  s.schedule_at(2_ms, [] {});
+  EXPECT_EQ(s.queue_size(), 2u);
+  s.cancel(a);
+  EXPECT_EQ(s.queue_size(), 1u);
+  EXPECT_FALSE(s.empty());
+}
+
+TEST(Scheduler, EventsExecutedCounter) {
+  Scheduler s;
+  for (int i = 0; i < 4; ++i) s.schedule_at(SimTime::millis(i), [] {});
+  s.run();
+  EXPECT_EQ(s.events_executed(), 4u);
+}
+
+TEST(Scheduler, SchedulingFromWithinEvent) {
+  Scheduler s;
+  std::vector<SimTime> at;
+  s.schedule_at(1_ms, [&] {
+    at.push_back(s.now());
+    s.schedule_in(1_ms, [&] { at.push_back(s.now()); });
+    s.schedule_at(s.now(), [&] { at.push_back(s.now()); });  // same time
+  });
+  s.run();
+  ASSERT_EQ(at.size(), 3u);
+  EXPECT_EQ(at[0], 1_ms);
+  EXPECT_EQ(at[1], 1_ms);  // same-time event runs before later ones
+  EXPECT_EQ(at[2], 2_ms);
+}
+
+TEST(Scheduler, ManyEventsStressOrdering) {
+  Scheduler s;
+  SimTime last;
+  bool monotonic = true;
+  for (int i = 0; i < 10'000; ++i) {
+    s.schedule_at(SimTime::micros((i * 7919) % 10'000), [&] {
+      if (s.now() < last) monotonic = false;
+      last = s.now();
+    });
+  }
+  s.run();
+  EXPECT_TRUE(monotonic);
+  EXPECT_EQ(s.events_executed(), 10'000u);
+}
+
+}  // namespace
+}  // namespace fhmip

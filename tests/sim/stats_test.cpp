@@ -1,0 +1,104 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fhmip {
+namespace {
+
+using namespace timeliterals;
+
+TEST(StatsHub, UnknownFlowIsEmpty) {
+  StatsHub s;
+  const FlowCounters& c = s.flow(42);
+  EXPECT_EQ(c.sent, 0u);
+  EXPECT_EQ(c.delivered, 0u);
+  EXPECT_EQ(c.dropped, 0u);
+}
+
+TEST(StatsHub, RecordsSentDeliveredDropped) {
+  StatsHub s;
+  s.record_sent(1);
+  s.record_sent(1);
+  s.record_delivery(1, 5_ms, 0, 2_ms, 160);
+  s.record_drop(1, DropReason::kQueueOverflow);
+  const FlowCounters& c = s.flow(1);
+  EXPECT_EQ(c.sent, 2u);
+  EXPECT_EQ(c.delivered, 1u);
+  EXPECT_EQ(c.dropped, 1u);
+  EXPECT_EQ(c.bytes_delivered, 160u);
+  EXPECT_EQ(c.in_flight(), 0u);
+}
+
+TEST(StatsHub, DropsByReason) {
+  StatsHub s;
+  s.record_drop(1, DropReason::kBufferTailDrop);
+  s.record_drop(1, DropReason::kBufferTailDrop);
+  s.record_drop(1, DropReason::kPolicyDrop);
+  const FlowCounters& c = s.flow(1);
+  EXPECT_EQ(c.drops_by_reason[static_cast<int>(DropReason::kBufferTailDrop)],
+            2u);
+  EXPECT_EQ(c.drops_by_reason[static_cast<int>(DropReason::kPolicyDrop)], 1u);
+  EXPECT_EQ(s.total_drops(DropReason::kBufferTailDrop), 2u);
+  EXPECT_EQ(s.total_drops(DropReason::kWirelessDown), 0u);
+}
+
+TEST(StatsHub, TotalsAggregateAcrossFlows) {
+  StatsHub s;
+  s.record_sent(1);
+  s.record_sent(2);
+  s.record_sent(2);
+  s.record_delivery(2, 1_ms, 0, 1_ms, 100);
+  s.record_drop(1, DropReason::kUnattached);
+  const FlowCounters t = s.totals();
+  EXPECT_EQ(t.sent, 3u);
+  EXPECT_EQ(t.delivered, 1u);
+  EXPECT_EQ(t.dropped, 1u);
+  EXPECT_EQ(t.in_flight(), 1u);
+}
+
+TEST(StatsHub, SamplesOnlyWhenEnabled) {
+  StatsHub s;
+  s.record_delivery(1, 1_ms, 7, 1_ms, 100);
+  EXPECT_TRUE(s.samples(1).empty());
+  s.set_keep_samples(true);
+  s.record_delivery(1, 2_ms, 8, 3_ms, 100);
+  ASSERT_EQ(s.samples(1).size(), 1u);
+  EXPECT_EQ(s.samples(1)[0].seq, 8u);
+  EXPECT_EQ(s.samples(1)[0].delay, 3_ms);
+  EXPECT_EQ(s.samples(1)[0].at, 2_ms);
+}
+
+TEST(StatsHub, FlowsEnumeration) {
+  StatsHub s;
+  s.record_sent(3);
+  s.record_sent(1);
+  s.record_drop(2, DropReason::kNoRoute);
+  const auto flows = s.flows();
+  EXPECT_EQ(flows, (std::vector<FlowId>{1, 2, 3}));
+}
+
+TEST(StatsHub, ResetClearsEverything) {
+  StatsHub s;
+  s.set_keep_samples(true);
+  s.record_sent(1);
+  s.record_delivery(1, 1_ms, 0, 1_ms, 10);
+  s.reset();
+  EXPECT_EQ(s.flow(1).sent, 0u);
+  EXPECT_TRUE(s.samples(1).empty());
+  EXPECT_TRUE(s.flows().empty());
+}
+
+TEST(StatsHub, DropReasonNamesAreDistinct) {
+  std::set<std::string> names;
+  for (int i = 0; i < kNumDropReasons; ++i) {
+    names.insert(to_string(static_cast<DropReason>(i)));
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kNumDropReasons));
+}
+
+}  // namespace
+}  // namespace fhmip

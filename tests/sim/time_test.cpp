@@ -1,0 +1,82 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fhmip {
+namespace {
+
+using namespace timeliterals;
+
+TEST(SimTime, DefaultIsZero) {
+  SimTime t;
+  EXPECT_EQ(t.ns(), 0);
+  EXPECT_TRUE(t.is_zero());
+}
+
+TEST(SimTime, NamedConstructorsScale) {
+  EXPECT_EQ(SimTime::nanos(7).ns(), 7);
+  EXPECT_EQ(SimTime::micros(3).ns(), 3'000);
+  EXPECT_EQ(SimTime::millis(2).ns(), 2'000'000);
+  EXPECT_EQ(SimTime::seconds(5).ns(), 5'000'000'000);
+}
+
+TEST(SimTime, Literals) {
+  EXPECT_EQ((250_ms).ns(), 250'000'000);
+  EXPECT_EQ((3_s).ns(), 3'000'000'000);
+  EXPECT_EQ((10_us).ns(), 10'000);
+  EXPECT_EQ((42_ns).ns(), 42);
+}
+
+TEST(SimTime, FromSecondsRounds) {
+  EXPECT_EQ(SimTime::from_seconds(0.2).ns(), 200'000'000);
+  EXPECT_EQ(SimTime::from_seconds(1e-9).ns(), 1);
+  // Rounding, not truncation.
+  EXPECT_EQ(SimTime::from_seconds(2.9999999996e-9).ns(), 3);
+}
+
+TEST(SimTime, FromMillis) {
+  EXPECT_EQ(SimTime::from_millis(12.5).ns(), 12'500'000);
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime a = 100_ms;
+  const SimTime b = 40_ms;
+  EXPECT_EQ((a + b).ns(), (140_ms).ns());
+  EXPECT_EQ((a - b).ns(), (60_ms).ns());
+  EXPECT_EQ((a * 3).ns(), (300_ms).ns());
+  EXPECT_EQ((3 * a).ns(), (300_ms).ns());
+  SimTime c = a;
+  c += b;
+  EXPECT_EQ(c, 140_ms);
+  c -= 40_ms;
+  EXPECT_EQ(c, a);
+}
+
+TEST(SimTime, Comparisons) {
+  EXPECT_LT(1_ms, 2_ms);
+  EXPECT_LE(2_ms, 2_ms);
+  EXPECT_GT(1_s, 999_ms);
+  EXPECT_EQ(1000_ms, 1_s);
+  EXPECT_NE(1_ms, 1_us);
+}
+
+TEST(SimTime, FloatingAccessors) {
+  EXPECT_DOUBLE_EQ((1500_ms).sec(), 1.5);
+  EXPECT_DOUBLE_EQ((2_ms).millis_f(), 2.0);
+  EXPECT_DOUBLE_EQ((3_us).micros_f(), 3.0);
+}
+
+TEST(SimTime, NegativeIntermediate) {
+  const SimTime d = 1_ms - 2_ms;
+  EXPECT_EQ(d.ns(), -1'000'000);
+  EXPECT_LT(d, SimTime{});
+}
+
+TEST(SimTime, ToStringPicksUnit) {
+  EXPECT_EQ((3_s).to_string(), "3s");
+  EXPECT_EQ((250_ms).to_string(), "250ms");
+  EXPECT_EQ(SimTime::nanos(1'500'000'123).to_string(), "1.500000s");
+}
+
+}  // namespace
+}  // namespace fhmip

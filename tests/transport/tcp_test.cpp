@@ -1,0 +1,281 @@
+#include "transport/tcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+
+#include "net/link.hpp"
+#include "net/network.hpp"
+
+namespace fhmip {
+namespace {
+
+using namespace timeliterals;
+
+/// CN --- r --- host. The r->host direction passes a filter so tests can
+/// drop chosen data segments (loss injection).
+struct TcpNet {
+  Simulation sim;
+  Network net{sim};
+  Node& cn = net.add_node("cn");
+  Node& r = net.add_node("r");
+  Node& host = net.add_node("host");
+  SimplexLink* r_to_host = nullptr;
+  std::function<bool(const Packet&)> drop_if;  // true = drop
+  std::uint64_t injected_drops = 0;
+
+  TcpNet() {
+    cn.add_address({1, 1});
+    r.add_address({2, 1});
+    host.add_address({3, 1});
+    net.connect(cn, r, 10e6, 5_ms);
+    DuplexLink& l = net.connect(r, host, 10e6, 5_ms);
+    net.compute_routes();
+    r_to_host = &l.toward(host);
+    // Interpose the filter on r's route toward the host.
+    r.routes().set_prefix_route(3, Route::to([this](PacketPtr p) {
+      if (drop_if && drop_if(*p)) {
+        ++injected_drops;
+        return;  // silently dropped
+      }
+      r_to_host->transmit(std::move(p));
+    }));
+  }
+
+  TcpSender::Config sender_cfg(std::uint64_t total_bytes = 0) {
+    TcpSender::Config c;
+    c.dst = {3, 1};
+    c.dst_port = 80;
+    c.src_port = 1080;
+    c.mss = 1000;
+    c.flow = 1;
+    c.ack_flow = 2;
+    c.total_bytes = total_bytes;
+    return c;
+  }
+};
+
+struct TcpFixture : ::testing::Test, TcpNet {};
+
+TEST_F(TcpFixture, TransfersFixedAmount) {
+  TcpSink sink(host, 80);
+  TcpSender tx(cn, sender_cfg(50'000));
+  tx.start(0_s);
+  sim.run_until(10_s);
+  EXPECT_EQ(tx.bytes_acked(), 50'000u);
+  EXPECT_EQ(sink.bytes_in_order(), 50'000u);
+  EXPECT_EQ(tx.timeouts(), 0);
+  EXPECT_EQ(tx.fast_retransmits(), 0);
+}
+
+TEST_F(TcpFixture, SlowStartDoublesPerRtt) {
+  TcpSink sink(host, 80);
+  TcpSender tx(cn, sender_cfg());
+  tx.start(0_s);
+  // RTT ~20 ms. After the first ACK cwnd is 2 segments, then 4, 8...
+  sim.run_until(25_ms);
+  EXPECT_GE(tx.cwnd_bytes(), 2000.0);
+  sim.run_until(45_ms);
+  EXPECT_GE(tx.cwnd_bytes(), 4000.0);
+  EXPECT_LE(tx.cwnd_bytes(), 9000.0);
+}
+
+TEST_F(TcpFixture, CongestionAvoidanceIsLinear) {
+  TcpSink sink(host, 80);
+  auto cfg = sender_cfg();
+  cfg.initial_ssthresh_pkts = 4;  // leave slow start quickly
+  TcpSender tx(cn, cfg);
+  tx.start(0_s);
+  sim.run_until(100_ms);
+  const double cwnd_at_100ms = tx.cwnd_bytes();
+  sim.run_until(120_ms);  // ~one more RTT
+  // Roughly +1 MSS per RTT, certainly far from doubling.
+  EXPECT_LT(tx.cwnd_bytes(), cwnd_at_100ms * 1.5);
+  EXPECT_GT(tx.cwnd_bytes(), cwnd_at_100ms);
+}
+
+TEST_F(TcpFixture, SingleLossRecoversViaFastRetransmit) {
+  TcpSink sink(host, 80);
+  TcpSender tx(cn, sender_cfg());
+  // Drop exactly one mid-stream segment.
+  std::set<std::uint32_t> dropped;
+  drop_if = [&](const Packet& p) {
+    const auto* seg = std::get_if<TcpSegMsg>(&p.msg);
+    if (seg == nullptr || seg->is_ack) return false;
+    if (seg->seq == 20'000 && dropped.insert(seg->seq).second) return true;
+    return false;
+  };
+  tx.start(0_s);
+  sim.run_until(5_s);
+  EXPECT_EQ(injected_drops, 1u);
+  EXPECT_EQ(tx.fast_retransmits(), 1);
+  EXPECT_EQ(tx.timeouts(), 0);
+  EXPECT_GT(sink.bytes_in_order(), 1'000'000u);  // kept moving
+}
+
+TEST_F(TcpFixture, BurstLossForcesCoarseTimeout) {
+  TcpSink sink(host, 80);
+  TcpSender tx(cn, sender_cfg());
+  // Black out the r->host direction for 200 ms (the L2 handoff pattern):
+  // every in-flight segment dies, no dupacks arrive, only the coarse timer
+  // can recover (§4.2.4's analysis of Figure 4.12).
+  bool blackout = false;
+  drop_if = [&](const Packet& p) {
+    const auto* seg = std::get_if<TcpSegMsg>(&p.msg);
+    return blackout && seg != nullptr && !seg->is_ack;
+  };
+  sim.at(2_s, [&] { blackout = true; });
+  sim.at(SimTime::from_millis(2200), [&] { blackout = false; });
+  tx.start(0_s);
+  sim.run_until(6_s);
+  EXPECT_GE(tx.timeouts(), 1);
+  // Recovery cannot begin before min RTO (1 s) after the blackout start.
+  std::uint64_t acked_at_3s = 0;
+  for (const auto& a : tx.ack_trace()) {
+    if (a.at <= 3_s) acked_at_3s = std::max<std::uint64_t>(acked_at_3s, a.seq);
+  }
+  std::uint64_t final_acked = tx.bytes_acked();
+  EXPECT_GT(final_acked, acked_at_3s);  // it did recover afterwards
+}
+
+TEST_F(TcpFixture, RtoIsTickAlignedAndAtLeastOneSecond) {
+  TcpSink sink(host, 80);
+  TcpSender tx(cn, sender_cfg());
+  tx.start(0_s);
+  sim.run_until(1_s);
+  const SimTime rto = tx.current_rto();
+  EXPECT_GE(rto, 1_s);
+  EXPECT_EQ(rto.ns() % (500_ms).ns(), 0);  // multiple of the 500 ms tick
+}
+
+TEST_F(TcpFixture, ReceiverReassemblesOutOfOrder) {
+  TcpSink sink(host, 80);
+  TcpSender tx(cn, sender_cfg());
+  std::set<std::uint32_t> dropped;
+  drop_if = [&](const Packet& p) {
+    const auto* seg = std::get_if<TcpSegMsg>(&p.msg);
+    if (seg == nullptr || seg->is_ack) return false;
+    return seg->seq == 5000 && dropped.insert(seg->seq).second;
+  };
+  tx.start(0_s);
+  sim.run_until(5_s);
+  // The hole was repaired: everything beyond it counts as in-order.
+  EXPECT_GT(sink.bytes_in_order(), 100'000u);
+  EXPECT_EQ(sink.rcv_nxt() % 1000, 0u);
+}
+
+TEST_F(TcpFixture, TracesAreMonotoneInTime) {
+  TcpSink sink(host, 80);
+  TcpSender tx(cn, sender_cfg(100'000));
+  tx.start(0_s);
+  sim.run_until(10_s);
+  for (std::size_t i = 1; i < tx.send_trace().size(); ++i) {
+    EXPECT_LE(tx.send_trace()[i - 1].at, tx.send_trace()[i].at);
+  }
+  ASSERT_FALSE(tx.ack_trace().empty());
+  EXPECT_EQ(tx.ack_trace().back().seq, 100'000u);
+}
+
+TEST_F(TcpFixture, ThroughputApproachesBottleneck) {
+  TcpSink sink(host, 80);
+  TcpSender tx(cn, sender_cfg());
+  tx.start(0_s);
+  sim.run_until(10_s);
+  const double mbps = tx.bytes_acked() * 8.0 / 10.0 / 1e6;
+  EXPECT_GT(mbps, 7.0);   // close to the 10 Mb/s bottleneck
+  EXPECT_LE(mbps, 10.5);
+}
+
+TEST_F(TcpFixture, DelayedAcksHalveAckTraffic) {
+  TcpSink immediate(host, 80);
+  TcpSender tx1(cn, sender_cfg(100'000));
+  tx1.start(0_s);
+  sim.run_until(10_s);
+  const auto immediate_acks = immediate.acks_sent();
+  EXPECT_EQ(tx1.bytes_acked(), 100'000u);
+
+  // Fresh network for the delayed-ack run.
+  TcpNet second;
+  TcpSink delayed(second.host, 80);
+  delayed.set_delayed_ack(true);
+  TcpSender tx2(second.cn, second.sender_cfg(100'000));
+  tx2.start(0_s);
+  second.sim.run_until(10_s);
+  EXPECT_EQ(tx2.bytes_acked(), 100'000u);  // still completes
+  EXPECT_LT(delayed.acks_sent(), immediate_acks * 3 / 4);
+  EXPECT_GE(delayed.acks_sent(), immediate_acks / 2 - 2);
+}
+
+TEST_F(TcpFixture, DelayedAckTimerFlushesLoneSegment) {
+  TcpSink sink(host, 80);
+  sink.set_delayed_ack(true, 200_ms);
+  // Exactly one MSS of data: the ACK must come from the 200 ms timer.
+  TcpSender tx(cn, sender_cfg(1000));
+  tx.start(0_s);
+  sim.run_until(5_s);
+  EXPECT_EQ(tx.bytes_acked(), 1000u);
+  ASSERT_EQ(tx.ack_trace().size(), 1u);
+  EXPECT_GE(tx.ack_trace()[0].at, 200_ms);
+  EXPECT_LE(tx.ack_trace()[0].at, 300_ms);
+}
+
+TEST_F(TcpFixture, DelayedAckStillSignalsLossImmediately) {
+  TcpSink sink(host, 80);
+  sink.set_delayed_ack(true);
+  TcpSender tx(cn, sender_cfg());
+  std::set<std::uint32_t> dropped;
+  drop_if = [&](const Packet& p) {
+    const auto* seg = std::get_if<TcpSegMsg>(&p.msg);
+    if (seg == nullptr || seg->is_ack) return false;
+    return seg->seq == 30'000 && dropped.insert(seg->seq).second;
+  };
+  tx.start(0_s);
+  sim.run_until(5_s);
+  // Out-of-order arrivals generate immediate duplicate ACKs, so fast
+  // retransmit still fires — no coarse timeout.
+  EXPECT_EQ(tx.fast_retransmits(), 1);
+  EXPECT_EQ(tx.timeouts(), 0);
+}
+
+TEST_F(TcpFixture, NewRenoRepairsBurstWithoutTimeout) {
+  // Drop three separate segments from one window: classic Reno typically
+  // needs the coarse timer for the later holes, NewReno walks the holes
+  // with partial ACKs.
+  auto make_filter = [&](std::set<std::uint32_t>& dropped) {
+    return [&dropped](const Packet& p) {
+      const auto* seg = std::get_if<TcpSegMsg>(&p.msg);
+      if (seg == nullptr || seg->is_ack) return false;
+      if ((seg->seq == 40'000 || seg->seq == 42'000 || seg->seq == 44'000) &&
+          dropped.insert(seg->seq).second) {
+        return true;
+      }
+      return false;
+    };
+  };
+
+  auto cfg = sender_cfg();
+  cfg.newreno = true;
+  TcpSink sink(host, 80);
+  TcpSender tx(cn, cfg);
+  std::set<std::uint32_t> dropped;
+  drop_if = make_filter(dropped);
+  tx.start(0_s);
+  sim.run_until(6_s);
+  EXPECT_EQ(dropped.size(), 3u);
+  EXPECT_EQ(tx.timeouts(), 0);
+  EXPECT_GT(sink.bytes_in_order(), 1'000'000u);
+}
+
+TEST_F(TcpFixture, StatsConservationPerPacket) {
+  TcpSink sink(host, 80);
+  TcpSender tx(cn, sender_cfg(200'000));
+  tx.start(0_s);
+  sim.run_until(10_s);
+  const FlowCounters& c = sim.stats().flow(1);
+  // Every transmitted segment was delivered or dropped (none in flight).
+  EXPECT_EQ(c.sent, c.delivered + c.dropped + injected_drops);
+}
+
+}  // namespace
+}  // namespace fhmip

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "net/link.hpp"
+#include "net/network.hpp"
+#include "transport/tcp.hpp"
+
+namespace fhmip {
+namespace {
+
+using namespace timeliterals;
+
+/// Coarse-timer behaviours of the Reno sender (§4.2.4's 500 ms tick and
+/// 1 s minimum RTO are what shape Figure 4.12).
+struct TcpTimerFixture : ::testing::Test {
+  Simulation sim;
+  Network net{sim};
+  Node& cn = net.add_node("cn");
+  Node& host = net.add_node("host");
+  DuplexLink* link = nullptr;
+
+  TcpTimerFixture() {
+    cn.add_address({1, 1});
+    host.add_address({2, 1});
+    link = &net.connect(cn, host, 10e6, 5_ms);
+    net.compute_routes();
+  }
+
+  TcpSender::Config cfg(std::uint64_t total = 0) {
+    TcpSender::Config c;
+    c.dst = {2, 1};
+    c.dst_port = 80;
+    c.src_port = 1080;
+    c.mss = 1000;
+    c.flow = 1;
+    c.total_bytes = total;
+    return c;
+  }
+};
+
+TEST_F(TcpTimerFixture, BackoffDoublesAcrossConsecutiveTimeouts) {
+  TcpSink sink(host, 80);
+  TcpSender tx(cn, cfg());
+  tx.start(0_s);
+  sim.run_until(1_s);  // healthy, srtt ~10 ms -> base RTO = 1 s
+  const SimTime base = tx.current_rto();
+  EXPECT_EQ(base, 1_s);
+  // Cut the wire: every retransmission dies, timeouts pile up.
+  link->a_to_b().set_loss_rate(1.0);
+  sim.run_until(20_s);
+  EXPECT_GE(tx.timeouts(), 3);
+  // Exponential backoff, tick-aligned, capped at x64.
+  const SimTime backed_off = tx.current_rto();
+  EXPECT_GE(backed_off, 8_s);
+  EXPECT_EQ(backed_off.ns() % (500_ms).ns(), 0);
+}
+
+TEST_F(TcpTimerFixture, BackoffResetsOnRecovery) {
+  TcpSink sink(host, 80);
+  TcpSender tx(cn, cfg());
+  tx.start(0_s);
+  sim.run_until(1_s);
+  link->a_to_b().set_loss_rate(1.0);
+  sim.run_until(8_s);
+  EXPECT_GT(tx.current_rto(), 1_s);
+  link->a_to_b().set_loss_rate(0.0);
+  sim.run_until(25_s);
+  EXPECT_EQ(tx.current_rto(), 1_s);  // fresh ACKs reset the backoff
+  EXPECT_GT(tx.bytes_acked(), 1'000'000u);
+}
+
+TEST_F(TcpTimerFixture, ReceiverWindowCapsInFlight) {
+  TcpSink sink(host, 80);
+  auto c = cfg();
+  c.rwnd_pkts = 4;
+  c.initial_ssthresh_pkts = 64;
+  TcpSender tx(cn, c);
+  tx.start(0_s);
+  // Warm up so cwnd grows well past rwnd, then freeze the reverse path:
+  // outstanding data must stop at the 4-segment receiver window.
+  sim.run_until(500_ms);
+  link->b_to_a().set_loss_rate(1.0);
+  sim.run_until(SimTime::from_millis(1'400));  // before the RTO rewind
+  std::uint32_t max_sent = 0;
+  for (const auto& pt : tx.send_trace()) {
+    max_sent = std::max(max_sent, pt.seq + 1000);
+  }
+  EXPECT_LE(max_sent - tx.bytes_acked(), 4u * 1000u);
+  EXPECT_GT(tx.cwnd_bytes(), 4.0 * 1000.0);  // cwnd was not the limiter
+}
+
+TEST_F(TcpTimerFixture, GoBackNRetransmitsTheWholeWindow) {
+  TcpSink sink(host, 80);
+  TcpSender tx(cn, cfg());
+  tx.start(0_s);
+  sim.run_until(1_s);
+  // Blackout long enough for exactly one timeout, then heal.
+  link->a_to_b().set_loss_rate(1.0);
+  sim.at(SimTime::from_millis(1'050), [&] {
+    link->a_to_b().set_loss_rate(0.0);
+  });
+  sim.run_until(10_s);
+  EXPECT_GE(tx.timeouts(), 1);
+  // Everything lost in the blackout was re-sent and acknowledged; the
+  // stream is hole-free at the receiver (the receiver may be at most a
+  // window of in-flight ACKs ahead of the sender's view at cutoff).
+  EXPECT_GE(sink.bytes_in_order(), tx.bytes_acked());
+  EXPECT_LE(sink.bytes_in_order() - tx.bytes_acked(), 64u * 1000u);
+  EXPECT_GT(tx.bytes_acked(), 2'000'000u);
+}
+
+TEST_F(TcpTimerFixture, NoTimerWhenNothingInFlight) {
+  TcpSink sink(host, 80);
+  TcpSender tx(cn, cfg(5'000));  // five segments and done
+  tx.start(0_s);
+  sim.run_until(30_s);
+  EXPECT_EQ(tx.bytes_acked(), 5'000u);
+  EXPECT_EQ(tx.timeouts(), 0);
+  EXPECT_TRUE(sim.scheduler().empty());  // no stray armed timer
+}
+
+}  // namespace
+}  // namespace fhmip

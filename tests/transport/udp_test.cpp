@@ -1,0 +1,103 @@
+#include "transport/udp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "transport/sink.hpp"
+
+namespace fhmip {
+namespace {
+
+using namespace timeliterals;
+
+struct UdpFixture : ::testing::Test {
+  Simulation sim;
+  Network net{sim};
+  Node& a = net.add_node("a");
+  Node& b = net.add_node("b");
+
+  UdpFixture() {
+    a.add_address({1, 1});
+    b.add_address({2, 1});
+    net.connect(a, b, 1e9, 1_ms);
+    net.compute_routes();
+  }
+};
+
+TEST_F(UdpFixture, SendStampsHeaders) {
+  UdpAgent tx(a, 5000);
+  PacketPtr got;
+  UdpAgent rx(b, 7000);
+  rx.set_receive_callback([&](PacketPtr p) { got = std::move(p); });
+  tx.send_to({2, 1}, 7000, 160, TrafficClass::kRealTime, 3, 42);
+  sim.run();
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->src, (Address{1, 1}));
+  EXPECT_EQ(got->src_port, 5000);
+  EXPECT_EQ(got->dst_port, 7000);
+  EXPECT_EQ(got->size_bytes, 160u);
+  EXPECT_EQ(got->tclass, TrafficClass::kRealTime);
+  EXPECT_EQ(got->flow, 3);
+  EXPECT_EQ(got->seq, 42u);
+  EXPECT_EQ(sim.stats().flow(3).sent, 1u);
+}
+
+TEST_F(UdpFixture, SourcePinning) {
+  UdpAgent tx(a, 5000);
+  tx.set_source({9, 9});
+  PacketPtr got;
+  UdpAgent rx(b, 7000);
+  rx.set_receive_callback([&](PacketPtr p) { got = std::move(p); });
+  tx.send_to({2, 1}, 7000, 100);
+  sim.run();
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->src, (Address{9, 9}));
+}
+
+TEST_F(UdpFixture, UnrecordedSendSkipsStats) {
+  UdpAgent tx(a, 5000);
+  tx.send_to({2, 1}, 7000, 100, TrafficClass::kUnspecified, 5, 0,
+             /*record=*/false);
+  sim.run();
+  EXPECT_EQ(sim.stats().flow(5).sent, 0u);
+}
+
+TEST_F(UdpFixture, DestructorUnbindsPort) {
+  {
+    UdpAgent rx(b, 7000);
+  }
+  UdpAgent tx(a, 5000);
+  tx.send_to({2, 1}, 7000, 100, TrafficClass::kUnspecified, 1);
+  sim.run();
+  EXPECT_EQ(sim.stats().flow(1).dropped, 1u);  // nobody home
+}
+
+TEST_F(UdpFixture, SinkRecordsDeliveryAndDelay) {
+  sim.stats().set_keep_samples(true);
+  UdpSink sink(b, 7000);
+  UdpAgent tx(a, 5000);
+  tx.send_to({2, 1}, 7000, 160, TrafficClass::kUnspecified, 1, 0);
+  sim.run();
+  EXPECT_EQ(sink.packets_received(), 1u);
+  EXPECT_EQ(sink.bytes_received(), 160u);
+  const FlowCounters& c = sim.stats().flow(1);
+  EXPECT_EQ(c.delivered, 1u);
+  ASSERT_EQ(sim.stats().samples(1).size(), 1u);
+  // 1 ms propagation + 160 B at 1 Gb/s.
+  EXPECT_GT(sim.stats().samples(1)[0].delay, 1_ms);
+  EXPECT_LT(sim.stats().samples(1)[0].delay, 2_ms);
+}
+
+TEST_F(UdpFixture, SinkTracksSequenceAndReordering) {
+  UdpSink sink(b, 7000);
+  UdpAgent tx(a, 5000);
+  tx.send_to({2, 1}, 7000, 100, TrafficClass::kUnspecified, 1, 0);
+  tx.send_to({2, 1}, 7000, 100, TrafficClass::kUnspecified, 1, 2);
+  tx.send_to({2, 1}, 7000, 100, TrafficClass::kUnspecified, 1, 1);
+  sim.run();
+  EXPECT_EQ(sink.max_seq(), 2u);
+  EXPECT_EQ(sink.out_of_order(), 1u);
+}
+
+}  // namespace
+}  // namespace fhmip

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "wireless/wlan.hpp"
+
+namespace fhmip {
+namespace {
+
+using namespace timeliterals;
+
+/// Coverage-gap and edge behaviours of the association state machine.
+struct CoverageFixture : ::testing::Test {
+  Simulation sim;
+  Network net{sim};
+  Node& ar1 = net.add_node("ar1");
+  Node& ar2 = net.add_node("ar2");
+  Node& mh = net.add_node("mh");
+  WlanConfig cfg;
+
+  int attaches = 0, detaches = 0;
+  struct Cb : L2Callbacks {
+    CoverageFixture* f;
+    void on_l2_trigger(NodeId, Node&) override {}
+    void on_predisconnect(NodeId, Node&) override {}
+    void on_attached(NodeId, Node&) override { ++f->attaches; }
+    void on_detached() override { ++f->detaches; }
+  } cb;
+
+  CoverageFixture() {
+    ar1.add_address({40, 1});
+    ar2.add_address({50, 1});
+    cfg.send_router_adv = false;
+    cb.f = this;
+  }
+};
+
+TEST_F(CoverageFixture, GapDetachesAndReattaches) {
+  // Cells 400 m apart with 100 m radius: a 200 m dead zone between them.
+  WlanManager wlan(sim, cfg);
+  wlan.add_ap(ar1, {0, 0}, 100, nullptr);
+  wlan.add_ap(ar2, {400, 0}, 100, nullptr);
+  wlan.add_mh(mh, std::make_unique<LinearMobility>(Vec2{0, 0}, Vec2{10, 0}),
+              &cb);
+  wlan.start();
+  // Leaves ar1 coverage at x=100 (t=10 s).
+  sim.run_until(15_s);
+  EXPECT_EQ(wlan.attached_ap(mh.id()), kNoNode);
+  EXPECT_EQ(detaches, 1);
+  // Enters ar2 coverage at x=300 (t=30 s).
+  sim.run_until(35_s);
+  EXPECT_NE(wlan.attached_ap(mh.id()), kNoNode);
+  EXPECT_EQ(attaches, 2);
+  // A dead-zone crossing is not a handoff (no blackout machinery ran).
+  EXPECT_EQ(wlan.handoffs_started(), 0u);
+}
+
+TEST_F(CoverageFixture, ForcedHandoffIgnoredWhileAlreadyInHandoff) {
+  cfg.l2_handoff_delay = 500_ms;
+  WlanManager wlan(sim, cfg);
+  AccessPoint& a = wlan.add_ap(ar1, {0, 0}, 200, nullptr);
+  AccessPoint& b = wlan.add_ap(ar2, {100, 0}, 200, nullptr);
+  wlan.add_mh(mh, std::make_unique<StaticPosition>(Vec2{20, 0}), &cb);
+  wlan.start();
+  sim.run_until(1_s);
+  wlan.force_handoff(mh.id(), b.id(), 2_s);
+  wlan.force_handoff(mh.id(), a.id(), SimTime::from_millis(2100));  // mid-blackout
+  sim.run_until(4_s);
+  // Only the first one ran; the second was ignored.
+  EXPECT_EQ(wlan.handoffs_started(), 1u);
+  EXPECT_EQ(wlan.attached_ap(mh.id()), b.id());
+}
+
+TEST_F(CoverageFixture, ForcedHandoffToCurrentApIsNoop) {
+  WlanManager wlan(sim, cfg);
+  AccessPoint& a = wlan.add_ap(ar1, {0, 0}, 200, nullptr);
+  wlan.add_mh(mh, std::make_unique<StaticPosition>(Vec2{20, 0}), &cb);
+  wlan.start();
+  sim.run_until(1_s);
+  wlan.force_handoff(mh.id(), a.id(), 2_s);
+  sim.run_until(3_s);
+  EXPECT_EQ(wlan.handoffs_started(), 0u);
+  EXPECT_EQ(detaches, 0);
+}
+
+TEST_F(CoverageFixture, NearestApWinsInitialAssociation) {
+  WlanManager wlan(sim, cfg);
+  wlan.add_ap(ar1, {0, 0}, 200, nullptr);
+  AccessPoint& near = wlan.add_ap(ar2, {50, 0}, 200, nullptr);
+  wlan.add_mh(mh, std::make_unique<StaticPosition>(Vec2{40, 0}), &cb);
+  wlan.start();
+  sim.run_until(1_s);
+  EXPECT_EQ(wlan.attached_ap(mh.id()), near.id());
+}
+
+TEST_F(CoverageFixture, StationaryHostNeverHandsOff) {
+  WlanManager wlan(sim, cfg);
+  wlan.add_ap(ar1, {0, 0}, 112, nullptr);
+  wlan.add_ap(ar2, {212, 0}, 112, nullptr);
+  wlan.add_mh(mh, std::make_unique<StaticPosition>(Vec2{106, 0}), &cb);
+  wlan.start();
+  sim.run_until(60_s);
+  // Sits in the overlap: triggers may fire but no handoff starts (still
+  // comfortably inside the serving cell's exit margin).
+  EXPECT_EQ(wlan.handoffs_started(), 0u);
+  EXPECT_EQ(attaches, 1);
+}
+
+}  // namespace
+}  // namespace fhmip

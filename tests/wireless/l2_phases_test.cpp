@@ -1,0 +1,99 @@
+#include "wireless/l2_phases.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "wireless/wlan.hpp"
+
+namespace fhmip {
+namespace {
+
+using namespace timeliterals;
+
+TEST(L2PhaseModel, SamplesWithinConfiguredRanges) {
+  L2PhaseModel m;
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto s = m.sample(rng);
+    EXPECT_GE(s.probe, m.probe_min);
+    EXPECT_LE(s.probe, m.probe_max);
+    EXPECT_GE(s.auth, m.auth_min);
+    EXPECT_LE(s.auth, m.auth_max);
+    EXPECT_GE(s.assoc, m.assoc_min);
+    EXPECT_LE(s.assoc, m.assoc_max);
+    EXPECT_GE(s.total(), m.min_total());
+    EXPECT_LE(s.total(), m.max_total());
+  }
+}
+
+TEST(L2PhaseModel, DefaultEnvelopeMatchesCitedRange) {
+  // [13]: "the handover procedure may take from 60 ms to 400 ms".
+  L2PhaseModel m;
+  EXPECT_GE(m.min_total(), 54_ms);
+  EXPECT_LE(m.max_total(), 400_ms);
+}
+
+TEST(L2PhaseModel, SamplesVary) {
+  L2PhaseModel m;
+  Rng rng(11);
+  const auto a = m.sample(rng);
+  const auto b = m.sample(rng);
+  EXPECT_NE(a.total(), b.total());
+}
+
+TEST(L2PhaseModel, DeterministicPerSeed) {
+  L2PhaseModel m;
+  Rng a(3), b(3);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(m.sample(a).total(), m.sample(b).total());
+  }
+}
+
+TEST(L2PhaseModel, FixedModelIsExact) {
+  const L2PhaseModel m = L2PhaseModel::fixed(200_ms);
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    const auto s = m.sample(rng);
+    EXPECT_EQ(s.total(), 200_ms);
+    EXPECT_EQ(s.probe, 200_ms);
+  }
+}
+
+/// The WLAN layer uses the model per handoff when configured.
+TEST(L2PhaseModel, WlanSamplesBlackoutPerHandoff) {
+  Simulation sim(17);
+  Network net(sim);
+  Node& ar1 = net.add_node("ar1");
+  Node& ar2 = net.add_node("ar2");
+  Node& mh = net.add_node("mh");
+  ar1.add_address({40, 1});
+  ar2.add_address({50, 1});
+
+  WlanConfig cfg;
+  cfg.send_router_adv = false;
+  cfg.l2_phase_model = L2PhaseModel{};
+  WlanManager wlan(sim, cfg);
+  wlan.add_ap(ar1, {0, 0}, 112, nullptr);
+  wlan.add_ap(ar2, {212, 0}, 112, nullptr);
+  wlan.add_mh(mh,
+              std::make_unique<BounceMobility>(Vec2{0, 0}, Vec2{212, 0}, 10.0),
+              nullptr);
+  wlan.start();
+
+  std::vector<SimTime> blackouts;
+  // Observe two handoffs (one per leg).
+  sim.run_until(SimTime::from_seconds(22));
+  blackouts.push_back(wlan.last_blackout());
+  sim.run_until(SimTime::from_seconds(44));
+  blackouts.push_back(wlan.last_blackout());
+
+  ASSERT_EQ(wlan.handoffs_started(), 2u);
+  for (const SimTime b : blackouts) {
+    EXPECT_GE(b, cfg.l2_phase_model->min_total());
+    EXPECT_LE(b, cfg.l2_phase_model->max_total());
+  }
+  EXPECT_NE(blackouts[0], blackouts[1]);  // sampled per handoff
+}
+
+}  // namespace
+}  // namespace fhmip

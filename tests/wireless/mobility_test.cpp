@@ -1,0 +1,94 @@
+#include "wireless/mobility.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fhmip {
+namespace {
+
+using namespace timeliterals;
+
+TEST(Geometry, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(StaticPosition, NeverMoves) {
+  StaticPosition m({5, 6});
+  EXPECT_EQ(m.position(0_s), (Vec2{5, 6}));
+  EXPECT_EQ(m.position(100_s), (Vec2{5, 6}));
+}
+
+TEST(LinearMobility, MovesAtConstantVelocity) {
+  LinearMobility m({0, 0}, {10, 0});
+  EXPECT_EQ(m.position(0_s), (Vec2{0, 0}));
+  EXPECT_EQ(m.position(1_s), (Vec2{10, 0}));
+  EXPECT_EQ(m.position(2500_ms), (Vec2{25, 0}));
+}
+
+TEST(LinearMobility, HoldsBeforeStartTime) {
+  LinearMobility m({0, 0}, {10, 0}, 5_s);
+  EXPECT_EQ(m.position(0_s), (Vec2{0, 0}));
+  EXPECT_EQ(m.position(5_s), (Vec2{0, 0}));
+  EXPECT_EQ(m.position(6_s), (Vec2{10, 0}));
+}
+
+TEST(LinearMobility, DiagonalMotion) {
+  LinearMobility m({0, 0}, {3, 4});
+  const Vec2 p = m.position(2_s);
+  EXPECT_DOUBLE_EQ(p.x, 6);
+  EXPECT_DOUBLE_EQ(p.y, 8);
+}
+
+TEST(BounceMobility, ReachesFarEndAtLegDuration) {
+  BounceMobility m({0, 0}, {212, 0}, 10.0);
+  EXPECT_EQ(m.leg_duration(), SimTime::from_seconds(21.2));
+  const Vec2 far = m.position(SimTime::from_seconds(21.2));
+  EXPECT_NEAR(far.x, 212, 1e-6);
+}
+
+TEST(BounceMobility, ReturnsToStart) {
+  BounceMobility m({0, 0}, {212, 0}, 10.0);
+  const Vec2 back = m.position(SimTime::from_seconds(42.4));
+  EXPECT_NEAR(back.x, 0, 1e-6);
+}
+
+TEST(BounceMobility, MidLegPositions) {
+  BounceMobility m({0, 0}, {100, 0}, 10.0);
+  EXPECT_NEAR(m.position(5_s).x, 50, 1e-9);
+  // 15 s = 10 s out (at 100) + 5 s back -> 50.
+  EXPECT_NEAR(m.position(15_s).x, 50, 1e-9);
+  // Second cycle repeats.
+  EXPECT_NEAR(m.position(25_s).x, 50, 1e-9);
+}
+
+TEST(BounceMobility, HoldsBeforeStart) {
+  BounceMobility m({7, 0}, {100, 0}, 10.0, 2_s);
+  EXPECT_EQ(m.position(1_s), (Vec2{7, 0}));
+}
+
+TEST(BounceMobility, DegenerateEndpointsStayPut) {
+  BounceMobility m({5, 5}, {5, 5}, 10.0);
+  EXPECT_EQ(m.position(99_s), (Vec2{5, 5}));
+}
+
+TEST(WaypointMobility, FollowsLegsAndStops) {
+  WaypointMobility m({0, 0}, {{{10, 0}, 10.0}, {{10, 20}, 5.0}});
+  EXPECT_NEAR(m.position(500_ms).x, 5, 1e-9);   // halfway leg 1 (1 s total)
+  EXPECT_NEAR(m.position(1_s).x, 10, 1e-9);
+  EXPECT_NEAR(m.position(3_s).y, 10, 1e-9);     // halfway leg 2 (4 s total)
+  EXPECT_EQ(m.position(100_s), (Vec2{10, 20}));  // parked at the end
+}
+
+TEST(WaypointMobility, EmptyLegsStayAtStart) {
+  WaypointMobility m({3, 4}, {});
+  EXPECT_EQ(m.position(10_s), (Vec2{3, 4}));
+}
+
+TEST(WaypointMobility, StartOffsetShiftsSchedule) {
+  WaypointMobility m({0, 0}, {{{10, 0}, 10.0}}, 2_s);
+  EXPECT_EQ(m.position(1_s), (Vec2{0, 0}));
+  EXPECT_NEAR(m.position(2500_ms).x, 5, 1e-9);
+}
+
+}  // namespace
+}  // namespace fhmip

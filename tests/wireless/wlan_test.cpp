@@ -1,0 +1,224 @@
+#include "wireless/wlan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+
+namespace fhmip {
+namespace {
+
+using namespace timeliterals;
+
+/// Records every L2 event for assertions.
+struct RecordingCallbacks : L2Callbacks {
+  std::vector<std::pair<SimTime, std::string>> events;
+  Simulation* sim = nullptr;
+  NodeId last_trigger_target = kNoNode;
+  Node* last_ar = nullptr;
+
+  void on_l2_trigger(NodeId ap, Node& ar) override {
+    events.push_back({sim->now(), "trigger"});
+    last_trigger_target = ap;
+    last_ar = &ar;
+  }
+  void on_predisconnect(NodeId, Node&) override {
+    events.push_back({sim->now(), "predisconnect"});
+  }
+  void on_attached(NodeId, Node&) override {
+    events.push_back({sim->now(), "attached"});
+  }
+  void on_detached() override { events.push_back({sim->now(), "detached"}); }
+
+  int count(const std::string& kind) const {
+    int n = 0;
+    for (const auto& [t, k] : events) {
+      if (k == kind) ++n;
+    }
+    return n;
+  }
+  SimTime time_of(const std::string& kind, int nth = 0) const {
+    int seen = 0;
+    for (const auto& [t, k] : events) {
+      if (k == kind && seen++ == nth) return t;
+    }
+    return SimTime::seconds(-1);
+  }
+};
+
+struct WlanFixture : ::testing::Test {
+  Simulation sim;
+  Network net{sim};
+  Node& ar1 = net.add_node("ar1");
+  Node& ar2 = net.add_node("ar2");
+  Node& mh = net.add_node("mh");
+  RecordingCallbacks cb;
+  WlanConfig cfg;
+
+  WlanFixture() {
+    ar1.add_address({40, 1});
+    ar2.add_address({50, 1});
+    cb.sim = &sim;
+    cfg.send_router_adv = false;
+  }
+};
+
+TEST_F(WlanFixture, InitialAttachToCoveringAp) {
+  WlanManager wlan(sim, cfg);
+  wlan.add_ap(ar1, {0, 0}, 112, nullptr);
+  wlan.add_mh(mh, std::make_unique<StaticPosition>(Vec2{10, 0}), &cb);
+  wlan.start();
+  sim.run_until(1_s);
+  EXPECT_EQ(cb.count("attached"), 1);
+  EXPECT_NE(wlan.attached_ap(mh.id()), kNoNode);
+}
+
+TEST_F(WlanFixture, NoApInRangeStaysDetached) {
+  WlanManager wlan(sim, cfg);
+  wlan.add_ap(ar1, {0, 0}, 50, nullptr);
+  wlan.add_mh(mh, std::make_unique<StaticPosition>(Vec2{500, 0}), &cb);
+  wlan.start();
+  sim.run_until(1_s);
+  EXPECT_EQ(cb.count("attached"), 0);
+  EXPECT_EQ(wlan.attached_ap(mh.id()), kNoNode);
+}
+
+TEST_F(WlanFixture, TriggerFiresOnOverlapEntry) {
+  WlanManager wlan(sim, cfg);
+  wlan.add_ap(ar1, {0, 0}, 112, nullptr);
+  AccessPoint& ap2 = wlan.add_ap(ar2, {212, 0}, 112, nullptr);
+  wlan.add_mh(mh, std::make_unique<LinearMobility>(Vec2{0, 0}, Vec2{10, 0}),
+              &cb);
+  wlan.start();
+  sim.run_until(30_s);
+  EXPECT_GE(cb.count("trigger"), 1);
+  // Overlap entry at x = 100 -> t = 10 s (one tick of slack).
+  const SimTime trig = cb.time_of("trigger");
+  EXPECT_GE(trig, 10_s);
+  EXPECT_LE(trig, SimTime::from_millis(10'100));
+  EXPECT_EQ(cb.last_trigger_target, ap2.id());
+  EXPECT_EQ(cb.last_ar, &ar2);
+}
+
+TEST_F(WlanFixture, HandoffSequenceAndBlackoutDuration) {
+  WlanManager wlan(sim, cfg);
+  wlan.add_ap(ar1, {0, 0}, 112, nullptr);
+  wlan.add_ap(ar2, {212, 0}, 112, nullptr);
+  wlan.add_mh(mh, std::make_unique<LinearMobility>(Vec2{0, 0}, Vec2{10, 0}),
+              &cb);
+  wlan.start();
+  sim.run_until(30_s);
+  ASSERT_EQ(cb.count("predisconnect"), 1);
+  ASSERT_EQ(cb.count("detached"), 1);
+  ASSERT_EQ(cb.count("attached"), 2);  // initial + after handoff
+  const SimTime pre = cb.time_of("predisconnect");
+  const SimTime det = cb.time_of("detached");
+  const SimTime att = cb.time_of("attached", 1);
+  EXPECT_EQ(det - pre, cfg.predisconnect_guard);
+  EXPECT_EQ(att - det, cfg.l2_handoff_delay);
+  // Handoff starts at the exit margin: x = 110 -> t = 11 s.
+  EXPECT_GE(pre, 11_s);
+  EXPECT_LE(pre, SimTime::from_millis(11'100));
+}
+
+TEST_F(WlanFixture, ConfigurableBlackout) {
+  cfg.l2_handoff_delay = 60_ms;  // the paper's measured lower bound
+  WlanManager wlan(sim, cfg);
+  wlan.add_ap(ar1, {0, 0}, 112, nullptr);
+  wlan.add_ap(ar2, {212, 0}, 112, nullptr);
+  wlan.add_mh(mh, std::make_unique<LinearMobility>(Vec2{0, 0}, Vec2{10, 0}),
+              &cb);
+  wlan.start();
+  sim.run_until(30_s);
+  EXPECT_EQ(cb.time_of("attached", 1) - cb.time_of("detached"), 60_ms);
+}
+
+TEST_F(WlanFixture, AttachListenerNotified) {
+  struct Listener : ArAttachListener {
+    int attached = 0, detached = 0;
+    SimplexLink* link = nullptr;
+    void on_mh_attached(MhId, NodeId, SimplexLink& dl) override {
+      ++attached;
+      link = &dl;
+    }
+    void on_mh_detached(MhId) override { ++detached; }
+  } l1, l2;
+  WlanManager wlan(sim, cfg);
+  wlan.add_ap(ar1, {0, 0}, 112, &l1);
+  wlan.add_ap(ar2, {212, 0}, 112, &l2);
+  wlan.add_mh(mh, std::make_unique<LinearMobility>(Vec2{0, 0}, Vec2{10, 0}),
+              &cb);
+  wlan.start();
+  sim.run_until(30_s);
+  EXPECT_EQ(l1.attached, 1);
+  EXPECT_EQ(l1.detached, 1);
+  EXPECT_EQ(l2.attached, 1);
+  ASSERT_NE(l1.link, nullptr);
+  ASSERT_NE(l2.link, nullptr);
+  EXPECT_TRUE(l2.link->up());
+  EXPECT_FALSE(l1.link->up());  // old radio dark after the handoff
+}
+
+TEST_F(WlanFixture, ForcedHandoffBetweenApsOfSameAr) {
+  WlanManager wlan(sim, cfg);
+  AccessPoint& a = wlan.add_ap(ar1, {0, 0}, 120, nullptr);
+  AccessPoint& b = wlan.add_ap(ar1, {60, 0}, 120, nullptr);
+  wlan.add_mh(mh, std::make_unique<StaticPosition>(Vec2{10, 0}), &cb);
+  wlan.start();
+  sim.run_until(1_s);
+  ASSERT_EQ(wlan.attached_ap(mh.id()), a.id());
+  wlan.force_handoff(mh.id(), b.id(), 2_s);
+  sim.run_until(3_s);
+  EXPECT_EQ(wlan.attached_ap(mh.id()), b.id());
+  EXPECT_EQ(cb.count("detached"), 1);
+  EXPECT_EQ(cb.count("attached"), 2);
+}
+
+TEST_F(WlanFixture, BounceProducesRepeatedHandoffs) {
+  WlanConfig c = cfg;
+  WlanManager wlan(sim, c);
+  wlan.add_ap(ar1, {0, 0}, 112, nullptr);
+  wlan.add_ap(ar2, {212, 0}, 112, nullptr);
+  wlan.add_mh(mh,
+              std::make_unique<BounceMobility>(Vec2{0, 0}, Vec2{212, 0}, 10.0),
+              &cb);
+  wlan.start();
+  // 4 legs of 21.2 s each -> 4 handoffs.
+  sim.run_until(SimTime::from_seconds(4 * 21.2 + 1));
+  EXPECT_EQ(wlan.handoffs_started(), 4u);
+  EXPECT_EQ(cb.count("attached"), 5);
+}
+
+TEST_F(WlanFixture, RouterAdvertisementsArriveAtInterval) {
+  cfg.send_router_adv = true;
+  mh.add_address({40, mh.id()}, false);
+  int adv_count = 0;
+  mh.add_control_handler([&](PacketPtr& p) {
+    if (std::holds_alternative<RouterAdvMsg>(p->msg)) {
+      ++adv_count;
+      return true;
+    }
+    return false;
+  });
+  WlanManager wlan(sim, cfg);
+  wlan.add_ap(ar1, {0, 0}, 112, nullptr);
+  wlan.add_mh(mh, std::make_unique<StaticPosition>(Vec2{10, 0}), &cb);
+  wlan.start();
+  sim.run_until(10_s);
+  // ~one per second (§4.1), phase-staggered.
+  EXPECT_GE(adv_count, 8);
+  EXPECT_LE(adv_count, 11);
+}
+
+TEST_F(WlanFixture, PositionIntrospection) {
+  WlanManager wlan(sim, cfg);
+  wlan.add_ap(ar1, {0, 0}, 112, nullptr);
+  wlan.add_mh(mh, std::make_unique<LinearMobility>(Vec2{0, 0}, Vec2{10, 0}),
+              &cb);
+  wlan.start();
+  sim.run_until(2_s);
+  EXPECT_NEAR(wlan.mh_position(mh.id()).x, 20, 0.2);
+  EXPECT_FALSE(wlan.in_handoff(mh.id()));
+}
+
+}  // namespace
+}  // namespace fhmip
