@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/check.hpp"
+
 namespace fhmip {
 
 std::uint32_t BufferManager::allocate(LeaseKey k, std::uint32_t requested) {
@@ -21,14 +23,19 @@ std::uint32_t BufferManager::allocate(LeaseKey k, std::uint32_t requested) {
   peak_leased_ = std::max(peak_leased_, leased_);
   leases_.emplace(k, HandoffBuffer(grant));
   ++grants_;
+  audit_invariants();
   return grant;
 }
 
 void BufferManager::release(LeaseKey k) {
   auto it = leases_.find(k);
   if (it == leases_.end()) return;
+  FHMIP_AUDIT_MSG("buffer", it->second.capacity() <= leased_,
+                  "releasing " + std::to_string(it->second.capacity()) +
+                      " with only " + std::to_string(leased_) + " leased");
   leased_ -= it->second.capacity();
   leases_.erase(it);
+  audit_invariants();
 }
 
 HandoffBuffer* BufferManager::buffer(LeaseKey k) {
@@ -39,6 +46,19 @@ HandoffBuffer* BufferManager::buffer(LeaseKey k) {
 const HandoffBuffer* BufferManager::buffer(LeaseKey k) const {
   auto it = leases_.find(k);
   return it == leases_.end() ? nullptr : &it->second;
+}
+
+void BufferManager::audit_invariants() const {
+  FHMIP_AUDIT_MSG("buffer", leased_ <= pool_,
+                  "leased=" + std::to_string(leased_) +
+                      " pool=" + std::to_string(pool_));
+#if FHMIP_AUDIT_LEVEL >= 2
+  std::uint64_t sum = 0;
+  for (const auto& [key, buf] : leases_) sum += buf.capacity();
+  FHMIP_AUDIT2_MSG("buffer", sum == leased_,
+                   "lease sum=" + std::to_string(sum) +
+                       " leased=" + std::to_string(leased_));
+#endif
 }
 
 }  // namespace fhmip

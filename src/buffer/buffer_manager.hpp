@@ -51,7 +51,14 @@ class BufferManager {
   std::uint64_t total_rejections() const { return rejections_; }
   std::uint32_t peak_leased() const { return peak_leased_; }
 
- private:
+  /// Pool/lease accounting audits (no-op at audit level 0): leased ≤ pool
+  /// always; the level-2 sweep recomputes Σ lease capacities and compares.
+  /// Called on every allocate/release; public so tests can sweep directly.
+  void audit_invariants() const;
+
+ protected:
+  // Protected (not private) so correctness tests can derive a tampering
+  // subclass and prove the audits catch deliberate accounting corruption.
   std::uint32_t pool_;
   bool allow_partial_;
   std::uint32_t leased_ = 0;

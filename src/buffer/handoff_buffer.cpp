@@ -9,6 +9,7 @@ HandoffBuffer::PushResult HandoffBuffer::push(PacketPtr& p) {
   q_.push_back(std::move(p));
   ++stored_;
   peak_ = std::max<std::uint32_t>(peak_, size());
+  audit_invariants();
   return PushResult::kStored;
 }
 
@@ -18,6 +19,7 @@ HandoffBuffer::PushResult HandoffBuffer::push_evict_oldest_realtime(
     q_.push_back(std::move(p));
     ++stored_;
     peak_ = std::max<std::uint32_t>(peak_, size());
+    audit_invariants();
     return PushResult::kStored;
   }
   auto it = std::find_if(q_.begin(), q_.end(), [](const PacketPtr& q) {
@@ -27,8 +29,10 @@ HandoffBuffer::PushResult HandoffBuffer::push_evict_oldest_realtime(
   evicted = std::move(*it);
   q_.erase(it);
   ++evictions_;
+  ++removed_;
   q_.push_back(std::move(p));
   ++stored_;
+  audit_invariants();
   return PushResult::kStoredEvicting;
 }
 
@@ -36,6 +40,8 @@ PacketPtr HandoffBuffer::pop() {
   if (q_.empty()) return nullptr;
   PacketPtr p = std::move(q_.front());
   q_.pop_front();
+  ++removed_;
+  audit_invariants();
   return p;
 }
 

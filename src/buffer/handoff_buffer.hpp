@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "net/packet.hpp"
+#include "sim/check.hpp"
 
 namespace fhmip {
 
@@ -13,6 +14,9 @@ namespace fhmip {
 ///  * tail rejection (default; caller accounts the drop), and
 ///  * evicting the oldest *real-time* packet to admit a new one (Case 1.a /
 ///    2.a: "if buffer full, drop the first real-time packet").
+///
+/// Packet conservation is audited: every packet ever stored leaves exactly
+/// once, through pop(), eviction or flush() — `stored == removed + size`.
 class HandoffBuffer {
  public:
   explicit HandoffBuffer(std::uint32_t capacity_pkts)
@@ -46,14 +50,29 @@ class HandoffBuffer {
   std::uint32_t peak_occupancy() const { return peak_; }
   std::uint64_t total_stored() const { return stored_; }
   std::uint64_t total_evictions() const { return evictions_; }
+  /// Packets that left the buffer (pops + evictions + flushes).
+  std::uint64_t total_removed() const { return removed_; }
 
   /// Empties the buffer through `fn` (used on lifetime expiry).
   template <typename Fn>
   void flush(Fn&& fn) {
     while (!q_.empty()) {
+      ++removed_;
       fn(std::move(q_.front()));
       q_.pop_front();
     }
+    audit_invariants();
+  }
+
+  /// Occupancy/conservation audits (no-op at audit level 0).
+  void audit_invariants() const {
+    FHMIP_AUDIT_MSG("buffer", q_.size() <= capacity_,
+                    "size=" + std::to_string(q_.size()) +
+                        " capacity=" + std::to_string(capacity_));
+    FHMIP_AUDIT_MSG("buffer", stored_ == removed_ + q_.size(),
+                    "stored=" + std::to_string(stored_) +
+                        " removed=" + std::to_string(removed_) +
+                        " size=" + std::to_string(q_.size()));
   }
 
  private:
@@ -62,6 +81,7 @@ class HandoffBuffer {
   std::uint32_t peak_ = 0;
   std::uint64_t stored_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t removed_ = 0;
 };
 
 }  // namespace fhmip

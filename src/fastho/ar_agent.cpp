@@ -1,6 +1,7 @@
 #include "fastho/ar_agent.hpp"
 
 #include "net/link.hpp"
+#include "sim/check.hpp"
 
 namespace fhmip {
 
@@ -13,7 +14,13 @@ ArAgent::ArAgent(Node& node, BufferSchemeConfig cfg)
   node_.routes().set_prefix_route(
       prefix(),
       Route::to([this](PacketPtr p) { handle_subnet_packet(std::move(p)); }));
-  node_.add_control_handler([this](PacketPtr& p) { return handle_control(p); });
+  ctrl_id_ = node_.add_control_handler(
+      [this](PacketPtr& p) { return handle_control(p); });
+}
+
+ArAgent::~ArAgent() {
+  node_.routes().remove_prefix_route(prefix());
+  node_.remove_control_handler(ctrl_id_);
 }
 
 bool ArAgent::par_redirecting(MhId mh) const {
@@ -226,6 +233,10 @@ void ArAgent::on_hi(const HiMsg& m) {
   if (m.has_br) {
     ctx.grant = buffers_.allocate(BufferManager::key(m.mh, ArRole::kNar),
                                   m.br.size_pkts);
+    // BA grants never exceed the BR request, even with partial grants.
+    FHMIP_AUDIT_MSG("fastho", ctx.grant <= m.br.size_pkts,
+                    "granted " + std::to_string(ctx.grant) + " of " +
+                        std::to_string(m.br.size_pkts));
   }
   const SimTime life =
       (m.has_br && !m.br.lifetime.is_zero()) ? m.br.lifetime : cfg_.lifetime;
@@ -250,9 +261,14 @@ void ArAgent::on_hi(const HiMsg& m) {
 
 void ArAgent::on_hack(const HackMsg& m) {
   ++counters_.hack_received;
+  // HAck(+BA) answers HI(+BR): it can never precede the first HI, and each
+  // PAR context sees at most one (there are no HI retransmissions).
+  FHMIP_AUDIT("fastho", counters_.hi_sent > 0);
   auto it = par_.find(m.mh);
   if (it == par_.end()) return;
   ParContext& ctx = it->second;
+  FHMIP_AUDIT_MSG("fastho", !ctx.hack_received,
+                  "duplicate HAck for mh " + std::to_string(m.mh));
   ctx.hack_received = true;
   ctx.nar_grant = m.buffer_ok ? m.granted_pkts : 0;
   if (!m.accepted) {
@@ -355,6 +371,8 @@ void ArAgent::on_fna(const FnaMsg& m) {
     BfMsg bf;
     bf.mh = m.mh;
     ++counters_.bf_sent;
+    // BF toward the PAR is only ever triggered by an FNA from the MH.
+    FHMIP_AUDIT("fastho", counters_.bf_sent <= counters_.fna);
     send_control(ctx.par_addr, bf);
     drain_nar(m.mh);
   }
@@ -459,6 +477,9 @@ void ArAgent::handle_subnet_packet(PacketPtr p) {
 }
 
 void ArAgent::par_redirect(ParContext& ctx, PacketPtr p) {
+  // Redirection only happens after the FBU (or the start-time safety valve)
+  // flipped the context on; a packet arriving here earlier is a routing bug.
+  FHMIP_AUDIT("fastho", ctx.redirecting);
   ++counters_.redirected;
   if (ctx.nar_rejected) {
     // No tunnel endpoint exists at the NAR: the packet has nowhere to go
@@ -563,6 +584,9 @@ void ArAgent::nar_handle(NarContext& ctx, PacketPtr p) {
 }
 
 void ArAgent::nar_buffer(NarContext& ctx, PacketPtr p) {
+  // No buffering after FNA: once the MH announced itself, arrivals are
+  // delivered (or appended to a live drain), never parked in the buffer.
+  FHMIP_AUDIT("fastho", !ctx.mh_here);
   HandoffBuffer* buf =
       buffers_.buffer(BufferManager::key(ctx.mh, ArRole::kNar));
   if (buf == nullptr) {
@@ -663,6 +687,8 @@ void ArAgent::drain_nar(MhId mh) {
   auto it = nar_.find(mh);
   if (it == nar_.end()) return;
   NarContext& ctx = it->second;
+  // The NAR only releases its buffer once the MH has arrived (FNA+BF).
+  FHMIP_AUDIT("fastho", ctx.mh_here);
   const auto k = BufferManager::key(mh, ArRole::kNar);
   HandoffBuffer* buf = buffers_.buffer(k);
   if (buf == nullptr || buf->empty()) {

@@ -48,6 +48,10 @@ class ArAgent : public ArAttachListener {
   };
 
   ArAgent(Node& node, BufferSchemeConfig cfg);
+  ~ArAgent() override;
+
+  ArAgent(const ArAgent&) = delete;
+  ArAgent& operator=(const ArAgent&) = delete;
 
   /// Resolves an access-point id to the access router node that owns it
   /// (provided by the scenario from the WlanManager). Needed to answer
@@ -151,6 +155,7 @@ class ArAgent : public ArAttachListener {
                     std::uint32_t bytes = kCtrlMsgBytes);
 
   Node& node_;
+  Node::ControlHandlerId ctrl_id_ = 0;
   BufferSchemeConfig cfg_;
   BufferManager buffers_;
   std::function<Node*(NodeId)> ap_resolver_;

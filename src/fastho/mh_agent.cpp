@@ -1,13 +1,17 @@
 #include "fastho/mh_agent.hpp"
 
 #include "fastho/auth.hpp"
+#include "sim/check.hpp"
 
 namespace fhmip {
 
 MhAgent::MhAgent(Node& node, Config cfg, MobileIpClient* mip)
     : node_(node), cfg_(cfg), mip_(mip) {
-  node_.add_control_handler([this](PacketPtr& p) { return handle_control(p); });
+  ctrl_id_ = node_.add_control_handler(
+      [this](PacketPtr& p) { return handle_control(p); });
 }
+
+MhAgent::~MhAgent() { node_.remove_control_handler(ctrl_id_); }
 
 bool MhAgent::handle_control(PacketPtr& p) {
   if (const auto* adv = std::get_if<PrRtAdvMsg>(&p->msg)) {
@@ -83,7 +87,9 @@ void MhAgent::send_fbu(Address to, Address nar_addr, bool from_new_link) {
 void MhAgent::on_predisconnect(NodeId target_ap, Node& target_ar) {
   if (!cfg_.use_fast_handover || !first_attach_done_) return;
   if (anticipated_ && target_ap_ == target_ap) {
-    // Anticipated path: FBU on the old link just before it drops.
+    // Anticipated path: FBU on the old link just before it drops. The
+    // anticipation flag is only ever set by a sent RtSolPr (BI ordering).
+    FHMIP_AUDIT("fastho", counters_.rtsolpr_sent > 0);
     send_fbu(current_ar_addr_, target_ar.address(), /*from_new_link=*/false);
     fbu_sent_on_old_link_ = true;
   } else {
@@ -151,6 +157,9 @@ void MhAgent::on_attached(NodeId /*ap*/, Node& ar) {
     fna.mh = id();
     fna.has_bf = cfg_.request_buffers;
     ++counters_.fna_sent;
+    // FNA(+BF) never precedes the FBU on an inter-AR fast handover; the
+    // non-anticipated branch above sends the FBU first.
+    FHMIP_AUDIT("fastho", counters_.fbu_sent > 0);
     node_.send(make_control(sim, new_coa, ar_addr, fna));
   }
 

@@ -59,6 +59,10 @@ class MhAgent : public L2Callbacks {
   };
 
   MhAgent(Node& node, Config cfg, MobileIpClient* mip);
+  ~MhAgent() override;
+
+  MhAgent(const MhAgent&) = delete;
+  MhAgent& operator=(const MhAgent&) = delete;
 
   // L2Callbacks.
   void on_l2_trigger(NodeId target_ap, Node& target_ar) override;
@@ -86,6 +90,7 @@ class MhAgent : public L2Callbacks {
   void send_fbu(Address to, Address nar_addr, bool from_new_link);
 
   Node& node_;
+  Node::ControlHandlerId ctrl_id_ = 0;
   Config cfg_;
   MobileIpClient* mip_;
 

@@ -4,11 +4,13 @@ namespace fhmip {
 
 CorrespondentAgent::CorrespondentAgent(Node& node) : node_(node) {
   node_.set_forward_filter([this](Packet& p) { maybe_reroute(p); });
-  node_.add_control_handler([this](PacketPtr& p) { return handle_control(p); });
+  ctrl_id_ = node_.add_control_handler(
+      [this](PacketPtr& p) { return handle_control(p); });
 }
 
 CorrespondentAgent::~CorrespondentAgent() {
   node_.set_forward_filter(nullptr);
+  node_.remove_control_handler(ctrl_id_);
 }
 
 void CorrespondentAgent::maybe_reroute(Packet& p) {

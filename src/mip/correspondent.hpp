@@ -32,6 +32,7 @@ class CorrespondentAgent {
   void maybe_reroute(Packet& p);
 
   Node& node_;
+  Node::ControlHandlerId ctrl_id_ = 0;
   BindingCache bindings_;
   std::uint64_t optimized_ = 0;
   std::uint64_t updates_ = 0;

@@ -3,8 +3,11 @@
 namespace fhmip {
 
 ForeignAgent::ForeignAgent(Node& node) : node_(node) {
-  node_.add_control_handler([this](PacketPtr& p) { return handle_control(p); });
+  ctrl_id_ = node_.add_control_handler(
+      [this](PacketPtr& p) { return handle_control(p); });
 }
+
+ForeignAgent::~ForeignAgent() { node_.remove_control_handler(ctrl_id_); }
 
 void ForeignAgent::advertise_to(Address mh_addr) {
   AgentAdvertisementMsg adv;

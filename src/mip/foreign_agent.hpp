@@ -29,6 +29,10 @@ class ForeignAgent {
   };
 
   explicit ForeignAgent(Node& node);
+  ~ForeignAgent();
+
+  ForeignAgent(const ForeignAgent&) = delete;
+  ForeignAgent& operator=(const ForeignAgent&) = delete;
 
   Node& node() { return node_; }
   Address address() const { return node_.address(); }
@@ -59,6 +63,7 @@ class ForeignAgent {
   void handle_visitor_packet(PacketPtr p);
 
   Node& node_;
+  Node::ControlHandlerId ctrl_id_ = 0;
   std::function<void(MhId, PacketPtr)> deliver_;
   std::map<MhId, Visitor> visitors_;
   std::uint32_t adv_sequence_ = 0;

@@ -6,7 +6,13 @@ HomeAgent::HomeAgent(Node& node) : node_(node) {
   node_.routes().set_prefix_route(
       home_prefix(),
       Route::to([this](PacketPtr p) { intercept(std::move(p)); }));
-  node_.add_control_handler([this](PacketPtr& p) { return handle_control(p); });
+  ctrl_id_ = node_.add_control_handler(
+      [this](PacketPtr& p) { return handle_control(p); });
+}
+
+HomeAgent::~HomeAgent() {
+  node_.routes().remove_prefix_route(home_prefix());
+  node_.remove_control_handler(ctrl_id_);
 }
 
 void HomeAgent::intercept(PacketPtr p) {

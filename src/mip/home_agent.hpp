@@ -14,6 +14,10 @@ namespace fhmip {
 class HomeAgent {
  public:
   explicit HomeAgent(Node& node);
+  ~HomeAgent();
+
+  HomeAgent(const HomeAgent&) = delete;
+  HomeAgent& operator=(const HomeAgent&) = delete;
 
   Node& node() { return node_; }
   Address address() const { return node_.address(); }
@@ -29,6 +33,7 @@ class HomeAgent {
   bool handle_control(PacketPtr& p);
 
   Node& node_;
+  Node::ControlHandlerId ctrl_id_ = 0;
   BindingCache bindings_;
   std::uint64_t tunneled_ = 0;
   std::uint64_t registrations_ = 0;

@@ -7,7 +7,13 @@ MapAgent::MapAgent(Node& node) : node_(node) {
   node_.routes().set_prefix_route(
       regional_prefix(),
       Route::to([this](PacketPtr p) { intercept(std::move(p)); }));
-  node_.add_control_handler([this](PacketPtr& p) { return handle_control(p); });
+  ctrl_id_ = node_.add_control_handler(
+      [this](PacketPtr& p) { return handle_control(p); });
+}
+
+MapAgent::~MapAgent() {
+  node_.routes().remove_prefix_route(regional_prefix());
+  node_.remove_control_handler(ctrl_id_);
 }
 
 void MapAgent::intercept(PacketPtr p) {

@@ -15,6 +15,10 @@ namespace fhmip {
 class MapAgent {
  public:
   explicit MapAgent(Node& node);
+  ~MapAgent();
+
+  MapAgent(const MapAgent&) = delete;
+  MapAgent& operator=(const MapAgent&) = delete;
 
   Node& node() { return node_; }
   Address address() const { return node_.address(); }
@@ -34,6 +38,7 @@ class MapAgent {
   bool handle_control(PacketPtr& p);
 
   Node& node_;
+  Node::ControlHandlerId ctrl_id_ = 0;
   BindingCache bindings_;
   BindingCache secondary_;
   std::uint64_t tunneled_ = 0;

@@ -5,8 +5,11 @@ namespace fhmip {
 MobileIpClient::MobileIpClient(Node& node, Address regional_addr,
                                Address map_addr)
     : node_(node), regional_(regional_addr), map_(map_addr) {
-  node_.add_control_handler([this](PacketPtr& p) { return handle_control(p); });
+  ctrl_id_ = node_.add_control_handler(
+      [this](PacketPtr& p) { return handle_control(p); });
 }
+
+MobileIpClient::~MobileIpClient() { node_.remove_control_handler(ctrl_id_); }
 
 void MobileIpClient::send_binding_update(Address lcoa, SimTime lifetime) {
   BindingUpdateMsg bu;

@@ -13,6 +13,10 @@ namespace fhmip {
 class MobileIpClient {
  public:
   MobileIpClient(Node& node, Address regional_addr, Address map_addr);
+  ~MobileIpClient();
+
+  MobileIpClient(const MobileIpClient&) = delete;
+  MobileIpClient& operator=(const MobileIpClient&) = delete;
 
   /// Binds the regional address to `lcoa` at the MAP (§2.2.1 step 4).
   void send_binding_update(Address lcoa, SimTime lifetime);
@@ -49,6 +53,7 @@ class MobileIpClient {
   bool handle_control(PacketPtr& p);
 
   Node& node_;
+  Node::ControlHandlerId ctrl_id_ = 0;
   Address regional_;
   Address map_;
   std::function<void()> on_binding_ack_;

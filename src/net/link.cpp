@@ -100,9 +100,12 @@ void SimplexLink::start_tx(PacketPtr p) {
         trace_event(sim_.now(), TraceKind::kTransmit, name_, *p));
   }
   const SimTime tx = tx_time(p->size_bytes);
-  // Move the packet into the completion event.
-  auto* raw = p.release();
-  sim_.in(tx, [this, raw] { finish_tx(PacketPtr(raw)); });
+  // Move the packet into the completion event. A shared_ptr holder (not a
+  // released raw pointer) keeps ownership inside the copyable callable, so
+  // packets in flight are reclaimed even when the simulation ends before
+  // the event fires.
+  auto holder = std::make_shared<PacketPtr>(std::move(p));
+  sim_.in(tx, [this, holder] { finish_tx(std::move(*holder)); });
 }
 
 void SimplexLink::finish_tx(PacketPtr p) {
@@ -110,9 +113,9 @@ void SimplexLink::finish_tx(PacketPtr p) {
   // will be delivered even if the link is torn down meanwhile (ns-2
   // semantics: link-down affects packets that have not started
   // transmission, not ones already in flight).
-  auto* raw = p.release();
-  sim_.in(delay_, [this, raw] {
-    PacketPtr pkt(raw);
+  auto holder = std::make_shared<PacketPtr>(std::move(p));
+  sim_.in(delay_, [this, holder] {
+    PacketPtr pkt = std::move(*holder);
     ++delivered_;
     bytes_delivered_ += pkt->size_bytes;
     if (sim_.trace().enabled()) {

@@ -52,8 +52,15 @@ void Node::register_port(std::uint16_t port, PortHandler h) {
 
 void Node::unregister_port(std::uint16_t port) { ports_.erase(port); }
 
-void Node::add_control_handler(ControlHandler h) {
-  control_handlers_.push_back(std::move(h));
+Node::ControlHandlerId Node::add_control_handler(ControlHandler h) {
+  const ControlHandlerId id = next_control_handler_id_++;
+  control_handlers_.emplace_back(id, std::move(h));
+  return id;
+}
+
+void Node::remove_control_handler(ControlHandlerId id) {
+  std::erase_if(control_handlers_,
+                [id](const auto& pr) { return pr.first == id; });
 }
 
 void Node::receive(PacketPtr p) {
@@ -111,8 +118,10 @@ void Node::deliver_local(PacketPtr p) {
         node_trace(sim_.now(), TraceKind::kLocalDeliver, name_, *p));
   }
   if (p->is_control()) {
-    for (auto& h : control_handlers_) {
-      if (h(p)) return;
+    // Index loop: a handler may register another handler while we iterate
+    // (agent construction from a callback), which invalidates iterators.
+    for (std::size_t i = 0; i < control_handlers_.size(); ++i) {
+      if (control_handlers_[i].second(p)) return;
     }
     // Unclaimed control message: harmless (e.g. advertisement nobody
     // listens to) — discard without accounting, control is flow-less.

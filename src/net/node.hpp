@@ -26,6 +26,8 @@ class Node {
   /// Handler for control messages. Return true to consume the packet.
   using ControlHandler = std::function<bool(PacketPtr&)>;
   using PortHandler = std::function<void(PacketPtr)>;
+  /// Handle for a registered control handler; 0 is never issued.
+  using ControlHandlerId = std::uint64_t;
 
   Node(Simulation& sim, NodeId id, std::string name);
 
@@ -61,7 +63,11 @@ class Node {
 
   void register_port(std::uint16_t port, PortHandler h);
   void unregister_port(std::uint16_t port);
-  void add_control_handler(ControlHandler h);
+  /// Registers a control handler; the returned id removes it again. Agents
+  /// that capture `this` MUST remove their handler on destruction, or a
+  /// client destroyed before its node leaves a dangling callback.
+  ControlHandlerId add_control_handler(ControlHandler h);
+  void remove_control_handler(ControlHandlerId id);
 
   /// Packet-mangling hook applied to every packet this node forwards
   /// (before route lookup). Used for edge functions such as Diffserv
@@ -84,7 +90,8 @@ class Node {
   std::vector<std::pair<Address, bool>> addrs_;
   RoutingTable routes_;
   std::unordered_map<std::uint16_t, PortHandler> ports_;
-  std::vector<ControlHandler> control_handlers_;
+  std::vector<std::pair<ControlHandlerId, ControlHandler>> control_handlers_;
+  ControlHandlerId next_control_handler_id_ = 1;
   std::function<void(Packet&)> forward_filter_;
   std::uint64_t forwarded_ = 0;
   std::uint64_t received_local_ = 0;

@@ -25,7 +25,26 @@ bool ClassPriorityQueue::push(PacketPtr& p) {
   } else {
     ++rejected_;
   }
+  audit_invariants();
   return ok;
+}
+
+void ClassPriorityQueue::audit_invariants() const {
+  // The per-band DropTail counters must sum to this queue's own: a mismatch
+  // means a packet was admitted or rejected without going through push().
+  FHMIP_AUDIT_MSG(
+      "net",
+      enqueued_ == bands_[0].total_enqueued() + bands_[1].total_enqueued() +
+                       bands_[2].total_enqueued(),
+      "enqueued=" + std::to_string(enqueued_));
+  FHMIP_AUDIT_MSG(
+      "net",
+      rejected_ == bands_[0].total_rejected() + bands_[1].total_rejected() +
+                       bands_[2].total_rejected(),
+      "rejected=" + std::to_string(rejected_));
+  FHMIP_AUDIT_MSG("net", size() <= limit_,
+                  "size=" + std::to_string(size()) +
+                      " limit=" + std::to_string(limit_));
 }
 
 PacketPtr ClassPriorityQueue::pop() {

@@ -39,6 +39,9 @@ class ClassPriorityQueue {
     }
   }
 
+  /// Cross-band accounting audits (no-op at audit level 0).
+  void audit_invariants() const;
+
  private:
   static std::size_t band_index(TrafficClass c);
 

@@ -10,6 +10,7 @@ bool DropTailQueue::push(PacketPtr& p) {
   bytes_ += p->size_bytes;
   ++enqueued_;
   q_.push_back(std::move(p));
+  audit_invariants();
   return true;
 }
 
@@ -17,7 +18,12 @@ PacketPtr DropTailQueue::pop() {
   if (q_.empty()) return nullptr;
   PacketPtr p = std::move(q_.front());
   q_.pop_front();
+  ++dequeued_;
+  FHMIP_AUDIT_MSG("net", bytes_ >= p->size_bytes,
+                  "byte gauge " + std::to_string(bytes_) +
+                      " below packet size " + std::to_string(p->size_bytes));
   bytes_ -= p->size_bytes;
+  audit_invariants();
   return p;
 }
 

@@ -4,11 +4,16 @@
 #include <deque>
 
 #include "net/packet.hpp"
+#include "sim/check.hpp"
 
 namespace fhmip {
 
 /// FIFO drop-tail queue with a packet-count limit (ns-2's DropTail).
 /// Rejected packets are returned to the caller so it can account the drop.
+///
+/// Byte and packet accounting are audited: `enqueued == dequeued + size`
+/// and the byte gauge matches the queued packets (zero when empty; level-2
+/// audits recount the sum).
 class DropTailQueue {
  public:
   explicit DropTailQueue(std::size_t limit_pkts = 50) : limit_(limit_pkts) {}
@@ -27,15 +32,36 @@ class DropTailQueue {
 
   std::uint64_t total_enqueued() const { return enqueued_; }
   std::uint64_t total_rejected() const { return rejected_; }
+  /// Packets that left the queue (pops + drains).
+  std::uint64_t total_dequeued() const { return dequeued_; }
 
   /// Drops everything currently queued, invoking `fn` per packet.
   template <typename Fn>
   void drain(Fn&& fn) {
     while (!q_.empty()) {
+      ++dequeued_;
       fn(std::move(q_.front()));
       q_.pop_front();
     }
     bytes_ = 0;
+    audit_invariants();
+  }
+
+  /// Byte/packet accounting audits (no-op at audit level 0).
+  void audit_invariants() const {
+    FHMIP_AUDIT_MSG("net", enqueued_ == dequeued_ + q_.size(),
+                    "enqueued=" + std::to_string(enqueued_) +
+                        " dequeued=" + std::to_string(dequeued_) +
+                        " size=" + std::to_string(q_.size()));
+    FHMIP_AUDIT_MSG("net", !q_.empty() || bytes_ == 0,
+                    "empty queue holds " + std::to_string(bytes_) + "B");
+#if FHMIP_AUDIT_LEVEL >= 2
+    std::uint64_t sum = 0;
+    for (const auto& p : q_) sum += p->size_bytes;
+    FHMIP_AUDIT2_MSG("net", sum == bytes_,
+                     "byte recount=" + std::to_string(sum) +
+                         " gauge=" + std::to_string(bytes_));
+#endif
   }
 
  private:
@@ -44,6 +70,7 @@ class DropTailQueue {
   std::uint64_t bytes_ = 0;
   std::uint64_t enqueued_ = 0;
   std::uint64_t rejected_ = 0;
+  std::uint64_t dequeued_ = 0;
 };
 
 }  // namespace fhmip

@@ -5,7 +5,7 @@ namespace fhmip {
 const Route* RoutingTable::lookup(Address dst) const {
   if (auto it = host_.find(dst.key()); it != host_.end()) return &it->second;
   if (auto it = prefix_.find(dst.net); it != prefix_.end()) return &it->second;
-  if (default_) return &*default_;
+  if (default_.valid()) return &default_;
   return nullptr;
 }
 

@@ -2,7 +2,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <optional>
 #include <unordered_map>
 
 #include "net/address.hpp"
@@ -36,6 +35,7 @@ class RoutingTable {
   }
   void set_host_route(Address a, Route r) { host_[a.key()] = std::move(r); }
   void remove_host_route(Address a) { host_.erase(a.key()); }
+  void remove_prefix_route(std::uint32_t net) { prefix_.erase(net); }
   void set_default_route(Route r) { default_ = std::move(r); }
   void clear_prefix_routes() { prefix_.clear(); }
 
@@ -50,7 +50,10 @@ class RoutingTable {
  private:
   std::unordered_map<std::uint64_t, Route> host_;
   std::unordered_map<std::uint32_t, Route> prefix_;
-  std::optional<Route> default_;
+  // An invalid Route (no link, no handler) means "no default". Plain member
+  // rather than std::optional: optional<Route>'s move-assign trips GCC 12's
+  // -Wmaybe-uninitialized through the std::function payload under -O2.
+  Route default_;
 };
 
 }  // namespace fhmip

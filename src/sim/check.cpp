@@ -1,0 +1,81 @@
+#include "sim/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace fhmip {
+
+std::string format_violation(const AuditViolation& v) {
+  std::string s = "audit failed [";
+  s += v.component;
+  s += "] ";
+  s += v.expr;
+  s += " at ";
+  s += v.file;
+  s += ":";
+  s += std::to_string(v.line);
+  if (!v.detail.empty()) {
+    s += " (";
+    s += v.detail;
+    s += ")";
+  }
+  return s;
+}
+
+AuditHub& AuditHub::instance() {
+  static AuditHub hub;
+  return hub;
+}
+
+void AuditHub::set_sink(Sink sink) { sink_ = std::move(sink); }
+
+void AuditHub::set_abort_on_violation(bool abort_on_violation) {
+  abort_on_violation_ = abort_on_violation;
+}
+
+void AuditHub::report(const AuditViolation& v) {
+  ++violations_;
+  if (sink_) {
+    sink_(v);
+  } else {
+    std::fprintf(stderr, "fhmip: %s\n", format_violation(v).c_str());
+  }
+  if (abort_on_violation_) std::abort();
+}
+
+namespace {
+// Saved state for the (non-reentrant, single-threaded) scoped sink. The
+// simulator itself is single-threaded by design; audits inherit that.
+AuditHub::Sink g_saved_sink;
+bool g_saved_abort = true;
+bool g_scope_active = false;
+}  // namespace
+
+ScopedAuditSink::ScopedAuditSink(AuditHub::Sink sink) {
+  AuditHub& hub = AuditHub::instance();
+  g_saved_abort = std::exchange(hub.abort_on_violation_, false);
+  g_saved_sink = std::exchange(hub.sink_, std::move(sink));
+  g_scope_active = true;
+}
+
+ScopedAuditSink::~ScopedAuditSink() {
+  AuditHub& hub = AuditHub::instance();
+  if (!g_scope_active) return;
+  hub.sink_ = std::move(g_saved_sink);
+  hub.abort_on_violation_ = g_saved_abort;
+  g_scope_active = false;
+}
+
+void audit_fail(const char* component, const char* expr, const char* file,
+                int line, std::string detail) {
+  AuditViolation v;
+  v.component = component;
+  v.expr = expr;
+  v.file = file;
+  v.line = line;
+  v.detail = std::move(detail);
+  AuditHub::instance().report(v);
+}
+
+}  // namespace fhmip

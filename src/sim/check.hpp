@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+/// Runtime invariant audits.
+///
+/// `FHMIP_AUDIT(component, cond)` checks an internal invariant of the
+/// simulator — the accounting identities that the paper's results depend on
+/// (pool/lease balance, queue byte counts, scheduler clock monotonicity,
+/// handover message ordering). Violations are routed through AuditHub to the
+/// logging layer and, by default, abort the process so sanitizer/CI runs
+/// fail loudly instead of producing silently-corrupt figures.
+///
+/// The checks are gated by the compile definition `FHMIP_AUDIT_LEVEL`
+/// (a CMake cache variable of the same name, applied to every target):
+///   0 — audits compile to nothing; condition and message expressions are
+///       not evaluated (zero cost, for benchmarking builds),
+///   1 — O(1) checks at mutation sites (the default for dev/test builds),
+///   2 — adds O(n) sweeps (full lease-sum and byte-recount audits).
+#ifndef FHMIP_AUDIT_LEVEL
+#define FHMIP_AUDIT_LEVEL 1
+#endif
+
+namespace fhmip {
+
+/// A single failed audit. `expr`/`file` point at string literals.
+struct AuditViolation {
+  const char* component = "";
+  const char* expr = "";
+  const char* file = "";
+  int line = 0;
+  std::string detail;
+};
+
+/// Renders "audit failed [buffer] leased <= pool at buffer_manager.cpp:21
+/// (leased=7 pool=4)".
+std::string format_violation(const AuditViolation& v);
+
+/// Process-wide collector for audit failures. Components report through the
+/// free function `audit_fail`; by default a violation is written to stderr
+/// and the process aborts. Tests install a sink (which suppresses the abort
+/// unless re-enabled) to assert that deliberate corruption is caught.
+class AuditHub {
+ public:
+  using Sink = std::function<void(const AuditViolation&)>;
+
+  static AuditHub& instance();
+
+  void report(const AuditViolation& v);
+
+  /// Replaces the default stderr+abort behaviour. Passing nullptr restores
+  /// the default.
+  void set_sink(Sink sink);
+  /// Forces abort even with a sink installed (CI hardening).
+  void set_abort_on_violation(bool abort_on_violation);
+
+  std::uint64_t violations() const { return violations_; }
+  void reset_violations() { violations_ = 0; }
+
+ private:
+  friend class ScopedAuditSink;
+
+  Sink sink_;
+  bool abort_on_violation_ = true;
+  std::uint64_t violations_ = 0;
+};
+
+/// RAII sink installer for tests: captures violations for the duration of a
+/// scope and restores the previous abort-on-violation behaviour on exit.
+class ScopedAuditSink {
+ public:
+  explicit ScopedAuditSink(AuditHub::Sink sink);
+  ~ScopedAuditSink();
+  ScopedAuditSink(const ScopedAuditSink&) = delete;
+  ScopedAuditSink& operator=(const ScopedAuditSink&) = delete;
+};
+
+[[gnu::cold]] void audit_fail(const char* component, const char* expr,
+                              const char* file, int line,
+                              std::string detail = {});
+
+}  // namespace fhmip
+
+#if FHMIP_AUDIT_LEVEL >= 1
+/// Checks `cond`; on failure reports through AuditHub. `component` is a
+/// short subsystem tag ("sched", "buffer", "net", "fastho").
+#define FHMIP_AUDIT(component, cond)                                   \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::fhmip::audit_fail(component, #cond, __FILE__, __LINE__);       \
+    }                                                                  \
+  } while (0)
+/// Like FHMIP_AUDIT with a detail string; `detail_expr` (any expression
+/// convertible to std::string) is evaluated only on failure.
+#define FHMIP_AUDIT_MSG(component, cond, detail_expr)                  \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::fhmip::audit_fail(component, #cond, __FILE__, __LINE__,        \
+                          (detail_expr));                              \
+    }                                                                  \
+  } while (0)
+#else
+#define FHMIP_AUDIT(component, cond) ((void)0)
+#define FHMIP_AUDIT_MSG(component, cond, detail_expr) ((void)0)
+#endif
+
+#if FHMIP_AUDIT_LEVEL >= 2
+/// O(n) sweep audits (full recounts); compiled in only at level 2.
+#define FHMIP_AUDIT2(component, cond) FHMIP_AUDIT(component, cond)
+#define FHMIP_AUDIT2_MSG(component, cond, detail_expr) \
+  FHMIP_AUDIT_MSG(component, cond, detail_expr)
+#else
+#define FHMIP_AUDIT2(component, cond) ((void)0)
+#define FHMIP_AUDIT2_MSG(component, cond, detail_expr) ((void)0)
+#endif

@@ -2,11 +2,14 @@
 
 #include <utility>
 
+#include "sim/check.hpp"
+
 namespace fhmip {
 
 EventId Scheduler::schedule_at(SimTime t, Action fn) {
   if (t < now_) t = now_;
   const EventId id = next_id_++;
+  FHMIP_AUDIT("sched", id != kInvalidEvent);  // 64-bit id space exhausted
   heap_.push(Entry{t, id, std::move(fn)});
   live_.insert(id);
   return id;
@@ -15,6 +18,11 @@ EventId Scheduler::schedule_at(SimTime t, Action fn) {
 void Scheduler::cancel(EventId id) {
   if (id == kInvalidEvent) return;
   if (live_.count(id)) cancelled_.insert(id);
+  // cancelled_ must stay a subset of the heap contents, or queue_size()
+  // underflows (it is heap size minus cancelled count).
+  FHMIP_AUDIT_MSG("sched", cancelled_.size() <= heap_.size(),
+                  "cancelled=" + std::to_string(cancelled_.size()) +
+                      " heap=" + std::to_string(heap_.size()));
 }
 
 bool Scheduler::pending(EventId id) const {
@@ -39,6 +47,11 @@ bool Scheduler::pop_next(Entry& out) {
 bool Scheduler::step() {
   Entry e;
   if (!pop_next(e)) return false;
+  // The clock only moves forward: schedule_at clamps past times to now(),
+  // so a popped event timestamped before now_ means heap-order corruption.
+  FHMIP_AUDIT_MSG("sched", e.at >= now_,
+                  "event at " + e.at.to_string() + " before clock " +
+                      now_.to_string());
   now_ = e.at;
   ++executed_;
   e.fn();
@@ -63,6 +76,9 @@ std::size_t Scheduler::run_until(SimTime t) {
     }
     if (heap_.empty() || heap_.top().at > t) break;
     if (!pop_next(e)) break;
+    FHMIP_AUDIT_MSG("sched", e.at >= now_,
+                    "event at " + e.at.to_string() + " before clock " +
+                        now_.to_string());
     now_ = e.at;
     ++executed_;
     ++n;
@@ -70,6 +86,23 @@ std::size_t Scheduler::run_until(SimTime t) {
   }
   if (now_ < t) now_ = t;
   return n;
+}
+
+void Scheduler::audit_invariants() const {
+  FHMIP_AUDIT_MSG("sched", cancelled_.size() <= heap_.size(),
+                  "cancelled=" + std::to_string(cancelled_.size()) +
+                      " heap=" + std::to_string(heap_.size()));
+  FHMIP_AUDIT_MSG("sched", live_.size() == heap_.size(),
+                  "live=" + std::to_string(live_.size()) +
+                      " heap=" + std::to_string(heap_.size()));
+  // Level-2 sweep: every cancelled id must still be tracked as live (it is
+  // removed from both sets together when it reaches the heap front).
+#if FHMIP_AUDIT_LEVEL >= 2
+  for (const EventId id : cancelled_) {
+    FHMIP_AUDIT2_MSG("sched", live_.count(id) == 1,
+                     "cancelled id " + std::to_string(id) + " not live");
+  }
+#endif
 }
 
 }  // namespace fhmip

@@ -55,6 +55,10 @@ class Scheduler {
   bool empty() const { return queue_size() == 0; }
   std::uint64_t events_executed() const { return executed_; }
 
+  /// Runs the cancelled-set/heap consistency audits (FHMIP_AUDIT; no-op at
+  /// audit level 0). Exposed so tests and long scenarios can sweep.
+  void audit_invariants() const;
+
  private:
   struct Entry {
     SimTime at;

@@ -127,12 +127,11 @@ void WlanManager::start_handoff(MhId mh, MhRecord& rec, AccessPoint& target) {
   if (rec.cb) rec.cb->on_predisconnect(target.id(), target.ar_node());
   const NodeId target_id = target.id();
   sim_.in(cfg_.predisconnect_guard, [this, mh, target_id, blackout] {
-    auto& rec = mhs_.at(mh);
-    detach(mh, rec);
-    if (rec.cb) rec.cb->on_detached();
+    auto& r = mhs_.at(mh);
+    detach(mh, r);
+    if (r.cb) r.cb->on_detached();
     sim_.in(blackout, [this, mh, target_id] {
-      auto& rec = mhs_.at(mh);
-      attach(mh, rec, *ap(target_id));
+      attach(mh, mhs_.at(mh), *ap(target_id));
     });
   });
 }

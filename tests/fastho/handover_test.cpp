@@ -19,6 +19,12 @@ struct HandoverFixture : ::testing::Test {
 
   void build(TrafficClass cls = TrafficClass::kUnspecified,
              double kbps = 64) {
+    // On a rebuild, tear down in reverse dependency order: the sink and
+    // source unregister from nodes owned by the topology on destruction,
+    // so they must go before the topology they point into.
+    source.reset();
+    sink.reset();
+    topo.reset();
     topo = std::make_unique<PaperTopology>(cfg);
     auto& m = topo->mobile(0);
     sink = std::make_unique<UdpSink>(*m.node, 7000);

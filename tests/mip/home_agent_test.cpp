@@ -45,6 +45,21 @@ struct HomeAgentFixture : ::testing::Test {
   }
 };
 
+TEST_F(HomeAgentFixture, DestroyedClientLeavesNoDanglingHandler) {
+  // Regression: MobileIpClient registers a this-capturing control handler
+  // on its node; destroying a scope-local client used to leave the handler
+  // behind, and the next control packet hit freed stack memory
+  // (stack-use-after-scope under ASan).
+  register_mh();  // constructs and destroys a scope-local client
+  MobileIpClient mip(mh, home_addr(), ha->address());
+  bool accepted = false;
+  mip.set_on_registration_reply([&](bool ok) { accepted = ok; });
+  mip.send_registration(ha->address(), ha->address(), home_addr(), coa(),
+                        60_s);
+  sim.run();  // the reply must reach the live client only
+  EXPECT_TRUE(accepted);
+}
+
 TEST_F(HomeAgentFixture, RegistrationCreatesBinding) {
   MobileIpClient mip(mh, home_addr(), ha->address());
   bool accepted = false;

@@ -43,6 +43,19 @@ TEST_F(LinkFixture, DeliveryAfterTxPlusPropagation) {
   EXPECT_EQ(link.packets_delivered(), 1u);
 }
 
+TEST_F(LinkFixture, InFlightPacketsReclaimedIfSimulationEnds) {
+  // Regression: start_tx/finish_tx used to hand a released raw pointer to
+  // the completion event; tearing the simulation down with packets still
+  // in flight leaked them (caught by LeakSanitizer). The packets must be
+  // owned by the event closures so destruction reclaims them.
+  SimplexLink link(sim, b, 1e6, 10_ms, 10);
+  link.transmit(pkt(1000));  // serialization event pending
+  link.transmit(pkt(1000));  // sits in the queue
+  sim.run_until(9_ms);       // past serialization, before propagation ends
+  // Destructor of `sim` (fixture teardown) discards the pending events.
+  EXPECT_EQ(link.packets_delivered(), 0u);
+}
+
 TEST_F(LinkFixture, TxTimeScalesWithSize) {
   SimplexLink link(sim, b, 8e6, 0_ms, 10);
   EXPECT_EQ(link.tx_time(1000), 1_ms);  // 8000 bits / 8 Mb/s

@@ -84,6 +84,38 @@ TEST_F(NodeFixture, ControlHandlerChainFirstClaimWins) {
   EXPECT_EQ(hits, (std::vector<int>{1, 2}));
 }
 
+TEST_F(NodeFixture, RemovedControlHandlerIsNotInvoked) {
+  // Regression: agents register this-capturing control handlers; before
+  // remove_control_handler existed a destroyed agent left a dangling
+  // callback behind (stack-use-after-scope under ASan).
+  int calls = 0;
+  const Node::ControlHandlerId id =
+      a.add_control_handler([&](PacketPtr&) {
+        ++calls;
+        return true;
+      });
+  a.remove_control_handler(id);
+  a.receive(make_control(sim, {20, 1}, {10, 1}, FbuMsg{}));
+  EXPECT_EQ(calls, 0);
+}
+
+TEST_F(NodeFixture, RemoveControlHandlerKeepsOthers) {
+  int first = 0, second = 0;
+  const Node::ControlHandlerId id =
+      a.add_control_handler([&](PacketPtr&) {
+        ++first;
+        return false;
+      });
+  a.add_control_handler([&](PacketPtr&) {
+    ++second;
+    return true;
+  });
+  a.remove_control_handler(id);
+  a.receive(make_control(sim, {20, 1}, {10, 1}, FbuMsg{}));
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
 TEST_F(NodeFixture, ForwardViaPrefixRoute) {
   SimplexLink to_b(sim, b, 1e6, 1_ms, 10);
   a.routes().set_prefix_route(20, Route::via(to_b));

@@ -1,0 +1,45 @@
+// Proves the level-0 contract of the audit macros: they compile to nothing
+// and their argument expressions are never evaluated. The build defines
+// FHMIP_AUDIT_LEVEL globally (command line), so this translation unit
+// overrides it before any header can see it — the macros in sim/check.hpp
+// are expanded per-TU against the value visible here.
+#undef FHMIP_AUDIT_LEVEL
+#define FHMIP_AUDIT_LEVEL 0
+
+#include "sim/check.hpp"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fhmip {
+namespace {
+
+TEST(CheckLevel0Test, FailingAuditIsCompiledOut) {
+  AuditHub::instance().reset_violations();
+  std::vector<AuditViolation> seen;
+  ScopedAuditSink sink([&](const AuditViolation& v) { seen.push_back(v); });
+  FHMIP_AUDIT("test", false);
+  FHMIP_AUDIT_MSG("test", false, std::string("never built"));
+  FHMIP_AUDIT2("test", false);
+  FHMIP_AUDIT2_MSG("test", false, std::string("never built"));
+  EXPECT_TRUE(seen.empty());
+  EXPECT_EQ(AuditHub::instance().violations(), 0u);
+}
+
+TEST(CheckLevel0Test, ConditionExpressionIsNotEvaluated) {
+  int evaluations = 0;
+  auto probe = [&] {
+    ++evaluations;
+    return false;
+  };
+  FHMIP_AUDIT("test", probe());
+  FHMIP_AUDIT_MSG("test", probe(), std::string("detail"));
+  FHMIP_AUDIT2("test", probe());
+  (void)probe;  // referenced only inside compiled-out macros
+  EXPECT_EQ(evaluations, 0);
+}
+
+}  // namespace
+}  // namespace fhmip

@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""fhmip project lint.
+
+Repo-specific correctness rules that generic compilers/tidies don't enforce.
+Registered as a ctest (`fhmip_lint`) so `ctest` runs build + tests + lint
+uniformly. Exit status 0 = clean, 1 = violations (printed as
+`file:line: [rule] message`), 2 = usage error.
+
+Rules
+  pragma-once        every header under src/ starts with #pragma once
+  self-include-first the first #include of src/<mod>/<name>.cpp is its own
+                     header (catches hidden transitive-include dependencies)
+  banned-random      rand()/srand()/random_shuffle — use fhmip::Rng, which is
+                     seeded and deterministic per Simulation
+  raw-new-delete     no raw new/delete in src/ — ownership goes through
+                     containers and smart pointers
+  simtime-float-eq   no ==/!= on SimTime's floating-point views (.sec(),
+                     .millis_f(), .micros_f()); compare SimTime directly
+                     (integer ns) instead
+  stale-eventid      EventId handles compared/assigned with literal 0 —
+                     use kInvalidEvent so stale-handle bugs stay greppable
+  using-namespace-std no `using namespace std`
+  direct-stdio       src/ must report through Logger/PacketTrace, not
+                     printf/cout/cerr (stats table printers are exempt)
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# (rule, path) pairs exempt from a rule, relative to the repo root.
+ALLOWLIST = {
+    # kInvalidEvent's own definition.
+    ("stale-eventid", "src/sim/scheduler.hpp"),
+    # The table/series printers exist to write to stdout.
+    ("direct-stdio", "src/stats/table.cpp"),
+    ("direct-stdio", "src/stats/table.hpp"),
+    ("direct-stdio", "src/stats/recorder.cpp"),
+    # The logging layer and the audit hub are the stderr reporters.
+    ("direct-stdio", "src/sim/logging.cpp"),
+    ("direct-stdio", "src/sim/check.cpp"),
+}
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving line
+    structure so reported line numbers match the source."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            seg = text[i : j + 2]
+            out.append("".join(ch if ch == "\n" else " " for ch in seg))
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            out.append(quote + " " * (j - i - 1) + quote)
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class Linter:
+    def __init__(self, root: Path):
+        self.root = root
+        self.violations: list[str] = []
+
+    def report(self, rule: str, path: Path, lineno: int, msg: str):
+        rel = path.relative_to(self.root).as_posix()
+        if (rule, rel) in ALLOWLIST:
+            return
+        self.violations.append(f"{rel}:{lineno}: [{rule}] {msg}")
+
+    # -- per-file rules ------------------------------------------------------
+
+    def check_pragma_once(self, path: Path, text: str):
+        if path.suffix != ".hpp":
+            return
+        for lineno, line in enumerate(text.splitlines(), 1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("//"):
+                continue
+            if stripped != "#pragma once":
+                self.report("pragma-once", path, lineno,
+                            "header must start with #pragma once")
+            return
+        self.report("pragma-once", path, 1, "empty header")
+
+    def check_self_include_first(self, path: Path, text: str, code: str):
+        if path.suffix != ".cpp" or "src" not in path.parts:
+            return
+        own = path.relative_to(self.root / "src").with_suffix(".hpp")
+        if not (self.root / "src" / own).exists():
+            return  # .cpp without a paired header (e.g. a main)
+        raw_lines = text.splitlines()
+        # Scan the comment-stripped code to find the first live #include,
+        # then read the (string-literal) path from the raw line.
+        for lineno, line in enumerate(code.splitlines(), 1):
+            if re.match(r"\s*#\s*include\s+<", line):
+                self.report("self-include-first", path, lineno,
+                            f'first include must be "{own.as_posix()}"')
+                return
+            if re.match(r'\s*#\s*include\s+"', line):
+                m = re.match(r'\s*#\s*include\s+"([^"]+)"',
+                             raw_lines[lineno - 1])
+                if m and m.group(1) != own.as_posix():
+                    self.report("self-include-first", path, lineno,
+                                f'first include must be "{own.as_posix()}", '
+                                f'got "{m.group(1)}"')
+                return
+
+    def check_regex_rules(self, path: Path, code: str):
+        in_src = "src" in path.relative_to(self.root).parts
+        for lineno, line in enumerate(code.splitlines(), 1):
+            if re.search(r"\b(?:std::)?s?rand\s*\(|\brandom_shuffle\b", line):
+                self.report("banned-random", path, lineno,
+                            "use fhmip::Rng (deterministic, per-Simulation)")
+            if re.search(r"\busing\s+namespace\s+std\b", line):
+                self.report("using-namespace-std", path, lineno,
+                            "qualify std:: names explicitly")
+            if re.search(r"\.(?:sec|millis_f|micros_f)\(\)\s*[!=]=|"
+                         r"[!=]=\s*[\w.:()]+\.(?:sec|millis_f|micros_f)\(\)",
+                         line):
+                self.report("simtime-float-eq", path, lineno,
+                            "compare SimTime values directly (integer ns), "
+                            "not their floating-point views")
+            if "EventId" in line and re.search(
+                    r"EventId\s+\w+(?:\s*=\s*|\s*\{\s*)0\b", line):
+                self.report("stale-eventid", path, lineno,
+                            "initialise EventId handles from kInvalidEvent")
+            if re.search(r"\b\w+(?:\.|->)\w*(?:timer|event\w*id)\w*\s*[!=]="
+                         r"\s*0\b", line, re.IGNORECASE):
+                self.report("stale-eventid", path, lineno,
+                            "compare EventId handles against kInvalidEvent")
+            if in_src:
+                if re.search(r"\bnew\s+[A-Za-z_(]", line) and \
+                        not re.search(r"\boperator\s+new\b", line):
+                    self.report("raw-new-delete", path, lineno,
+                                "raw new — use containers/smart pointers")
+                if re.search(r"\bdelete\s+[A-Za-z_*]|\bdelete\[\]", line) and \
+                        not re.search(r"=\s*delete\b", line):
+                    self.report("raw-new-delete", path, lineno,
+                                "raw delete — use containers/smart pointers")
+                if re.search(r"\bstd::(?:printf|puts|cout|cerr)\b|"
+                             r"(?<!\w)f?printf\s*\(", line):
+                    self.report("direct-stdio", path, lineno,
+                                "report through Logger or PacketTrace")
+                if re.search(r"#\s*include\s+<iostream>", line):
+                    self.report("direct-stdio", path, lineno,
+                                "<iostream> banned in src/ (static-init cost); "
+                                "report through Logger or PacketTrace")
+
+    # -- driver --------------------------------------------------------------
+
+    def run(self) -> int:
+        dirs = ["src", "tests", "bench", "examples", "tools"]
+        files = []
+        for d in dirs:
+            base = self.root / d
+            if base.exists():
+                files += sorted(base.rglob("*.hpp")) + sorted(
+                    base.rglob("*.cpp"))
+        if not files:
+            print("fhmip_lint: no sources found", file=sys.stderr)
+            return 2
+        for path in files:
+            text = path.read_text(encoding="utf-8")
+            code = strip_comments_and_strings(text)
+            self.check_pragma_once(path, text)
+            self.check_self_include_first(path, text, code)
+            self.check_regex_rules(path, code)
+        for v in self.violations:
+            print(v)
+        print(f"fhmip_lint: {len(files)} files, "
+              f"{len(self.violations)} violation(s)")
+        return 1 if self.violations else 0
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(f"usage: {sys.argv[0]} <repo-root>", file=sys.stderr)
+        return 2
+    root = Path(sys.argv[1]).resolve()
+    if not (root / "src").is_dir():
+        print(f"fhmip_lint: {root} does not look like the repo root",
+              file=sys.stderr)
+        return 2
+    return Linter(root).run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
