@@ -5,9 +5,10 @@
 
 namespace fhmip {
 
-ArAgent::ArAgent(Node& node, BufferSchemeConfig cfg)
+ArAgent::ArAgent(Node& node, BufferSchemeConfig cfg, RetransmitPolicy rtx)
     : node_(node),
       cfg_(cfg),
+      rtx_(rtx),
       buffers_(cfg.pool_pkts, cfg.allow_partial_grant) {
   // Everything addressed into this router's subnet that is not the router
   // itself flows through the agent (LCoA delivery, handoff redirection).
@@ -19,8 +20,25 @@ ArAgent::ArAgent(Node& node, BufferSchemeConfig cfg)
 }
 
 ArAgent::~ArAgent() {
+  while (!par_.empty()) teardown_par(par_.begin()->first);
+  while (!nar_.empty()) teardown_nar(nar_.begin()->first);
+  while (!intra_.empty()) teardown_intra(intra_.begin()->first);
   node_.routes().remove_prefix_route(prefix());
   node_.remove_control_handler(ctrl_id_);
+}
+
+void ArAgent::fault_reset() {
+  ++counters_.crashes;
+  while (!par_.empty()) {
+    teardown_par(par_.begin()->first, DropReason::kFaultInjected);
+  }
+  while (!nar_.empty()) {
+    teardown_nar(nar_.begin()->first, DropReason::kFaultInjected);
+  }
+  while (!intra_.empty()) {
+    teardown_intra(intra_.begin()->first, DropReason::kFaultInjected);
+  }
+  rates_.clear();
 }
 
 bool ArAgent::par_redirecting(MhId mh) const {
@@ -65,7 +83,7 @@ bool ArAgent::handle_control(PacketPtr& p) {
     return true;
   }
   if (const auto* m = std::get_if<FnaMsg>(&p->msg)) {
-    on_fna(*m);
+    on_fna(*m, p->src);
     return true;
   }
   if (const auto* m = std::get_if<BfMsg>(&p->msg)) {
@@ -97,6 +115,32 @@ void ArAgent::on_rtsolpr(const RtSolPrMsg& m, Address src) {
   const Address pcoa =
       src.net == prefix() ? src : make_coa(prefix(), m.mh);
 
+  // A retransmission of the transaction a live context already answers:
+  // re-elicit the cached advertisement (if any), never redo allocation.
+  if (m.seq != kNoCtrlSeq) {
+    if (auto iit = intra_.find(m.mh);
+        iit != intra_.end() && iit->second.rtsolpr_seq == m.seq) {
+      ++counters_.dup_rtsolpr;
+      if (iit->second.adv_sent) {
+        ++counters_.prrtadv_sent;
+        node_.send(make_control(sim, address(), pcoa, iit->second.adv_msg));
+      }
+      return;
+    }
+    if (auto pit = par_.find(m.mh);
+        pit != par_.end() && pit->second.rtsolpr_seq == m.seq) {
+      ++counters_.dup_rtsolpr;
+      if (pit->second.adv_sent) {
+        ++counters_.prrtadv_sent;
+        node_.send(
+            make_control(sim, address(), pit->second.pcoa, pit->second.adv_msg));
+      }
+      // Otherwise the HI/HAck leg is still in flight and its own
+      // retransmission timer recovers the answer.
+      return;
+    }
+  }
+
   // Cancellation: start time and lifetime both zero (§3.2.2.1).
   if (m.has_bi && m.bi.lifetime.is_zero() && m.bi.start_time.is_zero() &&
       m.bi.size_pkts == 0) {
@@ -112,6 +156,7 @@ void ArAgent::on_rtsolpr(const RtSolPrMsg& m, Address src) {
     teardown_intra(m.mh);
     IntraContext ctx;
     ctx.mh = m.mh;
+    ctx.rtsolpr_seq = m.seq;
     if (m.has_bi) {
       ctx.grant = buffers_.allocate(BufferManager::key(m.mh, ArRole::kIntra),
                                     m.bi.size_pkts);
@@ -134,6 +179,9 @@ void ArAgent::on_rtsolpr(const RtSolPrMsg& m, Address src) {
     adv.nar_prefix = prefix();
     adv.grant.par_ok = ctx.grant > 0;
     adv.grant.par_pkts = ctx.grant;
+    adv.seq = m.seq;
+    ctx.adv_msg = adv;
+    ctx.adv_sent = true;
     intra_.emplace(m.mh, std::move(ctx));
     ++counters_.prrtadv_sent;
     node_.send(make_control(sim, address(), pcoa, adv));
@@ -146,6 +194,7 @@ void ArAgent::on_rtsolpr(const RtSolPrMsg& m, Address src) {
   ctx.mh = m.mh;
   ctx.pcoa = pcoa;
   ctx.nar_addr = target_ar->address();
+  ctx.rtsolpr_seq = m.seq;
   ctx.request = m.has_bi ? m.bi : BufferRequest{};
   if (cfg_.adaptive_request && m.has_bi && ctx.request.size_pkts > 0) {
     // Precise allocation (§5): replace the host's blanket request with the
@@ -182,14 +231,65 @@ void ArAgent::on_rtsolpr(const RtSolPrMsg& m, Address src) {
     hi.has_br = true;
   }
   hi.auth_token = m.auth_token;
+  hi.seq = ++next_seq_;
+  ctx.hi_msg = hi;
+  ctx.hi_sends = 1;
   const Address nar = ctx.nar_addr;
+  if (rtx_.enabled) {
+    ctx.hi_timer =
+        sim.in(rtx_.timeout_for(0), [this, mh = m.mh] { hi_timeout(mh); });
+  }
   par_[m.mh] = std::move(ctx);
   ++counters_.hi_sent;
   send_control(nar, hi);
 }
 
+void ArAgent::hi_timeout(MhId mh) {
+  auto it = par_.find(mh);
+  if (it == par_.end()) return;
+  ParContext& ctx = it->second;
+  ctx.hi_timer = kInvalidEvent;
+  if (ctx.hack_received || ctx.hi_exhausted) return;
+  if (ctx.hi_sends > rtx_.max_retries) {
+    // The NAR never answered. Give up on the negotiation and report an
+    // empty grant so the host falls back cleanly (reactive path). Nothing
+    // is orphaned on the NAR's behalf: it only allocates on HI receipt,
+    // and any allocation from a one-way-lost HAck is reclaimed by its
+    // lifetime timer.
+    ++counters_.hi_exhausted;
+    ctx.hi_exhausted = true;
+    ctx.nar_rejected = true;
+    PrRtAdvMsg adv;
+    adv.mh = mh;
+    adv.nar_addr = ctx.nar_addr;
+    adv.nar_prefix = ctx.nar_addr.net;
+    adv.seq = ctx.rtsolpr_seq;
+    ctx.adv_msg = adv;
+    ctx.adv_sent = true;
+    ++counters_.prrtadv_sent;
+    node_.send(make_control(node_.sim(), address(), ctx.pcoa, adv));
+    return;
+  }
+  ++counters_.hi_rtx;
+  send_control(ctx.nar_addr, ctx.hi_msg);
+  ++ctx.hi_sends;
+  ctx.hi_timer = node_.sim().in(rtx_.timeout_for(ctx.hi_sends - 1),
+                                [this, mh] { hi_timeout(mh); });
+}
+
 void ArAgent::on_hi(const HiMsg& m) {
   ++counters_.hi_received;
+  // A retransmitted HI re-elicits the cached HAck — it must NOT tear down
+  // and re-allocate the context the first copy built (double-allocation).
+  if (m.seq != kNoCtrlSeq) {
+    if (auto it = nar_.find(m.mh);
+        it != nar_.end() && it->second.hi_seq == m.seq) {
+      ++counters_.dup_hi;
+      ++counters_.hack_sent;
+      send_control(m.par_addr, it->second.hack_msg);
+      return;
+    }
+  }
   if (!auth_.verify(m.mh, m.auth_token)) {
     // §5: the NAR refuses unauthenticated handovers — no buffer, no host
     // route, no tunnel endpoint. The host may still attach at L2 and
@@ -197,6 +297,7 @@ void ArAgent::on_hi(const HiMsg& m) {
     HackMsg hack;
     hack.mh = m.mh;
     hack.accepted = false;
+    hack.seq = m.seq;
     ++counters_.hack_sent;
     send_control(m.par_addr, hack);
     return;
@@ -206,6 +307,7 @@ void ArAgent::on_hi(const HiMsg& m) {
   ctx.mh = m.mh;
   ctx.pcoa = m.pcoa;
   ctx.par_addr = m.par_addr;
+  ctx.hi_seq = m.seq;
   ctx.mh_here = attached_.count(m.mh) > 0;
   // Validate the proposed NCoA against addresses already in use on this
   // subnet; a collision gets the next free interface identifier.
@@ -254,6 +356,8 @@ void ArAgent::on_hi(const HiMsg& m) {
   hack.ncoa = ncoa;
   hack.granted_pkts = ctx.grant;
   hack.buffer_ok = ctx.grant > 0;
+  hack.seq = m.seq;
+  ctx.hack_msg = hack;
   nar_[m.mh] = std::move(ctx);
   ++counters_.hack_sent;
   send_control(m.par_addr, hack);
@@ -261,14 +365,32 @@ void ArAgent::on_hi(const HiMsg& m) {
 
 void ArAgent::on_hack(const HackMsg& m) {
   ++counters_.hack_received;
-  // HAck(+BA) answers HI(+BR): it can never precede the first HI, and each
-  // PAR context sees at most one (there are no HI retransmissions).
+  // HAck(+BA) answers HI(+BR): it can never precede the first HI.
   FHMIP_AUDIT("fastho", counters_.hi_sent > 0);
   auto it = par_.find(m.mh);
   if (it == par_.end()) return;
   ParContext& ctx = it->second;
-  FHMIP_AUDIT_MSG("fastho", !ctx.hack_received,
-                  "duplicate HAck for mh " + std::to_string(m.mh));
+  // A sequenced answer for a transaction other than the live HI is a stale
+  // echo of a torn-down negotiation; a repeat for the live one is the NAR
+  // answering a retransmitted HI. Neither may be processed twice.
+  if (m.seq != kNoCtrlSeq && ctx.hi_msg.seq != kNoCtrlSeq &&
+      m.seq != ctx.hi_msg.seq) {
+    return;
+  }
+  if (ctx.hack_received) {
+    ++counters_.dup_hack;
+    return;
+  }
+  if (ctx.hi_timer != kInvalidEvent) {
+    node_.sim().cancel(ctx.hi_timer);
+    ctx.hi_timer = kInvalidEvent;
+  }
+  if (ctx.hi_exhausted) {
+    // The answer limped in after the retries gave up; accept it and let
+    // the fresh advertisement below overwrite the empty grant.
+    ctx.hi_exhausted = false;
+    ctx.nar_rejected = false;
+  }
   ctx.hack_received = true;
   ctx.nar_grant = m.buffer_ok ? m.granted_pkts : 0;
   if (!m.accepted) {
@@ -280,6 +402,9 @@ void ArAgent::on_hack(const HackMsg& m) {
     adv.mh = m.mh;
     adv.nar_addr = ctx.nar_addr;
     adv.nar_prefix = ctx.nar_addr.net;
+    adv.seq = ctx.rtsolpr_seq;
+    ctx.adv_msg = adv;
+    ctx.adv_sent = true;
     ++counters_.prrtadv_sent;
     node_.send(make_control(node_.sim(), address(), ctx.pcoa, adv));
     return;
@@ -311,18 +436,46 @@ void ArAgent::on_hack(const HackMsg& m) {
   adv.grant.nar_pkts = ctx.nar_grant;
   adv.grant.par_ok = ctx.par_grant > 0;
   adv.grant.par_pkts = ctx.par_grant;
+  adv.seq = ctx.rtsolpr_seq;
+  ctx.adv_msg = adv;
+  ctx.adv_sent = true;
   ++counters_.prrtadv_sent;
   node_.send(make_control(node_.sim(), address(), ctx.pcoa, adv));
 }
 
+void ArAgent::send_fback(const ParContext& ctx, CtrlSeq seq,
+                         bool from_new_link) {
+  FbackMsg fb;
+  fb.mh = ctx.mh;
+  fb.ok = true;
+  fb.seq = seq;
+  ++counters_.fback_sent;
+  // FBAck to the (possibly gone) old link and a copy toward the new link.
+  node_.send(make_control(node_.sim(), address(), ctx.pcoa, fb));
+  // A reactive FBU means the host already sits on the NAR's subnet with no
+  // PCoA host route there — address the copy to its new care-of address so
+  // it actually arrives (the anticipated-path copy to the router itself is
+  // held informationally, the PCoA copy rides the tunnel).
+  send_control(from_new_link ? make_coa(ctx.nar_addr.net, ctx.mh)
+                             : ctx.nar_addr,
+               fb);
+}
+
 void ArAgent::on_fbu(const FbuMsg& m) {
-  ++counters_.fbu;
   // Intra-AR (link-layer) handoff: start buffering locally (§3.2.2.4).
-  if (auto it = intra_.find(m.mh); it != intra_.end()) {
-    it->second.buffering = true;
+  if (auto iit = intra_.find(m.mh); iit != intra_.end()) {
+    IntraContext& ctx = iit->second;
+    if (m.seq != kNoCtrlSeq && ctx.last_fbu_seq == m.seq) {
+      ++counters_.dup_fbu;
+    } else {
+      ++counters_.fbu;
+      ctx.last_fbu_seq = m.seq;
+    }
+    ctx.buffering = true;
     FbackMsg fb;
     fb.mh = m.mh;
     fb.ok = true;
+    fb.seq = m.seq;
     ++counters_.fback_sent;
     send_control(make_coa(prefix(), m.mh), fb);
     return;
@@ -331,15 +484,25 @@ void ArAgent::on_fbu(const FbuMsg& m) {
   if (it == par_.end()) {
     // Non-anticipated handoff: the FBU arrives via the new link with no
     // prepared context — redirect with no buffers (Table 3.2 case 4).
+    ++counters_.fbu;
     if (!m.nar_addr.valid()) return;
     ParContext ctx;
     ctx.mh = m.mh;
     ctx.pcoa = m.pcoa.valid() ? m.pcoa : make_coa(prefix(), m.mh);
     ctx.nar_addr = m.nar_addr;
     ctx.redirecting = true;
+    ctx.last_fbu_seq = m.seq;
     ctx.lifetime_timer =
         node_.sim().in(cfg_.lifetime, [this, mh = m.mh] { teardown_par(mh); });
     it = par_.emplace(m.mh, std::move(ctx)).first;
+  } else if (m.seq != kNoCtrlSeq && it->second.last_fbu_seq == m.seq) {
+    // Retransmission: the binding is already in place, just re-answer.
+    ++counters_.dup_fbu;
+    send_fback(it->second, m.seq, m.from_new_link);
+    return;
+  } else {
+    ++counters_.fbu;
+    it->second.last_fbu_seq = m.seq;
   }
   ParContext& ctx = it->second;
   ctx.redirecting = true;
@@ -347,31 +510,49 @@ void ArAgent::on_fbu(const FbuMsg& m) {
     node_.sim().cancel(ctx.start_timer);
     ctx.start_timer = kInvalidEvent;
   }
-  FbackMsg fb;
-  fb.mh = m.mh;
-  fb.ok = true;
-  ++counters_.fback_sent;
-  // FBAck to the (possibly gone) old link and a copy toward the NAR.
-  node_.send(make_control(node_.sim(), address(), ctx.pcoa, fb));
-  send_control(ctx.nar_addr, fb);
+  send_fback(ctx, m.seq, m.from_new_link);
 }
 
-void ArAgent::on_fna(const FnaMsg& m) {
+void ArAgent::on_fna(const FnaMsg& m, Address src) {
   ++counters_.fna;
-  if (auto it = intra_.find(m.mh); it != intra_.end()) {
-    it->second.buffering = false;
+  // RFC 5568's NAACK analog: acknowledge sequenced announcements so the
+  // host stops retransmitting (unsequenced FNAs keep the legacy
+  // fire-and-forget behavior).
+  if (m.seq != kNoCtrlSeq) {
+    FnaAckMsg ack;
+    ack.mh = m.mh;
+    ack.seq = m.seq;
+    ++counters_.fna_ack_sent;
+    send_control(src.valid() ? src : make_coa(prefix(), m.mh), ack);
+  }
+  if (auto iit = intra_.find(m.mh); iit != intra_.end()) {
+    IntraContext& ctx = iit->second;
+    if (m.seq != kNoCtrlSeq && ctx.last_fna_seq == m.seq) {
+      ++counters_.dup_fna;
+    } else {
+      ctx.last_fna_seq = m.seq;
+    }
+    ctx.buffering = false;
     if (m.has_bf) drain_intra(m.mh);
     return;
   }
   auto it = nar_.find(m.mh);
   if (it == nar_.end()) return;
   NarContext& ctx = it->second;
+  if (m.seq != kNoCtrlSeq && ctx.last_fna_seq == m.seq) {
+    ++counters_.dup_fna;
+  } else {
+    ctx.last_fna_seq = m.seq;
+  }
   ctx.mh_here = true;
   if (m.has_bf) {
     BfMsg bf;
     bf.mh = m.mh;
     ++counters_.bf_sent;
-    // BF toward the PAR is only ever triggered by an FNA from the MH.
+    // BF toward the PAR is only ever triggered by an FNA from the MH. A
+    // duplicate FNA re-sends the BF (the previous copy may be the loss
+    // that caused the retransmission); the drain entry point is
+    // idempotent, so no second drain chain can start.
     FHMIP_AUDIT("fastho", counters_.bf_sent <= counters_.fna);
     send_control(ctx.par_addr, bf);
     drain_nar(m.mh);
@@ -666,8 +847,16 @@ void ArAgent::tunnel_to(Address ar, ForwardDirective d, PacketPtr p) {
 
 void ArAgent::drain_par(MhId mh) {
   auto it = par_.find(mh);
+  if (it == par_.end() || it->second.draining) return;
+  it->second.draining = true;
+  drain_par_step(mh);
+}
+
+void ArAgent::drain_par_step(MhId mh) {
+  auto it = par_.find(mh);
   if (it == par_.end()) return;
   ParContext& ctx = it->second;
+  if (!ctx.draining) return;  // chain was stopped (teardown + re-create)
   const auto k = BufferManager::key(mh, ArRole::kPar);
   HandoffBuffer* buf = buffers_.buffer(k);
   if (buf == nullptr || buf->empty()) {
@@ -676,17 +865,24 @@ void ArAgent::drain_par(MhId mh) {
     ctx.par_grant = 0;
     return;
   }
-  ctx.draining = true;
   PacketPtr p = buf->pop();
   ++counters_.drained;
   tunnel_to(ctx.nar_addr, ForwardDirective::kDrain, std::move(p));
-  node_.sim().in(cfg_.drain_gap, [this, mh] { drain_par(mh); });
+  node_.sim().in(cfg_.drain_gap, [this, mh] { drain_par_step(mh); });
 }
 
 void ArAgent::drain_nar(MhId mh) {
   auto it = nar_.find(mh);
+  if (it == nar_.end() || it->second.draining) return;
+  it->second.draining = true;
+  drain_nar_step(mh);
+}
+
+void ArAgent::drain_nar_step(MhId mh) {
+  auto it = nar_.find(mh);
   if (it == nar_.end()) return;
   NarContext& ctx = it->second;
+  if (!ctx.draining) return;  // chain was stopped (teardown + re-create)
   // The NAR only releases its buffer once the MH has arrived (FNA+BF).
   FHMIP_AUDIT("fastho", ctx.mh_here);
   const auto k = BufferManager::key(mh, ArRole::kNar);
@@ -697,17 +893,24 @@ void ArAgent::drain_nar(MhId mh) {
     ctx.grant = 0;
     return;
   }
-  ctx.draining = true;
   PacketPtr p = buf->pop();
   ++counters_.drained;
   deliver(mh, std::move(p));
-  node_.sim().in(cfg_.drain_gap, [this, mh] { drain_nar(mh); });
+  node_.sim().in(cfg_.drain_gap, [this, mh] { drain_nar_step(mh); });
 }
 
 void ArAgent::drain_intra(MhId mh) {
   auto it = intra_.find(mh);
+  if (it == intra_.end() || it->second.draining) return;
+  it->second.draining = true;
+  drain_intra_step(mh);
+}
+
+void ArAgent::drain_intra_step(MhId mh) {
+  auto it = intra_.find(mh);
   if (it == intra_.end()) return;
   IntraContext& ctx = it->second;
+  if (!ctx.draining) return;  // chain was stopped (teardown + re-create)
   const auto k = BufferManager::key(mh, ArRole::kIntra);
   HandoffBuffer* buf = buffers_.buffer(k);
   if (buf == nullptr || buf->empty()) {
@@ -716,7 +919,6 @@ void ArAgent::drain_intra(MhId mh) {
     ctx.grant = 0;
     return;
   }
-  ctx.draining = true;
   PacketPtr p = buf->pop();
   ++counters_.drained;
   if (ctx.forward_to.valid()) {
@@ -727,29 +929,30 @@ void ArAgent::drain_intra(MhId mh) {
   } else {
     deliver(mh, std::move(p));
   }
-  node_.sim().in(cfg_.drain_gap, [this, mh] { drain_intra(mh); });
+  node_.sim().in(cfg_.drain_gap, [this, mh] { drain_intra_step(mh); });
 }
 
 // ---------------------------------------------------------------------------
 // Context teardown
 // ---------------------------------------------------------------------------
 
-void ArAgent::teardown_par(MhId mh) {
+void ArAgent::teardown_par(MhId mh, DropReason reason) {
   auto it = par_.find(mh);
   if (it == par_.end()) return;
   ParContext& ctx = it->second;
   node_.sim().cancel(ctx.start_timer);
   node_.sim().cancel(ctx.lifetime_timer);
+  if (ctx.hi_timer != kInvalidEvent) node_.sim().cancel(ctx.hi_timer);
   const auto k = BufferManager::key(mh, ArRole::kPar);
   if (HandoffBuffer* buf = buffers_.buffer(k)) {
     buf->flush(
-        [this](PacketPtr p) { drop(std::move(p), DropReason::kBufferExpired); });
+        [this, reason](PacketPtr p) { drop(std::move(p), reason); });
   }
   buffers_.release(k);
   par_.erase(it);
 }
 
-void ArAgent::teardown_nar(MhId mh) {
+void ArAgent::teardown_nar(MhId mh, DropReason reason) {
   auto it = nar_.find(mh);
   if (it == nar_.end()) return;
   NarContext& ctx = it->second;
@@ -758,13 +961,13 @@ void ArAgent::teardown_nar(MhId mh) {
   const auto k = BufferManager::key(mh, ArRole::kNar);
   if (HandoffBuffer* buf = buffers_.buffer(k)) {
     buf->flush(
-        [this](PacketPtr p) { drop(std::move(p), DropReason::kBufferExpired); });
+        [this, reason](PacketPtr p) { drop(std::move(p), reason); });
   }
   buffers_.release(k);
   nar_.erase(it);
 }
 
-void ArAgent::teardown_intra(MhId mh) {
+void ArAgent::teardown_intra(MhId mh, DropReason reason) {
   auto it = intra_.find(mh);
   if (it == intra_.end()) return;
   IntraContext& ctx = it->second;
@@ -773,7 +976,7 @@ void ArAgent::teardown_intra(MhId mh) {
   const auto k = BufferManager::key(mh, ArRole::kIntra);
   if (HandoffBuffer* buf = buffers_.buffer(k)) {
     buf->flush(
-        [this](PacketPtr p) { drop(std::move(p), DropReason::kBufferExpired); });
+        [this, reason](PacketPtr p) { drop(std::move(p), reason); });
   }
   buffers_.release(k);
   intra_.erase(it);

@@ -10,6 +10,7 @@
 #include "buffer/rate_estimator.hpp"
 #include "fastho/auth.hpp"
 #include "fastho/messages.hpp"
+#include "fastho/reliability.hpp"
 #include "net/node.hpp"
 #include "wireless/access_point.hpp"
 
@@ -28,6 +29,15 @@ namespace fhmip {
 ///  * Intra-AR role — §3.2.2.4 buffering across pure link-layer handoffs,
 ///    and the standalone BI/BA/BF smooth-handover baseline (§2.4).
 ///
+/// Control-plane reliability: the HI is the only exchange this agent
+/// originates; it is retransmitted with exponential backoff until the HAck
+/// arrives or the retry cap is hit, at which point the PAR reports an empty
+/// grant (the host falls back to the reactive path and no orphaned NAR
+/// allocation exists, since allocation happens on HI receipt). Sequenced
+/// control messages (RtSolPr, HI, FBU, FNA) are deduplicated per context so
+/// a retransmission can only re-elicit the cached answer, never redo side
+/// effects such as buffer allocation.
+///
 /// Counters are exposed for tests and benches.
 class ArAgent : public ArAttachListener {
  public:
@@ -38,6 +48,7 @@ class ArAgent : public ArAttachListener {
     std::uint64_t prrtadv_sent = 0;
     std::uint64_t fbu = 0, fback_sent = 0;
     std::uint64_t fna = 0, bf_sent = 0, bf_received = 0;
+    std::uint64_t fna_ack_sent = 0;
     std::uint64_t buffer_full_sent = 0, buffer_full_received = 0;
     std::uint64_t bounced = 0;
     std::uint64_t redirected = 0;
@@ -45,9 +56,18 @@ class ArAgent : public ArAttachListener {
     std::uint64_t drained = 0;          // released toward the MH
     std::uint64_t delivered_wireless = 0;
     std::uint64_t intra_handoffs = 0;
+    // Reliability layer.
+    std::uint64_t hi_rtx = 0;           // HI resends
+    std::uint64_t hi_exhausted = 0;     // negotiations given up
+    std::uint64_t dup_rtsolpr = 0;      // deduplicated retransmissions
+    std::uint64_t dup_hi = 0;
+    std::uint64_t dup_hack = 0;
+    std::uint64_t dup_fbu = 0;
+    std::uint64_t dup_fna = 0;
+    std::uint64_t crashes = 0;          // fault_reset() invocations
   };
 
-  ArAgent(Node& node, BufferSchemeConfig cfg);
+  ArAgent(Node& node, BufferSchemeConfig cfg, RetransmitPolicy rtx = {});
   ~ArAgent() override;
 
   ArAgent(const ArAgent&) = delete;
@@ -64,6 +84,13 @@ class ArAgent : public ArAttachListener {
   void on_mh_attached(MhId mh, NodeId ap, SimplexLink& downlink) override;
   void on_mh_detached(MhId mh) override;
 
+  /// Crash/restart fault model: the agent process loses every in-memory
+  /// handover context — negotiated grants, host routes, pending timers, and
+  /// all buffered packets (accounted as kFaultInjected drops). Link-layer
+  /// attachment state survives (the access points re-sync associations on
+  /// restart), so plain delivery to attached hosts keeps working.
+  void fault_reset();
+
   Node& node() { return node_; }
   Address address() const { return node_.address(); }
   std::uint32_t prefix() const { return node_.address().net; }
@@ -79,6 +106,7 @@ class ArAgent : public ArAttachListener {
   double estimated_pps(MhId mh) const;
   const Counters& counters() const { return counters_; }
   const BufferSchemeConfig& config() const { return cfg_; }
+  const RetransmitPolicy& rtx_policy() const { return rtx_; }
   bool mh_attached(MhId mh) const { return attached_.count(mh) > 0; }
   bool has_par_context(MhId mh) const { return par_.count(mh) > 0; }
   bool has_nar_context(MhId mh) const { return nar_.count(mh) > 0; }
@@ -91,7 +119,7 @@ class ArAgent : public ArAttachListener {
     Address nar_addr;
     std::uint32_t par_grant = 0;   // local lease size (0 = none)
     std::uint32_t nar_grant = 0;   // what the NAR granted via HAck+BA
-    bool nar_rejected = false;     // HAck refused (failed authentication)
+    bool nar_rejected = false;     // HAck refused / negotiation exhausted
     bool hack_received = false;
     bool redirecting = false;
     bool nar_full = false;         // Buffer Full received from the NAR
@@ -100,6 +128,17 @@ class ArAgent : public ArAttachListener {
     BufferRequest request;
     EventId start_timer = kInvalidEvent;
     EventId lifetime_timer = kInvalidEvent;
+    // Reliability: the solicitation transaction this context answers, the
+    // cached HI for retransmission, and the cached advertisement for
+    // duplicate solicitations.
+    CtrlSeq rtsolpr_seq = kNoCtrlSeq;
+    CtrlSeq last_fbu_seq = kNoCtrlSeq;
+    HiMsg hi_msg;
+    PrRtAdvMsg adv_msg;
+    bool adv_sent = false;
+    bool hi_exhausted = false;
+    EventId hi_timer = kInvalidEvent;
+    std::uint32_t hi_sends = 0;
   };
   struct NarContext {
     MhId mh = kNoNode;
@@ -110,6 +149,11 @@ class ArAgent : public ArAttachListener {
     bool full_signalled = false;
     bool draining = false;
     EventId lifetime_timer = kInvalidEvent;
+    // Reliability: the HI transaction that built this context, with the
+    // cached HAck a duplicate HI re-elicits (no re-allocation).
+    CtrlSeq hi_seq = kNoCtrlSeq;
+    CtrlSeq last_fna_seq = kNoCtrlSeq;
+    HackMsg hack_msg;
   };
   struct IntraContext {
     MhId mh = kNoNode;
@@ -119,6 +163,11 @@ class ArAgent : public ArAttachListener {
     Address forward_to;  // standalone-BF forwarding target (baseline mode)
     EventId start_timer = kInvalidEvent;
     EventId lifetime_timer = kInvalidEvent;
+    CtrlSeq rtsolpr_seq = kNoCtrlSeq;
+    CtrlSeq last_fbu_seq = kNoCtrlSeq;
+    CtrlSeq last_fna_seq = kNoCtrlSeq;
+    PrRtAdvMsg adv_msg;
+    bool adv_sent = false;
   };
 
   // Control-plane handlers.
@@ -127,10 +176,12 @@ class ArAgent : public ArAttachListener {
   void on_hi(const HiMsg& m);
   void on_hack(const HackMsg& m);
   void on_fbu(const FbuMsg& m);
-  void on_fna(const FnaMsg& m);
+  void on_fna(const FnaMsg& m, Address src);
   void on_bf(const BfMsg& m);
   void on_buffer_full(const BufferFullMsg& m);
   void on_bi(const BiMsg& m);
+  void send_fback(const ParContext& ctx, CtrlSeq seq, bool from_new_link);
+  void hi_timeout(MhId mh);
 
   // Data plane.
   void handle_subnet_packet(PacketPtr p);
@@ -142,14 +193,19 @@ class ArAgent : public ArAttachListener {
   void tunnel_to(Address ar, ForwardDirective d, PacketPtr p);
   void drop(PacketPtr p, DropReason reason);
 
-  // Buffer release (§3.2.2.3), paced by cfg_.drain_gap.
+  // Buffer release (§3.2.2.3), paced by cfg_.drain_gap. The public entry
+  // points are idempotent (a live chain is never doubled by a duplicate
+  // FNA/BF); the _step functions self-reschedule while packets remain.
   void drain_par(MhId mh);
   void drain_nar(MhId mh);
   void drain_intra(MhId mh);
+  void drain_par_step(MhId mh);
+  void drain_nar_step(MhId mh);
+  void drain_intra_step(MhId mh);
 
-  void teardown_par(MhId mh);
-  void teardown_nar(MhId mh);
-  void teardown_intra(MhId mh);
+  void teardown_par(MhId mh, DropReason reason = DropReason::kBufferExpired);
+  void teardown_nar(MhId mh, DropReason reason = DropReason::kBufferExpired);
+  void teardown_intra(MhId mh, DropReason reason = DropReason::kBufferExpired);
 
   void send_control(Address dst, MessageVariant m,
                     std::uint32_t bytes = kCtrlMsgBytes);
@@ -157,6 +213,7 @@ class ArAgent : public ArAttachListener {
   Node& node_;
   Node::ControlHandlerId ctrl_id_ = 0;
   BufferSchemeConfig cfg_;
+  RetransmitPolicy rtx_;
   BufferManager buffers_;
   std::function<Node*(NodeId)> ap_resolver_;
   std::map<MhId, ParContext> par_;
@@ -168,6 +225,7 @@ class ArAgent : public ArAttachListener {
   std::set<std::uint32_t> reserved_hosts_;
   std::map<std::uint32_t, MhId> host_alias_;  // substituted NCoA hosts
   std::uint64_t ncoa_collisions_ = 0;
+  CtrlSeq next_seq_ = 0;
   Counters counters_;
 };
 

@@ -2,6 +2,7 @@
 
 #include "fastho/auth.hpp"
 #include "sim/check.hpp"
+#include "sim/simulation.hpp"
 
 namespace fhmip {
 
@@ -11,21 +12,53 @@ MhAgent::MhAgent(Node& node, Config cfg, MobileIpClient* mip)
       [this](PacketPtr& p) { return handle_control(p); });
 }
 
-MhAgent::~MhAgent() { node_.remove_control_handler(ctrl_id_); }
+MhAgent::~MhAgent() {
+  cancel_timers();
+  node_.remove_control_handler(ctrl_id_);
+}
+
+void MhAgent::arm(EventId& timer, std::uint32_t attempt,
+                  void (MhAgent::*fn)()) {
+  if (timer != kInvalidEvent) node_.sim().cancel(timer);
+  timer = node_.sim().in(cfg_.rtx.timeout_for(attempt),
+                         [this, fn] { (this->*fn)(); });
+}
+
+void MhAgent::cancel_timers() {
+  Simulation& sim = node_.sim();
+  if (rtsolpr_timer_ != kInvalidEvent) sim.cancel(rtsolpr_timer_);
+  if (fbu_timer_ != kInvalidEvent) sim.cancel(fbu_timer_);
+  if (fna_timer_ != kInvalidEvent) sim.cancel(fna_timer_);
+  rtsolpr_timer_ = fbu_timer_ = fna_timer_ = kInvalidEvent;
+  fbu_phase_ = FbuPhase::kIdle;
+}
+
+void MhAgent::resolve_outcome(HandoverOutcome outcome, HandoverCause cause) {
+  if (!outcome_pending_) return;
+  outcome_pending_ = false;
+  pending_cause_ = HandoverCause::kNone;
+  if (cfg_.outcomes != nullptr) {
+    cfg_.outcomes->record(id(), node_.sim().now(), outcome, cause);
+  }
+}
 
 bool MhAgent::handle_control(PacketPtr& p) {
   if (const auto* adv = std::get_if<PrRtAdvMsg>(&p->msg)) {
     if (adv->mh != id()) return false;
-    ++counters_.prrtadv_received;
-    prrtadv_received_ = true;
-    last_grant_ = adv->grant;
-    negotiated_ncoa_ = adv->ncoa;
-    if (adv->intra_ar) intra_pending_ = true;
+    on_prrtadv(*adv);
     return true;
   }
   if (const auto* fb = std::get_if<FbackMsg>(&p->msg)) {
     if (fb->mh != id()) return false;
-    ++counters_.fback_received;
+    on_fback(*fb);
+    return true;
+  }
+  if (const auto* ack = std::get_if<FnaAckMsg>(&p->msg)) {
+    if (ack->mh != id()) return false;
+    if (ack->seq == kNoCtrlSeq || ack->seq == pending_fna_.seq) {
+      if (fna_timer_ != kInvalidEvent) node_.sim().cancel(fna_timer_);
+      fna_timer_ = kInvalidEvent;
+    }
     return true;
   }
   if (std::get_if<BaMsg>(&p->msg) != nullptr) return true;
@@ -37,20 +70,66 @@ bool MhAgent::handle_control(PacketPtr& p) {
   return false;
 }
 
+void MhAgent::on_prrtadv(const PrRtAdvMsg& m) {
+  // Answers the outstanding solicitation (or is a duplicate of one that
+  // already did — both settle the retransmission timer). A stale echo for
+  // an older transaction is ignored.
+  if (m.seq != kNoCtrlSeq && pending_rtsolpr_.seq != kNoCtrlSeq &&
+      m.seq != pending_rtsolpr_.seq) {
+    return;
+  }
+  ++counters_.prrtadv_received;
+  if (rtsolpr_timer_ != kInvalidEvent) node_.sim().cancel(rtsolpr_timer_);
+  rtsolpr_timer_ = kInvalidEvent;
+  prrtadv_received_ = true;
+  last_grant_ = m.grant;
+  negotiated_ncoa_ = m.ncoa;
+  if (m.intra_ar) intra_pending_ = true;
+  if (prrtadv_timed_out_ && target_ap_ != kNoNode && !fbu_sent_on_old_link_) {
+    // The advertisement beat us after all; resume the anticipated path.
+    prrtadv_timed_out_ = false;
+    anticipated_ = true;
+  }
+}
+
+void MhAgent::on_fback(const FbackMsg& m) {
+  ++counters_.fback_received;
+  const bool matches_old = fbu_old_seq_ != kNoCtrlSeq && m.seq == fbu_old_seq_;
+  const bool matches_new = fbu_new_seq_ != kNoCtrlSeq && m.seq == fbu_new_seq_;
+  if (m.seq != kNoCtrlSeq && !matches_old && !matches_new) return;  // stale
+  fback_received_ = true;
+  if (fbu_timer_ != kInvalidEvent) node_.sim().cancel(fbu_timer_);
+  fbu_timer_ = kInvalidEvent;
+  fbu_phase_ = FbuPhase::kIdle;
+  if (!outcome_pending_) return;
+  // Which FBU copy got through decides the attempt's classification: the
+  // old-link (predictive) one, or the reactive reissue from the new link.
+  if (matches_new || (m.seq == kNoCtrlSeq && fbu_new_seq_ != kNoCtrlSeq)) {
+    resolve_outcome(HandoverOutcome::kReactive,
+                    pending_cause_ == HandoverCause::kNone
+                        ? HandoverCause::kNotAnticipated
+                        : pending_cause_);
+  } else {
+    resolve_outcome(HandoverOutcome::kPredictive, HandoverCause::kNone);
+  }
+}
+
 void MhAgent::on_l2_trigger(NodeId target_ap, Node& target_ar) {
   ++counters_.l2_triggers;
   if (!first_attach_done_) return;
   if (cfg_.simultaneous_binding && mip_ != nullptr &&
       target_ar.address() != current_ar_addr_) {
-    mip_->send_simultaneous_binding(
-        make_coa(target_ar.address().net, id()), cfg_.bu_lifetime);
+    mip_->send_simultaneous_binding(make_coa(target_ar.address().net, id()),
+                                    cfg_.bu_lifetime);
   }
   if (!cfg_.use_fast_handover || !cfg_.anticipate) return;
   target_ap_ = target_ap;
   target_ar_addr_ = target_ar.address();
   intra_pending_ = target_ar_addr_ == current_ar_addr_;
   prrtadv_received_ = false;
+  prrtadv_timed_out_ = false;
   fbu_sent_on_old_link_ = false;
+  fback_received_ = false;
   anticipated_ = true;
   send_rtsolpr(target_ap);
 }
@@ -70,8 +149,35 @@ void MhAgent::send_rtsolpr(NodeId target_ap) {
       m.bi.start_time = node_.sim().now() + cfg_.start_time_offset;
     }
   }
+  m.seq = ++next_seq_;
+  pending_rtsolpr_ = m;
+  rtsolpr_sends_ = 1;
   ++counters_.rtsolpr_sent;
   node_.send(make_control(node_.sim(), pcoa_, current_ar_addr_, m));
+  if (cfg_.rtx.enabled) {
+    arm(rtsolpr_timer_, 0, &MhAgent::rtsolpr_timeout);
+  }
+}
+
+void MhAgent::rtsolpr_timeout() {
+  rtsolpr_timer_ = kInvalidEvent;
+  if (prrtadv_received_ || !anticipated_) return;
+  if (rtsolpr_sends_ > cfg_.rtx.max_retries) {
+    // No PrRtAdv despite retries: abandon anticipation. The handover
+    // still completes via the reactive path after attachment (§2.3.2).
+    ++counters_.rtsolpr_exhausted;
+    prrtadv_timed_out_ = true;
+    anticipated_ = false;
+    if (pending_cause_ == HandoverCause::kNone) {
+      pending_cause_ = HandoverCause::kNoPrRtAdv;
+    }
+    return;
+  }
+  ++counters_.rtsolpr_rtx;
+  node_.send(
+      make_control(node_.sim(), pcoa_, current_ar_addr_, pending_rtsolpr_));
+  ++rtsolpr_sends_;
+  arm(rtsolpr_timer_, rtsolpr_sends_ - 1, &MhAgent::rtsolpr_timeout);
 }
 
 void MhAgent::send_fbu(Address to, Address nar_addr, bool from_new_link) {
@@ -80,20 +186,109 @@ void MhAgent::send_fbu(Address to, Address nar_addr, bool from_new_link) {
   m.pcoa = pcoa_;
   m.nar_addr = nar_addr;
   m.from_new_link = from_new_link;
+  m.seq = ++next_seq_;
+  pending_fbu_ = m;
+  fbu_src_ = pcoa_;
+  fbu_dst_ = to;
+  fbu_sends_ = 1;
+  if (from_new_link) {
+    fbu_new_seq_ = m.seq;
+    fbu_phase_ = FbuPhase::kNewLink;
+  } else {
+    fbu_old_seq_ = m.seq;
+    fbu_new_seq_ = kNoCtrlSeq;
+    fbu_phase_ = FbuPhase::kOldLink;
+  }
   ++counters_.fbu_sent;
   node_.send(make_control(node_.sim(), pcoa_, to, m));
+  if (cfg_.rtx.enabled) {
+    arm(fbu_timer_, 0, &MhAgent::fbu_timeout);
+  } else {
+    fbu_phase_ = FbuPhase::kIdle;
+  }
+}
+
+void MhAgent::send_reactive_fbu() {
+  // Reissue the unconfirmed binding update from the new link (§2.3.2). The
+  // redirected address is the *previous* care-of address, preserved in the
+  // cached predictive FBU.
+  FbuMsg m = pending_fbu_;
+  m.from_new_link = true;
+  m.seq = ++next_seq_;
+  pending_fbu_ = m;
+  fbu_src_ = pcoa_;
+  fbu_new_seq_ = m.seq;
+  fbu_phase_ = FbuPhase::kNewLink;
+  fbu_sends_ = 1;
+  ++counters_.reactive_fbu;
+  ++counters_.fbu_sent;
+  if (pending_cause_ == HandoverCause::kNone) {
+    pending_cause_ = HandoverCause::kNoFback;
+  }
+  node_.send(make_control(node_.sim(), fbu_src_, fbu_dst_, m));
+  arm(fbu_timer_, 0, &MhAgent::fbu_timeout);
+}
+
+void MhAgent::fbu_timeout() {
+  fbu_timer_ = kInvalidEvent;
+  if (fback_received_) {
+    fbu_phase_ = FbuPhase::kIdle;
+    return;
+  }
+  switch (fbu_phase_) {
+    case FbuPhase::kIdle:
+      return;
+    case FbuPhase::kOldLink:
+      if (fbu_sends_ > cfg_.rtx.max_retries) {
+        // Keep the attempt alive: the unconfirmed FBU is reissued from the
+        // new link once we attach (the kVerify phase handles it).
+        fbu_phase_ = FbuPhase::kIdle;
+        return;
+      }
+      ++counters_.fbu_rtx;
+      node_.send(make_control(node_.sim(), fbu_src_, fbu_dst_, pending_fbu_));
+      ++fbu_sends_;
+      arm(fbu_timer_, fbu_sends_ - 1, &MhAgent::fbu_timeout);
+      return;
+    case FbuPhase::kVerify:
+      // Attached, but the (tunnel-drained) FBack never showed: fall back
+      // to the reactive path rather than trusting the old-link FBU.
+      send_reactive_fbu();
+      return;
+    case FbuPhase::kNewLink:
+      if (fbu_sends_ > cfg_.rtx.max_retries) {
+        ++counters_.fbu_exhausted;
+        fbu_phase_ = FbuPhase::kIdle;
+        resolve_outcome(HandoverOutcome::kFailed, HandoverCause::kNoFback);
+        return;
+      }
+      ++counters_.fbu_rtx;
+      node_.send(make_control(node_.sim(), fbu_src_, fbu_dst_, pending_fbu_));
+      ++fbu_sends_;
+      arm(fbu_timer_, fbu_sends_ - 1, &MhAgent::fbu_timeout);
+      return;
+  }
 }
 
 void MhAgent::on_predisconnect(NodeId target_ap, Node& target_ar) {
   if (!cfg_.use_fast_handover || !first_attach_done_) return;
+  if (outcome_pending_) {
+    // A previous attempt never settled (extreme loss); close it out before
+    // its bookkeeping is reused.
+    resolve_outcome(HandoverOutcome::kFailed, HandoverCause::kNoFback);
+  }
   if (anticipated_ && target_ap_ == target_ap) {
     // Anticipated path: FBU on the old link just before it drops. The
     // anticipation flag is only ever set by a sent RtSolPr (BI ordering).
     FHMIP_AUDIT("fastho", counters_.rtsolpr_sent > 0);
+    fback_received_ = false;
     send_fbu(current_ar_addr_, target_ar.address(), /*from_new_link=*/false);
     fbu_sent_on_old_link_ = true;
   } else {
     // We never anticipated this target; the FBU will go via the new link.
+    if (anticipated_ && pending_cause_ == HandoverCause::kNone) {
+      pending_cause_ = HandoverCause::kTargetChanged;
+    }
     target_ap_ = target_ap;
     target_ar_addr_ = target_ar.address();
     intra_pending_ = target_ar_addr_ == current_ar_addr_;
@@ -101,10 +296,48 @@ void MhAgent::on_predisconnect(NodeId target_ap, Node& target_ar) {
   }
 }
 
-void MhAgent::on_detached() {}
+void MhAgent::on_detached() {
+  // The old link is gone: retransmitting on it could only feed the drop
+  // counters. Unconfirmed exchanges are settled at attachment.
+  if (rtsolpr_timer_ != kInvalidEvent) node_.sim().cancel(rtsolpr_timer_);
+  rtsolpr_timer_ = kInvalidEvent;
+  if (fbu_phase_ == FbuPhase::kOldLink) {
+    if (fbu_timer_ != kInvalidEvent) node_.sim().cancel(fbu_timer_);
+    fbu_timer_ = kInvalidEvent;
+    fbu_phase_ = FbuPhase::kIdle;
+  }
+}
+
+void MhAgent::send_fna(Address src, Address dst) {
+  FnaMsg fna;
+  fna.mh = id();
+  fna.has_bf = cfg_.request_buffers;
+  fna.seq = ++next_seq_;
+  pending_fna_ = fna;
+  fna_src_ = src;
+  fna_dst_ = dst;
+  fna_sends_ = 1;
+  ++counters_.fna_sent;
+  node_.send(make_control(node_.sim(), src, dst, fna));
+  if (cfg_.rtx.enabled) {
+    arm(fna_timer_, 0, &MhAgent::fna_timeout);
+  }
+}
+
+void MhAgent::fna_timeout() {
+  fna_timer_ = kInvalidEvent;
+  if (fna_sends_ > cfg_.rtx.max_retries) {
+    // Give up quietly: the buffers drain at lifetime expiry and traffic
+    // resumes via the binding update.
+    return;
+  }
+  ++counters_.fna_rtx;
+  node_.send(make_control(node_.sim(), fna_src_, fna_dst_, pending_fna_));
+  ++fna_sends_;
+  arm(fna_timer_, fna_sends_ - 1, &MhAgent::fna_timeout);
+}
 
 void MhAgent::on_attached(NodeId /*ap*/, Node& ar) {
-  Simulation& sim = node_.sim();
   const Address ar_addr = ar.address();
   // Use the NAR-validated NCoA when one was negotiated for this subnet
   // (it differs from the default when the proposal collided, §2.3.2).
@@ -132,11 +365,7 @@ void MhAgent::on_attached(NodeId /*ap*/, Node& ar) {
     // FNA+BF releases the locally buffered packets.
     ++counters_.intra_handoffs;
     if (cfg_.use_fast_handover) {
-      FnaMsg fna;
-      fna.mh = id();
-      fna.has_bf = cfg_.request_buffers;
-      ++counters_.fna_sent;
-      node_.send(make_control(sim, pcoa_, current_ar_addr_, fna));
+      send_fna(pcoa_, current_ar_addr_);
     }
     anticipated_ = false;
     target_ap_ = kNoNode;
@@ -148,19 +377,42 @@ void MhAgent::on_attached(NodeId /*ap*/, Node& ar) {
   node_.add_address(new_coa, /*advertised=*/false);
 
   if (cfg_.use_fast_handover) {
+    if (outcome_pending_) {
+      // Left over from an attempt that never settled (extreme loss).
+      resolve_outcome(HandoverOutcome::kFailed, HandoverCause::kNoFback);
+    }
+    outcome_pending_ = true;
     if (!fbu_sent_on_old_link_) {
       // Non-anticipated handoff: FBU from the new link toward the PAR.
       ++counters_.non_anticipated;
+      if (pending_cause_ == HandoverCause::kNone) {
+        pending_cause_ = HandoverCause::kNotAnticipated;
+      }
+      fback_received_ = false;
+      const HandoverCause cause = pending_cause_;
       send_fbu(old_ar, ar_addr, /*from_new_link=*/true);
+      if (!cfg_.rtx.enabled) {
+        // Fire-and-forget mode cannot track the FBack; count the attempt
+        // optimistically, as the seed behavior did implicitly.
+        resolve_outcome(HandoverOutcome::kReactive, cause);
+      }
+    } else if (fback_received_) {
+      // The FBack made it back on the old link before the blackout.
+      resolve_outcome(HandoverOutcome::kPredictive, HandoverCause::kNone);
+    } else if (cfg_.rtx.enabled) {
+      // The FBack usually rides the redirection tunnel and drains out of
+      // the NAR buffer right after the FNA+BF below; give it a grace
+      // window before concluding the old-link FBU was lost.
+      fbu_dst_ = old_ar;
+      fbu_phase_ = FbuPhase::kVerify;
+      arm(fbu_timer_, 1, &MhAgent::fbu_timeout);
+    } else {
+      resolve_outcome(HandoverOutcome::kPredictive, HandoverCause::kNone);
     }
-    FnaMsg fna;
-    fna.mh = id();
-    fna.has_bf = cfg_.request_buffers;
-    ++counters_.fna_sent;
     // FNA(+BF) never precedes the FBU on an inter-AR fast handover; the
     // non-anticipated branch above sends the FBU first.
     FHMIP_AUDIT("fastho", counters_.fbu_sent > 0);
-    node_.send(make_control(sim, new_coa, ar_addr, fna));
+    send_fna(new_coa, ar_addr);
   }
 
   // HMIPv6 local binding update: reroute the regional address to the new
@@ -171,6 +423,7 @@ void MhAgent::on_attached(NodeId /*ap*/, Node& ar) {
   pcoa_ = new_coa;
   anticipated_ = false;
   prrtadv_received_ = false;
+  prrtadv_timed_out_ = false;
   fbu_sent_on_old_link_ = false;
   target_ap_ = kNoNode;
 }

@@ -4,8 +4,10 @@
 
 #include "buffer/policy.hpp"
 #include "fastho/messages.hpp"
+#include "fastho/reliability.hpp"
 #include "mip/mobile_ip.hpp"
 #include "net/node.hpp"
+#include "stats/handover_outcomes.hpp"
 #include "wireless/wlan.hpp"
 
 namespace fhmip {
@@ -20,6 +22,15 @@ namespace fhmip {
 ///
 /// Also handles the §3.2.2.4 intra-AR (pure link-layer) handoff and the
 /// non-anticipated path (FBU from the new link).
+///
+/// Control-plane reliability: every message the MH originates (RtSolPr+BI,
+/// FBU, FNA+BF) carries a transaction sequence number and is retransmitted
+/// with exponential backoff until acknowledged (PrRtAdv, FBack, FNAAck) or
+/// the retry cap is hit. Exhaustion degrades gracefully: a missing PrRtAdv
+/// abandons anticipation, an unconfirmed FBU is reissued from the new link
+/// (the reactive path, §2.3.2), and only an unacknowledged reactive FBU
+/// marks the attempt failed. Outcomes are reported per attempt to the
+/// configured HandoverOutcomeRecorder.
 class MhAgent : public L2Callbacks {
  public:
   struct Config {
@@ -44,6 +55,11 @@ class MhAgent : public L2Callbacks {
     /// fast-mover safety valve.
     SimTime start_time_offset;
     SimTime bu_lifetime = SimTime::seconds(60);
+    /// Control-message retransmission/backoff (rtx.enabled = false
+    /// restores fire-and-forget signaling).
+    RetransmitPolicy rtx;
+    /// Per-attempt handover outcome sink (optional; not owned).
+    HandoverOutcomeRecorder* outcomes = nullptr;
   };
 
   struct Counters {
@@ -56,6 +72,14 @@ class MhAgent : public L2Callbacks {
     std::uint32_t handoffs = 0;        // attach events after the first
     std::uint32_t intra_handoffs = 0;
     std::uint32_t non_anticipated = 0;
+    // Reliability layer.
+    std::uint32_t rtsolpr_rtx = 0;     // RtSolPr resends
+    std::uint32_t fbu_rtx = 0;         // FBU resends (old or new link)
+    std::uint32_t fna_rtx = 0;         // FNA resends
+    std::uint32_t rtsolpr_exhausted = 0;  // anticipation abandoned
+    std::uint32_t fbu_exhausted = 0;      // reactive FBU unacknowledged
+    std::uint32_t reactive_fbu = 0;    // FBU reissued from the new link
+                                       // after an unconfirmed predictive one
   };
 
   MhAgent(Node& node, Config cfg, MobileIpClient* mip);
@@ -85,9 +109,29 @@ class MhAgent : public L2Callbacks {
   void send_buffer_forward(Address to_ar, Address forward_to = kNoAddress);
 
  private:
+  /// Which FBU copy the retransmission timer currently guards.
+  enum class FbuPhase : std::uint8_t {
+    kIdle,
+    kOldLink,  // predictive FBU, resent on the old link while it is up
+    kVerify,   // attached at the NAR, waiting for the (drained) FBack
+    kNewLink,  // reactive FBU from the new link (§2.3.2)
+  };
+
   bool handle_control(PacketPtr& p);
+  void on_prrtadv(const PrRtAdvMsg& m);
+  void on_fback(const FbackMsg& m);
   void send_rtsolpr(NodeId target_ap);
+  void resend_rtsolpr();
+  void rtsolpr_timeout();
   void send_fbu(Address to, Address nar_addr, bool from_new_link);
+  void send_reactive_fbu();
+  void fbu_timeout();
+  void send_fna(Address src, Address dst);
+  void fna_timeout();
+  void arm(EventId& timer, std::uint32_t attempt, void (MhAgent::*fn)());
+  void cancel_timers();
+  /// Records the current attempt's outcome (no-op when already resolved).
+  void resolve_outcome(HandoverOutcome outcome, HandoverCause cause);
 
   Node& node_;
   Node::ControlHandlerId ctrl_id_ = 0;
@@ -107,6 +151,33 @@ class MhAgent : public L2Callbacks {
   bool intra_pending_ = false;
   Address negotiated_ncoa_;  // validated by the NAR (may differ on collision)
   BufferGrant last_grant_;
+
+  // Reliability layer state.
+  CtrlSeq next_seq_ = 0;
+  RtSolPrMsg pending_rtsolpr_;
+  EventId rtsolpr_timer_ = kInvalidEvent;
+  std::uint32_t rtsolpr_sends_ = 0;
+  bool prrtadv_timed_out_ = false;
+
+  FbuMsg pending_fbu_;
+  Address fbu_src_;
+  Address fbu_dst_;
+  FbuPhase fbu_phase_ = FbuPhase::kIdle;
+  EventId fbu_timer_ = kInvalidEvent;
+  std::uint32_t fbu_sends_ = 0;
+  CtrlSeq fbu_old_seq_ = kNoCtrlSeq;  // predictive FBU (old link)
+  CtrlSeq fbu_new_seq_ = kNoCtrlSeq;  // reactive FBU (new link)
+  bool fback_received_ = false;       // FBack seen for the current attempt
+
+  FnaMsg pending_fna_;
+  Address fna_src_;
+  Address fna_dst_;
+  EventId fna_timer_ = kInvalidEvent;
+  std::uint32_t fna_sends_ = 0;
+
+  // Outcome bookkeeping for the in-flight inter-AR attempt.
+  bool outcome_pending_ = false;
+  HandoverCause pending_cause_ = HandoverCause::kNone;
 
   Counters counters_;
 };

@@ -1,0 +1,11 @@
+#include "fastho/reliability.hpp"
+
+namespace fhmip {
+
+SimTime RetransmitPolicy::timeout_for(std::uint32_t attempt) const {
+  double scale = 1.0;
+  for (std::uint32_t i = 0; i < attempt; ++i) scale *= backoff;
+  return SimTime::from_seconds(rto.sec() * scale);
+}
+
+}  // namespace fhmip

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+
+#include "fastho/ar_agent.hpp"
+#include "sim/simulation.hpp"
+
+namespace fhmip::fault {
+
+/// Crash/restart fault for an access-router agent.
+///
+/// A crash calls ArAgent::fault_reset(): every in-memory handover context —
+/// negotiated grants, PCoA host routes, pending protocol timers, and all
+/// buffered packets — is lost (the packets are accounted as kFaultInjected
+/// drops, so conservation checks still balance). The restart is modeled as
+/// immediate (a watchdog respawn): the agent keeps serving, its link-layer
+/// attachment table re-synced from the access points. Pair with
+/// LinkFaultInjector::down_window on the router's wired link to model a
+/// longer outage.
+class AgentCrashInjector {
+ public:
+  AgentCrashInjector(Simulation& sim, ArAgent& agent)
+      : sim_(sim), agent_(agent) {}
+
+  /// Crashes the agent immediately.
+  void crash_now() {
+    ++crashes_;
+    agent_.fault_reset();
+  }
+
+  /// Schedules a crash at absolute simulation time `at`.
+  void crash_at(SimTime at) {
+    sim_.at(at, [this] { crash_now(); });
+  }
+
+  std::uint64_t crashes() const { return crashes_; }
+  ArAgent& agent() { return agent_; }
+
+ private:
+  Simulation& sim_;
+  ArAgent& agent_;
+  std::uint64_t crashes_ = 0;
+};
+
+}  // namespace fhmip::fault

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "net/packet.hpp"
+
+namespace fhmip::fault {
+
+/// Packet selector for fault rules: true = the rule applies to this packet.
+using PacketPredicate = std::function<bool(const Packet&)>;
+
+inline PacketPredicate any_packet() {
+  return [](const Packet&) { return true; };
+}
+
+inline PacketPredicate control_only() {
+  return [](const Packet& p) { return p.is_control(); };
+}
+
+inline PacketPredicate data_only() {
+  return [](const Packet& p) { return !p.is_control(); };
+}
+
+/// Matches by wire name as printed in traces ("HI", "FBU", "FNA", ...), so
+/// fault scripts read like the message charts they perturb.
+inline PacketPredicate message_named(std::string name) {
+  return [name = std::move(name)](const Packet& p) {
+    return name == message_name(p.msg);
+  };
+}
+
+}  // namespace fhmip::fault

@@ -1,0 +1,86 @@
+#include "fault/link_fault.hpp"
+
+#include <utility>
+
+namespace fhmip::fault {
+
+LinkFaultInjector::LinkFaultInjector(Simulation& sim, SimplexLink& link)
+    : sim_(sim), link_(link) {
+  link_.set_tx_filter([this](const Packet& p) { return should_drop(p); });
+}
+
+LinkFaultInjector::~LinkFaultInjector() { link_.set_tx_filter({}); }
+
+void LinkFaultInjector::drop_nth(std::uint64_t n, PacketPredicate match) {
+  Rule r;
+  r.kind = Rule::Kind::kNth;
+  r.match = std::move(match);
+  r.n = n;
+  r.spent = n == 0;
+  rules_.push_back(std::move(r));
+}
+
+void LinkFaultInjector::drop_matching(PacketPredicate match,
+                                      std::uint64_t count) {
+  Rule r;
+  r.kind = Rule::Kind::kMatching;
+  r.match = std::move(match);
+  r.remaining = count;
+  r.unlimited = count == 0;
+  rules_.push_back(std::move(r));
+}
+
+void LinkFaultInjector::bernoulli(double p, std::uint64_t seed,
+                                  PacketPredicate match) {
+  Rule r;
+  r.kind = Rule::Kind::kBernoulli;
+  r.match = std::move(match);
+  r.p = p;
+  r.rng.reseed(seed);
+  rules_.push_back(std::move(r));
+}
+
+void LinkFaultInjector::down_window(SimTime from, SimTime until) {
+  SimplexLink* link = &link_;
+  sim_.at(from, [link] { link->set_up(false); });
+  sim_.at(until, [link] { link->set_up(true); });
+}
+
+bool LinkFaultInjector::should_drop(const Packet& p) {
+  for (Rule& r : rules_) {
+    if (r.spent) continue;
+    if (r.match && !r.match(p)) continue;
+    switch (r.kind) {
+      case Rule::Kind::kNth:
+        if (++r.seen == r.n) {
+          r.spent = true;
+          ++dropped_;
+          return true;
+        }
+        break;
+      case Rule::Kind::kMatching:
+        if (r.unlimited) {
+          ++dropped_;
+          return true;
+        }
+        if (r.remaining > 0) {
+          if (--r.remaining == 0) r.spent = true;
+          ++dropped_;
+          return true;
+        }
+        r.spent = true;
+        break;
+      case Rule::Kind::kBernoulli:
+        // The private stream advances once per matching packet, so drops
+        // are a pure function of (seed, matching-packet index).
+        if (r.rng.chance(r.p)) {
+          ++dropped_;
+          return true;
+        }
+        break;
+    }
+  }
+  return false;
+}
+
+}  // namespace fhmip::fault

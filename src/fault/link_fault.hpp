@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/filters.hpp"
+#include "net/link.hpp"
+#include "sim/random.hpp"
+#include "sim/simulation.hpp"
+
+namespace fhmip::fault {
+
+/// Scripted, deterministic fault injection on one simplex link.
+///
+/// The injector installs a single transmit filter on the target link and
+/// evaluates its rules in insertion order against every packet handed to
+/// the link; the first rule that fires kills the packet, accounted as a
+/// DropReason::kFaultInjected drop. Rules are deterministic: drop-nth and
+/// drop-matching depend only on the offered packet sequence, and the
+/// Bernoulli rule draws from its own seeded generator (advanced only on
+/// matching packets), independent of the simulation-wide RNG.
+///
+/// Timed outages (down_window) reuse the link's up/down machinery, so they
+/// behave exactly like a wireless blackout: queued packets die with the
+/// link and in-flight packets still arrive (ns-2 semantics).
+class LinkFaultInjector {
+ public:
+  LinkFaultInjector(Simulation& sim, SimplexLink& link);
+  ~LinkFaultInjector();
+
+  LinkFaultInjector(const LinkFaultInjector&) = delete;
+  LinkFaultInjector& operator=(const LinkFaultInjector&) = delete;
+
+  /// Drops exactly the nth (1-based) packet matching `match`, then the rule
+  /// is spent.
+  void drop_nth(std::uint64_t n, PacketPredicate match = any_packet());
+
+  /// Drops every matching packet; `count` limits the rule to the first
+  /// `count` matches (0 = unlimited).
+  void drop_matching(PacketPredicate match, std::uint64_t count = 0);
+
+  /// Independent seeded Bernoulli loss with probability `p` on matching
+  /// packets.
+  void bernoulli(double p, std::uint64_t seed,
+                 PacketPredicate match = any_packet());
+
+  /// Takes the link down at `from` and back up at `until`. Both edges are
+  /// scheduled immediately; windows may overlap other rules.
+  void down_window(SimTime from, SimTime until);
+
+  /// Removes every rule (the window events already scheduled still fire).
+  void clear() { rules_.clear(); }
+
+  /// Packets this injector has killed so far.
+  std::uint64_t dropped() const { return dropped_; }
+
+  SimplexLink& link() { return link_; }
+
+ private:
+  struct Rule {
+    enum class Kind { kNth, kMatching, kBernoulli };
+    Kind kind = Kind::kMatching;
+    PacketPredicate match;
+    std::uint64_t n = 0;          // kNth: which match to kill
+    std::uint64_t seen = 0;       // kNth: matches observed so far
+    std::uint64_t remaining = 0;  // kMatching: budget (if not unlimited)
+    bool unlimited = false;
+    double p = 0.0;               // kBernoulli
+    Rng rng;                      // kBernoulli: private seeded stream
+    bool spent = false;
+  };
+
+  bool should_drop(const Packet& p);
+
+  Simulation& sim_;
+  SimplexLink& link_;
+  std::vector<Rule> rules_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace fhmip::fault

@@ -82,6 +82,10 @@ void SimplexLink::transmit(PacketPtr p) {
     drop(std::move(p), DropReason::kWirelessDown);
     return;
   }
+  if (tx_filter_ && tx_filter_(*p)) {
+    drop(std::move(p), DropReason::kFaultInjected);
+    return;
+  }
   if (loss_rate_ > 0.0 && sim_.rng().chance(loss_rate_)) {
     drop(std::move(p), DropReason::kRandomLoss);
     return;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <variant>
 
@@ -40,6 +41,13 @@ class SimplexLink {
   void set_loss_rate(double p) { loss_rate_ = p; }
   double loss_rate() const { return loss_rate_; }
 
+  /// Scripted fault hook (src/fault): inspects every packet handed to the
+  /// link before queueing; returning true kills it as kFaultInjected. An
+  /// empty function clears the hook.
+  using TxFilter = std::function<bool(const Packet&)>;
+  void set_tx_filter(TxFilter f) { tx_filter_ = std::move(f); }
+  bool has_tx_filter() const { return static_cast<bool>(tx_filter_); }
+
   double bandwidth_bps() const { return bandwidth_; }
   SimTime delay() const { return delay_; }
   SimTime tx_time(std::uint32_t bytes) const;
@@ -74,6 +82,7 @@ class SimplexLink {
   bool up_ = true;
   bool busy_ = false;
   double loss_rate_ = 0.0;
+  TxFilter tx_filter_;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t bytes_delivered_ = 0;

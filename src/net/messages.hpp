@@ -51,6 +51,13 @@ struct RouterAdvMsg {
   bool buffer_capable = false;
 };
 
+/// Control-message transaction sequence number. A sender stamps a fresh
+/// value on each new exchange and reuses it verbatim on retransmissions;
+/// receivers treat an already-seen sequence idempotently (resend the cached
+/// answer, never redo side effects). 0 means "unsequenced" (legacy senders).
+using CtrlSeq = std::uint32_t;
+inline constexpr CtrlSeq kNoCtrlSeq = 0;
+
 /// RtSolPr (+ piggybacked BI when `has_bi`). The MH names the link-layer
 /// target it anticipates attaching to (AP id), the PAR resolves it to an AR.
 struct RtSolPrMsg {
@@ -60,6 +67,7 @@ struct RtSolPrMsg {
   bool has_bi = false;
   /// Handover authentication token (0 = none); verified by the NAR.
   std::uint64_t auth_token = 0;
+  CtrlSeq seq = kNoCtrlSeq;
 };
 
 /// PrRtAdv: NAR prefix information + result of the buffer negotiation.
@@ -71,6 +79,7 @@ struct PrRtAdvMsg {
   Address ncoa;           // the validated new care-of address
   bool intra_ar = false;  // §3.2.2.4: pure link-layer handoff, same AR
   BufferGrant grant;
+  CtrlSeq seq = kNoCtrlSeq;  // echoes the RtSolPr being answered
 };
 
 /// Handover Initiate (+ piggybacked Buffer Request when `has_br`).
@@ -83,6 +92,7 @@ struct HiMsg {
   bool has_br = false;
   /// The MH's authentication token, relayed from RtSolPr for the NAR.
   std::uint64_t auth_token = 0;
+  CtrlSeq seq = kNoCtrlSeq;
 };
 
 /// Handover Acknowledge (+ piggybacked Buffer Ack). `ncoa` is the address
@@ -94,6 +104,7 @@ struct HackMsg {
   Address ncoa;
   std::uint32_t granted_pkts = 0;
   bool buffer_ok = false;
+  CtrlSeq seq = kNoCtrlSeq;  // echoes the HI being answered
 };
 
 /// Fast Binding Update: start redirecting PCoA traffic through the tunnel.
@@ -102,17 +113,28 @@ struct FbuMsg {
   Address pcoa;
   Address nar_addr;            // where to tunnel (needed when no HI ran)
   bool from_new_link = false;  // non-anticipated handoff path
+  CtrlSeq seq = kNoCtrlSeq;
 };
 
 struct FbackMsg {
   MhId mh = kNoNode;
   bool ok = false;
+  CtrlSeq seq = kNoCtrlSeq;  // echoes the FBU being answered
 };
 
 /// Fast Neighbour Advertisement (+ piggybacked Buffer Forward when `has_bf`).
 struct FnaMsg {
   MhId mh = kNoNode;
   bool has_bf = false;
+  CtrlSeq seq = kNoCtrlSeq;
+};
+
+/// NAR → MH acknowledgement of an FNA (RFC 5568's NAACK option). Lets the
+/// MH stop retransmitting the FNA+BF; a duplicate FNA is answered with a
+/// fresh ack but no repeated side effects.
+struct FnaAckMsg {
+  MhId mh = kNoNode;
+  CtrlSeq seq = kNoCtrlSeq;  // echoes the FNA being answered
 };
 
 /// Buffer Forward: release the buffer to the mobile host (§3.2.2.3). Sent
@@ -209,8 +231,8 @@ struct TcpSegMsg {
 /// The message payload carried by a packet. `std::monostate` = plain data.
 using MessageVariant =
     std::variant<std::monostate, RouterAdvMsg, RtSolPrMsg, PrRtAdvMsg, HiMsg,
-                 HackMsg, FbuMsg, FbackMsg, FnaMsg, BfMsg, BufferFullMsg,
-                 BiMsg, BaMsg, BindingUpdateMsg, BindingAckMsg,
+                 HackMsg, FbuMsg, FbackMsg, FnaMsg, FnaAckMsg, BfMsg,
+                 BufferFullMsg, BiMsg, BaMsg, BindingUpdateMsg, BindingAckMsg,
                  AgentAdvertisementMsg, AgentSolicitationMsg,
                  RegistrationRequestMsg, RegistrationReplyMsg, TcpSegMsg>;
 

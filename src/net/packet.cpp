@@ -22,6 +22,7 @@ const char* message_name(const MessageVariant& m) {
     const char* operator()(const FbuMsg&) const { return "FBU"; }
     const char* operator()(const FbackMsg&) const { return "FBAck"; }
     const char* operator()(const FnaMsg&) const { return "FNA"; }
+    const char* operator()(const FnaAckMsg&) const { return "FNAAck"; }
     const char* operator()(const BfMsg&) const { return "BF"; }
     const char* operator()(const BufferFullMsg&) const { return "BufferFull"; }
     const char* operator()(const BiMsg&) const { return "BI"; }

@@ -34,7 +34,7 @@ CorridorTopology::CorridorTopology(const CorridorConfig& cfg)
 
   map_agent_ = std::make_unique<MapAgent>(*map_);
   for (Node* ar : ars_) {
-    ar_agents_.push_back(std::make_unique<ArAgent>(*ar, cfg.scheme));
+    ar_agents_.push_back(std::make_unique<ArAgent>(*ar, cfg.scheme, cfg.rtx));
   }
 
   wlan_ = std::make_unique<WlanManager>(sim_, cfg.wlan);
@@ -56,6 +56,8 @@ CorridorTopology::CorridorTopology(const CorridorConfig& cfg)
   mh_cfg.scheme = cfg.scheme;
   mh_cfg.use_fast_handover = cfg.use_fast_handover;
   mh_cfg.request_buffers = cfg.request_buffers;
+  mh_cfg.rtx = cfg.rtx;
+  mh_cfg.outcomes = &outcomes_;
   mh_agent_ = std::make_unique<MhAgent>(*mh_, mh_cfg, mip_.get());
   const double length = cfg.ap_spacing_m * (cfg.num_ars - 1);
   wlan_->add_mh(*mh_,

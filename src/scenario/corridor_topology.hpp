@@ -39,6 +39,8 @@ struct CorridorConfig {
   BufferSchemeConfig scheme;
   bool use_fast_handover = true;
   bool request_buffers = true;
+  /// Control-plane retransmission/backoff for the MH and every AR.
+  RetransmitPolicy rtx;
 };
 
 class CorridorTopology {
@@ -62,6 +64,8 @@ class CorridorTopology {
   MhAgent& mh_agent() { return *mh_agent_; }
   MobileIpClient& mip() { return *mip_; }
   Address mh_regional() const { return regional_; }
+  /// Per-attempt inter-AR handover outcomes along the corridor.
+  HandoverOutcomeRecorder& outcomes() { return outcomes_; }
 
  private:
   CorridorConfig cfg_;
@@ -76,6 +80,7 @@ class CorridorTopology {
   std::vector<std::unique_ptr<ArAgent>> ar_agents_;
   std::unique_ptr<WlanManager> wlan_;
   std::unique_ptr<MobileIpClient> mip_;
+  HandoverOutcomeRecorder outcomes_;
   std::unique_ptr<MhAgent> mh_agent_;
   Address regional_;
 };

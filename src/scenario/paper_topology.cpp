@@ -44,8 +44,8 @@ PaperTopology::PaperTopology(const PaperTopologyConfig& cfg)
   nar_->routes().set_prefix_route(nets::kPar, Route::via(par_nar.toward(*par_)));
 
   map_agent_ = std::make_unique<MapAgent>(*map_);
-  par_agent_ = std::make_unique<ArAgent>(*par_, cfg.scheme);
-  nar_agent_ = std::make_unique<ArAgent>(*nar_, cfg.scheme);
+  par_agent_ = std::make_unique<ArAgent>(*par_, cfg.scheme, cfg.rtx);
+  nar_agent_ = std::make_unique<ArAgent>(*nar_, cfg.scheme, cfg.rtx);
 
   wlan_ = std::make_unique<WlanManager>(sim_, cfg.wlan);
   ap_par_ = &wlan_->add_ap(*par_, Vec2{0, 0}, cfg.ap_radius_m,
@@ -68,6 +68,8 @@ PaperTopology::PaperTopology(const PaperTopologyConfig& cfg)
   mh_cfg.simultaneous_binding = cfg.simultaneous_binding;
   mh_cfg.auth_key = cfg.auth_key;
   mh_cfg.start_time_offset = cfg.start_time_offset;
+  mh_cfg.rtx = cfg.rtx;
+  mh_cfg.outcomes = &outcomes_;
 
   for (int i = 0; i < cfg.num_mhs; ++i) {
     Mobile m;

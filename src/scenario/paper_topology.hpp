@@ -59,6 +59,9 @@ struct PaperTopologyConfig {
   bool simultaneous_binding = false;
   std::uint64_t auth_key = 0;
   SimTime start_time_offset;
+  /// Control-plane retransmission/backoff, shared by the MH agents and both
+  /// ARs (rtx.enabled = false restores fire-and-forget signaling).
+  RetransmitPolicy rtx;
 };
 
 class PaperTopology {
@@ -95,6 +98,8 @@ class PaperTopology {
   Mobile& mobile(std::size_t i) { return mobiles_.at(i); }
   std::size_t num_mobiles() const { return mobiles_.size(); }
   const PaperTopologyConfig& config() const { return cfg_; }
+  /// Per-attempt inter-AR handover outcomes across all mobiles.
+  HandoverOutcomeRecorder& outcomes() { return outcomes_; }
 
  private:
   PaperTopologyConfig cfg_;
@@ -112,6 +117,7 @@ class PaperTopology {
   DuplexLink* par_nar_link_ = nullptr;
   AccessPoint* ap_par_ = nullptr;
   AccessPoint* ap_nar_ = nullptr;
+  HandoverOutcomeRecorder outcomes_;
   std::vector<Mobile> mobiles_;
 };
 

@@ -22,7 +22,7 @@ WlanTopology::WlanTopology(const WlanTopologyConfig& cfg)
                 cfg.queue_limit);
   net_->compute_routes();
 
-  ar_agent_ = std::make_unique<ArAgent>(*ar_, cfg.scheme);
+  ar_agent_ = std::make_unique<ArAgent>(*ar_, cfg.scheme, cfg.rtx);
 
   wlan_ = std::make_unique<WlanManager>(sim_, cfg.wlan);
   // Both APs under the same AR; the MH sits where both cover it so the
@@ -40,6 +40,7 @@ WlanTopology::WlanTopology(const WlanTopologyConfig& cfg)
   mh_cfg.scheme = cfg.scheme;
   mh_cfg.use_fast_handover = cfg.use_fast_handover;
   mh_cfg.request_buffers = cfg.request_buffers;
+  mh_cfg.rtx = cfg.rtx;
 
   mh_->add_address(mh_coa(), /*advertised=*/false);
   mh_agent_ = std::make_unique<MhAgent>(*mh_, mh_cfg, /*mip=*/nullptr);

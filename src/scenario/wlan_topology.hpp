@@ -22,6 +22,8 @@ struct WlanTopologyConfig {
   BufferSchemeConfig scheme;
   bool use_fast_handover = true;
   bool request_buffers = true;
+  /// Control-plane retransmission/backoff for the MH and the AR.
+  RetransmitPolicy rtx;
 };
 
 class WlanTopology {

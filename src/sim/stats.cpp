@@ -27,6 +27,8 @@ const char* to_string(DropReason reason) {
       return "buffer-expired";
     case DropReason::kRandomLoss:
       return "random-loss";
+    case DropReason::kFaultInjected:
+      return "fault-injected";
   }
   return "?";
 }

@@ -24,10 +24,11 @@ enum class DropReason {
   kBufferFrontDrop,  // handoff buffer full, oldest real-time packet evicted
   kBufferExpired,    // buffer lifetime elapsed before release
   kRandomLoss,       // injected per-packet loss (wireless corruption model)
+  kFaultInjected,    // killed by a scripted fault (src/fault)
 };
 
 const char* to_string(DropReason reason);
-inline constexpr int kNumDropReasons = 10;
+inline constexpr int kNumDropReasons = 11;
 
 /// A delivered packet's end-to-end record; benches turn these into the
 /// per-sequence delay plots (Figures 4.7-4.10).

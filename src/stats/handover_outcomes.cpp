@@ -1,0 +1,80 @@
+#include "stats/handover_outcomes.hpp"
+
+#include <cstdio>
+
+namespace fhmip {
+
+const char* to_string(HandoverOutcome o) {
+  switch (o) {
+    case HandoverOutcome::kPredictive:
+      return "predictive";
+    case HandoverOutcome::kReactive:
+      return "reactive";
+    case HandoverOutcome::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+const char* to_string(HandoverCause c) {
+  switch (c) {
+    case HandoverCause::kNone:
+      return "none";
+    case HandoverCause::kNotAnticipated:
+      return "not-anticipated";
+    case HandoverCause::kNoPrRtAdv:
+      return "no-prrtadv";
+    case HandoverCause::kTargetChanged:
+      return "target-changed";
+    case HandoverCause::kNoFback:
+      return "no-fback";
+  }
+  return "?";
+}
+
+void HandoverOutcomeRecorder::record(MhId mh, SimTime at,
+                                     HandoverOutcome outcome,
+                                     HandoverCause cause) {
+  attempts_.push_back({mh, at, outcome, cause});
+  ++by_outcome_[static_cast<int>(outcome)];
+  ++by_cause_[static_cast<int>(cause)];
+}
+
+double HandoverOutcomeRecorder::success_rate() const {
+  if (attempts_.empty()) return 1.0;
+  return static_cast<double>(completed()) /
+         static_cast<double>(attempts_.size());
+}
+
+void HandoverOutcomeRecorder::reset() {
+  attempts_.clear();
+  for (auto& c : by_outcome_) c = 0;
+  for (auto& c : by_cause_) c = 0;
+}
+
+std::string HandoverOutcomeRecorder::format_table(
+    const std::string& title) const {
+  char line[128];
+  std::string out = title + "\n";
+  std::snprintf(line, sizeof(line), "  %-18s %8llu\n", "attempts",
+                static_cast<unsigned long long>(attempts()));
+  out += line;
+  for (int i = 0; i < kNumHandoverOutcomes; ++i) {
+    std::snprintf(line, sizeof(line), "  %-18s %8llu\n",
+                  to_string(static_cast<HandoverOutcome>(i)),
+                  static_cast<unsigned long long>(by_outcome_[i]));
+    out += line;
+  }
+  for (int i = 0; i < kNumHandoverCauses; ++i) {
+    std::snprintf(line, sizeof(line), "  cause/%-12s %8llu\n",
+                  to_string(static_cast<HandoverCause>(i)),
+                  static_cast<unsigned long long>(by_cause_[i]));
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "  %-18s %7.2f%%\n", "success rate",
+                100.0 * success_rate());
+  out += line;
+  return out;
+}
+
+}  // namespace fhmip

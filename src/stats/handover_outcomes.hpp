@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/messages.hpp"
+#include "sim/time.hpp"
+
+namespace fhmip {
+
+/// How an inter-AR handover attempt ended.
+enum class HandoverOutcome : std::uint8_t {
+  /// The full anticipated choreography ran: RtSolPr+BI answered, FBU sent
+  /// on the old link before the blackout.
+  kPredictive = 0,
+  /// The anticipated path broke down (or was disabled) and the FBU went
+  /// via the new link after attachment (§2.3.2), acknowledged by an FBack.
+  kReactive = 1,
+  /// Even the reactive FBU retries exhausted without an FBack: the host
+  /// reattached but no redirection was established by the fast-handover
+  /// machinery (traffic resumes only via the binding update).
+  kFailed = 2,
+};
+
+/// Why a non-predictive outcome happened (kNone for clean predictive runs).
+enum class HandoverCause : std::uint8_t {
+  kNone = 0,
+  /// Anticipation disabled by configuration (cfg.anticipate = false).
+  kNotAnticipated = 1,
+  /// RtSolPr retries exhausted without a PrRtAdv.
+  kNoPrRtAdv = 2,
+  /// Anticipated, but the predisconnect window was missed (trigger arrived
+  /// for a different target than the one the radio switched to).
+  kTargetChanged = 3,
+  /// Reactive FBU retries exhausted without an FBack (kFailed attempts).
+  kNoFback = 4,
+};
+
+const char* to_string(HandoverOutcome o);
+const char* to_string(HandoverCause c);
+inline constexpr int kNumHandoverOutcomes = 3;
+inline constexpr int kNumHandoverCauses = 5;
+
+/// One resolved handover attempt.
+struct HandoverAttempt {
+  MhId mh = kNoNode;
+  SimTime at;  // resolution time (attach for predictive, FBack/exhaustion
+               // for reactive/failed)
+  HandoverOutcome outcome = HandoverOutcome::kPredictive;
+  HandoverCause cause = HandoverCause::kNone;
+};
+
+/// Collects per-attempt handover outcomes so scenarios and benches can
+/// report success rates under fault sweeps. One recorder is shared by all
+/// mobile hosts of a scenario; agents report through `record`.
+class HandoverOutcomeRecorder {
+ public:
+  void record(MhId mh, SimTime at, HandoverOutcome outcome,
+              HandoverCause cause);
+
+  std::uint64_t attempts() const { return attempts_.size(); }
+  std::uint64_t count(HandoverOutcome o) const {
+    return by_outcome_[static_cast<int>(o)];
+  }
+  std::uint64_t count(HandoverCause c) const {
+    return by_cause_[static_cast<int>(c)];
+  }
+  /// Predictive + reactive attempts (the host recovered redirection).
+  std::uint64_t completed() const {
+    return count(HandoverOutcome::kPredictive) +
+           count(HandoverOutcome::kReactive);
+  }
+  /// completed / attempts in [0, 1]; 1 when no attempts were made.
+  double success_rate() const;
+
+  const std::vector<HandoverAttempt>& history() const { return attempts_; }
+  void reset();
+
+  /// Aligned text table with one row per outcome and per cause — the
+  /// "outcome stats table" benches print alongside the paper figures.
+  std::string format_table(const std::string& title) const;
+
+ private:
+  std::vector<HandoverAttempt> attempts_;
+  std::uint64_t by_outcome_[kNumHandoverOutcomes] = {};
+  std::uint64_t by_cause_[kNumHandoverCauses] = {};
+};
+
+}  // namespace fhmip

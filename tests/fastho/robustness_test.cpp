@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "fault/link_fault.hpp"
 #include "scenario/paper_topology.hpp"
 #include "transport/cbr.hpp"
 #include "transport/sink.hpp"
@@ -137,6 +138,32 @@ TEST_F(RobustnessFixture, SampledBlackoutsKeepInvariants) {
   EXPECT_EQ(c.dropped, 0u);  // 60-packet lease covers even 400 ms at 100 p/s
 }
 
+TEST_F(RobustnessFixture, RetransmittedHiDoesNotDoubleAllocate) {
+  // Kill the first HAck on the inter-AR link: the PAR retransmits the HI,
+  // so the NAR sees the same transaction twice. It must re-elicit the
+  // cached HAck, not tear down and re-allocate the buffer the first copy
+  // built (which would flush any packets already buffered).
+  build();
+  Simulation& sim = topo->simulation();
+  fault::LinkFaultInjector inj(sim, topo->par_nar_link().b_to_a());
+  inj.drop_nth(1, fault::message_named("HAck"));
+  sim.run_until(20_s);
+  const auto& par = topo->par_agent().counters();
+  const auto& nar = topo->nar_agent().counters();
+  EXPECT_EQ(par.hi_rtx, 1u);
+  EXPECT_EQ(nar.hi_received, 2u);
+  EXPECT_EQ(nar.dup_hi, 1u);
+  EXPECT_EQ(nar.hack_sent, 2u);
+  // Exactly one grant was handed out and the handover still completes as a
+  // normal predictive one with no losses.
+  EXPECT_EQ(topo->outcomes().count(HandoverOutcome::kPredictive), 1u);
+  EXPECT_EQ(topo->outcomes().count(HandoverOutcome::kFailed), 0u);
+  const FlowCounters& c = sim.stats().flow(1);
+  EXPECT_EQ(c.sent, c.delivered + c.dropped);
+  EXPECT_EQ(c.dropped, 0u);
+  EXPECT_EQ(topo->nar_agent().buffers().leased(), 0u);
+}
+
 TEST_F(RobustnessFixture, LossyInterArLinkDegradesGracefully) {
   // 30% loss on the inter-AR link randomly kills HI/HAck/BF messages and
   // tunneled data: handovers degrade (lost grants, lost drains) but the
@@ -155,6 +182,13 @@ TEST_F(RobustnessFixture, LossyInterArLinkDegradesGracefully) {
   EXPECT_GE(topo->mobile(0).agent->counters().handoffs, 3u);
   EXPECT_EQ(topo->par_agent().buffers().leased(), 0u);
   EXPECT_EQ(topo->nar_agent().buffers().leased(), 0u);
+  // Degrading is not the same as stalling: the retransmission/fallback
+  // machinery must carry every attempt to completion despite 30% control
+  // loss on the negotiation path (predictively or via the reactive FBU).
+  const HandoverOutcomeRecorder& rec = topo->outcomes();
+  EXPECT_GE(rec.attempts(), 3u);
+  EXPECT_EQ(rec.count(HandoverOutcome::kFailed), 0u);
+  EXPECT_EQ(rec.completed(), rec.attempts());
 }
 
 }  // namespace

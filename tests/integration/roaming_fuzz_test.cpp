@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "fault/crash.hpp"
+#include "fault/link_fault.hpp"
 #include "scenario/paper_topology.hpp"
 #include "transport/cbr.hpp"
 #include "transport/sink.hpp"
@@ -58,6 +60,79 @@ TEST_P(RoamingFuzz, InvariantsUnderErraticMobility) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RoamingFuzz,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+/// The same roaming workload with active fault injection: seeded Bernoulli
+/// loss on both directions of the inter-AR control/tunnel link, a timed
+/// outage of that link, and a NAR crash that wipes contexts and buffers
+/// mid-run. Packet conservation and lease accounting must survive all of
+/// it, and no handover attempt may stall unresolved.
+class RoamingFaultFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoamingFaultFuzz, InvariantsUnderInjectedFaults) {
+  const std::uint64_t seed = GetParam();
+
+  PaperTopologyConfig cfg;
+  cfg.seed = seed;
+  cfg.bounce = true;
+  cfg.scheme.pool_pkts = 60;
+  cfg.scheme.request_pkts = 60;
+  PaperTopology topo(cfg);
+  Simulation& sim = topo.simulation();
+
+  fault::LinkFaultInjector fwd(sim, topo.par_nar_link().a_to_b());
+  fault::LinkFaultInjector rev(sim, topo.par_nar_link().b_to_a());
+  fwd.bernoulli(0.2, seed * 1001);
+  rev.bernoulli(0.2, seed * 2003);
+  // One two-second inter-AR outage, placed differently per seed.
+  const SimTime outage = SimTime::seconds(5 + static_cast<double>(seed % 7));
+  fwd.down_window(outage, outage + 2_s);
+  rev.down_window(outage, outage + 2_s);
+  fault::AgentCrashInjector crash(sim, topo.nar_agent());
+  crash.crash_at(SimTime::seconds(12 + static_cast<double>(seed % 5)));
+
+  auto& m = topo.mobile(0);
+  std::vector<std::unique_ptr<UdpSink>> sinks;
+  std::vector<std::unique_ptr<CbrSource>> sources;
+  const TrafficClass classes[3] = {TrafficClass::kRealTime,
+                                   TrafficClass::kHighPriority,
+                                   TrafficClass::kBestEffort};
+  for (int i = 0; i < 3; ++i) {
+    const auto port = static_cast<std::uint16_t>(7000 + i);
+    sinks.push_back(std::make_unique<UdpSink>(*m.node, port));
+    CbrSource::Config c;
+    c.dst = m.regional;
+    c.dst_port = port;
+    c.interval = 10_ms;
+    c.jitter = SimTime::millis(static_cast<std::int64_t>(seed % 4));
+    c.tclass = classes[i];
+    c.flow = i + 1;
+    sources.push_back(std::make_unique<CbrSource>(
+        topo.cn(), static_cast<std::uint16_t>(5000 + i), c));
+    sources.back()->start(2_s);
+    sources.back()->stop(40_s);
+  }
+  topo.start();
+  sim.run_until(50_s);
+
+  for (FlowId f = 1; f <= 3; ++f) {
+    const FlowCounters& c = sim.stats().flow(f);
+    EXPECT_EQ(c.sent, c.delivered + c.dropped) << "flow " << f;
+    EXPECT_GT(c.delivered, 0u) << "flow " << f;
+  }
+  EXPECT_EQ(topo.par_agent().buffers().leased(), 0u);
+  EXPECT_EQ(topo.nar_agent().buffers().leased(), 0u);
+  EXPECT_EQ(topo.nar_agent().counters().crashes, 1u);
+  // Every inter-AR attempt the recorder saw reached a verdict; under this
+  // much injected damage individual attempts may legitimately fail, but
+  // none may be left dangling once the run is over.
+  EXPECT_GE(topo.outcomes().attempts(), 2u);
+  EXPECT_EQ(topo.outcomes().completed() +
+                topo.outcomes().count(HandoverOutcome::kFailed),
+            topo.outcomes().attempts());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoamingFaultFuzz,
                          ::testing::Values(11, 22, 33, 44, 55));
 
 /// Waypoint-driven association churn: a host zig-zagging across two cells

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "stats/handover_outcomes.hpp"
 #include "stats/recorder.hpp"
 #include "stats/table.hpp"
 
@@ -133,6 +134,31 @@ TEST(TextTable, HandlesShortRows) {
   t.add_row({"only-one"});
   const std::string out = t.render();
   EXPECT_NE(out.find("only-one"), std::string::npos);
+}
+
+TEST(HandoverOutcomes, CountsAndFormatsPerCause) {
+  HandoverOutcomeRecorder rec;
+  rec.record(1, SimTime::seconds(1), HandoverOutcome::kPredictive,
+             HandoverCause::kNone);
+  rec.record(1, SimTime::seconds(2), HandoverOutcome::kReactive,
+             HandoverCause::kNotAnticipated);
+  rec.record(2, SimTime::seconds(3), HandoverOutcome::kReactive,
+             HandoverCause::kNoPrRtAdv);
+  rec.record(2, SimTime::seconds(4), HandoverOutcome::kFailed,
+             HandoverCause::kNoFback);
+  EXPECT_EQ(rec.attempts(), 4u);
+  EXPECT_EQ(rec.completed(), 3u);
+  EXPECT_EQ(rec.count(HandoverOutcome::kReactive), 2u);
+  EXPECT_EQ(rec.count(HandoverCause::kNoPrRtAdv), 1u);
+  EXPECT_DOUBLE_EQ(rec.success_rate(), 0.75);
+  const std::string table = rec.format_table("outcomes");
+  EXPECT_NE(table.find("predictive"), std::string::npos);
+  EXPECT_NE(table.find("cause/not-anticipated"), std::string::npos);
+  EXPECT_NE(table.find("cause/no-fback"), std::string::npos);
+  EXPECT_NE(table.find("75.00%"), std::string::npos);
+  rec.reset();
+  EXPECT_EQ(rec.attempts(), 0u);
+  EXPECT_DOUBLE_EQ(rec.success_rate(), 1.0);
 }
 
 }  // namespace
