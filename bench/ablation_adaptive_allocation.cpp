@@ -46,20 +46,40 @@ std::uint64_t run(bool adaptive, int hosts, double kbps) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sweep::Options opts;
+  if (!bench::parse_sweep_cli(argc, argv, opts)) return 2;
+
   bench::header("Ablation",
                 "precise buffer allocation (§5) — blanket vs. adaptive");
   bench::note("pool 40/AR, blanket request 20/host, 32 kb/s flows");
 
+  std::vector<int> host_counts = {2, 4, 6, 8, 10, 12};
+  if (opts.smoke) host_counts = {2, 8};
+
+  std::vector<sweep::SweepRunner::Job<std::uint64_t>> grid;
+  for (const int hosts : host_counts) {
+    for (const bool adaptive : {false, true}) {
+      grid.push_back({(adaptive ? "adaptive " : "blanket ") +
+                          std::to_string(hosts) + " hosts",
+                      [adaptive, hosts] { return run(adaptive, hosts, 32); }});
+    }
+  }
+  sweep::SweepRunner runner(opts.jobs);
+  const auto results = runner.run(std::move(grid));
+
   Series blanket("blanket_drops"), adaptive("adaptive_drops");
-  for (int hosts : {2, 4, 6, 8, 10, 12}) {
-    blanket.add(hosts, static_cast<double>(run(false, hosts, 32)));
-    adaptive.add(hosts, static_cast<double>(run(true, hosts, 32)));
+  std::size_t next = 0;
+  for (const int hosts : host_counts) {
+    blanket.add(hosts, static_cast<double>(results[next++]));
+    adaptive.add(hosts, static_cast<double>(results[next++]));
   }
   print_series_table("drops vs. simultaneous low-rate hosts", "hosts",
                      {blanket, adaptive});
   std::printf("\nexpected: blanket saturates both pools after 4 hosts; "
               "adaptive requests (~8 pkts)\nstretch the same pools to ~10 "
               "hosts before dropping.\n");
+
+  bench::report_sweep("ablation_adaptive_allocation", runner, opts);
   return 0;
 }

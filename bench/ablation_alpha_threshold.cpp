@@ -10,24 +10,41 @@
 
 using namespace fhmip;
 
-int main() {
+int main(int argc, char** argv) {
+  sweep::Options opts;
+  if (!bench::parse_sweep_cli(argc, argv, opts)) return 2;
+
   bench::header("Ablation", "the `a` headroom constant (Case 1.c/3.c)");
   bench::note(bench::flow_legend());
 
+  std::vector<std::uint32_t> reserves = {0, 2, 5, 8, 12, 16, 20};
+  if (opts.smoke) reserves = {0, 5};
+
+  std::vector<sweep::SweepRunner::Job<QosDropResult>> grid;
+  for (const std::uint32_t a : reserves) {
+    grid.push_back({"a=" + std::to_string(a), [a] {
+                      QosDropParams p;
+                      p.classify = true;
+                      p.reserve_a = a;
+                      p.handoffs = 30;
+                      return run_qos_drop_experiment(p);
+                    }});
+  }
+  sweep::SweepRunner runner(opts.jobs);
+  const auto results = runner.run(std::move(grid));
+
   Series f1("F1_drops"), f2("F2_drops"), f3("F3_drops");
-  for (std::uint32_t a : {0u, 2u, 5u, 8u, 12u, 16u, 20u}) {
-    QosDropParams p;
-    p.classify = true;
-    p.reserve_a = a;
-    p.handoffs = 30;
-    const auto r = run_qos_drop_experiment(p);
-    f1.add(a, static_cast<double>(r.flows[0].dropped));
-    f2.add(a, static_cast<double>(r.flows[1].dropped));
-    f3.add(a, static_cast<double>(r.flows[2].dropped));
+  for (std::size_t i = 0; i < reserves.size(); ++i) {
+    const QosDropResult& r = results[i];
+    f1.add(reserves[i], static_cast<double>(r.flows[0].dropped));
+    f2.add(reserves[i], static_cast<double>(r.flows[1].dropped));
+    f3.add(reserves[i], static_cast<double>(r.flows[2].dropped));
   }
   print_series_table("drops after 30 handoffs vs. reserve a", "a (packets)",
                      {f1, f2, f3});
   std::printf("\nexpected: F2 (high priority) falls as a grows; F3 (best "
               "effort) rises; default a=5 balances them\n");
+
+  bench::report_sweep("ablation_alpha_threshold", runner, opts);
   return 0;
 }

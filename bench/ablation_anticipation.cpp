@@ -43,19 +43,39 @@ std::uint64_t run(bool anticipate, int blackout_ms) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sweep::Options opts;
+  if (!bench::parse_sweep_cli(argc, argv, opts)) return 2;
+
   bench::header("Ablation", "anticipated vs. non-anticipated handover");
   bench::note("one 128 kb/s flow, dual buffers (60 pkts), blackout swept "
               "over the measured 60-400 ms range");
 
+  std::vector<int> blackouts = {60, 100, 200, 300, 400};
+  if (opts.smoke) blackouts = {60, 200};
+
+  std::vector<sweep::SweepRunner::Job<std::uint64_t>> grid;
+  for (const int ms : blackouts) {
+    for (const bool anticipate : {true, false}) {
+      grid.push_back({(anticipate ? "anticipated " : "non-anticipated ") +
+                          std::to_string(ms) + "ms",
+                      [anticipate, ms] { return run(anticipate, ms); }});
+    }
+  }
+  sweep::SweepRunner runner(opts.jobs);
+  const auto results = runner.run(std::move(grid));
+
   Series ant("anticipated"), nonant("non-anticipated");
-  for (int ms : {60, 100, 200, 300, 400}) {
-    ant.add(ms, static_cast<double>(run(true, ms)));
-    nonant.add(ms, static_cast<double>(run(false, ms)));
+  std::size_t next = 0;
+  for (const int ms : blackouts) {
+    ant.add(ms, static_cast<double>(results[next++]));
+    nonant.add(ms, static_cast<double>(results[next++]));
   }
   print_series_table("packet drops vs. L2 blackout", "blackout (ms)",
                      {ant, nonant});
   std::printf("\nexpected: anticipated stays ~0; non-anticipated loses "
               "~blackout/10ms packets\n");
+
+  bench::report_sweep("ablation_anticipation", runner, opts);
   return 0;
 }

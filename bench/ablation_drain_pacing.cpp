@@ -9,18 +9,34 @@
 
 using namespace fhmip;
 
-int main() {
+int main(int argc, char** argv) {
+  sweep::Options opts;
+  if (!bench::parse_sweep_cli(argc, argv, opts)) return 2;
+
   bench::header("Ablation", "buffer release pacing (drain gap)");
   bench::note(bench::flow_legend());
 
+  std::vector<std::int64_t> gaps = {0, 100, 200, 500, 1000, 2000};
+  if (opts.smoke) gaps = {0, 500};
+
+  std::vector<sweep::SweepRunner::Job<DelayCaptureResult>> grid;
+  for (const std::int64_t gap_us : gaps) {
+    grid.push_back({"gap=" + std::to_string(gap_us) + "us", [gap_us] {
+                      DelayCaptureParams p;
+                      p.classify = false;
+                      p.drain_gap = SimTime::micros(gap_us);
+                      p.pool_pkts = 30;
+                      p.request_pkts = 30;
+                      return run_delay_capture(p);
+                    }});
+  }
+  sweep::SweepRunner runner(opts.jobs);
+  const auto results = runner.run(std::move(grid));
+
   Series max_d("max_delay_s"), mean_d("mean_delay_s"), drops("drops");
-  for (std::int64_t gap_us : {0LL, 100LL, 200LL, 500LL, 1000LL, 2000LL}) {
-    DelayCaptureParams p;
-    p.classify = false;
-    p.drain_gap = SimTime::micros(gap_us);
-    p.pool_pkts = 30;
-    p.request_pkts = 30;
-    const auto r = run_delay_capture(p);
+  for (std::size_t i = 0; i < gaps.size(); ++i) {
+    const std::int64_t gap_us = gaps[i];
+    const DelayCaptureResult& r = results[i];
     const auto series = delay_series(r);
     double mx = 0, sum = 0;
     std::size_t n = 0;
@@ -41,5 +57,7 @@ int main() {
                      {max_d, mean_d, drops});
   std::printf("\nexpected: longer gaps inflate the buffered packets' tail "
               "delay; pacing has little effect on loss at these rates\n");
+
+  bench::report_sweep("ablation_drain_pacing", runner, opts);
   return 0;
 }

@@ -77,13 +77,24 @@ Outcome run(QueueDiscipline disc) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sweep::Options opts;
+  if (!bench::parse_sweep_cli(argc, argv, opts)) return 2;
+
   bench::header("Ablation", "DropTail vs. class-priority link discipline");
   bench::note("three 384 kb/s flows into a 1 Mb/s bottleneck (15% overload); "
               "F1 = real-time, F2 = high priority, F3 = best effort");
 
-  const Outcome dt = run(QueueDiscipline::kDropTail);
-  const Outcome pq = run(QueueDiscipline::kClassPriority);
+  // Two independent congested-bottleneck runs; --smoke keeps both (the
+  // grid is already minimal), it only exists for CLI uniformity.
+  std::vector<sweep::SweepRunner::Job<Outcome>> grid;
+  grid.push_back({"DropTail", [] { return run(QueueDiscipline::kDropTail); }});
+  grid.push_back(
+      {"ClassPriority", [] { return run(QueueDiscipline::kClassPriority); }});
+  sweep::SweepRunner runner(opts.jobs);
+  const auto results = runner.run(std::move(grid));
+  const Outcome& dt = results[0];
+  const Outcome& pq = results[1];
 
   TextTable t({"discipline", "flow", "mean delay (ms)", "dropped"});
   const char* flows[3] = {"F1 (RT)", "F2 (HP)", "F3 (BE)"};
@@ -101,5 +112,7 @@ int main() {
   std::printf("\nexpected: DropTail treats classes alike; the priority "
               "discipline keeps real-time\ndelay near the propagation floor "
               "and concentrates the overload loss on best effort.\n");
+
+  bench::report_sweep("ablation_queue_discipline", runner, opts);
   return 0;
 }

@@ -51,26 +51,45 @@ Outcome run(bool buffering, bool bicast) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sweep::Options opts;
+  if (!bench::parse_sweep_cli(argc, argv, opts)) return 2;
+
   bench::header("Ablation",
                 "simultaneous binding (bicast) vs. the proposed buffering");
   bench::note("one 128 kb/s flow across one PAR->NAR handover (200 ms L2)");
 
-  TextTable t({"scheme", "sent", "delivered", "lost", "MAP copies emitted"});
   struct Row {
     const char* name;
     bool buffering;
     bool bicast;
   };
-  const Row rows[] = {
+  std::vector<Row> rows = {
       {"nothing (plain handover)", false, false},
       {"simultaneous binding", false, true},
       {"proposed dual buffering", true, false},
       {"both", true, true},
   };
+  if (opts.smoke) {
+    rows = {{"simultaneous binding", false, true},
+            {"proposed dual buffering", true, false}};
+  }
+
+  std::vector<sweep::SweepRunner::Job<Outcome>> grid;
   for (const Row& row : rows) {
-    const Outcome o = run(row.buffering, row.bicast);
-    t.add_row({row.name, std::to_string(o.sent), std::to_string(o.delivered),
+    grid.push_back({row.name, [buffering = row.buffering,
+                               bicast = row.bicast] {
+                      return run(buffering, bicast);
+                    }});
+  }
+  sweep::SweepRunner runner(opts.jobs);
+  const auto results = runner.run(std::move(grid));
+
+  TextTable t({"scheme", "sent", "delivered", "lost", "MAP copies emitted"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Outcome& o = results[i];
+    t.add_row({rows[i].name, std::to_string(o.sent),
+               std::to_string(o.delivered),
                std::to_string(o.sent - std::min(o.sent, o.delivered)),
                std::to_string(o.core_copies)});
   }
@@ -78,5 +97,7 @@ int main() {
   std::printf("\nexpected: bicast still loses the blackout packets (deaf "
               "radio) while emitting\nnearly 2x the copies during the "
               "anticipation window; buffering loses none.\n");
+
+  bench::report_sweep("ablation_simultaneous_binding", runner, opts);
   return 0;
 }

@@ -3,12 +3,21 @@
 // Shared helpers for the figure-reproduction harnesses. Each bench binary
 // prints the series/rows of one table or figure from the thesis's
 // evaluation (Chapter 4), in both aligned-table and CSV form.
+//
+// The sweep-shaped benches (multiple independent runs over a parameter
+// grid) additionally take the shared sweep command line (--jobs/--json/
+// --smoke, see sweep/cli.hpp) and fan their runs across a SweepRunner.
+// Everything on stdout stays byte-identical across --jobs values; timing
+// (which varies run to run) goes to stderr and the optional JSON report.
 
 #include <cstdio>
 
 #include "scenario/experiment.hpp"
 #include "stats/recorder.hpp"
 #include "stats/table.hpp"
+#include "sweep/cli.hpp"
+#include "sweep/json.hpp"
+#include "sweep/sweep_runner.hpp"
 
 namespace fhmip::bench {
 
@@ -23,6 +32,31 @@ inline void note(const char* text) { std::printf("note: %s\n", text); }
 /// The three flows used throughout §4.2.2-§4.2.3.
 inline const char* flow_legend() {
   return "F1 = real-time, F2 = high priority, F3 = best effort";
+}
+
+/// Parses the shared sweep flags; on bad usage prints the diagnostic to
+/// stderr and returns false (mains then `return 2`).
+inline bool parse_sweep_cli(int argc, char** argv, sweep::Options& opts) {
+  const sweep::ParseResult r = sweep::parse_args(argc, argv);
+  if (!r.error.empty()) {
+    std::fprintf(stderr, "%s: %s\n%s", argv[0], r.error.c_str(),
+                 sweep::usage(argv[0]).c_str());
+    return false;
+  }
+  opts = r.options;
+  return true;
+}
+
+/// Post-sweep reporting: wall-time summary to stderr (never stdout — it
+/// differs between runs) and the machine-readable report to --json PATH.
+inline void report_sweep(const char* bench_id, const sweep::SweepRunner& runner,
+                         const sweep::Options& opts) {
+  std::fputs(runner.report().format_summary().c_str(), stderr);
+  if (!opts.json_path.empty() &&
+      !sweep::write_json(opts.json_path, bench_id, runner.report())) {
+    std::fprintf(stderr, "%s: failed to write %s\n", bench_id,
+                 opts.json_path.c_str());
+  }
 }
 
 }  // namespace fhmip::bench

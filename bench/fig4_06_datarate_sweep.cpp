@@ -8,25 +8,38 @@
 
 using namespace fhmip;
 
-int main() {
+int main(int argc, char** argv) {
+  sweep::Options opts;
+  if (!bench::parse_sweep_cli(argc, argv, opts)) return 2;
+
   bench::header("Figure 4.6", "packet loss vs. data rate (one handoff)");
   bench::note(bench::flow_legend());
 
   // The paper's rate ladder (kb/s per flow).
-  const double rates[] = {51.2, 55.7, 61.0,  67.4,  75.3,  85.3,
-                          98.5, 116.4, 142.2, 182.9, 256.0, 426.7};
+  std::vector<double> rates = {51.2, 55.7, 61.0,  67.4,  75.3,  85.3,
+                               98.5, 116.4, 142.2, 182.9, 256.0, 426.7};
+  if (opts.smoke) rates = {51.2, 426.7};
   QosDropParams base;
   base.mode = BufferMode::kDual;
   base.classify = true;
   base.pool_pkts = 20;
   base.request_pkts = 20;
 
+  std::vector<sweep::SweepRunner::Job<std::vector<FlowOutcome>>> grid;
+  for (const double kbps : rates) {
+    char label[32];
+    std::snprintf(label, sizeof label, "rate=%.1fkbps", kbps);
+    grid.push_back({label, [base, kbps] { return run_rate_probe(base, kbps); }});
+  }
+  sweep::SweepRunner runner(opts.jobs);
+  const auto per_rate = runner.run(std::move(grid));
+
   Series f1("F1"), f2("F2"), f3("F3");
-  for (double kbps : rates) {
-    const auto flows = run_rate_probe(base, kbps);
-    f1.add(kbps, static_cast<double>(flows[0].dropped));
-    f2.add(kbps, static_cast<double>(flows[1].dropped));
-    f3.add(kbps, static_cast<double>(flows[2].dropped));
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const auto& flows = per_rate[i];
+    f1.add(rates[i], static_cast<double>(flows[0].dropped));
+    f2.add(rates[i], static_cast<double>(flows[1].dropped));
+    f3.add(rates[i], static_cast<double>(flows[2].dropped));
   }
   print_series_table("Data rate vs. drop", "kb/s", {f1, f2, f3});
 
@@ -39,5 +52,7 @@ int main() {
   }
   std::printf("\nhigh-priority flow lowest at every rate: %s\n",
               f2_lowest ? "yes" : "NO (unexpected)");
+
+  bench::report_sweep("fig4_06_datarate_sweep", runner, opts);
   return 0;
 }

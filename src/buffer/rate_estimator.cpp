@@ -5,17 +5,25 @@
 namespace fhmip {
 
 void RateEstimator::roll(SimTime now) const {
-  // Close every full window that has elapsed; empty windows decay the
-  // estimate toward zero.
-  while (now - window_start_ >= window_) {
-    const double window_pps =
-        static_cast<double>(count_) / window_.sec();
-    smoothed_pps_ = primed_ ? alpha_ * window_pps + (1 - alpha_) * smoothed_pps_
-                            : window_pps;
-    primed_ = true;
-    count_ = 0;
-    window_start_ += window_;
+  // Close every full window that has elapsed. Only the first window can
+  // carry packets; the k-1 windows after it are empty and each multiplies
+  // the estimate by (1-alpha), so the whole idle gap collapses to one
+  // closed-form decay — an hours-long silence with a millisecond window
+  // must not turn into millions of loop turns inside on_packet/rate_pps.
+  const std::int64_t w = window_.ns();
+  const std::int64_t elapsed = (now - window_start_).ns();
+  if (w <= 0 || elapsed < w) return;
+  const std::int64_t k = elapsed / w;
+
+  const double window_pps = static_cast<double>(count_) / window_.sec();
+  smoothed_pps_ = primed_ ? alpha_ * window_pps + (1 - alpha_) * smoothed_pps_
+                          : window_pps;
+  primed_ = true;
+  count_ = 0;
+  if (k > 1) {
+    smoothed_pps_ *= std::pow(1.0 - alpha_, static_cast<double>(k - 1));
   }
+  window_start_ += window_ * k;
 }
 
 void RateEstimator::on_packet(SimTime now) {

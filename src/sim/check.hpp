@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -42,6 +43,12 @@ std::string format_violation(const AuditViolation& v);
 /// free function `audit_fail`; by default a violation is written to stderr
 /// and the process aborts. Tests install a sink (which suppresses the abort
 /// unless re-enabled) to assert that deliberate corruption is caught.
+///
+/// Threading: each Simulation is single-threaded, but parallel sweeps
+/// (sweep/sweep_runner.hpp) run many simulations at once in one process.
+/// Passing audits never touch the hub; the failure counter is atomic so
+/// simultaneous violations from different runs cannot race. Sink
+/// installation remains main-thread-only (it is a test affordance).
 class AuditHub {
  public:
   using Sink = std::function<void(const AuditViolation&)>;
@@ -56,15 +63,17 @@ class AuditHub {
   /// Forces abort even with a sink installed (CI hardening).
   void set_abort_on_violation(bool abort_on_violation);
 
-  std::uint64_t violations() const { return violations_; }
-  void reset_violations() { violations_ = 0; }
+  std::uint64_t violations() const {
+    return violations_.load(std::memory_order_relaxed);
+  }
+  void reset_violations() { violations_.store(0, std::memory_order_relaxed); }
 
  private:
   friend class ScopedAuditSink;
 
   Sink sink_;
   bool abort_on_violation_ = true;
-  std::uint64_t violations_ = 0;
+  std::atomic<std::uint64_t> violations_{0};
 };
 
 /// RAII sink installer for tests: captures violations for the duration of a

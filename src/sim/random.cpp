@@ -2,8 +2,14 @@
 
 #include <cmath>
 
+#include "sim/check.hpp"
+
 namespace fhmip {
 namespace {
+
+// GCC/Clang 128-bit arithmetic for the Lemire sampler; the __extension__
+// spelling keeps -Wpedantic quiet about the non-ISO type.
+__extension__ typedef unsigned __int128 u128;
 
 std::uint64_t splitmix64(std::uint64_t& x) {
   x += 0x9E3779B97F4A7C15ull;
@@ -45,9 +51,27 @@ double Rng::uniform(double lo, double hi) {
 }
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
-  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
-  if (range == 0) return static_cast<std::int64_t>(next_u64());
-  return lo + static_cast<std::int64_t>(next_u64() % range);
+  FHMIP_AUDIT_MSG("rng", lo <= hi,
+                  "uniform_int(" + std::to_string(lo) + ", " +
+                      std::to_string(hi) + ") with hi < lo");
+  const auto range =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(next_u64());  // full span
+  // Lemire's bounded multiply-shift with rejection: take the high 64 bits
+  // of draw * range; reject the low-product values that would make some
+  // outputs one draw more likely than others (plain `% range` has exactly
+  // that bias, ~2^-40 per draw at range ~2^24 but structural).
+  u128 m = static_cast<u128>(next_u64()) * range;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < range) {
+    const std::uint64_t threshold = (0 - range) % range;
+    while (low < threshold) {
+      m = static_cast<u128>(next_u64()) * range;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  const auto offset = static_cast<std::uint64_t>(m >> 64);
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + offset);
 }
 
 double Rng::exponential(double mean) {

@@ -19,7 +19,8 @@ class Rng {
   double uniform();
   /// Uniform in [lo, hi).
   double uniform(double lo, double hi);
-  /// Uniform integer in [lo, hi] inclusive (requires lo <= hi).
+  /// Uniform integer in [lo, hi] inclusive, bias-free (Lemire bounded
+  /// rejection). Requires lo <= hi (FHMIP_AUDIT enforced).
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
   /// Exponential with the given mean (> 0).
   double exponential(double mean);

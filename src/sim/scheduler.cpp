@@ -1,60 +1,134 @@
 #include "sim/scheduler.hpp"
 
+#include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "sim/check.hpp"
 
 namespace fhmip {
 
+namespace {
+constexpr SimTime kNoLimit = SimTime::nanos(
+    std::numeric_limits<std::int64_t>::max());
+}  // namespace
+
+std::uint32_t Scheduler::acquire_slot() {
+  if (!free_.empty()) {
+    const std::uint32_t idx = free_.back();
+    free_.pop_back();
+    return idx;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
 EventId Scheduler::schedule_at(SimTime t, Action fn) {
   if (t < now_) t = now_;
-  const EventId id = next_id_++;
-  FHMIP_AUDIT("sched", id != kInvalidEvent);  // 64-bit id space exhausted
-  heap_.push(Entry{t, id, std::move(fn)});
-  live_.insert(id);
-  return id;
+  const std::uint32_t idx = acquire_slot();
+  Slot& s = slots_[idx];
+  s.at = t;
+  s.seq = next_seq_++;
+  s.fn = std::move(fn);
+  s.armed = true;
+  s.cancelled = false;
+  heap_.push_back(idx);
+  sift_up(heap_.size() - 1);
+  ++live_;
+  return encode(idx, s.gen);
 }
 
 void Scheduler::cancel(EventId id) {
   if (id == kInvalidEvent) return;
-  if (live_.count(id)) cancelled_.insert(id);
-  // cancelled_ must stay a subset of the heap contents, or queue_size()
-  // underflows (it is heap size minus cancelled count).
-  FHMIP_AUDIT_MSG("sched", cancelled_.size() <= heap_.size(),
-                  "cancelled=" + std::to_string(cancelled_.size()) +
-                      " heap=" + std::to_string(heap_.size()));
+  const std::uint32_t idx = decode_slot(id);
+  if (idx >= slots_.size()) return;
+  Slot& s = slots_[idx];
+  if (!s.armed || s.gen != decode_gen(id) || s.cancelled) return;
+  s.cancelled = true;
+  s.fn = nullptr;  // release captured state eagerly
+  FHMIP_AUDIT("sched", live_ > 0);
+  --live_;
 }
 
 bool Scheduler::pending(EventId id) const {
-  return id != kInvalidEvent && live_.count(id) && !cancelled_.count(id);
+  if (id == kInvalidEvent) return false;
+  const std::uint32_t idx = decode_slot(id);
+  if (idx >= slots_.size()) return false;
+  const Slot& s = slots_[idx];
+  return s.armed && s.gen == decode_gen(id) && !s.cancelled;
 }
 
-bool Scheduler::pop_next(Entry& out) {
+void Scheduler::sift_up(std::size_t pos) {
+  const std::uint32_t idx = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 4;
+    if (!earlier(idx, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    pos = parent;
+  }
+  heap_[pos] = idx;
+}
+
+void Scheduler::sift_down(std::size_t pos) {
+  const std::uint32_t idx = heap_[pos];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first_child = pos * 4 + 1;
+    if (first_child >= n) break;
+    const std::size_t last_child = std::min(first_child + 4, n);
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], idx)) break;
+    heap_[pos] = heap_[best];
+    pos = best;
+  }
+  heap_[pos] = idx;
+}
+
+void Scheduler::release_root() {
+  Slot& s = slots_[heap_[0]];
+  ++s.gen;  // stale handles to this occupancy stop matching
+  s.armed = false;
+  s.cancelled = false;
+  s.fn = nullptr;
+  free_.push_back(heap_[0]);
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+bool Scheduler::pop_runnable(SimTime limit, SimTime& at_out, Action& fn_out) {
   while (!heap_.empty()) {
-    // priority_queue::top() is const; the Entry must be moved out, so we
-    // const_cast the action (safe: the element is popped immediately after).
-    Entry& top = const_cast<Entry&>(heap_.top());
-    Entry e{top.at, top.id, std::move(top.fn)};
-    heap_.pop();
-    live_.erase(e.id);
-    if (cancelled_.erase(e.id)) continue;
-    out = std::move(e);
+    Slot& top = slots_[heap_[0]];
+    if (top.cancelled) {
+      release_root();
+      continue;
+    }
+    if (top.at > limit) return false;
+    at_out = top.at;
+    fn_out = std::move(top.fn);
+    FHMIP_AUDIT("sched", live_ > 0);
+    --live_;
+    release_root();
     return true;
   }
   return false;
 }
 
 bool Scheduler::step() {
-  Entry e;
-  if (!pop_next(e)) return false;
+  SimTime at;
+  Action fn;
+  if (!pop_runnable(kNoLimit, at, fn)) return false;
   // The clock only moves forward: schedule_at clamps past times to now(),
   // so a popped event timestamped before now_ means heap-order corruption.
-  FHMIP_AUDIT_MSG("sched", e.at >= now_,
-                  "event at " + e.at.to_string() + " before clock " +
+  FHMIP_AUDIT_MSG("sched", at >= now_,
+                  "event at " + at.to_string() + " before clock " +
                       now_.to_string());
-  now_ = e.at;
+  now_ = at;
   ++executed_;
-  e.fn();
+  fn();
   return true;
 }
 
@@ -66,41 +140,48 @@ std::size_t Scheduler::run(std::size_t max_events) {
 
 std::size_t Scheduler::run_until(SimTime t) {
   std::size_t n = 0;
-  Entry e;
-  while (!heap_.empty()) {
-    // Peek without popping: skip over cancelled entries first.
-    while (!heap_.empty() && cancelled_.count(heap_.top().id)) {
-      cancelled_.erase(heap_.top().id);
-      live_.erase(heap_.top().id);
-      heap_.pop();
-    }
-    if (heap_.empty() || heap_.top().at > t) break;
-    if (!pop_next(e)) break;
-    FHMIP_AUDIT_MSG("sched", e.at >= now_,
-                    "event at " + e.at.to_string() + " before clock " +
+  SimTime at;
+  Action fn;
+  while (pop_runnable(t, at, fn)) {
+    FHMIP_AUDIT_MSG("sched", at >= now_,
+                    "event at " + at.to_string() + " before clock " +
                         now_.to_string());
-    now_ = e.at;
+    now_ = at;
     ++executed_;
     ++n;
-    e.fn();
+    fn();
   }
   if (now_ < t) now_ = t;
   return n;
 }
 
 void Scheduler::audit_invariants() const {
-  FHMIP_AUDIT_MSG("sched", cancelled_.size() <= heap_.size(),
-                  "cancelled=" + std::to_string(cancelled_.size()) +
+  FHMIP_AUDIT_MSG("sched", live_ <= heap_.size(),
+                  "live=" + std::to_string(live_) +
                       " heap=" + std::to_string(heap_.size()));
-  FHMIP_AUDIT_MSG("sched", live_.size() == heap_.size(),
-                  "live=" + std::to_string(live_.size()) +
-                      " heap=" + std::to_string(heap_.size()));
-  // Level-2 sweep: every cancelled id must still be tracked as live (it is
-  // removed from both sets together when it reaches the heap front).
+  FHMIP_AUDIT_MSG("sched", heap_.size() + free_.size() == slots_.size(),
+                  "heap=" + std::to_string(heap_.size()) +
+                      " free=" + std::to_string(free_.size()) +
+                      " slots=" + std::to_string(slots_.size()));
+  // Level-2 sweeps: recount the live slots and verify 4-ary heap order.
 #if FHMIP_AUDIT_LEVEL >= 2
-  for (const EventId id : cancelled_) {
-    FHMIP_AUDIT2_MSG("sched", live_.count(id) == 1,
-                     "cancelled id " + std::to_string(id) + " not live");
+  std::size_t armed = 0, live = 0;
+  for (const Slot& s : slots_) {
+    if (s.armed) {
+      ++armed;
+      if (!s.cancelled) ++live;
+    }
+  }
+  FHMIP_AUDIT2_MSG("sched", armed == heap_.size(),
+                   "armed=" + std::to_string(armed) +
+                       " heap=" + std::to_string(heap_.size()));
+  FHMIP_AUDIT2_MSG("sched", live == live_,
+                   "recount=" + std::to_string(live) +
+                       " live=" + std::to_string(live_));
+  for (std::size_t pos = 1; pos < heap_.size(); ++pos) {
+    const std::size_t parent = (pos - 1) / 4;
+    FHMIP_AUDIT2_MSG("sched", !earlier(heap_[pos], heap_[parent]),
+                     "heap order violated at pos " + std::to_string(pos));
   }
 #endif
 }

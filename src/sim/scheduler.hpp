@@ -2,8 +2,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -17,8 +15,16 @@ inline constexpr EventId kInvalidEvent = 0;
 /// Deterministic single-threaded discrete-event scheduler.
 ///
 /// Events at the same timestamp execute in scheduling order (FIFO), which is
-/// the property protocol state machines in this library rely on. Cancellation
-/// is lazy: cancelled ids are skipped when they reach the head of the queue.
+/// the property protocol state machines in this library rely on.
+///
+/// Storage is a slab of generation-tagged slots indexed by a 4-ary min-heap
+/// of slot indices, ordered by (time, issue sequence). An EventId packs the
+/// slot index and the slot's generation at issue time, so `pending()` and
+/// `cancel()` are O(1) slot loads — no hash lookups — and stale handles from
+/// a reused slot fail the generation check. Cancellation is lazy: the slot
+/// is flagged and skipped (and recycled) when it reaches the heap root. The
+/// 4-ary layout halves the sift-down depth vs. a binary heap and keeps the
+/// children of a node in at most two cache lines.
 class Scheduler {
  public:
   using Action = std::function<void()>;
@@ -45,40 +51,70 @@ class Scheduler {
   /// Returns the number of events executed.
   std::size_t run(std::size_t max_events = SIZE_MAX);
 
-  /// Runs all events with timestamp <= `t`, then advances the clock to `t`.
+  /// Runs all events with timestamp <= `t` (including events scheduled at
+  /// <= `t` by events already running inside this call), then advances the
+  /// clock to `t`.
   std::size_t run_until(SimTime t);
 
   /// Executes exactly one event if available. Returns false on empty queue.
   bool step();
 
-  std::size_t queue_size() const { return heap_.size() - cancelled_.size(); }
-  bool empty() const { return queue_size() == 0; }
+  std::size_t queue_size() const { return live_; }
+  bool empty() const { return live_ == 0; }
   std::uint64_t events_executed() const { return executed_; }
 
-  /// Runs the cancelled-set/heap consistency audits (FHMIP_AUDIT; no-op at
-  /// audit level 0). Exposed so tests and long scenarios can sweep.
+  /// Runs the slab/heap consistency audits (FHMIP_AUDIT; no-op at audit
+  /// level 0). Exposed so tests and long scenarios can sweep.
   void audit_invariants() const;
 
  private:
-  struct Entry {
+  /// One slab entry. A slot not on the free list is "armed": it owns an
+  /// action and occupies exactly one heap cell. `gen` counts reuses of the
+  /// slot; handles from a previous occupancy no longer match it.
+  struct Slot {
     SimTime at;
-    EventId id;  // also the tiebreaker: ids are issued monotonically
+    std::uint64_t seq = 0;  // issue order; the same-time FIFO tiebreaker
     Action fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.id > b.id;
-    }
+    std::uint32_t gen = 0;
+    bool armed = false;
+    bool cancelled = false;
   };
 
-  bool pop_next(Entry& out);
+  static constexpr std::uint32_t decode_slot(EventId id) {
+    return static_cast<std::uint32_t>(id & 0xFFFFFFFFu) - 1;
+  }
+  static constexpr std::uint32_t decode_gen(EventId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+  static constexpr EventId encode(std::uint32_t slot, std::uint32_t gen) {
+    // slot+1 keeps every valid id distinct from kInvalidEvent (0).
+    return (static_cast<EventId>(gen) << 32) | (slot + 1);
+  }
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<EventId> cancelled_;
-  std::unordered_set<EventId> live_;
+  /// (time, seq) heap order between two armed slots.
+  bool earlier(std::uint32_t a, std::uint32_t b) const {
+    const Slot& sa = slots_[a];
+    const Slot& sb = slots_[b];
+    if (sa.at != sb.at) return sa.at < sb.at;
+    return sa.seq < sb.seq;
+  }
+
+  std::uint32_t acquire_slot();
+  void release_root();
+  void sift_up(std::size_t pos);
+  void sift_down(std::size_t pos);
+
+  /// Pops the earliest non-cancelled action with timestamp <= `limit`,
+  /// recycling any cancelled slots it skips past. The single dequeue path:
+  /// `step`/`run` pass an unbounded limit, `run_until` passes `t`.
+  bool pop_runnable(SimTime limit, SimTime& at_out, Action& fn_out);
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;  // recycled slot indices
+  std::vector<std::uint32_t> heap_;  // 4-ary min-heap of armed slot indices
+  std::size_t live_ = 0;             // armed and not cancelled
+  std::uint64_t next_seq_ = 1;
   SimTime now_;
-  EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
 };
 

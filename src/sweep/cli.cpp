@@ -1,0 +1,72 @@
+#include "sweep/cli.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace fhmip::sweep {
+
+namespace {
+
+bool parse_int(const std::string& s, int& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  if (v < -(1 << 20) || v > (1 << 20)) return false;
+  out = static_cast<int>(v);
+  return true;
+}
+
+}  // namespace
+
+ParseResult parse_args(int argc, const char* const* argv) {
+  ParseResult r;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto take_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        r.error = std::string(flag) + " requires a value";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--jobs" || arg == "-j") {
+      const char* v = take_value("--jobs");
+      if (v == nullptr) return r;
+      if (!parse_int(v, r.options.jobs) || r.options.jobs < 1) {
+        r.error = "--jobs expects a positive integer, got '" +
+                  std::string(v) + "'";
+        return r;
+      }
+    } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2 &&
+               arg.find_first_not_of("0123456789", 2) == std::string::npos) {
+      // -jN shorthand, make-style.
+      if (!parse_int(arg.substr(2), r.options.jobs) || r.options.jobs < 1) {
+        r.error = "--jobs expects a positive integer, got '" +
+                  arg.substr(2) + "'";
+        return r;
+      }
+    } else if (arg == "--json") {
+      const char* v = take_value("--json");
+      if (v == nullptr) return r;
+      r.options.json_path = v;
+    } else if (arg == "--smoke") {
+      r.options.smoke = true;
+    } else {
+      r.error = "unknown argument '" + arg + "'";
+      return r;
+    }
+  }
+  return r;
+}
+
+std::string usage(const std::string& argv0) {
+  return "usage: " + argv0 +
+         " [--jobs N] [--json PATH] [--smoke]\n"
+         "  --jobs N, -jN  worker threads for the sweep "
+         "(default: hardware concurrency)\n"
+         "  --json PATH    write the machine-readable sweep report to PATH\n"
+         "  --smoke        tiny grid for CI smoke runs\n";
+}
+
+}  // namespace fhmip::sweep

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+
+namespace fhmip::sweep {
+
+/// Shared command line of the sweep-shaped bench binaries:
+///
+///   --jobs N      worker threads (default: hardware concurrency; 1 = serial)
+///   --json PATH   write the machine-readable sweep report to PATH
+///   --smoke       shrink the parameter grid to a seconds-long CI sanity run
+///
+/// Aggregate stdout is byte-identical for every --jobs value; only wall
+/// times (stderr + JSON) differ.
+struct Options {
+  int jobs = 0;  // 0 = hardware concurrency
+  std::string json_path;
+  bool smoke = false;
+};
+
+/// Outcome of parsing: on failure `error` is non-empty and `usage` holds
+/// the flag reference, for the caller to print (src/ does not write to
+/// stdio; the bench mains do).
+struct ParseResult {
+  Options options;
+  std::string error;
+};
+
+ParseResult parse_args(int argc, const char* const* argv);
+
+/// The flag reference, one flag per line.
+std::string usage(const std::string& argv0);
+
+}  // namespace fhmip::sweep

@@ -1,0 +1,85 @@
+#include "sweep/json.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace fhmip::sweep {
+
+namespace {
+
+/// Minimal JSON string escaping: quotes, backslashes and control bytes.
+/// Labels here are ASCII grid descriptions, but garbage in must not make
+/// garbage JSON out.
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Fixed-format double: JSON numbers, locale-independent, no exponents for
+/// the magnitudes wall times take.
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string report_to_json(const std::string& bench_name,
+                           const SweepReport& report) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"bench\": \"" << escape(bench_name) << "\",\n";
+  os << "  \"jobs\": " << report.jobs << ",\n";
+  os << "  \"total_wall_ms\": " << num(report.total_wall_ms) << ",\n";
+  os << "  \"runs\": [";
+  for (std::size_t i = 0; i < report.runs.size(); ++i) {
+    const RunRecord& r = report.runs[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"index\": " << r.index << ", \"label\": \""
+       << escape(r.label) << "\", \"wall_ms\": " << num(r.wall_ms) << "}";
+  }
+  os << (report.runs.empty() ? "]\n" : "\n  ]\n");
+  os << "}\n";
+  return os.str();
+}
+
+bool write_json(const std::string& path, const std::string& bench_name,
+                const SweepReport& report) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  f << report_to_json(bench_name, report);
+  return static_cast<bool>(f);
+}
+
+}  // namespace fhmip::sweep

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+
+#include "sweep/sweep_runner.hpp"
+
+namespace fhmip::sweep {
+
+/// Serializes a sweep report as a machine-readable JSON document:
+///
+///   {
+///     "bench": "<name>",
+///     "jobs": 8,
+///     "total_wall_ms": 1234.5,
+///     "runs": [
+///       {"index": 0, "label": "loss=0% seed=3 rtx=on", "wall_ms": 41.2},
+///       ...
+///     ]
+///   }
+///
+/// This is the `BENCH_<name>.json` payload the bench harnesses emit under
+/// `--json <path>`; downstream tooling tracks per-run wall time across
+/// commits from it.
+std::string report_to_json(const std::string& bench_name,
+                           const SweepReport& report);
+
+/// Writes `report_to_json` to `path` (truncating). Returns false (with no
+/// partial file guarantees) if the file cannot be opened or written.
+bool write_json(const std::string& path, const std::string& bench_name,
+                const SweepReport& report);
+
+}  // namespace fhmip::sweep

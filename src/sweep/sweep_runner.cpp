@@ -1,0 +1,108 @@
+#include "sweep/sweep_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "sim/check.hpp"
+
+namespace fhmip::sweep {
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+SweepRunner::SweepRunner(int jobs) {
+  if (jobs <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    jobs = hw > 0 ? static_cast<int>(hw) : 1;
+  }
+  jobs_ = jobs;
+}
+
+void SweepRunner::run_indexed(std::size_t n, std::vector<std::string> labels,
+                              const std::function<void(std::size_t)>& body) {
+  FHMIP_AUDIT("sweep", labels.size() == n);
+  report_ = SweepReport{};
+  report_.jobs = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(jobs_), n));
+  if (report_.jobs < 1) report_.jobs = 1;
+  report_.runs.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    report_.runs[i].index = i;
+    report_.runs[i].label = std::move(labels[i]);
+  }
+  if (n == 0) return;
+
+  std::vector<std::exception_ptr> errors(n);
+  const auto sweep_t0 = std::chrono::steady_clock::now();
+  const auto worker = [&](std::atomic<std::size_t>& next) {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      const auto t0 = std::chrono::steady_clock::now();
+      try {
+        body(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+      report_.runs[i].wall_ms = ms_since(t0);
+    }
+  };
+
+  std::atomic<std::size_t> next{0};
+  if (report_.jobs == 1) {
+    // Single-job sweeps run inline: same code path minus the thread hop,
+    // which keeps debugger/profiler stacks flat for -j1 repros.
+    worker(next);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(report_.jobs));
+    for (int w = 0; w < report_.jobs; ++w) {
+      pool.emplace_back([&] { worker(next); });
+    }
+    for (auto& t : pool) t.join();
+  }
+  report_.total_wall_ms = ms_since(sweep_t0);
+
+  // Deterministic failure order: the lowest-index exception wins, exactly
+  // as a serial loop would have failed first.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (errors[i]) std::rethrow_exception(errors[i]);
+  }
+}
+
+std::string SweepReport::format_summary() const {
+  std::ostringstream os;
+  os << "sweep: " << runs.size() << " runs on " << jobs << " job(s), "
+     << total_wall_ms << " ms total\n";
+  double sum = 0, slowest = 0;
+  std::size_t slowest_i = 0;
+  for (const RunRecord& r : runs) {
+    sum += r.wall_ms;
+    if (r.wall_ms > slowest) {
+      slowest = r.wall_ms;
+      slowest_i = r.index;
+    }
+  }
+  if (!runs.empty()) {
+    os << "sweep: " << sum << " ms of run time, mean "
+       << sum / static_cast<double>(runs.size()) << " ms, slowest " << slowest
+       << " ms (run " << slowest_i;
+    if (!runs[slowest_i].label.empty()) {
+      os << ": " << runs[slowest_i].label;
+    }
+    os << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace fhmip::sweep

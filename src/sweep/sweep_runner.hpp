@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fhmip::sweep {
+
+/// Wall-time record for one run of a sweep, in submission (grid) order.
+struct RunRecord {
+  std::size_t index = 0;
+  std::string label;
+  double wall_ms = 0;
+};
+
+/// Timing report for one SweepRunner::run() call. Per-run wall times vary
+/// between executions, so none of this may reach stdout of a bench binary
+/// (stdout must stay byte-identical across -j values); benches print
+/// `format_summary()` to stderr and/or serialize the report with
+/// `write_json` (sweep/json.hpp).
+struct SweepReport {
+  std::vector<RunRecord> runs;  // indexed by run index
+  double total_wall_ms = 0;     // whole-sweep wall time
+  int jobs = 1;                 // worker count actually used
+
+  /// Human-readable per-run + aggregate summary (for stderr).
+  std::string format_summary() const;
+};
+
+/// Fans a list of independent run closures across a fixed pool of worker
+/// threads and collects their results into a vector ordered by submission
+/// index, so aggregate output is byte-identical for 1 and N jobs.
+///
+/// Safety model: each closure must be share-nothing — it constructs its own
+/// `Simulation` (scheduler, RNG, stats, logger) and touches nothing mutable
+/// outside it. Under that contract no locking is needed around the runs;
+/// the runner itself only hands out indices (one atomic) and writes each
+/// result/timing into a pre-sized slot owned by exactly one run.
+///
+/// If any run throws, the first exception in *index order* is rethrown
+/// after all workers drain, so failure behaviour is identical at any job
+/// count. Runs after a failure still execute (they are independent).
+class SweepRunner {
+ public:
+  /// `jobs` <= 0 selects the hardware concurrency.
+  explicit SweepRunner(int jobs = 0);
+
+  int jobs() const { return jobs_; }
+
+  /// One named unit of work. The label is carried into the report/JSON;
+  /// the closure's return value lands at the job's index in the result
+  /// vector.
+  template <typename R>
+  struct Job {
+    std::string label;
+    std::function<R()> fn;
+  };
+
+  template <typename R>
+  std::vector<R> run(std::vector<Job<R>> grid) {
+    std::vector<std::optional<R>> out(grid.size());
+    std::vector<std::string> labels;
+    labels.reserve(grid.size());
+    for (auto& j : grid) labels.push_back(std::move(j.label));
+    run_indexed(grid.size(), std::move(labels), [&](std::size_t i) {
+      out[i].emplace(grid[i].fn());
+    });
+    std::vector<R> results;
+    results.reserve(out.size());
+    for (auto& r : out) results.push_back(std::move(*r));
+    return results;
+  }
+
+  /// Timing/label report of the most recent run() call.
+  const SweepReport& report() const { return report_; }
+
+ private:
+  /// Type-erased core: executes body(0..n-1) across the pool, records per-
+  /// run wall times, propagates the lowest-index exception.
+  void run_indexed(std::size_t n, std::vector<std::string> labels,
+                   const std::function<void(std::size_t)>& body);
+
+  int jobs_;
+  SweepReport report_;
+};
+
+}  // namespace fhmip::sweep

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 namespace fhmip {
 namespace {
 
@@ -41,6 +43,46 @@ TEST(RateEstimator, DecaysWhenIdle) {
   EXPECT_GT(r.rate_pps(1_s), 50.0);
   // Five seconds of silence: the smoothed estimate collapses.
   EXPECT_LT(r.rate_pps(6_s), 5.0);
+}
+
+TEST(RateEstimator, LongIdleGapIsClosedFormNotPerWindow) {
+  // Regression: roll() used to iterate once per elapsed window, so an idle
+  // gap of 10^6+ windows (a millisecond window and hours of sim-time
+  // silence) burned millions of loop turns inside on_packet/rate_pps. The
+  // closed-form decay must make the gap O(1): billions of elapsed windows,
+  // repeated, must finish instantly.
+  RateEstimator r(1_ms);
+  const auto t0 = std::chrono::steady_clock::now();
+  SimTime t;
+  for (int hop = 1; hop <= 100; ++hop) {
+    for (int i = 0; i < 10; ++i) {
+      r.on_packet(t + SimTime::micros(100) * i);  // 10k pps burst
+    }
+    // ~2.6 billion elapsed 1 ms windows per hop.
+    t += SimTime::seconds(30'000) * hop;
+    EXPECT_NEAR(r.rate_pps(t), 0.0, 1e-9) << "hop " << hop;
+  }
+  const auto wall = std::chrono::steady_clock::now() - t0;
+  // Two spare orders of magnitude over the closed-form cost; the per-window
+  // loop would need hours here.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(wall).count(),
+            2000);
+  EXPECT_EQ(r.total_packets(), 1000u);
+}
+
+TEST(RateEstimator, GapDecayMatchesPerWindowDecay) {
+  // The closed-form pow() path must agree with window-by-window smoothing.
+  RateEstimator gap(100_ms, 0.5);
+  RateEstimator step(100_ms, 0.5);
+  for (int i = 0; i < 20; ++i) {
+    gap.on_packet(SimTime::millis(10) * i);
+    step.on_packet(SimTime::millis(10) * i);
+  }
+  // `step` is queried at every window boundary (per-window decay); `gap`
+  // only at the end, crossing 40 idle windows at once.
+  double stepped = 0;
+  for (int w = 3; w <= 42; ++w) stepped = step.rate_pps(SimTime::millis(100) * w);
+  EXPECT_NEAR(gap.rate_pps(SimTime::millis(4200)), stepped, 1e-9);
 }
 
 TEST(RateEstimator, PartialFirstWindowEstimates) {

@@ -3,6 +3,7 @@
 #include "fault/crash.hpp"
 #include "fault/link_fault.hpp"
 #include "scenario/paper_topology.hpp"
+#include "sweep/sweep_runner.hpp"
 #include "transport/cbr.hpp"
 #include "transport/sink.hpp"
 
@@ -67,11 +68,25 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RoamingFuzz,
 /// outage of that link, and a NAR crash that wipes contexts and buffers
 /// mid-run. Packet conservation and lease accounting must survive all of
 /// it, and no handover attempt may stall unresolved.
-class RoamingFaultFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+///
+/// The per-seed runs are share-nothing, so they fan across a SweepRunner
+/// (which also makes this suite a standing exercise of the sweep layer
+/// under tsan). Closures only collect plain data; every gtest assertion
+/// happens on the main thread — gtest macros are not thread-safe.
+struct FaultFuzzOutcome {
+  std::uint64_t seed = 0;
+  std::uint64_t sent[3] = {0, 0, 0};
+  std::uint64_t delivered[3] = {0, 0, 0};
+  std::uint64_t dropped[3] = {0, 0, 0};
+  std::uint64_t par_leased = 0;
+  std::uint64_t nar_leased = 0;
+  std::uint64_t nar_crashes = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+};
 
-TEST_P(RoamingFaultFuzz, InvariantsUnderInjectedFaults) {
-  const std::uint64_t seed = GetParam();
-
+FaultFuzzOutcome run_fault_fuzz(std::uint64_t seed) {
   PaperTopologyConfig cfg;
   cfg.seed = seed;
   cfg.bounce = true;
@@ -115,25 +130,82 @@ TEST_P(RoamingFaultFuzz, InvariantsUnderInjectedFaults) {
   topo.start();
   sim.run_until(50_s);
 
+  FaultFuzzOutcome o;
+  o.seed = seed;
   for (FlowId f = 1; f <= 3; ++f) {
     const FlowCounters& c = sim.stats().flow(f);
-    EXPECT_EQ(c.sent, c.delivered + c.dropped) << "flow " << f;
-    EXPECT_GT(c.delivered, 0u) << "flow " << f;
+    o.sent[f - 1] = c.sent;
+    o.delivered[f - 1] = c.delivered;
+    o.dropped[f - 1] = c.dropped;
   }
-  EXPECT_EQ(topo.par_agent().buffers().leased(), 0u);
-  EXPECT_EQ(topo.nar_agent().buffers().leased(), 0u);
-  EXPECT_EQ(topo.nar_agent().counters().crashes, 1u);
-  // Every inter-AR attempt the recorder saw reached a verdict; under this
-  // much injected damage individual attempts may legitimately fail, but
-  // none may be left dangling once the run is over.
-  EXPECT_GE(topo.outcomes().attempts(), 2u);
-  EXPECT_EQ(topo.outcomes().completed() +
-                topo.outcomes().count(HandoverOutcome::kFailed),
-            topo.outcomes().attempts());
+  o.par_leased = topo.par_agent().buffers().leased();
+  o.nar_leased = topo.nar_agent().buffers().leased();
+  o.nar_crashes = topo.nar_agent().counters().crashes;
+  o.attempts = topo.outcomes().attempts();
+  o.completed = topo.outcomes().completed();
+  o.failed = topo.outcomes().count(HandoverOutcome::kFailed);
+  return o;
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, RoamingFaultFuzz,
-                         ::testing::Values(11, 22, 33, 44, 55));
+TEST(RoamingFaultFuzz, InvariantsUnderInjectedFaultsAcrossSeeds) {
+  const std::uint64_t seeds[] = {11, 22, 33, 44, 55};
+  std::vector<sweep::SweepRunner::Job<FaultFuzzOutcome>> grid;
+  for (const std::uint64_t seed : seeds) {
+    grid.push_back({"seed=" + std::to_string(seed),
+                    [seed] { return run_fault_fuzz(seed); }});
+  }
+  sweep::SweepRunner runner(4);
+  const auto outcomes = runner.run(std::move(grid));
+
+  ASSERT_EQ(outcomes.size(), std::size(seeds));
+  for (const FaultFuzzOutcome& o : outcomes) {
+    SCOPED_TRACE("seed " + std::to_string(o.seed));
+    for (int f = 0; f < 3; ++f) {
+      EXPECT_EQ(o.sent[f], o.delivered[f] + o.dropped[f]) << "flow " << f + 1;
+      EXPECT_GT(o.delivered[f], 0u) << "flow " << f + 1;
+    }
+    EXPECT_EQ(o.par_leased, 0u);
+    EXPECT_EQ(o.nar_leased, 0u);
+    EXPECT_EQ(o.nar_crashes, 1u);
+    // Every inter-AR attempt the recorder saw reached a verdict; under
+    // this much injected damage individual attempts may legitimately
+    // fail, but none may be left dangling once the run is over.
+    EXPECT_GE(o.attempts, 2u);
+    EXPECT_EQ(o.completed + o.failed, o.attempts);
+  }
+}
+
+TEST(RoamingFaultFuzz, SeedOutcomesIdenticalSerialAndParallel) {
+  // The fuzz workload is the heaviest per-run simulation in the suite;
+  // byte-identical serial-vs-parallel results here are the end-to-end
+  // determinism proof for the sweep layer.
+  const std::uint64_t seeds[] = {11, 33};
+  const auto make_grid = [&] {
+    std::vector<sweep::SweepRunner::Job<FaultFuzzOutcome>> grid;
+    for (const std::uint64_t seed : seeds) {
+      grid.push_back({"seed=" + std::to_string(seed),
+                      [seed] { return run_fault_fuzz(seed); }});
+    }
+    return grid;
+  };
+  sweep::SweepRunner serial(1);
+  sweep::SweepRunner parallel(2);
+  const auto a = serial.run(make_grid());
+  const auto b = parallel.run(make_grid());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("run " + std::to_string(i));
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    for (int f = 0; f < 3; ++f) {
+      EXPECT_EQ(a[i].sent[f], b[i].sent[f]);
+      EXPECT_EQ(a[i].delivered[f], b[i].delivered[f]);
+      EXPECT_EQ(a[i].dropped[f], b[i].dropped[f]);
+    }
+    EXPECT_EQ(a[i].attempts, b[i].attempts);
+    EXPECT_EQ(a[i].completed, b[i].completed);
+    EXPECT_EQ(a[i].failed, b[i].failed);
+  }
+}
 
 /// Waypoint-driven association churn: a host zig-zagging across two cells
 /// (including out-of-coverage detours) must end every trajectory either

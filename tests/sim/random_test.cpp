@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <set>
+#include <vector>
+
+#include "sim/check.hpp"
 
 namespace fhmip {
 namespace {
@@ -80,6 +84,56 @@ TEST(Rng, UniformIntNegativeRange) {
     EXPECT_GE(v, -10);
     EXPECT_LE(v, -5);
   }
+}
+
+TEST(Rng, UniformIntBucketsAreUniform) {
+  // Distribution sanity for the Lemire bounded sampler: a range that does
+  // not divide 2^64 must still give every value equal probability (the old
+  // `% range` draw was structurally biased toward low values).
+  Rng r(101);
+  constexpr int kBuckets = 6;
+  constexpr int kDraws = 120'000;
+  std::vector<int> hits(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++hits[static_cast<std::size_t>(r.uniform_int(0, kBuckets - 1))];
+  }
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (int b = 0; b < kBuckets; ++b) {
+    // ~5 sigma for a binomial bucket at p = 1/6.
+    EXPECT_NEAR(static_cast<double>(hits[b]), expected, 650.0)
+        << "bucket " << b;
+  }
+}
+
+TEST(Rng, UniformIntHugeRangeStaysInBounds) {
+  Rng r(103);
+  const std::int64_t lo = INT64_MIN / 2;
+  const std::int64_t hi = INT64_MAX / 2;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = r.uniform_int(lo, hi);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+  }
+}
+
+TEST(Rng, UniformIntFullSpanDoesNotHang) {
+  Rng r(107);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 64; ++i) seen.insert(r.uniform_int(INT64_MIN, INT64_MAX));
+  EXPECT_GT(seen.size(), 60u);  // essentially all draws distinct
+}
+
+TEST(Rng, UniformIntInvertedBoundsIsAudited) {
+  std::vector<AuditViolation> seen;
+  ScopedAuditSink sink([&](const AuditViolation& v) { seen.push_back(v); });
+  Rng r(109);
+  r.uniform_int(5, 2);
+#if FHMIP_AUDIT_LEVEL >= 1
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_STREQ(seen[0].component, "rng");
+#else
+  EXPECT_TRUE(seen.empty());
+#endif
 }
 
 TEST(Rng, ExponentialMeanMatches) {

@@ -160,6 +160,72 @@ TEST(Scheduler, SchedulingFromWithinEvent) {
   EXPECT_EQ(at[2], 2_ms);
 }
 
+TEST(Scheduler, RunUntilIncludesSameTimeEventScheduledAtBoundary) {
+  // Regression: an event scheduled at exactly `t` *by* an event running at
+  // `t` must still execute within run_until(t), not leak past the boundary.
+  Scheduler s;
+  bool chained = false;
+  s.schedule_at(5_ms, [&] {
+    s.schedule_at(5_ms, [&] { chained = true; });
+  });
+  s.run_until(5_ms);
+  EXPECT_TRUE(chained);
+  EXPECT_EQ(s.now(), 5_ms);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Scheduler, SlotReuseDoesNotResurrectStaleHandles) {
+  // A slot recycled for a new event must not honour the old occupant's id:
+  // cancelling or querying the stale handle may not touch the new event.
+  Scheduler s;
+  const EventId old_id = s.schedule_at(1_ms, [] {});
+  s.run();  // slot returns to the free list
+  bool ran = false;
+  const EventId new_id = s.schedule_at(2_ms, [&] { ran = true; });
+  EXPECT_NE(old_id, new_id);
+  EXPECT_FALSE(s.pending(old_id));
+  s.cancel(old_id);  // stale: must be a no-op
+  EXPECT_TRUE(s.pending(new_id));
+  s.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Scheduler, CancelledEventsAreSkippedAcrossRunAndRunUntil) {
+  // Both dequeue paths (run / run_until) share the cancelled-slot skip; a
+  // cancellation must hold whichever one drains the queue.
+  Scheduler s;
+  std::vector<int> order;
+  const EventId a = s.schedule_at(1_ms, [&] { order.push_back(1); });
+  s.schedule_at(2_ms, [&] { order.push_back(2); });
+  const EventId c = s.schedule_at(3_ms, [&] { order.push_back(3); });
+  s.schedule_at(4_ms, [&] { order.push_back(4); });
+  s.cancel(a);
+  s.run_until(2_ms);
+  s.cancel(c);
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 4}));
+  s.audit_invariants();
+}
+
+TEST(Scheduler, CancelAllThenReuseKeepsAccounting) {
+  Scheduler s;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 64; ++i) {
+    ids.push_back(s.schedule_at(SimTime::millis(i), [] {}));
+  }
+  for (const EventId id : ids) s.cancel(id);
+  EXPECT_EQ(s.queue_size(), 0u);
+  EXPECT_TRUE(s.empty());
+  int count = 0;
+  for (int i = 0; i < 64; ++i) {
+    s.schedule_at(SimTime::millis(i), [&] { ++count; });
+  }
+  EXPECT_EQ(s.queue_size(), 64u);
+  s.run();
+  EXPECT_EQ(count, 64);
+  s.audit_invariants();
+}
+
 TEST(Scheduler, ManyEventsStressOrdering) {
   Scheduler s;
   SimTime last;

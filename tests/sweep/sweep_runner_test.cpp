@@ -1,0 +1,155 @@
+#include "sweep/sweep_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "sweep/cli.hpp"
+#include "sweep/json.hpp"
+
+namespace fhmip::sweep {
+namespace {
+
+/// A miniature share-nothing "experiment": its own Simulation, a seeded
+/// event cascade, a numeric result. Any cross-run interference or result
+/// reordering shows up as a value mismatch.
+std::uint64_t tiny_experiment(std::uint64_t seed) {
+  Simulation sim(seed);
+  std::uint64_t acc = 0;
+  for (int i = 0; i < 50; ++i) {
+    // `i` by value: the closure runs inside sim.run(), after the loop ends.
+    sim.in(SimTime::millis(1 + static_cast<std::int64_t>(seed % 7)) * i,
+           [&, i] { acc = acc * 31 + sim.rng().next_u64() % 1000 + i; });
+  }
+  sim.run();
+  return acc;
+}
+
+std::vector<SweepRunner::Job<std::uint64_t>> grid_of(int n) {
+  std::vector<SweepRunner::Job<std::uint64_t>> grid;
+  for (int i = 0; i < n; ++i) {
+    const auto seed = static_cast<std::uint64_t>(i) * 977 + 13;
+    grid.push_back({"seed=" + std::to_string(seed),
+                    [seed] { return tiny_experiment(seed); }});
+  }
+  return grid;
+}
+
+TEST(SweepRunner, ResultsAreIndexOrderedAndDeterministicAcrossJobCounts) {
+  SweepRunner serial(1);
+  const auto expected = serial.run(grid_of(24));
+  ASSERT_EQ(expected.size(), 24u);
+  for (const int jobs : {2, 3, 8}) {
+    SweepRunner parallel(jobs);
+    const auto got = parallel.run(grid_of(24));
+    EXPECT_EQ(got, expected) << "jobs=" << jobs;  // byte-identical aggregate
+  }
+}
+
+TEST(SweepRunner, EmptyGridIsANoop) {
+  SweepRunner r(8);
+  const auto results = r.run(grid_of(0));
+  EXPECT_TRUE(results.empty());
+  EXPECT_TRUE(r.report().runs.empty());
+  EXPECT_EQ(r.report().total_wall_ms, 0.0);
+}
+
+TEST(SweepRunner, ExceptionInRunPropagates) {
+  for (const int jobs : {1, 4}) {
+    SweepRunner r(jobs);
+    std::vector<SweepRunner::Job<int>> grid;
+    for (int i = 0; i < 10; ++i) {
+      grid.push_back({"run " + std::to_string(i), [i]() -> int {
+                        if (i == 3 || i == 7) {
+                          throw std::runtime_error("boom " + std::to_string(i));
+                        }
+                        return i;
+                      }});
+    }
+    // The lowest-index failure wins regardless of worker interleaving, so
+    // -j1 and -jN fail identically.
+    EXPECT_THROW(
+        {
+          try {
+            r.run(std::move(grid));
+          } catch (const std::runtime_error& e) {
+            EXPECT_STREQ(e.what(), "boom 3");
+            throw;
+          }
+        },
+        std::runtime_error)
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(SweepRunner, ReportCarriesLabelsAndTimings) {
+  SweepRunner r(2);
+  r.run(grid_of(5));
+  const SweepReport& rep = r.report();
+  ASSERT_EQ(rep.runs.size(), 5u);
+  EXPECT_EQ(rep.jobs, 2);
+  for (std::size_t i = 0; i < rep.runs.size(); ++i) {
+    EXPECT_EQ(rep.runs[i].index, i);
+    EXPECT_EQ(rep.runs[i].label, "seed=" + std::to_string(i * 977 + 13));
+    EXPECT_GE(rep.runs[i].wall_ms, 0.0);
+  }
+  EXPECT_GT(rep.total_wall_ms, 0.0);
+  const std::string summary = rep.format_summary();
+  EXPECT_NE(summary.find("5 runs on 2 job(s)"), std::string::npos);
+}
+
+TEST(SweepRunner, JobsClampToGridSize) {
+  SweepRunner r(16);
+  r.run(grid_of(3));
+  EXPECT_EQ(r.report().jobs, 3);  // no idle workers reported
+}
+
+TEST(SweepJson, ReportSerializesWithEscaping) {
+  SweepReport rep;
+  rep.jobs = 4;
+  rep.total_wall_ms = 12.3456;
+  rep.runs.push_back({0, "loss=0% \"quoted\"\n", 1.5});
+  rep.runs.push_back({1, "plain", 2.25});
+  const std::string json = report_to_json("my_bench", rep);
+  EXPECT_NE(json.find("\"bench\": \"my_bench\""), std::string::npos);
+  EXPECT_NE(json.find("\"jobs\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\"\\n"), std::string::npos);
+  EXPECT_NE(json.find("\"wall_ms\": 2.250"), std::string::npos);
+  // Empty report stays valid JSON.
+  const std::string empty = report_to_json("e", SweepReport{});
+  EXPECT_NE(empty.find("\"runs\": []"), std::string::npos);
+}
+
+TEST(SweepCli, ParsesJobsJsonAndSmoke) {
+  const char* argv[] = {"bench", "--jobs", "8", "--json", "out.json",
+                        "--smoke"};
+  const ParseResult r = parse_args(6, argv);
+  EXPECT_TRUE(r.error.empty()) << r.error;
+  EXPECT_EQ(r.options.jobs, 8);
+  EXPECT_EQ(r.options.json_path, "out.json");
+  EXPECT_TRUE(r.options.smoke);
+
+  const char* argv2[] = {"bench", "-j4"};
+  const ParseResult r2 = parse_args(2, argv2);
+  EXPECT_TRUE(r2.error.empty()) << r2.error;
+  EXPECT_EQ(r2.options.jobs, 4);
+}
+
+TEST(SweepCli, RejectsBadInput) {
+  const char* bad_jobs[] = {"bench", "--jobs", "zero"};
+  EXPECT_FALSE(parse_args(3, bad_jobs).error.empty());
+  const char* neg_jobs[] = {"bench", "--jobs", "-2"};
+  EXPECT_FALSE(parse_args(3, neg_jobs).error.empty());
+  const char* missing[] = {"bench", "--json"};
+  EXPECT_FALSE(parse_args(2, missing).error.empty());
+  const char* unknown[] = {"bench", "--frobnicate"};
+  EXPECT_FALSE(parse_args(2, unknown).error.empty());
+  EXPECT_FALSE(usage("bench").empty());
+}
+
+}  // namespace
+}  // namespace fhmip::sweep
