@@ -22,6 +22,7 @@
 #include <string>
 
 #include "scenario/paper_topology.hpp"
+#include "stats/flow_table.hpp"
 #include "stats/recorder.hpp"
 #include "stats/table.hpp"
 #include "transport/cbr.hpp"
@@ -121,21 +122,9 @@ int main(int argc, char** argv) {
   topo.start();
   sim.run_until(SimTime::from_seconds(seconds));
 
-  TextTable t({"flow", "class", "sent", "delivered", "dropped", "mean ms",
-               "p99 ms", "max ms"});
-  for (FlowId f : sim.stats().flows()) {
-    if (f == kNoFlow) continue;
-    const FlowCounters& c = sim.stats().flow(f);
-    const DelaySummary d = summarize_delays(sim.stats().samples(f));
-    char mean[32], p99[32], mx[32];
-    std::snprintf(mean, sizeof(mean), "%.2f", d.mean * 1000);
-    std::snprintf(p99, sizeof(p99), "%.2f", d.p99 * 1000);
-    std::snprintf(mx, sizeof(mx), "%.2f", d.max * 1000);
-    t.add_row({"F" + std::to_string(f),
-               to_string(classes[(f - 1) % 3]), std::to_string(c.sent),
-               std::to_string(c.delivered), std::to_string(c.dropped), mean,
-               p99, mx});
-  }
+  const TextTable t = flow_table(sim.stats(), [&](FlowId f) {
+    return std::string(to_string(classes[(f - 1) % 3]));
+  });
   t.print("per-flow results (" + mode + ", classify=" +
           (cfg.scheme.classify ? "on" : "off") + ")");
 

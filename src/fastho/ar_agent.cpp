@@ -39,6 +39,9 @@ void ArAgent::fault_reset() {
     teardown_intra(intra_.begin()->first, DropReason::kFaultInjected);
   }
   rates_.clear();
+  // Post-crash state must be indistinguishable from a freshly started
+  // agent: no handover context of any kind survives.
+  FHMIP_AUDIT("fastho", par_.empty() && nar_.empty() && intra_.empty());
 }
 
 bool ArAgent::par_redirecting(MhId mh) const {

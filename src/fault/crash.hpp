@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "fastho/ar_agent.hpp"
 #include "sim/simulation.hpp"
@@ -22,6 +23,10 @@ class AgentCrashInjector {
   AgentCrashInjector(Simulation& sim, ArAgent& agent)
       : sim_(sim), agent_(agent) {}
 
+  ~AgentCrashInjector() {
+    for (EventId id : pending_) sim_.cancel(id);
+  }
+
   /// Crashes the agent immediately.
   void crash_now() {
     ++crashes_;
@@ -30,7 +35,7 @@ class AgentCrashInjector {
 
   /// Schedules a crash at absolute simulation time `at`.
   void crash_at(SimTime at) {
-    sim_.at(at, [this] { crash_now(); });
+    pending_.push_back(sim_.at(at, [this] { crash_now(); }));
   }
 
   std::uint64_t crashes() const { return crashes_; }
@@ -40,6 +45,7 @@ class AgentCrashInjector {
   Simulation& sim_;
   ArAgent& agent_;
   std::uint64_t crashes_ = 0;
+  std::vector<EventId> pending_;  // scheduled crashes, cancelled on death
 };
 
 }  // namespace fhmip::fault

@@ -1,5 +1,10 @@
 #include "net/routing.hpp"
 
+#include <algorithm>
+#include <vector>
+
+#include "net/link.hpp"
+
 namespace fhmip {
 
 const Route* RoutingTable::lookup(Address dst) const {
@@ -7,6 +12,42 @@ const Route* RoutingTable::lookup(Address dst) const {
   if (auto it = prefix_.find(dst.net); it != prefix_.end()) return &it->second;
   if (default_.valid()) return &default_;
   return nullptr;
+}
+
+namespace {
+
+std::string describe(const Route& r) {
+  if (r.link != nullptr) {
+    return r.link->name().empty() ? "link" : "link " + r.link->name();
+  }
+  return r.handler ? "handler" : "invalid";
+}
+
+}  // namespace
+
+std::string RoutingTable::format_table() const {
+  // Sorted snapshot: the unordered maps iterate in hash order, which
+  // depends on insertion history; the dump must not.
+  std::string out;
+  std::vector<std::uint64_t> hosts;
+  hosts.reserve(host_.size());
+  for (const auto& [key, route] : host_) hosts.push_back(key);
+  std::sort(hosts.begin(), hosts.end());
+  for (std::uint64_t key : hosts) {
+    const Address a{static_cast<std::uint32_t>(key >> 32),
+                    static_cast<std::uint32_t>(key)};
+    out += "host " + a.to_string() + " -> " + describe(host_.at(key)) + "\n";
+  }
+  std::vector<std::uint32_t> nets;
+  nets.reserve(prefix_.size());
+  for (const auto& [net, route] : prefix_) nets.push_back(net);
+  std::sort(nets.begin(), nets.end());
+  for (std::uint32_t net : nets) {
+    out += "prefix " + std::to_string(net) + " -> " +
+           describe(prefix_.at(net)) + "\n";
+  }
+  if (default_.valid()) out += "default -> " + describe(default_) + "\n";
+  return out;
 }
 
 }  // namespace fhmip

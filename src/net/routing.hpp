@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <unordered_map>
 
 #include "net/address.hpp"
@@ -46,6 +47,13 @@ class RoutingTable {
 
   std::size_t num_host_routes() const { return host_.size(); }
   std::size_t num_prefix_routes() const { return prefix_.size(); }
+
+  /// Dump for debugging/tests: one `kind key -> target` line per route,
+  /// host routes first, each section sorted by key. The backing maps are
+  /// unordered (lookup is the hot path), so the dump takes a sorted
+  /// snapshot — output is independent of insertion order and hash layout
+  /// (DET-02).
+  std::string format_table() const;
 
  private:
   std::unordered_map<std::uint64_t, Route> host_;

@@ -58,7 +58,9 @@ void WlanTopology::schedule_handoff(SimTime at) {
   // The anticipation trigger (L2-ST fires at start because both APs cover
   // the MH) has already primed the RtSolPr+BI exchange; force the switch.
   // The target AP is resolved at fire time so repeated calls alternate.
-  sim_.at(at, [this] {
+  // sim_ is a member of *this: pending events die (unrun) with the topology,
+  // so the this-capture cannot dangle.
+  sim_.at(at, [this] {  // NOLINT-FHMIP(LIFE-01)
     const NodeId cur = wlan_->attached_ap(mh_->id());
     const NodeId target = cur == ap1_->id() ? ap2_->id() : ap1_->id();
     wlan_->force_handoff(mh_->id(), target, sim_.now());

@@ -75,7 +75,7 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
 }
 
 double Rng::exponential(double mean) {
-  double u;
+  double u = 0.0;
   do {
     u = uniform();
   } while (u <= 0.0);

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "sim/stats.hpp"
+#include "stats/table.hpp"
+
+namespace fhmip {
+
+/// Builds the per-flow results table (sent/delivered/dropped + delay
+/// summary in ms) that examples and benches print after a run.
+///
+/// Iteration is over StatsHub::flows(), which is sorted by FlowId, so the
+/// rendered table is byte-identical run to run — part of the deterministic
+/// stdout surface (DET-02). `class_label`, when provided, adds a "class"
+/// column (the hub does not track traffic classes itself).
+TextTable flow_table(const StatsHub& stats,
+                     const std::function<std::string(FlowId)>& class_label =
+                         nullptr);
+
+}  // namespace fhmip

@@ -12,9 +12,11 @@ namespace fhmip::sweep {
 
 namespace {
 
-double ms_since(std::chrono::steady_clock::time_point t0) {
+// Wall-clock timing is reported on stderr / the JSON report only, never on
+// the deterministic stdout stream (see DESIGN.md § Determinism).
+double ms_since(std::chrono::steady_clock::time_point t0) {  // NOLINT-FHMIP(DET-01)
   return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - t0)
+             std::chrono::steady_clock::now() - t0)  // NOLINT-FHMIP(DET-01)
       .count();
 }
 
@@ -43,12 +45,12 @@ void SweepRunner::run_indexed(std::size_t n, std::vector<std::string> labels,
   if (n == 0) return;
 
   std::vector<std::exception_ptr> errors(n);
-  const auto sweep_t0 = std::chrono::steady_clock::now();
+  const auto sweep_t0 = std::chrono::steady_clock::now();  // NOLINT-FHMIP(DET-01)
   const auto worker = [&](std::atomic<std::size_t>& next) {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
-      const auto t0 = std::chrono::steady_clock::now();
+      const auto t0 = std::chrono::steady_clock::now();  // NOLINT-FHMIP(DET-01)
       try {
         body(i);
       } catch (...) {

@@ -5,15 +5,22 @@ namespace fhmip {
 CbrSource::CbrSource(Node& node, std::uint16_t src_port, Config cfg)
     : udp_(node, src_port), cfg_(cfg) {}
 
+CbrSource::~CbrSource() {
+  Simulation& sim = udp_.node().sim();
+  sim.cancel(start_ev_);
+  sim.cancel(stop_ev_);
+  sim.cancel(emit_ev_);
+}
+
 void CbrSource::start(SimTime at) {
-  udp_.node().sim().at(at, [this] {
+  start_ev_ = udp_.node().sim().at(at, [this] {
     running_ = true;
     emit();
   });
 }
 
 void CbrSource::stop(SimTime at) {
-  udp_.node().sim().at(at, [this] { running_ = false; });
+  stop_ev_ = udp_.node().sim().at(at, [this] { running_ = false; });
 }
 
 void CbrSource::emit() {
@@ -27,7 +34,7 @@ void CbrSource::emit() {
         sim.rng().uniform_int(-cfg_.jitter.ns(), cfg_.jitter.ns()));
     if (gap < SimTime::micros(1)) gap = SimTime::micros(1);
   }
-  sim.in(gap, [this] { emit(); });
+  emit_ev_ = sim.in(gap, [this] { emit(); });
 }
 
 SimTime CbrSource::interval_for_rate(double kbps, std::uint32_t packet_bytes) {

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "sim/scheduler.hpp"
 #include "transport/udp.hpp"
 
 namespace fhmip {
@@ -24,6 +25,7 @@ class CbrSource {
   };
 
   CbrSource(Node& node, std::uint16_t src_port, Config cfg);
+  ~CbrSource();
 
   void start(SimTime at);
   void stop(SimTime at);
@@ -42,6 +44,11 @@ class CbrSource {
   Config cfg_;
   bool running_ = false;
   std::uint32_t next_seq_ = 0;
+  // Pending self-scheduled events; cancelled on destruction so the timer
+  // callbacks can never fire into a dead source.
+  EventId start_ev_ = kInvalidEvent;
+  EventId stop_ev_ = kInvalidEvent;
+  EventId emit_ev_ = kInvalidEvent;
 };
 
 }  // namespace fhmip

@@ -1,5 +1,8 @@
 #include "transport/diffserv.hpp"
 
+#include <algorithm>
+#include <vector>
+
 namespace fhmip {
 
 DiffservMarker::DiffservMarker(Node& edge) : edge_(edge) {
@@ -19,6 +22,41 @@ void DiffservMarker::remove_rule(std::uint16_t dst_port) {
 void DiffservMarker::set_default_phb(DiffservPhb phb) {
   has_default_ = true;
   default_phb_ = phb;
+}
+
+namespace {
+
+const char* phb_name(DiffservPhb phb) {
+  switch (phb) {
+    case DiffservPhb::kExpeditedForwarding: return "EF";
+    case DiffservPhb::kAssuredForwarding: return "AF";
+    case DiffservPhb::kDefault: return "BE";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string DiffservMarker::format_rules() const {
+  // Sorted snapshot: rules_ iterates in hash order, which depends on
+  // insertion history; the dump must not.
+  std::vector<std::uint16_t> ports;
+  ports.reserve(rules_.size());
+  for (const auto& [port, phb] : rules_) ports.push_back(port);
+  std::sort(ports.begin(), ports.end());
+  std::string out;
+  for (std::uint16_t port : ports) {
+    out += std::to_string(port);
+    out += " -> ";
+    out += phb_name(rules_.at(port));
+    out += "\n";
+  }
+  if (has_default_) {
+    out += "default -> ";
+    out += phb_name(default_phb_);
+    out += "\n";
+  }
+  return out;
 }
 
 void DiffservMarker::mark(Packet& p) {

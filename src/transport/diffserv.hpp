@@ -1,5 +1,6 @@
 #pragma once
 
+#include <string>
 #include <unordered_map>
 
 #include "buffer/traffic_class.hpp"
@@ -33,6 +34,11 @@ class DiffservMarker {
 
   std::uint64_t packets_marked() const { return marked_; }
   std::size_t num_rules() const { return rules_.size(); }
+
+  /// Dump for debugging/tests: one `port -> phb` line per rule, sorted by
+  /// port (the rule map is unordered; the dump must not depend on its hash
+  /// layout — DET-02), followed by the default PHB if one is set.
+  std::string format_rules() const;
 
  private:
   void mark(Packet& p);

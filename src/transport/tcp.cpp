@@ -16,10 +16,14 @@ TcpSender::TcpSender(Node& node, Config cfg) : node_(node), cfg_(cfg) {
                       [this](PacketPtr p) { handle_packet(std::move(p)); });
 }
 
-TcpSender::~TcpSender() { node_.unregister_port(cfg_.src_port); }
+TcpSender::~TcpSender() {
+  disarm_timer();
+  node_.sim().cancel(start_ev_);
+  node_.unregister_port(cfg_.src_port);
+}
 
 void TcpSender::start(SimTime at) {
-  node_.sim().at(at, [this] {
+  start_ev_ = node_.sim().at(at, [this] {
     started_ = true;
     try_send();
   });
@@ -30,7 +34,7 @@ std::uint64_t TcpSender::app_limit() const {
 }
 
 SimTime TcpSender::current_rto() const {
-  double rto_s;
+  double rto_s = 0.0;
   if (have_srtt_) {
     rto_s = srtt_s_ + 4.0 * rttvar_s_;
   } else {

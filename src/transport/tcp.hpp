@@ -91,6 +91,7 @@ class TcpSender {
   int backoff_ = 1;
 
   EventId rtx_timer_ = kInvalidEvent;
+  EventId start_ev_ = kInvalidEvent;
   int timeouts_ = 0;
   int fast_retransmits_ = 0;
 

@@ -23,17 +23,23 @@ void WlanManager::add_mh(Node& mh_node, std::unique_ptr<MobilityModel> mob,
   mhs_.emplace(mh_node.id(), std::move(rec));
 }
 
+WlanManager::~WlanManager() {
+  sim_.cancel(tick_ev_);
+  for (auto& [ap, ev] : ra_evs_) sim_.cancel(ev);
+  for (EventId ev : oneshot_evs_) sim_.cancel(ev);
+}
+
 void WlanManager::start() {
   running_ = true;
   for (auto& [mh, rec] : mhs_) evaluate(mh, rec);
-  sim_.in(cfg_.tick, [this] { tick(); });
+  tick_ev_ = sim_.in(cfg_.tick, [this] { tick(); });
   if (cfg_.send_router_adv) {
     for (auto& ap : aps_) {
       // Stagger advertisement phases so ARs don't beacon in lockstep.
       const SimTime phase =
           SimTime::from_seconds(sim_.rng().uniform(0.0, cfg_.ra_interval.sec()));
       AccessPoint* a = ap.get();
-      sim_.in(phase, [this, a] { send_router_adv(*a); });
+      ra_evs_[a->id()] = sim_.in(phase, [this, a] { send_router_adv(*a); });
     }
   }
 }
@@ -43,7 +49,7 @@ void WlanManager::stop() { running_ = false; }
 void WlanManager::tick() {
   if (!running_) return;
   for (auto& [mh, rec] : mhs_) evaluate(mh, rec);
-  sim_.in(cfg_.tick, [this] { tick(); });
+  tick_ev_ = sim_.in(cfg_.tick, [this] { tick(); });
 }
 
 AccessPoint* WlanManager::best_candidate(Vec2 pos, NodeId exclude) {
@@ -104,7 +110,7 @@ void WlanManager::evaluate(MhId mh, MhRecord& rec) {
 }
 
 void WlanManager::force_handoff(MhId mh, NodeId target_ap, SimTime at) {
-  sim_.at(at, [this, mh, target_ap] {
+  oneshot_evs_.push_back(sim_.at(at, [this, mh, target_ap] {
     auto it = mhs_.find(mh);
     if (it == mhs_.end() || it->second.in_handoff) return;
     if (AccessPoint* target = ap(target_ap)) {
@@ -112,7 +118,7 @@ void WlanManager::force_handoff(MhId mh, NodeId target_ap, SimTime at) {
         start_handoff(mh, it->second, *target);
       }
     }
-  });
+  }));
 }
 
 void WlanManager::start_handoff(MhId mh, MhRecord& rec, AccessPoint& target) {
@@ -126,14 +132,15 @@ void WlanManager::start_handoff(MhId mh, MhRecord& rec, AccessPoint& target) {
   last_blackout_ = blackout;
   if (rec.cb) rec.cb->on_predisconnect(target.id(), target.ar_node());
   const NodeId target_id = target.id();
-  sim_.in(cfg_.predisconnect_guard, [this, mh, target_id, blackout] {
-    auto& r = mhs_.at(mh);
-    detach(mh, r);
-    if (r.cb) r.cb->on_detached();
-    sim_.in(blackout, [this, mh, target_id] {
-      attach(mh, mhs_.at(mh), *ap(target_id));
-    });
-  });
+  oneshot_evs_.push_back(
+      sim_.in(cfg_.predisconnect_guard, [this, mh, target_id, blackout] {
+        auto& r = mhs_.at(mh);
+        detach(mh, r);
+        if (r.cb) r.cb->on_detached();
+        oneshot_evs_.push_back(sim_.in(blackout, [this, mh, target_id] {
+          attach(mh, mhs_.at(mh), *ap(target_id));
+        }));
+      }));
 }
 
 void WlanManager::detach(MhId mh, MhRecord& rec) {
@@ -192,7 +199,7 @@ void WlanManager::send_router_adv(AccessPoint& ap) {
                           rec.node->address(), adv, 80);
     radio(ap, mh).down->transmit(std::move(p));
   }
-  sim_.in(cfg_.ra_interval, [this, &ap] { send_router_adv(ap); });
+  ra_evs_[ap.id()] = sim_.in(cfg_.ra_interval, [this, &ap] { send_router_adv(ap); });
 }
 
 Vec2 WlanManager::mh_position(MhId mh) const {

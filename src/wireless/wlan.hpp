@@ -53,6 +53,7 @@ struct WlanConfig {
 class WlanManager {
  public:
   WlanManager(Simulation& sim, WlanConfig cfg);
+  ~WlanManager();
 
   AccessPoint& add_ap(Node& ar_node, Vec2 pos, double radius_m,
                       ArAttachListener* listener);
@@ -108,6 +109,14 @@ class WlanManager {
   std::map<MhId, MhRecord> mhs_;
   std::map<std::pair<NodeId, MhId>, RadioPair> radios_;
   bool running_ = false;
+  // Pending self-scheduled events, cancelled in the destructor so no timer
+  // callback can fire into a dead manager. The tick loop and each AP's RA
+  // chain keep exactly one pending event; one-shot events (forced handoffs
+  // and the detach/attach phases) are appended and cancelled wholesale —
+  // cancelling an already-run id is a no-op.
+  EventId tick_ev_ = kInvalidEvent;
+  std::map<NodeId, EventId> ra_evs_;
+  std::vector<EventId> oneshot_evs_;
   std::size_t handoffs_ = 0;
   SimTime last_blackout_;
   NodeId next_ap_id_ = 10000;  // AP ids live in a separate space from nodes

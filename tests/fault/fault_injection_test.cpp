@@ -31,6 +31,8 @@ struct LinkFaultFixture : ::testing::Test {
     b.register_port(9, [this](PacketPtr p) { arrived.push_back(p->seq); });
   }
 
+  ~LinkFaultFixture() override { b.unregister_port(9); }
+
   PacketPtr pkt(std::uint32_t seq) {
     auto p = make_packet(sim, {10, 1}, {20, 1}, 100);
     p->dst_port = 9;

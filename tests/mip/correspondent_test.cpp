@@ -54,6 +54,8 @@ struct RoFixture : ::testing::Test {
     sim.run();
   }
 
+  ~RoFixture() override { mh.unregister_port(7); }
+
   SimTime send_and_measure(FlowId flow) {
     SimTime arrival = SimTime::seconds(-1);
     mh.register_port(7, [&](PacketPtr) { arrival = sim.now(); });

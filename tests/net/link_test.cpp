@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "net/node.hpp"
@@ -18,10 +19,16 @@ struct LinkFixture : ::testing::Test {
   Node b{sim, 2, "b"};
 
   std::vector<SimTime> arrivals;
+  std::vector<std::pair<Node*, std::uint16_t>> captures_;
 
   void capture(Node& n, std::uint16_t port = 9) {
     n.add_address({static_cast<std::uint32_t>(n.id() * 10), 1});
     n.register_port(port, [this](PacketPtr) { arrivals.push_back(sim.now()); });
+    captures_.emplace_back(&n, port);
+  }
+
+  ~LinkFixture() override {
+    for (auto& [n, port] : captures_) n->unregister_port(port);
   }
 
   PacketPtr pkt(std::uint32_t bytes = 1000) {

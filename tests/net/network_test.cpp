@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 namespace fhmip {
 namespace {
 
@@ -13,12 +16,18 @@ struct NetworkFixture : ::testing::Test {
 
   int deliver_count = 0;
   SimTime last_arrival;
+  std::vector<std::pair<Node*, std::uint16_t>> sinks_;
 
   void sink(Node& n, std::uint16_t port = 7) {
     n.register_port(port, [this](PacketPtr) {
       ++deliver_count;
       last_arrival = sim.now();
     });
+    sinks_.emplace_back(&n, port);
+  }
+
+  ~NetworkFixture() override {
+    for (auto& [n, port] : sinks_) n->unregister_port(port);
   }
 
   PacketPtr pkt(Address src, Address dst, std::uint32_t bytes = 1000) {

@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Fixture tests for fhmip_analyze.
+
+Stages the deliberately-broken corpus from tests/tools/fixtures/ into a
+temporary repo root (under src/, so the src-gated rules DET-01/AUD-01 see
+it), runs the analyzer CLI per rule, and asserts the exact rule IDs and
+line numbers of every active and suppressed finding. Also covers the
+baseline round-trip (write → clean run → stale detection) and the
+acceptance scenario: LIFE-01 re-detects the PR 1 dangling-handler pattern
+reintroduced against a scratch copy of the real src/net/node.hpp.
+
+Run directly or via ctest (registered as fhmip_analyze_fixtures).
+"""
+
+import json
+import shutil
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+ANALYZE = REPO / "tools" / "analyze" / "fhmip_analyze.py"
+FIXTURES = REPO / "tests" / "tools" / "fixtures"
+
+
+def run_analyze(root, *args):
+    """Returns (exit_code, stdout, findings) where findings is the list of
+    (rule, path, line, suppressed) tuples parsed from the SARIF output."""
+    out_json = Path(root) / "out.json"
+    proc = subprocess.run(
+        [sys.executable, str(ANALYZE), str(root), "src",
+         "--json", str(out_json), *args],
+        capture_output=True, text=True)
+    findings = []
+    if out_json.exists():
+        doc = json.loads(out_json.read_text())
+        for r in doc["runs"][0]["results"]:
+            if r["ruleId"] == "stale-baseline":
+                findings.append(("stale-baseline", "", 0, False))
+                continue
+            loc = r["locations"][0]["physicalLocation"]
+            findings.append((r["ruleId"],
+                             loc["artifactLocation"]["uri"],
+                             loc["region"]["startLine"],
+                             bool(r.get("suppressions"))))
+    return proc.returncode, proc.stdout + proc.stderr, findings
+
+
+class FixtureRoot(unittest.TestCase):
+    """Each test gets a scratch root with the corpus staged under src/."""
+
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory(prefix="fhmip_analyze_")
+        self.root = Path(self._tmp.name)
+        (self.root / "src").mkdir()
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def stage(self, fixture, dest=None):
+        dst = self.root / "src" / (dest or fixture)
+        dst.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copy(FIXTURES / fixture, dst)
+        return "src/" + (dest or fixture)
+
+    def assert_findings(self, rule, path, active_lines, suppressed_lines,
+                        extra=()):
+        code, out, findings = run_analyze(self.root, "--no-baseline",
+                                          "--rules", rule, *extra)
+        got_active = sorted(l for r, p, l, s in findings
+                            if r == rule and p == path and not s)
+        got_suppressed = sorted(l for r, p, l, s in findings
+                                if r == rule and p == path and s)
+        self.assertEqual(got_active, sorted(active_lines), out)
+        self.assertEqual(got_suppressed, sorted(suppressed_lines), out)
+        self.assertEqual(code, 1 if active_lines else 0, out)
+
+
+class TestSemanticRules(FixtureRoot):
+    def test_life01_fires_and_suppresses(self):
+        p = self.stage("life01.hpp")
+        # Positive in LeakyTicker::arm; NOLINT in JustifiedTicker::arm;
+        # TidyTicker cancels in its destructor and stays silent.
+        self.assert_findings("LIFE-01", p, [11], [24])
+
+    def test_det01_fires_and_suppresses(self):
+        p = self.stage("det01.hpp")
+        # steady_clock read + pointer-keyed map are active; the reported
+        # clock read and the two time_point fields are NOLINTed.
+        self.assert_findings("DET-01", p, [10, 24], [14, 18, 19])
+
+    def test_det02_fires_and_suppresses(self):
+        p = self.stage("det02.hpp")
+        # Hash-order push_back loop is active; the NOLINTed twin is
+        # suppressed; the collect-then-sort snapshot variant is silent.
+        self.assert_findings("DET-02", p, [11], [16])
+
+    def test_aud01_fires_and_suppresses(self):
+        p = self.stage("aud01.hpp")
+        # bump() mutates without auditing; bump_quiet() is NOLINTed;
+        # bump_checked() delegates to the auditing check().
+        self.assert_findings("AUD-01", p, [12], [16])
+
+    def test_exc01_fires_and_suppresses(self):
+        p = self.stage("exc01.hpp")
+        # Throwing dtor is active; noexcept throw is NOLINTed; caught
+        # throw and noexcept(false) dtor are silent.
+        self.assert_findings("EXC-01", p, [11], [21])
+
+    def test_legacy_lint_rule_folded(self):
+        p = self.stage("lint_legacy.hpp")
+        self.assert_findings("banned-random", p, [8], [12])
+
+
+class TestNodeScratchRedetection(FixtureRoot):
+    def test_life01_redetects_pr1_dangling_handler(self):
+        # Scratch copy of the real header plus a client that reintroduces
+        # the PR 1 bug: handler registered, never removed in a destructor.
+        shutil.copy(REPO / "src" / "net" / "node.hpp",
+                    self.root / "src" / "node.hpp")
+        p = self.stage("life01_node_scratch.hpp")
+        code, out, findings = run_analyze(self.root, "--no-baseline",
+                                          "--rules", "LIFE-01")
+        self.assertEqual(code, 1, out)
+        hits = [(r, pp, l) for r, pp, l, s in findings if not s]
+        self.assertEqual(hits, [("LIFE-01", p, 14)], out)
+
+    def test_current_node_header_is_clean(self):
+        shutil.copy(REPO / "src" / "net" / "node.hpp",
+                    self.root / "src" / "node.hpp")
+        code, out, findings = run_analyze(self.root, "--no-baseline",
+                                          "--rules", "LIFE-01")
+        self.assertEqual(code, 0, out)
+        self.assertEqual([f for f in findings if not f[3]], [], out)
+
+
+class TestBaselineRoundTrip(FixtureRoot):
+    def test_write_then_load_is_clean_and_stale_fails(self):
+        self.stage("life01.hpp")
+        self.stage("exc01.hpp")
+        bl = self.root / "baseline.txt"
+
+        # 1. Active findings fail the run.
+        code, out, _ = run_analyze(self.root, "--no-baseline")
+        self.assertEqual(code, 1, out)
+
+        # 2. Write a baseline covering them; the run is now clean.
+        subprocess.run(
+            [sys.executable, str(ANALYZE), str(self.root), "src",
+             "--write-baseline", "--baseline", str(bl)],
+            capture_output=True, text=True, check=True)
+        code, out, findings = run_analyze(self.root, "--baseline", str(bl))
+        self.assertEqual(code, 0, out)
+        self.assertTrue(any(s for _, _, _, s in findings), out)
+
+        # 3. An entry matching nothing is stale and fails the run.
+        with bl.open("a") as f:
+            f.write("LIFE-01  src/gone.hpp  deadbeef  file was deleted\n")
+        code, out, findings = run_analyze(self.root, "--baseline", str(bl))
+        self.assertEqual(code, 1, out)
+        self.assertIn("stale", out)
+        self.assertIn(("stale-baseline", "", 0, False), findings)
+
+        # 4. A malformed entry (missing justification) is a config error.
+        bl.write_text("LIFE-01  src/life01.hpp  *\n")
+        code, out, _ = run_analyze(self.root, "--baseline", str(bl))
+        self.assertEqual(code, 2, out)
+
+
+class TestRepoIsClean(unittest.TestCase):
+    def test_repo_scan_matches_baseline(self):
+        proc = subprocess.run([sys.executable, str(ANALYZE), str(REPO)],
+                              capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 0,
+                         proc.stdout + proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,29 @@
+#pragma once
+// AUD-01 fixture: a class that audits in one method but exposes a public
+// mutator that neither audits nor delegates (positive), a suppressed
+// mutator (negative), and a delegating mutator that must stay silent.
+
+namespace fix {
+
+class AuditedCounter {
+ public:
+  void check() const { FHMIP_AUDIT("fix", n_ >= 0); }
+
+  void bump() {
+    ++n_;
+  }
+
+  void bump_quiet() {  // NOLINT-FHMIP(AUD-01)
+    ++n_;
+  }
+
+  void bump_checked() {
+    ++n_;
+    check();
+  }
+
+ private:
+  int n_ = 0;
+};
+
+}  // namespace fix

@@ -1,0 +1,27 @@
+#pragma once
+// DET-01 fixture: wall-clock use and an address-keyed container
+// (positives), plus an inline-suppressed clock read (negative).
+
+namespace fix {
+
+class WallClockUser {
+ public:
+  void sample() {
+    t0_ = std::chrono::steady_clock::now();
+  }
+  void sample_reported() {
+    // Timing for the stderr report only, never the deterministic stdout.
+    t1_ = std::chrono::steady_clock::now();  // NOLINT-FHMIP(DET-01)
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;  // NOLINT-FHMIP(DET-01)
+  std::chrono::steady_clock::time_point t1_;  // NOLINT-FHMIP(DET-01)
+};
+
+class AddressKeyed {
+ private:
+  std::map<const Flow*, int> by_ptr_;
+};
+
+}  // namespace fix

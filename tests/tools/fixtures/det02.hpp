@@ -1,0 +1,36 @@
+#pragma once
+// DET-02 fixture: ordering-sensitive output built by iterating an
+// unordered container (positive), plus the same loop inline-suppressed
+// (negative) and a sorted-snapshot loop that must stay silent.
+
+namespace fix {
+
+class HashOrderDumper {
+ public:
+  void dump() {
+    for (const auto& [id, count] : counts_) {
+      order_.push_back(id);
+    }
+  }
+  void dump_suppressed() {
+    for (const auto& [id, count] : counts_) {  // NOLINT-FHMIP(DET-02)
+      order_.push_back(id);
+    }
+  }
+  void dump_sorted() {
+    std::vector<int> ids;
+    for (const auto& [id, count] : counts_) {
+      ids.push_back(id);
+    }
+    std::sort(ids.begin(), ids.end());
+    for (int id : ids) {
+      order_.push_back(id);
+    }
+  }
+
+ private:
+  std::unordered_map<int, int> counts_;
+  std::vector<int> order_;
+};
+
+}  // namespace fix

@@ -1,0 +1,42 @@
+#pragma once
+// EXC-01 fixture: throw escaping a destructor (positive), a suppressed
+// throw in a noexcept function (negative), and a caught throw plus a
+// noexcept(false) destructor that must stay silent.
+
+namespace fix {
+
+class ThrowingDtor {
+ public:
+  ~ThrowingDtor() {
+    if (bad_) throw bad_;
+  }
+
+ private:
+  int bad_ = 0;
+};
+
+class SuppressedThrow {
+ public:
+  void f() noexcept {
+    throw 1;  // NOLINT-FHMIP(EXC-01)
+  }
+};
+
+class CaughtThrow {
+ public:
+  ~CaughtThrow() {
+    try {
+      throw 1;
+    } catch (...) {
+    }
+  }
+};
+
+class OptedOutDtor {
+ public:
+  ~OptedOutDtor() noexcept(false) {
+    throw 1;
+  }
+};
+
+}  // namespace fix

@@ -1,0 +1,26 @@
+#pragma once
+// LIFE-01 acceptance fixture: the PR 1 dangling-handler bug, reintroduced
+// against a scratch copy of the real src/net/node.hpp (the test stages
+// both files into a temporary root). The client registers a this-capturing
+// control handler and never removes it — exactly the pattern ASan caught.
+
+#include "net/node.hpp"
+
+namespace fix {
+
+class BadControlClient {
+ public:
+  explicit BadControlClient(Node& node) : node_(node) {
+    ctrl_id_ = node_.add_control_handler(
+        [this](PacketPtr& p) { return handle(p); });
+  }
+  // Bug under test: no destructor calling remove_control_handler(ctrl_id_).
+
+  bool handle(PacketPtr& p);
+
+ private:
+  Node& node_;
+  Node::ControlHandlerId ctrl_id_ = 0;
+};
+
+}  // namespace fix

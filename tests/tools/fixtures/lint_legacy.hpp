@@ -1,0 +1,15 @@
+#pragma once
+// Legacy-rule fixture: proves the former fhmip_lint conventions survived
+// the fold into fhmip_analyze (banned-random positive + suppressed).
+
+namespace fix {
+
+inline int roll() {
+  return rand();
+}
+
+inline int roll_suppressed() {
+  return rand();  // NOLINT-FHMIP(banned-random)
+}
+
+}  // namespace fix

@@ -1,0 +1,99 @@
+"""Checked-in suppression baseline for fhmip_analyze.
+
+Format (one entry per line; `#` starts a comment, blanks ignored):
+
+    <rule-id>  <repo-relative-path>  <fingerprint>  <justification...>
+
+The fingerprint is the crc32 (8 hex chars) of the whitespace-normalized
+source line the finding points at — stable under line-number drift, stale
+the moment the flagged code changes. A fingerprint of `*` suppresses every
+finding of that rule in that file (used for files whose whole purpose
+violates a rule, e.g. the stats table printers under direct-stdio).
+
+Every entry must carry a justification. Entries that match no current
+finding are *stale* and fail the run, so suppressions cannot silently
+outlive the code they excuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class BaselineEntry:
+    rule_id: str
+    path: str
+    fingerprint: str  # 8-hex crc32 or "*"
+    justification: str
+    lineno: int  # line in the baseline file (for stale reports)
+    used: bool = False
+
+
+@dataclass
+class Baseline:
+    entries: list[BaselineEntry] = field(default_factory=list)
+    path: Path | None = None
+    parse_errors: list[str] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        b = cls(path=path)
+        if not path.exists():
+            return b
+        for lineno, raw in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), 1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(None, 3)
+            if len(parts) < 4:
+                b.parse_errors.append(
+                    f"{path}:{lineno}: baseline entry needs "
+                    f"'<rule> <path> <fingerprint> <justification>'")
+                continue
+            b.entries.append(BaselineEntry(parts[0], parts[1], parts[2],
+                                           parts[3], lineno))
+        return b
+
+    def match(self, finding) -> bool:
+        """Marks the finding suppressed if an entry covers it; flags the
+        entry as used."""
+        hit = False
+        for e in self.entries:
+            if e.rule_id != finding.rule_id or e.path != finding.path:
+                continue
+            if e.fingerprint == "*" or e.fingerprint == finding.fingerprint:
+                e.used = True
+                hit = True
+        return hit
+
+    def stale_entries(self) -> list[BaselineEntry]:
+        return [e for e in self.entries if not e.used]
+
+
+def write_baseline(path: Path, findings, header: str = ""):
+    """Writes a baseline covering `findings` (those not already suppressed
+    inline). Groups by file for readability; justification is a TODO
+    placeholder the committer must fill in."""
+    lines = [
+        "# fhmip_analyze suppression baseline.",
+        "# <rule-id>  <path>  <fingerprint|*>  <justification>",
+        "# Regenerate skeleton entries with: fhmip_analyze.py <root> "
+        "--write-baseline",
+    ]
+    if header:
+        lines.append("# " + header)
+    lines.append("")
+    seen = set()
+    for f in sorted(findings, key=lambda f: (f.path, f.rule_id, f.line)):
+        k = (f.rule_id, f.path, f.fingerprint)
+        if k in seen:
+            continue
+        seen.add(k)
+        lines.append(f"# L{f.line}: {f.message}")
+        lines.append(f"{f.rule_id}  {f.path}  {f.fingerprint}  "
+                     f"TODO: justify or fix")
+        lines.append("")
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")

@@ -1,0 +1,195 @@
+"""Tokenizer for the fhmip semantic analyzer.
+
+A pragmatic C++ lexer: it produces a flat token stream (identifiers,
+numbers, string/char literals, punctuators) with line numbers, records
+`//` comments per line (for `NOLINT-FHMIP(...)` suppression lookup), and
+swallows preprocessor directives into a separate list so the structural
+parser never sees them. It does not expand macros — macro names like
+FHMIP_AUDIT appear as ordinary identifier tokens, which is exactly what
+the rules want.
+
+Handled: raw strings (R"delim(...)delim"), encoding prefixes (u8/u/U/L),
+digit separators (100'000), line continuations in directives, block
+comments spanning lines. Line numbers always refer to the original file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Token kinds.
+ID = "id"
+NUM = "num"
+STR = "str"
+CHAR = "char"
+PUNCT = "punct"
+
+# Two-character punctuators the structural parser cares about. Everything
+# else is emitted one character at a time, which is fine for our rules.
+_TWO_CHAR = {
+    "::", "->", "<<", ">>", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "==", "!=", "<=", ">=", "&&", "||", "++", "--",
+}
+
+_STRING_PREFIXES = {"u8", "u", "U", "L", "R", "u8R", "uR", "UR", "LR"}
+
+
+@dataclass
+class Tok:
+    kind: str
+    text: str
+    line: int
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"{self.kind}:{self.text}@{self.line}"
+
+
+class LexedFile:
+    """Token stream plus side tables for one source file."""
+
+    def __init__(self, path: str, text: str):
+        self.path = path
+        self.tokens: list[Tok] = []
+        # line -> concatenated `//` comment text on that line.
+        self.line_comments: dict[int, str] = {}
+        # (line, full directive text) for every preprocessor directive.
+        self.pp_directives: list[tuple[int, str]] = []
+        self.num_lines = text.count("\n") + 1
+        self._lex(text)
+
+    # -- lexing --------------------------------------------------------------
+
+    def _lex(self, text: str):
+        i, n, line = 0, len(text), 1
+        toks = self.tokens
+        at_line_start = True
+        while i < n:
+            c = text[i]
+            if c == "\n":
+                line += 1
+                i += 1
+                at_line_start = True
+                continue
+            if c in " \t\r\f\v":
+                i += 1
+                continue
+            nxt = text[i + 1] if i + 1 < n else ""
+            # Comments.
+            if c == "/" and nxt == "/":
+                j = text.find("\n", i)
+                j = n if j == -1 else j
+                prev = self.line_comments.get(line, "")
+                self.line_comments[line] = prev + text[i:j]
+                i = j
+                continue
+            if c == "/" and nxt == "*":
+                j = text.find("*/", i + 2)
+                j = n if j == -1 else j + 2
+                line += text.count("\n", i, j)
+                i = j
+                at_line_start = True if i < n and text[i - 1] == "\n" else False
+                continue
+            # Preprocessor directive (only at line start).
+            if c == "#" and at_line_start:
+                start_line = line
+                parts = []
+                while i < n:
+                    j = text.find("\n", i)
+                    j = n if j == -1 else j
+                    seg = text[i:j]
+                    parts.append(seg)
+                    i = j + 1
+                    line += 1
+                    if not seg.rstrip().endswith("\\"):
+                        break
+                self.pp_directives.append((start_line, "\n".join(parts)))
+                at_line_start = True
+                continue
+            at_line_start = False
+            # Identifier or keyword (may turn out to be a string prefix).
+            if c.isalpha() or c == "_":
+                j = i + 1
+                while j < n and (text[j].isalnum() or text[j] == "_"):
+                    j += 1
+                word = text[i:j]
+                if word in _STRING_PREFIXES and j < n and text[j] == '"':
+                    i = self._lex_string(text, j, line, raw=word.endswith("R"))
+                    continue
+                toks.append(Tok(ID, word, line))
+                i = j
+                continue
+            # Number (digit separators like 100'000 stay inside the token).
+            if c.isdigit() or (c == "." and nxt.isdigit()):
+                j = i + 1
+                while j < n:
+                    ch = text[j]
+                    if ch.isalnum() or ch in "._":
+                        j += 1
+                    elif ch == "'" and j + 1 < n and text[j + 1].isalnum():
+                        j += 1
+                    elif ch in "+-" and text[j - 1] in "eEpP":
+                        j += 1
+                    else:
+                        break
+                toks.append(Tok(NUM, text[i:j], line))
+                i = j
+                continue
+            if c == '"':
+                i = self._lex_string(text, i, line, raw=False)
+                continue
+            if c == "'":
+                j = i + 1
+                while j < n and text[j] != "'":
+                    j += 2 if text[j] == "\\" else 1
+                toks.append(Tok(CHAR, text[i : j + 1], line))
+                i = j + 1
+                continue
+            # Punctuator.
+            two = text[i : i + 2]
+            if two in _TWO_CHAR:
+                toks.append(Tok(PUNCT, two, line))
+                i += 2
+            else:
+                toks.append(Tok(PUNCT, c, line))
+                i += 1
+
+    def _lex_string(self, text: str, i: int, line: int, raw: bool) -> int:
+        """Lexes a string literal starting at the opening quote; returns the
+        index just past the closing quote. Emits one STR token (content
+        elided — rules never look inside string literals)."""
+        n = len(text)
+        if raw:
+            # R"delim( ... )delim"
+            j = text.find("(", i + 1)
+            if j == -1:
+                self.tokens.append(Tok(STR, '""', line))
+                return n
+            delim = text[i + 1 : j]
+            close = text.find(")" + delim + '"', j + 1)
+            close = n if close == -1 else close + len(delim) + 2
+            self.tokens.append(Tok(STR, '""', line))
+            return close
+        j = i + 1
+        while j < n and text[j] not in '"\n':
+            j += 2 if text[j] == "\\" else 1
+        self.tokens.append(Tok(STR, '""', line))
+        return j + 1
+
+    # -- suppression lookup --------------------------------------------------
+
+    def nolint_rules(self, lineno: int) -> set[str]:
+        """Rules suppressed at `lineno` via `// NOLINT-FHMIP(rule,...)` on
+        the same line or the line directly above (for long lines)."""
+        rules: set[str] = set()
+        for ln in (lineno, lineno - 1):
+            comment = self.line_comments.get(ln)
+            if not comment or "NOLINT-FHMIP" not in comment:
+                continue
+            start = comment.index("NOLINT-FHMIP")
+            rest = comment[start + len("NOLINT-FHMIP") :]
+            if rest.startswith("("):
+                end = rest.find(")")
+                if end > 0:
+                    for r in rest[1:end].split(","):
+                        rules.add(r.strip())
+        return rules

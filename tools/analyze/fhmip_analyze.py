@@ -1,0 +1,232 @@
+#!/usr/bin/env python3
+"""fhmip_analyze — semantic static analysis for the fhmip simulator.
+
+Usage:
+  fhmip_analyze.py <repo-root> [subdirs...] [options]
+
+Options:
+  --json FILE        write a SARIF-lite JSON report (CI artifact)
+  --baseline FILE    suppression baseline (default:
+                     <root>/tools/analyze/baseline.txt)
+  --no-baseline      ignore the baseline (fixture tests)
+  --write-baseline   (re)write the baseline skeleton from current findings
+  --rules R1,R2      run only these rules
+  --list-rules       print the rule catalogue and exit
+
+Exit status: 0 clean, 1 active findings or stale baseline entries,
+2 usage/configuration error.
+
+Architecture: a C++ lexer (cpplex) feeds a brace/scope tracker that builds
+a per-file symbol model (cppmodel); .cpp files are merged with their
+paired headers into translation units so rules see a class together with
+its out-of-line methods. Rules live in rule modules (rules_lint: the
+former fhmip_lint conventions; rules_semantic: LIFE-01/DET-01/DET-02/
+AUD-01/EXC-01) registered on a shared registry. Findings are suppressed
+inline with `// NOLINT-FHMIP(rule)` (same line or line above) or via the
+checked-in baseline, whose unmatched entries fail the run (stale
+detection). See DESIGN.md § Static analysis.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import rules_lint
+import rules_semantic
+from baseline import Baseline, write_baseline
+from cpplex import LexedFile
+from cppmodel import FileModel, Unit
+from registry import Registry, line_fingerprint
+from report import print_text, write_sarif
+
+DEFAULT_DIRS = ["src", "tests", "bench", "examples", "tools"]
+# The analyzer's own test corpus: deliberately-broken snippets.
+EXCLUDED = ("tests/tools/fixtures",)
+
+
+class Context:
+    """Shared caches handed to every rule."""
+
+    def __init__(self, root: Path):
+        self.root = root
+        self._raw: dict[str, str] = {}
+        self._stripped: dict[str, str] = {}
+        self._lexed: dict[str, LexedFile] = {}
+
+    def raw_text(self, rel: str) -> str:
+        if rel not in self._raw:
+            self._raw[rel] = (self.root / rel).read_text(encoding="utf-8")
+        return self._raw[rel]
+
+    def stripped_text(self, rel: str) -> str:
+        if rel not in self._stripped:
+            self._stripped[rel] = rules_lint.strip_comments_and_strings(
+                self.raw_text(rel))
+        return self._stripped[rel]
+
+    def lexed(self, rel: str) -> LexedFile:
+        if rel not in self._lexed:
+            self._lexed[rel] = LexedFile(rel, self.raw_text(rel))
+        return self._lexed[rel]
+
+    def fingerprint(self, rel: str, lineno: int) -> str:
+        lines = self.raw_text(rel).splitlines()
+        raw = lines[lineno - 1] if 0 < lineno <= len(lines) else ""
+        return line_fingerprint(raw)
+
+
+def collect_files(root: Path, subdirs: list[str]) -> list[str]:
+    files: list[str] = []
+    for d in subdirs:
+        base = root / d
+        if not base.exists():
+            continue
+        # Asking for an excluded directory by name overrides the exclusion
+        # (that's how the fixture tests point the analyzer at the corpus).
+        excluded = tuple(e for e in EXCLUDED
+                         if not d.rstrip("/").startswith(e.rstrip("/")))
+        for pattern in ("*.hpp", "*.cpp"):
+            for p in sorted(base.rglob(pattern)):
+                rel = p.relative_to(root).as_posix()
+                if any(rel.startswith(e) for e in excluded):
+                    continue
+                files.append(rel)
+    return files
+
+
+def build_units(ctx: Context, files: list[str]) -> list[Unit]:
+    """Pairs foo.cpp with a sibling foo.hpp into one unit; unpaired files
+    become single-file units. Each file lands in exactly one unit so no
+    finding is produced twice."""
+    fileset = set(files)
+    units: list[Unit] = []
+    paired_hpp: set[str] = set()
+    for rel in files:
+        if not rel.endswith(".cpp"):
+            continue
+        hpp = rel[: -len(".cpp")] + ".hpp"
+        models = []
+        if hpp in fileset:
+            paired_hpp.add(hpp)
+            models.append(FileModel(ctx.lexed(hpp)))
+        models.append(FileModel(ctx.lexed(rel)))
+        units.append(Unit(models))
+    for rel in files:
+        if rel.endswith(".hpp") and rel not in paired_hpp:
+            units.append(Unit([FileModel(ctx.lexed(rel))]))
+    return units
+
+
+def build_registry() -> Registry:
+    registry = Registry()
+    rules_lint.register(registry)
+    rules_semantic.register(registry)
+    return registry
+
+
+def run(root: Path, subdirs: list[str], registry: Registry,
+        rule_filter: set[str] | None = None):
+    """Runs every (selected) rule; returns (findings, num_files). Inline
+    NOLINT suppression is applied here; baseline matching is the caller's
+    job."""
+    ctx = Context(root)
+    files = collect_files(root, subdirs)
+    findings = []
+    seen = set()
+    for rule in registry.rules:
+        if rule_filter is not None and rule.rule_id not in rule_filter:
+            continue
+        if rule.check_file is not None:
+            for rel in files:
+                for f in rule.check_file(ctx, rel) or ():
+                    if (f.rule_id, f.path, f.line, f.message) not in seen:
+                        seen.add((f.rule_id, f.path, f.line, f.message))
+                        findings.append(f)
+    units = build_units(ctx, files)
+    for rule in registry.rules:
+        if rule_filter is not None and rule.rule_id not in rule_filter:
+            continue
+        if rule.check_unit is not None:
+            for unit in units:
+                for f in rule.check_unit(ctx, unit) or ():
+                    if (f.rule_id, f.path, f.line, f.message) not in seen:
+                        seen.add((f.rule_id, f.path, f.line, f.message))
+                        findings.append(f)
+    # Inline suppression.
+    for f in findings:
+        if f.rule_id in ctx.lexed(f.path).nolint_rules(f.line):
+            f.suppressed = "nolint"
+    return findings, len(files)
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(prog="fhmip_analyze", add_help=True)
+    ap.add_argument("root")
+    ap.add_argument("subdirs", nargs="*", default=None)
+    ap.add_argument("--json", metavar="FILE")
+    ap.add_argument("--baseline", metavar="FILE")
+    ap.add_argument("--no-baseline", action="store_true")
+    ap.add_argument("--write-baseline", action="store_true")
+    ap.add_argument("--rules", metavar="IDS")
+    ap.add_argument("--list-rules", action="store_true")
+    args = ap.parse_args(argv)
+
+    registry = build_registry()
+    if args.list_rules:
+        for r in registry.rules:
+            kind = "file" if r.check_file else "unit"
+            print(f"{r.rule_id:20s} {r.severity:8s} [{kind}] {r.description}")
+        return 0
+
+    root = Path(args.root).resolve()
+    if not (root / "src").is_dir():
+        print(f"fhmip_analyze: {root} does not look like a repo root "
+              f"(no src/)", file=sys.stderr)
+        return 2
+    subdirs = args.subdirs or DEFAULT_DIRS
+    rule_filter = None
+    if args.rules:
+        rule_filter = {r.strip() for r in args.rules.split(",")}
+        unknown = [r for r in rule_filter if registry.by_id(r) is None]
+        if unknown:
+            print(f"fhmip_analyze: unknown rule(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+
+    findings, num_files = run(root, subdirs, registry, rule_filter)
+
+    baseline_path = Path(args.baseline) if args.baseline \
+        else root / "tools" / "analyze" / "baseline.txt"
+    if args.write_baseline:
+        write_baseline(baseline_path,
+                       [f for f in findings if not f.suppressed])
+        print(f"fhmip_analyze: wrote "
+              f"{len({(f.rule_id, f.path, f.fingerprint) for f in findings if not f.suppressed})} "
+              f"baseline entr(ies) to {baseline_path}")
+        return 0
+
+    stale = []
+    if not args.no_baseline:
+        bl = Baseline.load(baseline_path)
+        if bl.parse_errors:
+            for e in bl.parse_errors:
+                print(e, file=sys.stderr)
+            return 2
+        for f in findings:
+            if not f.suppressed and bl.match(f):
+                f.suppressed = "baseline"
+        stale = bl.stale_entries()
+
+    print_text(findings, stale, num_files, sys.stdout)
+    if args.json:
+        write_sarif(Path(args.json), findings, stale, registry)
+    active = [f for f in findings if not f.suppressed]
+    return 1 if (active or stale) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

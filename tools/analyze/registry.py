@@ -1,0 +1,67 @@
+"""Rule registry and finding model for fhmip_analyze.
+
+A rule is an object with:
+  * ``rule_id``       stable identifier (``LIFE-01``, ``pragma-once``, ...)
+  * ``severity``      ``error`` or ``warning`` (reported; both gate unless
+                      suppressed)
+  * ``description``   one-liner for --list-rules and the SARIF rule table
+  * either ``check_file(ctx, path)`` (text rules, run once per file) or
+    ``check_unit(ctx, unit)`` (semantic rules, run once per translation
+    unit), yielding Finding objects.
+
+Suppression is decided centrally (driver): inline ``// NOLINT-FHMIP(rule)``
+on the finding line or the line above, then the checked-in baseline file.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Finding:
+    rule_id: str
+    severity: str
+    path: str  # repo-relative posix path
+    line: int
+    message: str
+    fingerprint: str = ""  # crc32 of the normalized source line
+    suppressed: str = ""  # "", "nolint" or "baseline"
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule_id, self.path, self.fingerprint)
+
+
+def line_fingerprint(raw_line: str) -> str:
+    """Stable per-line fingerprint: crc32 over the whitespace-normalized
+    line text, so findings survive line-number drift but go stale when the
+    flagged code actually changes."""
+    norm = " ".join(raw_line.split())
+    return format(zlib.crc32(norm.encode("utf-8")) & 0xFFFFFFFF, "08x")
+
+
+@dataclass
+class Rule:
+    rule_id: str
+    severity: str
+    description: str
+    scope_dirs: tuple[str, ...] = ()  # empty = all scanned dirs
+    check_file: object = None  # callable(ctx, path) -> iterable[Finding]
+    check_unit: object = None  # callable(ctx, unit) -> iterable[Finding]
+
+
+class Registry:
+    def __init__(self):
+        self.rules: list[Rule] = []
+
+    def add(self, rule: Rule):
+        if any(r.rule_id == rule.rule_id for r in self.rules):
+            raise ValueError(f"duplicate rule id {rule.rule_id}")
+        self.rules.append(rule)
+
+    def by_id(self, rule_id: str) -> Rule | None:
+        for r in self.rules:
+            if r.rule_id == rule_id:
+                return r
+        return None

@@ -1,0 +1,79 @@
+"""Output backends for fhmip_analyze: text (one line per finding, the
+format fhmip_lint used) and SARIF-lite JSON for the CI artifact."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+
+def print_text(findings, stale, num_files, out):
+    active = [f for f in findings if not f.suppressed]
+    suppressed = [f for f in findings if f.suppressed]
+    for f in sorted(active, key=lambda f: (f.path, f.line, f.rule_id)):
+        print(f"{f.path}:{f.line}: [{f.rule_id}] {f.severity}: {f.message}",
+              file=out)
+    for e in stale:
+        print(f"{e.rule_id}  {e.path}  {e.fingerprint}: stale baseline "
+              f"entry (line {e.lineno}) — no current finding matches; "
+              f"remove it", file=out)
+    print(f"fhmip_analyze: {num_files} files, {len(active)} finding(s), "
+          f"{len(suppressed)} suppressed, {len(stale)} stale baseline "
+          f"entr{'y' if len(stale) == 1 else 'ies'}", file=out)
+
+
+def write_sarif(path: Path, findings, stale, registry):
+    """SARIF-lite: the subset of SARIF 2.1.0 that CI artifact viewers and
+    jq one-liners actually consume."""
+    results = []
+    for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule_id)):
+        r = {
+            "ruleId": f.rule_id,
+            "level": "warning" if f.severity == "warning" else "error",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": f.path},
+                    "region": {"startLine": f.line},
+                }
+            }],
+            "fingerprints": {"fhmipLine/v1": f.fingerprint},
+        }
+        if f.suppressed:
+            r["suppressions"] = [{
+                "kind": "inSource" if f.suppressed == "nolint" else "external",
+            }]
+        results.append(r)
+    for e in stale:
+        results.append({
+            "ruleId": "stale-baseline",
+            "level": "error",
+            "message": {"text": f"stale baseline entry for {e.rule_id} "
+                                f"{e.path} {e.fingerprint}: no current "
+                                f"finding matches"},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": "tools/analyze/baseline.txt"},
+                    "region": {"startLine": e.lineno},
+                }
+            }],
+        })
+    doc = {
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "fhmip_analyze",
+                    "informationUri":
+                        "tools/analyze/fhmip_analyze.py",
+                    "rules": [{
+                        "id": r.rule_id,
+                        "shortDescription": {"text": r.description},
+                        "defaultConfiguration": {"level": r.severity},
+                    } for r in registry.rules],
+                }
+            },
+            "results": results,
+        }],
+    }
+    path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")

@@ -1,0 +1,188 @@
+"""Legacy fhmip_lint rules, folded into the analyzer as rule modules.
+
+These are the project-convention rules from tools/lint/fhmip_lint.py
+(PR 1), ported verbatim onto the shared engine: text-level checks over
+comment/string-stripped source. Rule ids are unchanged so historical
+references stay greppable; the old per-file ALLOWLIST moved to the
+checked-in baseline (tools/analyze/baseline.txt) where each entry carries
+a justification and goes stale loudly when the code stops matching.
+"""
+
+from __future__ import annotations
+
+import re
+
+from registry import Finding, Rule
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving line
+    structure so reported line numbers match the source."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            seg = text[i : j + 2]
+            out.append("".join(ch if ch == "\n" else " " for ch in seg))
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            out.append(quote + " " * (j - i - 1) + quote)
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def _f(rule, sev, path, lineno, msg, ctx):
+    return Finding(rule, sev, path, lineno, msg,
+                   ctx.fingerprint(path, lineno))
+
+
+# -- pragma-once -------------------------------------------------------------
+
+def check_pragma_once(ctx, path):
+    if not path.endswith(".hpp"):
+        return
+    text = ctx.raw_text(path)
+    for lineno, line in enumerate(text.splitlines(), 1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("//"):
+            continue
+        if stripped != "#pragma once":
+            yield _f("pragma-once", "error", path, lineno,
+                     "header must start with #pragma once", ctx)
+        return
+    yield _f("pragma-once", "error", path, 1, "empty header", ctx)
+
+
+# -- self-include-first ------------------------------------------------------
+
+def check_self_include_first(ctx, path):
+    if not path.endswith(".cpp") or "src" not in path.split("/"):
+        return
+    parts = path.split("/")
+    own = "/".join(parts[parts.index("src") + 1 :])
+    own = own[: -len(".cpp")] + ".hpp"
+    if not (ctx.root / "src" / own).exists():
+        return  # .cpp without a paired header (e.g. a main)
+    raw_lines = ctx.raw_text(path).splitlines()
+    code = ctx.stripped_text(path)
+    for lineno, line in enumerate(code.splitlines(), 1):
+        if re.match(r"\s*#\s*include\s+<", line):
+            yield _f("self-include-first", "error", path, lineno,
+                     f'first include must be "{own}"', ctx)
+            return
+        if re.match(r'\s*#\s*include\s+"', line):
+            m = re.match(r'\s*#\s*include\s+"([^"]+)"', raw_lines[lineno - 1])
+            if m and m.group(1) != own:
+                yield _f("self-include-first", "error", path, lineno,
+                         f'first include must be "{own}", '
+                         f'got "{m.group(1)}"', ctx)
+            return
+
+
+# -- regex rules -------------------------------------------------------------
+
+def check_banned_random(ctx, path):
+    for lineno, line in enumerate(ctx.stripped_text(path).splitlines(), 1):
+        if re.search(r"\b(?:std::)?s?rand\s*\(|\brandom_shuffle\b", line):
+            yield _f("banned-random", "error", path, lineno,
+                     "use fhmip::Rng (deterministic, per-Simulation)", ctx)
+
+
+def check_using_namespace_std(ctx, path):
+    for lineno, line in enumerate(ctx.stripped_text(path).splitlines(), 1):
+        if re.search(r"\busing\s+namespace\s+std\b", line):
+            yield _f("using-namespace-std", "error", path, lineno,
+                     "qualify std:: names explicitly", ctx)
+
+
+def check_simtime_float_eq(ctx, path):
+    for lineno, line in enumerate(ctx.stripped_text(path).splitlines(), 1):
+        if re.search(r"\.(?:sec|millis_f|micros_f)\(\)\s*[!=]=|"
+                     r"[!=]=\s*[\w.:()]+\.(?:sec|millis_f|micros_f)\(\)",
+                     line):
+            yield _f("simtime-float-eq", "error", path, lineno,
+                     "compare SimTime values directly (integer ns), "
+                     "not their floating-point views", ctx)
+
+
+def check_stale_eventid(ctx, path):
+    for lineno, line in enumerate(ctx.stripped_text(path).splitlines(), 1):
+        if "EventId" in line and re.search(
+                r"EventId\s+\w+(?:\s*=\s*|\s*\{\s*)0\b", line):
+            yield _f("stale-eventid", "error", path, lineno,
+                     "initialise EventId handles from kInvalidEvent", ctx)
+        if re.search(r"\b\w+(?:\.|->)\w*(?:timer|event\w*id)\w*\s*[!=]="
+                     r"\s*0\b", line, re.IGNORECASE):
+            yield _f("stale-eventid", "error", path, lineno,
+                     "compare EventId handles against kInvalidEvent", ctx)
+
+
+def check_raw_new_delete(ctx, path):
+    if "src" not in path.split("/"):
+        return
+    for lineno, line in enumerate(ctx.stripped_text(path).splitlines(), 1):
+        if re.search(r"\bnew\s+[A-Za-z_(]", line) and \
+                not re.search(r"\boperator\s+new\b", line):
+            yield _f("raw-new-delete", "error", path, lineno,
+                     "raw new — use containers/smart pointers", ctx)
+        if re.search(r"\bdelete\s+[A-Za-z_*]|\bdelete\[\]", line) and \
+                not re.search(r"=\s*delete\b", line):
+            yield _f("raw-new-delete", "error", path, lineno,
+                     "raw delete — use containers/smart pointers", ctx)
+
+
+def check_direct_stdio(ctx, path):
+    if "src" not in path.split("/"):
+        return
+    for lineno, line in enumerate(ctx.stripped_text(path).splitlines(), 1):
+        if re.search(r"\bstd::(?:printf|puts|cout|cerr)\b|"
+                     r"(?<!\w)f?printf\s*\(", line):
+            yield _f("direct-stdio", "error", path, lineno,
+                     "report through Logger or PacketTrace", ctx)
+        if re.search(r"#\s*include\s+<iostream>", line):
+            yield _f("direct-stdio", "error", path, lineno,
+                     "<iostream> banned in src/ (static-init cost); "
+                     "report through Logger or PacketTrace", ctx)
+
+
+def register(registry):
+    registry.add(Rule("pragma-once", "error",
+                      "every header starts with #pragma once",
+                      check_file=check_pragma_once))
+    registry.add(Rule("self-include-first", "error",
+                      "src/<mod>/<name>.cpp includes its own header first",
+                      check_file=check_self_include_first))
+    registry.add(Rule("banned-random", "error",
+                      "rand()/srand()/random_shuffle banned; use fhmip::Rng",
+                      check_file=check_banned_random))
+    registry.add(Rule("using-namespace-std", "error",
+                      "no `using namespace std`",
+                      check_file=check_using_namespace_std))
+    registry.add(Rule("simtime-float-eq", "error",
+                      "no ==/!= on SimTime floating-point views",
+                      check_file=check_simtime_float_eq))
+    registry.add(Rule("stale-eventid", "error",
+                      "EventId handles use kInvalidEvent, not literal 0",
+                      check_file=check_stale_eventid))
+    registry.add(Rule("raw-new-delete", "error",
+                      "no raw new/delete in src/",
+                      check_file=check_raw_new_delete))
+    registry.add(Rule("direct-stdio", "error",
+                      "src/ reports through Logger/PacketTrace, not stdio",
+                      check_file=check_direct_stdio))
