@@ -15,7 +15,8 @@ using namespace fhmip::timeliterals;
 
 namespace {
 
-std::uint64_t run(bool adaptive, int hosts, double kbps) {
+std::pair<std::uint64_t, std::string> run(bool adaptive, int hosts,
+                                          double kbps, bool metrics) {
   PaperTopologyConfig cfg;
   cfg.num_mhs = hosts;
   cfg.scheme.classify = false;
@@ -41,7 +42,8 @@ std::uint64_t run(bool adaptive, int hosts, double kbps) {
   }
   topo.start();
   topo.simulation().run_until(20_s);
-  return topo.simulation().stats().totals().dropped;
+  return {topo.simulation().stats().totals().dropped,
+          metrics ? topo.simulation().metrics().to_json() : std::string()};
 }
 
 }  // namespace
@@ -57,16 +59,19 @@ int main(int argc, char** argv) {
   std::vector<int> host_counts = {2, 4, 6, 8, 10, 12};
   if (opts.smoke) host_counts = {2, 8};
 
-  std::vector<sweep::SweepRunner::Job<std::uint64_t>> grid;
+  std::vector<sweep::SweepRunner::Job<std::pair<std::uint64_t, std::string>>>
+      grid;
   for (const int hosts : host_counts) {
     for (const bool adaptive : {false, true}) {
       grid.push_back({(adaptive ? "adaptive " : "blanket ") +
                           std::to_string(hosts) + " hosts",
-                      [adaptive, hosts] { return run(adaptive, hosts, 32); }});
+                      [adaptive, hosts, metrics = opts.metrics] {
+                        return run(adaptive, hosts, 32, metrics);
+                      }});
     }
   }
   sweep::SweepRunner runner(opts.jobs);
-  const auto results = runner.run(std::move(grid));
+  const auto results = bench::split_metrics(runner.run(std::move(grid)), runner);
 
   Series blanket("blanket_drops"), adaptive("adaptive_drops");
   std::size_t next = 0;

@@ -20,18 +20,22 @@ int main(int argc, char** argv) {
   std::vector<std::uint32_t> reserves = {0, 2, 5, 8, 12, 16, 20};
   if (opts.smoke) reserves = {0, 5};
 
-  std::vector<sweep::SweepRunner::Job<QosDropResult>> grid;
+  std::vector<sweep::SweepRunner::Job<std::pair<QosDropResult, std::string>>>
+      grid;
   for (const std::uint32_t a : reserves) {
-    grid.push_back({"a=" + std::to_string(a), [a] {
+    grid.push_back({"a=" + std::to_string(a), [a, metrics = opts.metrics] {
                       QosDropParams p;
                       p.classify = true;
                       p.reserve_a = a;
                       p.handoffs = 30;
-                      return run_qos_drop_experiment(p);
+                      std::pair<QosDropResult, std::string> pr;
+                      pr.first = run_qos_drop_experiment(
+                          p, metrics ? &pr.second : nullptr);
+                      return pr;
                     }});
   }
   sweep::SweepRunner runner(opts.jobs);
-  const auto results = runner.run(std::move(grid));
+  const auto results = bench::split_metrics(runner.run(std::move(grid)), runner);
 
   Series f1("F1_drops"), f2("F2_drops"), f3("F3_drops");
   for (std::size_t i = 0; i < reserves.size(); ++i) {

@@ -16,7 +16,8 @@ using namespace fhmip::timeliterals;
 
 namespace {
 
-std::uint64_t run(bool anticipate, int blackout_ms) {
+std::pair<std::uint64_t, std::string> run(bool anticipate, int blackout_ms,
+                                          bool metrics) {
   PaperTopologyConfig cfg;
   cfg.scheme.mode = BufferMode::kDual;
   cfg.scheme.classify = false;
@@ -38,7 +39,8 @@ std::uint64_t run(bool anticipate, int blackout_ms) {
   src.stop(16_s);
   topo.start();
   topo.simulation().run_until(20_s);
-  return topo.simulation().stats().flow(1).dropped;
+  return {topo.simulation().stats().flow(1).dropped,
+          metrics ? topo.simulation().metrics().to_json() : std::string()};
 }
 
 }  // namespace
@@ -54,16 +56,19 @@ int main(int argc, char** argv) {
   std::vector<int> blackouts = {60, 100, 200, 300, 400};
   if (opts.smoke) blackouts = {60, 200};
 
-  std::vector<sweep::SweepRunner::Job<std::uint64_t>> grid;
+  std::vector<sweep::SweepRunner::Job<std::pair<std::uint64_t, std::string>>>
+      grid;
   for (const int ms : blackouts) {
     for (const bool anticipate : {true, false}) {
       grid.push_back({(anticipate ? "anticipated " : "non-anticipated ") +
                           std::to_string(ms) + "ms",
-                      [anticipate, ms] { return run(anticipate, ms); }});
+                      [anticipate, ms, metrics = opts.metrics] {
+                        return run(anticipate, ms, metrics);
+                      }});
     }
   }
   sweep::SweepRunner runner(opts.jobs);
-  const auto results = runner.run(std::move(grid));
+  const auto results = bench::split_metrics(runner.run(std::move(grid)), runner);
 
   Series ant("anticipated"), nonant("non-anticipated");
   std::size_t next = 0;

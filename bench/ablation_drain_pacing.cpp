@@ -19,19 +19,25 @@ int main(int argc, char** argv) {
   std::vector<std::int64_t> gaps = {0, 100, 200, 500, 1000, 2000};
   if (opts.smoke) gaps = {0, 500};
 
-  std::vector<sweep::SweepRunner::Job<DelayCaptureResult>> grid;
+  std::vector<
+      sweep::SweepRunner::Job<std::pair<DelayCaptureResult, std::string>>>
+      grid;
   for (const std::int64_t gap_us : gaps) {
-    grid.push_back({"gap=" + std::to_string(gap_us) + "us", [gap_us] {
+    grid.push_back({"gap=" + std::to_string(gap_us) + "us",
+                    [gap_us, metrics = opts.metrics] {
                       DelayCaptureParams p;
                       p.classify = false;
                       p.drain_gap = SimTime::micros(gap_us);
                       p.pool_pkts = 30;
                       p.request_pkts = 30;
-                      return run_delay_capture(p);
+                      std::pair<DelayCaptureResult, std::string> pr;
+                      pr.first = run_delay_capture(
+                          p, metrics ? &pr.second : nullptr);
+                      return pr;
                     }});
   }
   sweep::SweepRunner runner(opts.jobs);
-  const auto results = runner.run(std::move(grid));
+  const auto results = bench::split_metrics(runner.run(std::move(grid)), runner);
 
   Series max_d("max_delay_s"), mean_d("mean_delay_s"), drops("drops");
   for (std::size_t i = 0; i < gaps.size(); ++i) {

@@ -23,7 +23,7 @@ struct Outcome {
   std::uint64_t dropped[3];
 };
 
-Outcome run(QueueDiscipline disc) {
+std::pair<Outcome, std::string> run(QueueDiscipline disc, bool metrics) {
   Simulation sim(1);
   sim.stats().set_keep_samples(true);
   Network net(sim);
@@ -72,7 +72,7 @@ Outcome run(QueueDiscipline disc) {
         samples.empty() ? 0 : sum / static_cast<double>(samples.size()) * 1e3;
     o.dropped[i] = sim.stats().flow(i + 1).dropped;
   }
-  return o;
+  return {o, metrics ? sim.metrics().to_json() : std::string()};
 }
 
 }  // namespace
@@ -87,12 +87,15 @@ int main(int argc, char** argv) {
 
   // Two independent congested-bottleneck runs; --smoke keeps both (the
   // grid is already minimal), it only exists for CLI uniformity.
-  std::vector<sweep::SweepRunner::Job<Outcome>> grid;
-  grid.push_back({"DropTail", [] { return run(QueueDiscipline::kDropTail); }});
-  grid.push_back(
-      {"ClassPriority", [] { return run(QueueDiscipline::kClassPriority); }});
+  std::vector<sweep::SweepRunner::Job<std::pair<Outcome, std::string>>> grid;
+  grid.push_back({"DropTail", [metrics = opts.metrics] {
+                    return run(QueueDiscipline::kDropTail, metrics);
+                  }});
+  grid.push_back({"ClassPriority", [metrics = opts.metrics] {
+                    return run(QueueDiscipline::kClassPriority, metrics);
+                  }});
   sweep::SweepRunner runner(opts.jobs);
-  const auto results = runner.run(std::move(grid));
+  const auto results = bench::split_metrics(runner.run(std::move(grid)), runner);
   const Outcome& dt = results[0];
   const Outcome& pq = results[1];
 

@@ -20,7 +20,8 @@ struct Outcome {
   std::uint64_t core_copies;  // MAP-emitted packets (tunneled + bicast)
 };
 
-Outcome run(bool buffering, bool bicast) {
+std::pair<Outcome, std::string> run(bool buffering, bool bicast,
+                                    bool metrics) {
   PaperTopologyConfig cfg;
   cfg.scheme.mode = buffering ? BufferMode::kDual : BufferMode::kNone;
   cfg.scheme.classify = false;
@@ -44,9 +45,10 @@ Outcome run(bool buffering, bool bicast) {
   topo.start();
   topo.simulation().run_until(20_s);
   const FlowCounters& fc = topo.simulation().stats().flow(1);
-  return {fc.sent, fc.delivered, fc.dropped,
-          topo.map_agent().packets_tunneled() +
-              topo.map_agent().packets_bicast()};
+  Outcome o{fc.sent, fc.delivered, fc.dropped,
+            topo.map_agent().packets_tunneled() +
+                topo.map_agent().packets_bicast()};
+  return {o, metrics ? topo.simulation().metrics().to_json() : std::string()};
 }
 
 }  // namespace
@@ -75,15 +77,16 @@ int main(int argc, char** argv) {
             {"proposed dual buffering", true, false}};
   }
 
-  std::vector<sweep::SweepRunner::Job<Outcome>> grid;
+  std::vector<sweep::SweepRunner::Job<std::pair<Outcome, std::string>>> grid;
   for (const Row& row : rows) {
-    grid.push_back({row.name, [buffering = row.buffering,
-                               bicast = row.bicast] {
-                      return run(buffering, bicast);
+    grid.push_back({row.name,
+                    [buffering = row.buffering, bicast = row.bicast,
+                     metrics = opts.metrics] {
+                      return run(buffering, bicast, metrics);
                     }});
   }
   sweep::SweepRunner runner(opts.jobs);
-  const auto results = runner.run(std::move(grid));
+  const auto results = bench::split_metrics(runner.run(std::move(grid)), runner);
 
   TextTable t({"scheme", "sent", "delivered", "lost", "MAP copies emitted"});
   for (std::size_t i = 0; i < rows.size(); ++i) {

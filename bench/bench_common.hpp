@@ -47,6 +47,25 @@ inline bool parse_sweep_cli(int argc, char** argv, sweep::Options& opts) {
   return true;
 }
 
+/// Splits (value, metrics-json) run results: the metrics column is attached
+/// to the runner's report (embedded in the --json payload) and the bare
+/// values are returned for the bench's own aggregation. Under no --metrics
+/// the second elements are empty strings and attach is a no-op per run.
+template <typename R>
+std::vector<R> split_metrics(std::vector<std::pair<R, std::string>> results,
+                             sweep::SweepRunner& runner) {
+  std::vector<R> values;
+  std::vector<std::string> metrics;
+  values.reserve(results.size());
+  metrics.reserve(results.size());
+  for (auto& r : results) {
+    values.push_back(std::move(r.first));
+    metrics.push_back(std::move(r.second));
+  }
+  runner.attach_metrics(std::move(metrics));
+  return values;
+}
+
 /// Post-sweep reporting: wall-time summary to stderr (never stdout — it
 /// differs between runs) and the machine-readable report to --json PATH.
 inline void report_sweep(const char* bench_id, const sweep::SweepRunner& runner,

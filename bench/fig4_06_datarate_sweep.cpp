@@ -25,14 +25,20 @@ int main(int argc, char** argv) {
   base.pool_pkts = 20;
   base.request_pkts = 20;
 
-  std::vector<sweep::SweepRunner::Job<std::vector<FlowOutcome>>> grid;
+  using Probe = std::pair<std::vector<FlowOutcome>, std::string>;
+  std::vector<sweep::SweepRunner::Job<Probe>> grid;
   for (const double kbps : rates) {
     char label[32];
     std::snprintf(label, sizeof label, "rate=%.1fkbps", kbps);
-    grid.push_back({label, [base, kbps] { return run_rate_probe(base, kbps); }});
+    grid.push_back({label, [base, kbps, metrics = opts.metrics] {
+                      Probe pr;
+                      pr.first = run_rate_probe(base, kbps,
+                                                metrics ? &pr.second : nullptr);
+                      return pr;
+                    }});
   }
   sweep::SweepRunner runner(opts.jobs);
-  const auto per_rate = runner.run(std::move(grid));
+  const auto per_rate = bench::split_metrics(runner.run(std::move(grid)), runner);
 
   Series f1("F1"), f2("F2"), f3("F3");
   for (std::size_t i = 0; i < rates.size(); ++i) {

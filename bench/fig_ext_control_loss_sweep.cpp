@@ -38,9 +38,11 @@ struct RunResult {
   std::uint64_t reactive = 0;
   std::uint64_t recovered = 0;  // drained from handoff buffers
   std::string outcome_table;    // per-outcome / per-cause census
+  std::string metrics_json;     // only under --metrics
 };
 
-RunResult run_once(double loss, std::uint64_t seed, bool rtx_enabled) {
+RunResult run_once(double loss, std::uint64_t seed, bool rtx_enabled,
+                   bool metrics) {
   PaperTopologyConfig cfg;
   cfg.seed = seed;
   cfg.bounce = true;
@@ -84,6 +86,7 @@ RunResult run_once(double loss, std::uint64_t seed, bool rtx_enabled) {
   r.recovered = topo.par_agent().counters().drained +
                 topo.nar_agent().counters().drained;
   r.outcome_table = rec.format_table("per-attempt outcomes");
+  if (metrics) r.metrics_json = sim.metrics().to_json();
   return r;
 }
 
@@ -118,13 +121,20 @@ int main(int argc, char** argv) {
         std::snprintf(label, sizeof label, "loss=%d%% seed=%llu rtx=%s", pct,
                       static_cast<unsigned long long>(seed),
                       rtx ? "on" : "off");
-        grid.push_back(
-            {label, [loss, seed, rtx] { return run_once(loss, seed, rtx); }});
+        grid.push_back({label, [loss, seed, rtx, metrics = opts.metrics] {
+                          return run_once(loss, seed, rtx, metrics);
+                        }});
       }
     }
   }
   sweep::SweepRunner runner(opts.jobs);
-  const std::vector<RunResult> results = runner.run(std::move(grid));
+  std::vector<RunResult> results = runner.run(std::move(grid));
+  {
+    std::vector<std::string> metrics;
+    metrics.reserve(results.size());
+    for (auto& r : results) metrics.push_back(std::move(r.metrics_json));
+    runner.attach_metrics(std::move(metrics));
+  }
 
   Series success("success% (rtx on)");
   Series reactive_share("reactive% (rtx on)");

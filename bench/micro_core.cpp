@@ -5,6 +5,8 @@
 
 #include "buffer/buffer_manager.hpp"
 #include "buffer/policy.hpp"
+#include "net/link.hpp"
+#include "net/node.hpp"
 #include "net/queue.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/simulation.hpp"
@@ -55,6 +57,26 @@ void BM_DropTailQueuePushPop(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_DropTailQueuePushPop);
+
+void BM_LinkTransmitDeliver(benchmark::State& state) {
+  // Full link round: queue, serialize, propagate, deliver — the data-plane
+  // hot path the observability layer must not slow down when no sinks are
+  // attached.
+  const int n = 64;
+  Simulation sim;
+  Node dst(sim, 2, "dst");
+  SimplexLink link(sim, dst, 10e6, SimTime::micros(10), 256, "l");
+  for (auto _ : state) {
+    for (int i = 0; i < n; ++i) {
+      auto p = make_packet(sim, {1, 1}, {2, 2}, 160);
+      link.transmit(std::move(p));
+    }
+    sim.run();
+  }
+  benchmark::DoNotOptimize(link.packets_delivered());
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LinkTransmitDeliver);
 
 void BM_PolicyDecision(benchmark::State& state) {
   BufferSchemeConfig cfg;

@@ -2,9 +2,29 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "sim/check.hpp"
+#include "sim/simulation.hpp"
 
 namespace fhmip {
+
+void BufferManager::set_observer(Simulation* sim, const std::string& name) {
+  sim_ = sim;
+  obs_name_ = name;
+  if (sim_ == nullptr) {
+    grants_metric_ = rejections_metric_ = nullptr;
+    leased_metric_ = occupancy_metric_ = nullptr;
+    return;
+  }
+  obs::MetricsRegistry& m = sim_->metrics();
+  grants_metric_ = &m.counter("buffer/" + name + "/grants");
+  rejections_metric_ = &m.counter("buffer/" + name + "/rejections");
+  leased_metric_ = &m.gauge("buffer/" + name + "/leased_slots");
+  occupancy_metric_ = &m.gauge("buffer/" + name + "/occupancy_pkts");
+  for (auto& [k, buf] : leases_)
+    buf.set_observer(sim_, obs_name_, occupancy_metric_,
+                     static_cast<MhId>(k >> 2));
+}
 
 std::uint32_t BufferManager::allocate(LeaseKey k, std::uint32_t requested) {
   release(k);
@@ -17,12 +37,19 @@ std::uint32_t BufferManager::allocate(LeaseKey k, std::uint32_t requested) {
   }
   if (grant == 0) {
     ++rejections_;
+    if (rejections_metric_ != nullptr) rejections_metric_->inc();
     return 0;
   }
   leased_ += grant;
   peak_leased_ = std::max(peak_leased_, leased_);
-  leases_.emplace(k, HandoffBuffer(grant));
+  auto it = leases_.emplace(k, HandoffBuffer(grant)).first;
+  if (sim_ != nullptr)
+    it->second.set_observer(sim_, obs_name_, occupancy_metric_,
+                            static_cast<MhId>(k >> 2));
   ++grants_;
+  if (grants_metric_ != nullptr) grants_metric_->inc();
+  if (leased_metric_ != nullptr)
+    leased_metric_->set(static_cast<std::int64_t>(leased_));
   audit_invariants();
   return grant;
 }
@@ -33,8 +60,15 @@ void BufferManager::release(LeaseKey k) {
   FHMIP_AUDIT_MSG("buffer", it->second.capacity() <= leased_,
                   "releasing " + std::to_string(it->second.capacity()) +
                       " with only " + std::to_string(leased_) + " leased");
+  // A released lease can only drop its occupancy contribution if packets
+  // remain (callers flush first; raw destruction still keeps the shared
+  // gauge honest).
+  if (occupancy_metric_ != nullptr && it->second.size() > 0)
+    occupancy_metric_->add(-static_cast<std::int64_t>(it->second.size()));
   leased_ -= it->second.capacity();
   leases_.erase(it);
+  if (leased_metric_ != nullptr)
+    leased_metric_->set(static_cast<std::int64_t>(leased_));
   audit_invariants();
 }
 

@@ -2,12 +2,17 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
 
 #include "buffer/handoff_buffer.hpp"
 #include "buffer/policy.hpp"
 #include "net/messages.hpp"
 
 namespace fhmip {
+
+namespace obs {
+class Counter;
+}
 
 /// The role an access router plays for a given mobile host's handoff; one
 /// router can simultaneously be PAR for departing hosts, NAR for arriving
@@ -27,6 +32,12 @@ class BufferManager {
 
   BufferManager(std::uint32_t pool_pkts, bool allow_partial = false)
       : pool_(pool_pkts), allow_partial_(allow_partial) {}
+
+  /// Wires this pool into `sim`'s observability plane under
+  /// `buffer/<name>/...`: grant/rejection counters, a leased-slots gauge,
+  /// and a shared occupancy gauge fed by every leased HandoffBuffer, whose
+  /// stores/removals also emit kBufferEnter/kBufferExit trace events.
+  void set_observer(Simulation* sim, const std::string& name);
 
   /// Tries to lease `requested` slots. Returns the granted size (0 = none).
   /// Re-allocating an existing lease releases the old one first (its
@@ -66,6 +77,12 @@ class BufferManager {
   std::map<LeaseKey, HandoffBuffer> leases_;
   std::uint64_t grants_ = 0;
   std::uint64_t rejections_ = 0;
+  Simulation* sim_ = nullptr;
+  std::string obs_name_;
+  obs::Counter* grants_metric_ = nullptr;
+  obs::Counter* rejections_metric_ = nullptr;
+  obs::Gauge* leased_metric_ = nullptr;
+  obs::Gauge* occupancy_metric_ = nullptr;
 };
 
 }  // namespace fhmip

@@ -2,10 +2,29 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "sim/simulation.hpp"
+
 namespace fhmip {
+
+void HandoffBuffer::trace_store(const Packet& p) {
+  // Called before the deque insert, so empty() reflects the pre-store
+  // state: the first packet of a fill opens the timeline span.
+  if (q_.empty() && mh_ != kNoNode)
+    sim_->timeline().record(sim_->now(), mh_, obs::HoEventKind::kBufferFill,
+                            where_);
+  trace_packet(*sim_, TraceKind::kBufferEnter, where_.c_str(), p);
+  if (occupancy_ != nullptr) occupancy_->add(1);
+}
+
+void HandoffBuffer::trace_remove(const Packet& p) {
+  trace_packet(*sim_, TraceKind::kBufferExit, where_.c_str(), p);
+  if (occupancy_ != nullptr) occupancy_->add(-1);
+}
 
 HandoffBuffer::PushResult HandoffBuffer::push(PacketPtr& p) {
   if (full()) return PushResult::kRejected;
+  if (sim_ != nullptr) trace_store(*p);
   q_.push_back(std::move(p));
   ++stored_;
   peak_ = std::max<std::uint32_t>(peak_, size());
@@ -16,6 +35,7 @@ HandoffBuffer::PushResult HandoffBuffer::push(PacketPtr& p) {
 HandoffBuffer::PushResult HandoffBuffer::push_evict_oldest_realtime(
     PacketPtr& p, PacketPtr& evicted) {
   if (!full()) {
+    if (sim_ != nullptr) trace_store(*p);
     q_.push_back(std::move(p));
     ++stored_;
     peak_ = std::max<std::uint32_t>(peak_, size());
@@ -30,6 +50,10 @@ HandoffBuffer::PushResult HandoffBuffer::push_evict_oldest_realtime(
   q_.erase(it);
   ++evictions_;
   ++removed_;
+  if (sim_ != nullptr) {
+    trace_remove(*evicted);
+    trace_store(*p);
+  }
   q_.push_back(std::move(p));
   ++stored_;
   audit_invariants();
@@ -41,6 +65,7 @@ PacketPtr HandoffBuffer::pop() {
   PacketPtr p = std::move(q_.front());
   q_.pop_front();
   ++removed_;
+  if (sim_ != nullptr) trace_remove(*p);
   audit_invariants();
   return p;
 }

@@ -2,11 +2,17 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
+#include <utility>
 
 #include "net/packet.hpp"
 #include "sim/check.hpp"
 
 namespace fhmip {
+
+namespace obs {
+class Gauge;
+}
 
 /// A per-mobile-host handoff buffer: FIFO storage with a fixed capacity
 /// leased from the router's pool. Supports the two overflow behaviours of
@@ -53,13 +59,29 @@ class HandoffBuffer {
   /// Packets that left the buffer (pops + evictions + flushes).
   std::uint64_t total_removed() const { return removed_; }
 
+  /// Attaches this buffer to a simulation's observability plane: every
+  /// store/removal emits a kBufferEnter/kBufferExit trace event tagged
+  /// `where`, and `occupancy` (shared across the owning manager's leases)
+  /// tracks the buffered-packet level. When `mh` is known, the first store
+  /// into an empty buffer also lands a kBufferFill handover-timeline event.
+  /// Un-observed buffers pay one branch.
+  void set_observer(Simulation* sim, std::string where,
+                    obs::Gauge* occupancy = nullptr, MhId mh = kNoNode) {
+    sim_ = sim;
+    where_ = std::move(where);
+    occupancy_ = occupancy;
+    mh_ = mh;
+  }
+
   /// Empties the buffer through `fn` (used on lifetime expiry).
   template <typename Fn>
   void flush(Fn&& fn) {
     while (!q_.empty()) {
       ++removed_;
-      fn(std::move(q_.front()));
+      PacketPtr p = std::move(q_.front());
       q_.pop_front();
+      if (sim_ != nullptr) trace_remove(*p);
+      fn(std::move(p));
     }
     audit_invariants();
   }
@@ -76,12 +98,20 @@ class HandoffBuffer {
   }
 
  private:
+  // Out-of-line so this header does not pull in the Simulation definition.
+  void trace_store(const Packet& p);
+  void trace_remove(const Packet& p);
+
   std::deque<PacketPtr> q_;
   std::uint32_t capacity_;
   std::uint32_t peak_ = 0;
   std::uint64_t stored_ = 0;
   std::uint64_t evictions_ = 0;
   std::uint64_t removed_ = 0;
+  Simulation* sim_ = nullptr;
+  std::string where_;
+  obs::Gauge* occupancy_ = nullptr;
+  MhId mh_ = kNoNode;
 };
 
 }  // namespace fhmip

@@ -17,6 +17,12 @@ ArAgent::ArAgent(Node& node, BufferSchemeConfig cfg, RetransmitPolicy rtx)
       Route::to([this](PacketPtr p) { handle_subnet_packet(std::move(p)); }));
   ctrl_id_ = node_.add_control_handler(
       [this](PacketPtr& p) { return handle_control(p); });
+  Simulation& sim = node_.sim();
+  buffers_.set_observer(&sim, node_.name());
+  obs::MetricsRegistry& m = sim.metrics();
+  m_buffered_ = &m.counter("fastho/" + node_.name() + "/buffered_pkts");
+  m_drained_ = &m.counter("fastho/" + node_.name() + "/drained_pkts");
+  m_crashes_ = &m.counter("fastho/" + node_.name() + "/crashes");
 }
 
 ArAgent::~ArAgent() {
@@ -29,6 +35,7 @@ ArAgent::~ArAgent() {
 
 void ArAgent::fault_reset() {
   ++counters_.crashes;
+  m_crashes_->inc();
   while (!par_.empty()) {
     teardown_par(par_.begin()->first, DropReason::kFaultInjected);
   }
@@ -55,6 +62,8 @@ void ArAgent::send_control(Address dst, MessageVariant m, std::uint32_t bytes) {
 
 void ArAgent::drop(PacketPtr p, DropReason reason) {
   node_.sim().stats().record_drop(p->flow, reason);
+  trace_packet(node_.sim(), TraceKind::kDrop, node_.name().c_str(), *p,
+               reason);
   if (node_.sim().logger().enabled(LogLevel::kDebug)) {
     node_.sim().log(LogLevel::kDebug,
                     node_.name() + " AR-drop " +
@@ -244,6 +253,8 @@ void ArAgent::on_rtsolpr(const RtSolPrMsg& m, Address src) {
   }
   par_[m.mh] = std::move(ctx);
   ++counters_.hi_sent;
+  sim.timeline().record(sim.now(), m.mh, obs::HoEventKind::kHiSent,
+                        node_.name());
   send_control(nar, hi);
 }
 
@@ -395,6 +406,8 @@ void ArAgent::on_hack(const HackMsg& m) {
     ctx.nar_rejected = false;
   }
   ctx.hack_received = true;
+  node_.sim().timeline().record(node_.sim().now(), m.mh,
+                                obs::HoEventKind::kHackRecv, node_.name());
   ctx.nar_grant = m.buffer_ok ? m.granted_pkts : 0;
   if (!m.accepted) {
     // The NAR refused the handover (authentication): no tunnel exists, so
@@ -552,6 +565,8 @@ void ArAgent::on_fna(const FnaMsg& m, Address src) {
     BfMsg bf;
     bf.mh = m.mh;
     ++counters_.bf_sent;
+    node_.sim().timeline().record(node_.sim().now(), m.mh,
+                                  obs::HoEventKind::kBfSent, node_.name());
     // BF toward the PAR is only ever triggered by an FNA from the MH. A
     // duplicate FNA re-sends the BF (the previous copy may be the loss
     // that caused the retransmission); the drain entry point is
@@ -636,7 +651,7 @@ void ArAgent::handle_subnet_packet(PacketPtr p) {
     const bool keep_order = ctx.draining && buf != nullptr && !buf->empty();
     if ((hold || keep_order) && buf != nullptr) {
       if (buf->push(p) == HandoffBuffer::PushResult::kStored) {
-        ++counters_.buffered_local;
+        { ++counters_.buffered_local; m_buffered_->inc(); }
       } else {
         drop(std::move(p), DropReason::kBufferTailDrop);
       }
@@ -702,7 +717,7 @@ void ArAgent::par_redirect(ParContext& ctx, PacketPtr p) {
           buffers_.buffer(BufferManager::key(ctx.mh, ArRole::kPar));
       if (buf != nullptr && buf->free_slots() > cfg_.reserve_a) {
         if (buf->push(p) == HandoffBuffer::PushResult::kStored) {
-          ++counters_.buffered_local;
+          { ++counters_.buffered_local; m_buffered_->inc(); }
           return;
         }
       }
@@ -736,7 +751,7 @@ void ArAgent::par_buffer_local(ParContext& ctx, PacketPtr p) {
     drop(std::move(p), DropReason::kBufferTailDrop);
     return;
   }
-  ++counters_.buffered_local;
+  { ++counters_.buffered_local; m_buffered_->inc(); }
 }
 
 void ArAgent::nar_handle(NarContext& ctx, PacketPtr p) {
@@ -748,7 +763,7 @@ void ArAgent::nar_handle(NarContext& ctx, PacketPtr p) {
     if (ctx.draining && buf != nullptr && !buf->empty() &&
         p->directive == ForwardDirective::kBufferAtNar) {
       if (buf->push(p) == HandoffBuffer::PushResult::kStored) {
-        ++counters_.buffered_local;
+        { ++counters_.buffered_local; m_buffered_->inc(); }
         return;
       }
     }
@@ -783,10 +798,10 @@ void ArAgent::nar_buffer(NarContext& ctx, PacketPtr p) {
     PacketPtr evicted;
     switch (buf->push_evict_oldest_realtime(p, evicted)) {
       case HandoffBuffer::PushResult::kStored:
-        ++counters_.buffered_local;
+        { ++counters_.buffered_local; m_buffered_->inc(); }
         return;
       case HandoffBuffer::PushResult::kStoredEvicting:
-        ++counters_.buffered_local;
+        { ++counters_.buffered_local; m_buffered_->inc(); }
         drop(std::move(evicted), DropReason::kBufferFrontDrop);
         return;
       case HandoffBuffer::PushResult::kRejected:
@@ -796,7 +811,7 @@ void ArAgent::nar_buffer(NarContext& ctx, PacketPtr p) {
     return;
   }
   if (buf->push(p) == HandoffBuffer::PushResult::kStored) {
-    ++counters_.buffered_local;
+    { ++counters_.buffered_local; m_buffered_->inc(); }
     return;
   }
   // Buffer full. High-priority packets (or any packet in class-disabled
@@ -852,6 +867,8 @@ void ArAgent::drain_par(MhId mh) {
   auto it = par_.find(mh);
   if (it == par_.end() || it->second.draining) return;
   it->second.draining = true;
+  node_.sim().timeline().record(node_.sim().now(), mh,
+                                obs::HoEventKind::kDrainStart, node_.name());
   drain_par_step(mh);
 }
 
@@ -866,10 +883,12 @@ void ArAgent::drain_par_step(MhId mh) {
     ctx.draining = false;
     buffers_.release(k);
     ctx.par_grant = 0;
+    node_.sim().timeline().record(node_.sim().now(), mh,
+                                  obs::HoEventKind::kDrainEnd, node_.name());
     return;
   }
   PacketPtr p = buf->pop();
-  ++counters_.drained;
+  { ++counters_.drained; m_drained_->inc(); }
   tunnel_to(ctx.nar_addr, ForwardDirective::kDrain, std::move(p));
   node_.sim().in(cfg_.drain_gap, [this, mh] { drain_par_step(mh); });
 }
@@ -878,6 +897,8 @@ void ArAgent::drain_nar(MhId mh) {
   auto it = nar_.find(mh);
   if (it == nar_.end() || it->second.draining) return;
   it->second.draining = true;
+  node_.sim().timeline().record(node_.sim().now(), mh,
+                                obs::HoEventKind::kDrainStart, node_.name());
   drain_nar_step(mh);
 }
 
@@ -894,10 +915,12 @@ void ArAgent::drain_nar_step(MhId mh) {
     ctx.draining = false;
     buffers_.release(k);
     ctx.grant = 0;
+    node_.sim().timeline().record(node_.sim().now(), mh,
+                                  obs::HoEventKind::kDrainEnd, node_.name());
     return;
   }
   PacketPtr p = buf->pop();
-  ++counters_.drained;
+  { ++counters_.drained; m_drained_->inc(); }
   deliver(mh, std::move(p));
   node_.sim().in(cfg_.drain_gap, [this, mh] { drain_nar_step(mh); });
 }
@@ -906,6 +929,8 @@ void ArAgent::drain_intra(MhId mh) {
   auto it = intra_.find(mh);
   if (it == intra_.end() || it->second.draining) return;
   it->second.draining = true;
+  node_.sim().timeline().record(node_.sim().now(), mh,
+                                obs::HoEventKind::kDrainStart, node_.name());
   drain_intra_step(mh);
 }
 
@@ -920,10 +945,12 @@ void ArAgent::drain_intra_step(MhId mh) {
     ctx.draining = false;
     buffers_.release(k);
     ctx.grant = 0;
+    node_.sim().timeline().record(node_.sim().now(), mh,
+                                  obs::HoEventKind::kDrainEnd, node_.name());
     return;
   }
   PacketPtr p = buf->pop();
-  ++counters_.drained;
+  { ++counters_.drained; m_drained_->inc(); }
   if (ctx.forward_to.valid()) {
     // Smooth-handover baseline: tunnel to the MH's new care-of address.
     p->directive = ForwardDirective::kNone;

@@ -215,6 +215,11 @@ class ArAgent : public ArAttachListener {
   BufferSchemeConfig cfg_;
   RetransmitPolicy rtx_;
   BufferManager buffers_;
+  // Registry-owned metric series, resolved once at construction (O(1)
+  // increments on the forwarding path).
+  obs::Counter* m_buffered_ = nullptr;
+  obs::Counter* m_drained_ = nullptr;
+  obs::Counter* m_crashes_ = nullptr;
   std::function<Node*(NodeId)> ap_resolver_;
   std::map<MhId, ParContext> par_;
   std::map<MhId, NarContext> nar_;

@@ -6,6 +6,8 @@
 
 namespace fhmip {
 
+using obs::HoEventKind;
+
 MhAgent::MhAgent(Node& node, Config cfg, MobileIpClient* mip)
     : node_(node), cfg_(cfg), mip_(mip) {
   ctrl_id_ = node_.add_control_handler(
@@ -37,9 +39,17 @@ void MhAgent::resolve_outcome(HandoverOutcome outcome, HandoverCause cause) {
   if (!outcome_pending_) return;
   outcome_pending_ = false;
   pending_cause_ = HandoverCause::kNone;
+  Simulation& sim = node_.sim();
+  const PhaseBreakdown phases =
+      sim.timeline().resolve(sim.now(), id(), outcome, cause);
   if (cfg_.outcomes != nullptr) {
-    cfg_.outcomes->record(id(), node_.sim().now(), outcome, cause);
+    cfg_.outcomes->record(id(), sim.now(), outcome, cause, phases);
   }
+}
+
+void MhAgent::mark(HoEventKind kind) {
+  Simulation& sim = node_.sim();
+  sim.timeline().record(sim.now(), id(), kind, node_.name());
 }
 
 bool MhAgent::handle_control(PacketPtr& p) {
@@ -61,7 +71,10 @@ bool MhAgent::handle_control(PacketPtr& p) {
     }
     return true;
   }
-  if (std::get_if<BaMsg>(&p->msg) != nullptr) return true;
+  if (std::get_if<BaMsg>(&p->msg) != nullptr) {
+    mark(HoEventKind::kBaRecv);
+    return true;
+  }
   if (std::get_if<RouterAdvMsg>(&p->msg) != nullptr) {
     // Movement detection input; anticipation is driven by L2 triggers in
     // this implementation, so advertisements are informational.
@@ -79,6 +92,7 @@ void MhAgent::on_prrtadv(const PrRtAdvMsg& m) {
     return;
   }
   ++counters_.prrtadv_received;
+  mark(HoEventKind::kPrRtAdvRecv);
   if (rtsolpr_timer_ != kInvalidEvent) node_.sim().cancel(rtsolpr_timer_);
   rtsolpr_timer_ = kInvalidEvent;
   prrtadv_received_ = true;
@@ -98,6 +112,7 @@ void MhAgent::on_fback(const FbackMsg& m) {
   const bool matches_new = fbu_new_seq_ != kNoCtrlSeq && m.seq == fbu_new_seq_;
   if (m.seq != kNoCtrlSeq && !matches_old && !matches_new) return;  // stale
   fback_received_ = true;
+  mark(HoEventKind::kFbackRecv);
   if (fbu_timer_ != kInvalidEvent) node_.sim().cancel(fbu_timer_);
   fbu_timer_ = kInvalidEvent;
   fbu_phase_ = FbuPhase::kIdle;
@@ -117,6 +132,7 @@ void MhAgent::on_fback(const FbackMsg& m) {
 void MhAgent::on_l2_trigger(NodeId target_ap, Node& target_ar) {
   ++counters_.l2_triggers;
   if (!first_attach_done_) return;
+  mark(HoEventKind::kL2Trigger);
   if (cfg_.simultaneous_binding && mip_ != nullptr &&
       target_ar.address() != current_ar_addr_) {
     mip_->send_simultaneous_binding(make_coa(target_ar.address().net, id()),
@@ -153,6 +169,7 @@ void MhAgent::send_rtsolpr(NodeId target_ap) {
   pending_rtsolpr_ = m;
   rtsolpr_sends_ = 1;
   ++counters_.rtsolpr_sent;
+  mark(HoEventKind::kRtSolPrSent);
   node_.send(make_control(node_.sim(), pcoa_, current_ar_addr_, m));
   if (cfg_.rtx.enabled) {
     arm(rtsolpr_timer_, 0, &MhAgent::rtsolpr_timeout);
@@ -200,6 +217,7 @@ void MhAgent::send_fbu(Address to, Address nar_addr, bool from_new_link) {
     fbu_phase_ = FbuPhase::kOldLink;
   }
   ++counters_.fbu_sent;
+  mark(from_new_link ? HoEventKind::kReactiveFbuSent : HoEventKind::kFbuSent);
   node_.send(make_control(node_.sim(), pcoa_, to, m));
   if (cfg_.rtx.enabled) {
     arm(fbu_timer_, 0, &MhAgent::fbu_timeout);
@@ -222,6 +240,7 @@ void MhAgent::send_reactive_fbu() {
   fbu_sends_ = 1;
   ++counters_.reactive_fbu;
   ++counters_.fbu_sent;
+  mark(HoEventKind::kReactiveFbuSent);
   if (pending_cause_ == HandoverCause::kNone) {
     pending_cause_ = HandoverCause::kNoFback;
   }
@@ -297,6 +316,7 @@ void MhAgent::on_predisconnect(NodeId target_ap, Node& target_ar) {
 }
 
 void MhAgent::on_detached() {
+  if (first_attach_done_) mark(HoEventKind::kBlackoutStart);
   // The old link is gone: retransmitting on it could only feed the drop
   // counters. Unconfirmed exchanges are settled at attachment.
   if (rtsolpr_timer_ != kInvalidEvent) node_.sim().cancel(rtsolpr_timer_);
@@ -318,6 +338,7 @@ void MhAgent::send_fna(Address src, Address dst) {
   fna_dst_ = dst;
   fna_sends_ = 1;
   ++counters_.fna_sent;
+  mark(HoEventKind::kFnaSent);
   node_.send(make_control(node_.sim(), src, dst, fna));
   if (cfg_.rtx.enabled) {
     arm(fna_timer_, 0, &MhAgent::fna_timeout);
@@ -359,6 +380,7 @@ void MhAgent::on_attached(NodeId /*ap*/, Node& ar) {
   }
 
   ++counters_.handoffs;
+  mark(HoEventKind::kBlackoutEnd);
 
   if (ar_addr == current_ar_addr_) {
     // §3.2.2.4: pure link-layer handoff under the same access router —
@@ -435,6 +457,7 @@ void MhAgent::send_buffer_init(std::uint32_t size_pkts, SimTime start_time,
   m.req.size_pkts = size_pkts;
   m.req.start_time = start_time;
   m.req.lifetime = lifetime;
+  mark(HoEventKind::kBiSent);
   node_.send(make_control(node_.sim(), pcoa_, current_ar_addr_, m));
 }
 

@@ -7,6 +7,7 @@
 #include "fastho/reliability.hpp"
 #include "mip/mobile_ip.hpp"
 #include "net/node.hpp"
+#include "obs/timeline.hpp"
 #include "stats/handover_outcomes.hpp"
 #include "wireless/wlan.hpp"
 
@@ -132,6 +133,8 @@ class MhAgent : public L2Callbacks {
   void cancel_timers();
   /// Records the current attempt's outcome (no-op when already resolved).
   void resolve_outcome(HandoverOutcome outcome, HandoverCause cause);
+  /// Lands a handover-timeline record for this MH at the current sim time.
+  void mark(obs::HoEventKind kind);
 
   Node& node_;
   Node::ControlHandlerId ctrl_id_ = 0;

@@ -21,7 +21,9 @@ namespace fhmip::fault {
 class AgentCrashInjector {
  public:
   AgentCrashInjector(Simulation& sim, ArAgent& agent)
-      : sim_(sim), agent_(agent) {}
+      : sim_(sim),
+        agent_(agent),
+        m_crashes_(&sim.metrics().counter("fault/agent_crashes")) {}
 
   ~AgentCrashInjector() {
     for (EventId id : pending_) sim_.cancel(id);
@@ -30,6 +32,7 @@ class AgentCrashInjector {
   /// Crashes the agent immediately.
   void crash_now() {
     ++crashes_;
+    m_crashes_->inc();
     agent_.fault_reset();
   }
 
@@ -44,6 +47,7 @@ class AgentCrashInjector {
  private:
   Simulation& sim_;
   ArAgent& agent_;
+  obs::Counter* m_crashes_;  // fault/agent_crashes (shared across injectors)
   std::uint64_t crashes_ = 0;
   std::vector<EventId> pending_;  // scheduled crashes, cancelled on death
 };

@@ -6,6 +6,7 @@ namespace fhmip::fault {
 
 LinkFaultInjector::LinkFaultInjector(Simulation& sim, SimplexLink& link)
     : sim_(sim), link_(link) {
+  m_dropped_ = &sim_.metrics().counter("fault/injected_drops");
   link_.set_tx_filter([this](const Packet& p) { return should_drop(p); });
 }
 
@@ -55,17 +56,20 @@ bool LinkFaultInjector::should_drop(const Packet& p) {
         if (++r.seen == r.n) {
           r.spent = true;
           ++dropped_;
+          m_dropped_->inc();
           return true;
         }
         break;
       case Rule::Kind::kMatching:
         if (r.unlimited) {
           ++dropped_;
+          m_dropped_->inc();
           return true;
         }
         if (r.remaining > 0) {
           if (--r.remaining == 0) r.spent = true;
           ++dropped_;
+          m_dropped_->inc();
           return true;
         }
         r.spent = true;
@@ -75,6 +79,7 @@ bool LinkFaultInjector::should_drop(const Packet& p) {
         // are a pure function of (seed, matching-packet index).
         if (r.rng.chance(r.p)) {
           ++dropped_;
+          m_dropped_->inc();
           return true;
         }
         break;

@@ -76,6 +76,7 @@ class LinkFaultInjector {
   SimplexLink& link_;
   std::vector<Rule> rules_;
   std::uint64_t dropped_ = 0;
+  obs::Counter* m_dropped_ = nullptr;  // fault/injected_drops (shared name)
 };
 
 }  // namespace fhmip::fault

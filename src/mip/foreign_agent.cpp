@@ -114,6 +114,8 @@ void ForeignAgent::handle_visitor_packet(PacketPtr p) {
   }
   if (it == visitors_.end() || !it->second.registered) {
     node_.sim().stats().record_drop(p->flow, DropReason::kUnattached);
+    trace_packet(node_.sim(), TraceKind::kDrop, node_.name().c_str(), *p,
+                 DropReason::kUnattached);
     return;
   }
   ++delivered_;
@@ -121,6 +123,8 @@ void ForeignAgent::handle_visitor_packet(PacketPtr p) {
     deliver_(it->second.mh, std::move(p));
   } else {
     node_.sim().stats().record_drop(p->flow, DropReason::kNoRoute);
+    trace_packet(node_.sim(), TraceKind::kDrop, node_.name().c_str(), *p,
+                 DropReason::kNoRoute);
   }
 }
 

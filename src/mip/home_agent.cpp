@@ -22,6 +22,8 @@ void HomeAgent::intercept(PacketPtr p) {
     // Host is at home (or unregistered): without a visiting host on this
     // simulated subnet, the packet has nowhere to go.
     sim.stats().record_drop(p->flow, DropReason::kNoRoute);
+    trace_packet(sim, TraceKind::kDrop, node_.name().c_str(), *p,
+                 DropReason::kNoRoute);
     return;
   }
   ++tunneled_;

@@ -21,6 +21,8 @@ void MapAgent::intercept(PacketPtr p) {
   const auto coa = bindings_.lookup(p->dst, sim.now());
   if (!coa) {
     sim.stats().record_drop(p->flow, DropReason::kNoRoute);
+    trace_packet(sim, TraceKind::kDrop, node_.name().c_str(), *p,
+                 DropReason::kNoRoute);
     return;
   }
   // Simultaneous binding: bicast a copy toward the secondary care-of
@@ -29,6 +31,7 @@ void MapAgent::intercept(PacketPtr p) {
     auto copy = p->clone(sim.next_uid());
     copy->encapsulate(*second);
     ++bicast_;
+    trace_packet(sim, TraceKind::kCreate, node_.name().c_str(), *copy);
     node_.send(std::move(copy));
   }
   ++tunneled_;

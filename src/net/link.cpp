@@ -41,7 +41,15 @@ SimplexLink::SimplexLink(Simulation& sim, Node& to, double bandwidth_bps,
       bandwidth_(bandwidth_bps),
       delay_(delay),
       queue_(make_queue(discipline, queue_limit)),
-      name_(std::move(name)) {}
+      name_(std::move(name)) {
+  if (!name_.empty()) {
+    obs::MetricsRegistry& m = sim_.metrics();
+    m_delivered_ = &m.counter("link/" + name_ + "/delivered_pkts");
+    m_dropped_ = &m.counter("link/" + name_ + "/dropped_pkts");
+    m_bytes_ = &m.counter("link/" + name_ + "/bytes");
+    m_queue_ = &m.gauge("link/" + name_ + "/queue_pkts");
+  }
+}
 
 DropTailQueue* SimplexLink::queue() {
   return std::get_if<DropTailQueue>(&queue_);
@@ -71,6 +79,7 @@ void SimplexLink::drop_queued() {
         });
       },
       queue_);
+  if (m_queue_ != nullptr) m_queue_->set(0);
 }
 
 SimTime SimplexLink::tx_time(std::uint32_t bytes) const {
@@ -91,7 +100,11 @@ void SimplexLink::transmit(PacketPtr p) {
     return;
   }
   if (busy_) {
-    if (!queue_push(p)) drop(std::move(p), DropReason::kQueueOverflow);
+    if (queue_push(p)) {
+      if (m_queue_ != nullptr) m_queue_->add(1);
+    } else {
+      drop(std::move(p), DropReason::kQueueOverflow);
+    }
     return;
   }
   start_tx(std::move(p));
@@ -122,6 +135,10 @@ void SimplexLink::finish_tx(PacketPtr p) {
     PacketPtr pkt = std::move(*holder);
     ++delivered_;
     bytes_delivered_ += pkt->size_bytes;
+    if (m_delivered_ != nullptr) {
+      m_delivered_->inc();
+      m_bytes_->inc(pkt->size_bytes);
+    }
     if (sim_.trace().enabled()) {
       sim_.trace().emit(
           trace_event(sim_.now(), TraceKind::kDeliver, name_, *pkt));
@@ -129,11 +146,15 @@ void SimplexLink::finish_tx(PacketPtr p) {
     to_.receive(std::move(pkt));
   });
   busy_ = false;
-  if (PacketPtr next = queue_pop()) start_tx(std::move(next));
+  if (PacketPtr next = queue_pop()) {
+    if (m_queue_ != nullptr) m_queue_->add(-1);
+    start_tx(std::move(next));
+  }
 }
 
 void SimplexLink::drop(PacketPtr p, DropReason reason) {
   ++dropped_;
+  if (m_dropped_ != nullptr) m_dropped_->inc();
   sim_.stats().record_drop(p->flow, reason);
   if (sim_.trace().enabled()) {
     TraceEvent e = trace_event(sim_.now(), TraceKind::kDrop, name_, *p);

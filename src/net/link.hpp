@@ -79,6 +79,12 @@ class SimplexLink {
   SimTime delay_;
   std::variant<DropTailQueue, ClassPriorityQueue> queue_;
   std::string name_;
+  // Registry-owned series (null for anonymous links: metrics need a stable
+  // name to key on, and unnamed links are throwaway test fixtures).
+  obs::Counter* m_delivered_ = nullptr;  // link/<name>/delivered_pkts
+  obs::Counter* m_dropped_ = nullptr;    // link/<name>/dropped_pkts
+  obs::Counter* m_bytes_ = nullptr;      // link/<name>/bytes
+  obs::Gauge* m_queue_ = nullptr;        // link/<name>/queue_pkts
   bool up_ = true;
   bool busy_ = false;
   double loss_rate_ = 0.0;

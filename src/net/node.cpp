@@ -113,22 +113,35 @@ void Node::forward(PacketPtr p, bool decrement_ttl) {
 
 void Node::deliver_local(PacketPtr p) {
   ++received_local_;
-  if (sim_.trace().enabled()) {
-    sim_.trace().emit(
-        node_trace(sim_.now(), TraceKind::kLocalDeliver, name_, *p));
-  }
+  // Snapshot the trace fields up front: a claiming control handler moves
+  // the packet away, and the consumption event must only fire once we know
+  // the packet actually terminated here (a portless data packet drops as
+  // kNoRoute instead — it must not also count as delivered).
+  const bool traced = sim_.trace().enabled();
+  TraceEvent e;
+  if (traced) e = node_trace(sim_.now(), TraceKind::kLocalDeliver, name_, *p);
   if (p->is_control()) {
     // Index loop: a handler may register another handler while we iterate
     // (agent construction from a callback), which invalidates iterators.
     for (std::size_t i = 0; i < control_handlers_.size(); ++i) {
-      if (control_handlers_[i].second(p)) return;
+      if (control_handlers_[i].second(p)) {
+        if (traced) sim_.trace().emit(e);
+        return;
+      }
     }
     // Unclaimed control message: harmless (e.g. advertisement nobody
-    // listens to) — discard without accounting, control is flow-less.
+    // listens to), but the ledger still needs a terminal event — recorded
+    // as kDiscard since control is flow-less and carries no drop reason.
+    ++discarded_;
+    if (traced) {
+      e.kind = TraceKind::kDiscard;
+      sim_.trace().emit(e);
+    }
     return;
   }
   auto it = ports_.find(p->dst_port);
   if (it != ports_.end()) {
+    if (traced) sim_.trace().emit(e);
     it->second(std::move(p));
     return;
   }

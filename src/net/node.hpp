@@ -78,6 +78,8 @@ class Node {
 
   std::uint64_t packets_forwarded() const { return forwarded_; }
   std::uint64_t packets_received_local() const { return received_local_; }
+  /// Unclaimed control messages destroyed at this node (kDiscard events).
+  std::uint64_t packets_discarded() const { return discarded_; }
 
  private:
   void forward(PacketPtr p, bool decrement_ttl);
@@ -95,6 +97,7 @@ class Node {
   std::function<void(Packet&)> forward_filter_;
   std::uint64_t forwarded_ = 0;
   std::uint64_t received_local_ = 0;
+  std::uint64_t discarded_ = 0;
 };
 
 }  // namespace fhmip

@@ -96,6 +96,22 @@ PacketPtr Packet::clone(std::uint64_t new_uid) const {
   return p;
 }
 
+void trace_packet(Simulation& sim, TraceKind kind, const char* where,
+                  const Packet& p, std::optional<DropReason> reason) {
+  if (!sim.trace().enabled()) return;
+  TraceEvent e;
+  e.at = sim.now();
+  e.kind = kind;
+  e.where = where;
+  e.uid = p.uid;
+  e.flow = p.flow;
+  e.seq = p.seq;
+  e.bytes = p.size_bytes;
+  e.msg = message_name(p.msg);
+  e.reason = reason;
+  sim.trace().emit(e);
+}
+
 PacketPtr make_packet(Simulation& sim, Address src, Address dst,
                       std::uint32_t size_bytes) {
   auto p = std::make_unique<Packet>();
@@ -104,6 +120,9 @@ PacketPtr make_packet(Simulation& sim, Address src, Address dst,
   p->dst = dst;
   p->size_bytes = size_bytes;
   p->created_at = sim.now();
+  // No kCreate here: flow/seq/msg are stamped by the caller, so the
+  // creation trace is emitted by the transports (udp/tcp), make_control,
+  // and the bicast clone site once the packet is fully described.
   return p;
 }
 
@@ -111,6 +130,7 @@ PacketPtr make_control(Simulation& sim, Address src, Address dst,
                        MessageVariant msg, std::uint32_t size_bytes) {
   auto p = make_packet(sim, src, dst, size_bytes);
   p->msg = std::move(msg);
+  trace_packet(sim, TraceKind::kCreate, "origin", *p);
   return p;
 }
 

@@ -2,12 +2,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "net/address.hpp"
 #include "net/messages.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
+#include "sim/trace.hpp"
 
 namespace fhmip {
 
@@ -79,6 +81,12 @@ struct Packet {
 using PacketPtr = std::unique_ptr<Packet>;
 
 class Simulation;
+
+/// Emits a packet-level trace event through the simulation's trace hub
+/// (no-op without sinks). Shared by every creation/drop/discard site so the
+/// packet ledger sees a complete event stream.
+void trace_packet(Simulation& sim, TraceKind kind, const char* where,
+                  const Packet& p, std::optional<DropReason> reason = {});
 
 /// Convenience factory: stamps uid and creation time from the simulation.
 PacketPtr make_packet(Simulation& sim, Address src, Address dst,

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+
+namespace fhmip {
+class Simulation;
+}
+
+namespace fhmip::obs {
+
+/// Aggregate view of the ledger at one instant.
+struct LedgerSnapshot {
+  std::uint64_t created = 0;
+  std::uint64_t consumed = 0;   // kLocalDeliver
+  std::uint64_t discarded = 0;  // kDiscard (flow-less control teardown)
+  std::uint64_t buffer_enters = 0;
+  std::uint64_t buffer_exits = 0;
+  std::uint64_t drops[kNumDropReasons] = {};
+
+  std::uint64_t dropped_total() const;
+  std::uint64_t in_buffer() const { return buffer_enters - buffer_exits; }
+  /// created = consumed + discarded + dropped + in_buffer + in_flight.
+  std::int64_t in_flight() const;
+};
+
+/// Packet conservation ledger: a PacketTrace sink that proves
+///   created == delivered + dropped-by-reason + in-buffer + in-flight
+/// at any sim time and at teardown. Attach it before traffic starts (it
+/// counts only events it observes). With `track_uids` (the default) it also
+/// runs a per-uid state machine — create-once, buffer enter/exit pairing,
+/// exactly one terminal event per packet — and any violation is fatal under
+/// FHMIP_AUDIT_LEVEL >= 1 as well as counted for audit-level-0 builds.
+class PacketLedger {
+ public:
+  explicit PacketLedger(Simulation& sim, bool track_uids = true);
+  ~PacketLedger();
+  PacketLedger(const PacketLedger&) = delete;
+  PacketLedger& operator=(const PacketLedger&) = delete;
+
+  LedgerSnapshot snapshot() const { return agg_; }
+  std::uint64_t created() const { return agg_.created; }
+  std::uint64_t consumed() const { return agg_.consumed; }
+  std::uint64_t discarded() const { return agg_.discarded; }
+  std::uint64_t dropped(DropReason reason) const {
+    return agg_.drops[static_cast<int>(reason)];
+  }
+  std::uint64_t dropped_total() const { return agg_.dropped_total(); }
+  std::uint64_t in_buffer() const { return agg_.in_buffer(); }
+  std::int64_t in_flight() const { return agg_.in_flight(); }
+
+  /// Per-uid state machine violations observed so far (0 when healthy or
+  /// when track_uids is off).
+  std::uint64_t violations() const { return violations_; }
+
+  /// The conservation identity holds with non-negative remainders and no
+  /// per-uid violations.
+  bool balanced() const;
+
+  /// FHMIP_AUDIT that `balanced()`; `where` tags the check site.
+  void audit(const char* where) const;
+  /// Teardown audit: balanced, no per-uid violations, and nothing left in
+  /// flight or buffered — every created packet reached a terminal event.
+  void audit_final(const char* where) const;
+
+  /// Sorted multi-line summary ("created 100\n  consumed 90\n...").
+  std::string format() const;
+
+ private:
+  enum class UidState : std::uint8_t { kLive, kBuffered };
+
+  void on_event(const TraceEvent& e);
+  void violation(const TraceEvent& e, const char* what);
+
+  Simulation& sim_;
+  PacketTrace::SinkId sink_id_ = PacketTrace::kNoSink;
+  LedgerSnapshot agg_;
+  bool track_uids_;
+  std::map<std::uint64_t, UidState> live_;
+  std::uint64_t violations_ = 0;
+};
+
+}  // namespace fhmip::obs

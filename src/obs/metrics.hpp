@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fhmip::obs {
+
+/// A monotonically increasing event count. Components resolve the reference
+/// once (via MetricsRegistry::counter) and increment through it — the hot
+/// path is a single integer add, no lookup.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// A point-in-time level (queue depth, buffered packets, leased buffers).
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_ = v; }
+  void add(std::int64_t delta) { value_ += delta; }
+  std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// A fixed-bucket histogram. Bucket `i` counts observations with
+/// `value <= bounds[i]` (first matching bucket, so a value exactly on an
+/// upper bound lands in that bucket); values above the last bound land in
+/// the overflow bucket. Bounds are sorted at construction.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double value);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// i in [0, bounds().size()]; the last index is the overflow bucket.
+  std::uint64_t bucket_count(std::size_t i) const { return buckets_[i]; }
+  std::size_t num_buckets() const { return buckets_.size(); }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> buckets_;  // bounds_.size() + 1 (overflow last)
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Named metrics for one Simulation. Registration returns a stable reference
+/// (node-based std::map storage) so instrumented components pay no lookup on
+/// the hot path. Re-registering a name returns the existing metric, so
+/// several components may share one series. Exports iterate the sorted maps,
+/// making the text and JSON renderings deterministic for a deterministic
+/// run — byte-identical across repeats and across sweep --jobs counts.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Re-registration ignores `upper_bounds` and returns the existing series.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds);
+
+  /// Lookup without creating; nullptr when the name was never registered.
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// One metric per line, name-sorted within each kind:
+  ///   "counter link/par>nar/delivered_pkts 42".
+  std::string format_text() const;
+  /// Compact single-line JSON object with "counters"/"gauges"/"histograms"
+  /// keys, name-sorted; safe to embed verbatim in the sweep report.
+  std::string to_json() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace fhmip::obs

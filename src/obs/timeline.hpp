@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "stats/handover_outcomes.hpp"
+
+namespace fhmip::obs {
+
+class MetricsRegistry;
+
+/// Typed control-plane event kinds recorded on the handover timeline. One
+/// record per protocol step, so the full choreography of an attempt can be
+/// replayed and rendered (golden-trace tests) and per-phase latencies can be
+/// derived without parsing log strings.
+enum class HoEventKind : std::uint8_t {
+  kL2Trigger,     // radio anticipates a handoff (MH)
+  kRtSolPrSent,   // MH -> PAR solicitation
+  kPrRtAdvRecv,   // PAR advertisement reached the MH
+  kHiSent,        // PAR -> NAR handover initiate (carries BR)
+  kHackRecv,      // NAR HAck (carries BA) reached the PAR
+  kFbuSent,       // MH fast binding update (old link, predictive)
+  kReactiveFbuSent,  // MH fast binding update via the new link (§2.3.2)
+  kFbackRecv,     // FBack reached the MH
+  kFnaSent,       // MH -> NAR fast neighbour advertisement
+  kBiSent,        // standalone buffer-initiate (smooth-handover baseline)
+  kBaRecv,        // standalone buffer-acknowledge
+  kBfSent,        // buffer-flush toward the serving AR
+  kBlackoutStart,  // L2 detach: the radio left the old AP
+  kBlackoutEnd,    // L2 attach: the radio joined the new AP
+  kBufferFill,     // first packet parked in a handoff buffer for this MH
+  kDrainStart,     // an AR began releasing a buffer toward the MH
+  kDrainEnd,       // that buffer ran empty
+  kResolved,       // attempt classified (predictive/reactive/failed)
+};
+
+const char* to_string(HoEventKind kind);
+
+struct HoEventRecord {
+  SimTime at;
+  MhId mh = kNoNode;
+  HoEventKind kind = HoEventKind::kL2Trigger;
+  std::string where;       // node that observed the event ("mh1", "par", ...)
+  std::uint32_t attempt = 0;  // 1-based per-MH attempt ordinal (0 = between
+                              // attempts, e.g. a stray drain)
+};
+
+/// A closed handover attempt with its event span and derived phase latencies.
+struct HoAttempt {
+  MhId mh = kNoNode;
+  std::uint32_t ordinal = 0;  // 1-based per MH
+  SimTime started;
+  SimTime resolved;
+  HandoverOutcome outcome = HandoverOutcome::kPredictive;
+  HandoverCause cause = HandoverCause::kNone;
+  PhaseBreakdown phases;
+};
+
+/// Handover timeline tracer, owned by the Simulation next to the packet
+/// trace. Agents record protocol steps as they execute them; the timeline
+/// groups records into per-MH attempts (opened by the first trigger/detach/
+/// solicitation, closed by `resolve`) and derives the per-phase latency
+/// breakdown that feeds stats/handover_outcomes and the
+/// `handover/phase/*_ms` histograms of the metrics registry. Event volume is
+/// control-plane rate (a handful of records per handover), so the timeline
+/// is always on.
+class HandoverTimeline {
+ public:
+  using ResolveHook = std::function<void(const HoAttempt&)>;
+
+  /// Registers the `handover/phase/*_ms` histograms and outcome counters.
+  void set_registry(MetricsRegistry* registry);
+  /// Invoked after every attempt closes — property tests use this to check
+  /// ledger conservation at each handover boundary.
+  void set_resolve_hook(ResolveHook hook) { resolve_hook_ = std::move(hook); }
+
+  /// Appends a record; opens a new attempt for `mh` when none is in flight.
+  void record(SimTime at, MhId mh, HoEventKind kind, const std::string& where);
+
+  /// Closes the in-flight attempt for `mh` (opening and closing one if none
+  /// is, so unanticipated reattachments still count) and returns its derived
+  /// phase breakdown.
+  PhaseBreakdown resolve(SimTime at, MhId mh, HandoverOutcome outcome,
+                         HandoverCause cause);
+
+  const std::vector<HoEventRecord>& records() const { return records_; }
+  const std::vector<HoAttempt>& attempts() const { return attempts_; }
+  /// Attempts resolved for one MH, in resolution order.
+  std::vector<HoAttempt> attempts_for(MhId mh) const;
+
+  /// Deterministic one-line-per-record rendering:
+  ///   "T 2.200000 mh 100 a1 fbu-sent @mh1".
+  std::string format_timeline() const;
+
+ private:
+  struct OpenAttempt {
+    std::uint32_t ordinal = 0;
+    SimTime started;
+    bool open = false;
+    // Phase anchors (valid when the matching `saw_` flag is set).
+    SimTime trigger_at, fbu_at, detach_at;
+    bool saw_trigger = false, saw_fbu = false, saw_detach = false;
+    PhaseBreakdown phases;
+  };
+
+  OpenAttempt& open_for(SimTime at, MhId mh);
+
+  std::vector<HoEventRecord> records_;
+  std::vector<HoAttempt> attempts_;
+  std::map<MhId, OpenAttempt> open_;
+  std::map<MhId, std::uint32_t> next_ordinal_;
+  MetricsRegistry* registry_ = nullptr;
+  ResolveHook resolve_hook_;
+};
+
+}  // namespace fhmip::obs

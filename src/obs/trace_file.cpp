@@ -1,0 +1,33 @@
+#include "obs/trace_file.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "sim/simulation.hpp"
+
+namespace fhmip::obs {
+
+TraceFileWriter::TraceFileWriter(Simulation& sim, const std::string& path,
+                                 Filter filter)
+    : sim_(sim), path_(path), filter_(std::move(filter)) {
+  file_ = std::fopen(path_.c_str(), "w");
+  if (file_ == nullptr)
+    throw std::runtime_error("TraceFileWriter: cannot open " + path_);
+  sink_id_ =
+      sim_.trace().add_sink([this](const TraceEvent& e) { on_event(e); });
+}
+
+TraceFileWriter::~TraceFileWriter() {
+  sim_.trace().remove_sink(sink_id_);
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void TraceFileWriter::on_event(const TraceEvent& e) {
+  if (filter_ && !filter_(e)) return;
+  std::string line = format_trace_line(e);
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), file_);
+  ++lines_;
+}
+
+}  // namespace fhmip::obs

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "sim/trace.hpp"
+
+namespace fhmip {
+class Simulation;
+}
+
+namespace fhmip::obs {
+
+/// A PacketTrace sink that renders events through `format_trace_line` into a
+/// file, optionally through a filter predicate (e.g. control messages only).
+/// Attaches on construction, flushes and detaches on destruction — the
+/// ns-2 "trace file" affordance, rebuilt on the multi-sink trace hub.
+class TraceFileWriter {
+ public:
+  using Filter = std::function<bool(const TraceEvent&)>;
+
+  /// Opens `path` for writing (truncating). An empty filter accepts every
+  /// event. Throws std::runtime_error when the file cannot be opened.
+  TraceFileWriter(Simulation& sim, const std::string& path,
+                  Filter filter = {});
+  ~TraceFileWriter();
+  TraceFileWriter(const TraceFileWriter&) = delete;
+  TraceFileWriter& operator=(const TraceFileWriter&) = delete;
+
+  std::uint64_t lines_written() const { return lines_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  void on_event(const TraceEvent& e);
+
+  Simulation& sim_;
+  std::string path_;
+  Filter filter_;
+  std::FILE* file_ = nullptr;
+  PacketTrace::SinkId sink_id_ = PacketTrace::kNoSink;
+  std::uint64_t lines_ = 0;
+};
+
+}  // namespace fhmip::obs

@@ -104,7 +104,8 @@ SimultaneousHandoffResult run_simultaneous_handoffs(
 // Figures 4.3–4.5
 // ---------------------------------------------------------------------------
 
-QosDropResult run_qos_drop_experiment(const QosDropParams& p) {
+QosDropResult run_qos_drop_experiment(const QosDropParams& p,
+                                      std::string* metrics_json) {
   PaperTopologyConfig cfg;
   cfg.seed = p.seed;
   cfg.bounce = true;
@@ -140,6 +141,7 @@ QosDropResult run_qos_drop_experiment(const QosDropParams& p) {
   for (const FlowSpec& f : flows) {
     r.flows.push_back(outcome_for(sim, f.id, /*samples=*/false));
   }
+  if (metrics_json != nullptr) *metrics_json = sim.metrics().to_json();
   return r;
 }
 
@@ -148,7 +150,8 @@ QosDropResult run_qos_drop_experiment(const QosDropParams& p) {
 // ---------------------------------------------------------------------------
 
 std::vector<FlowOutcome> run_rate_probe(const QosDropParams& base,
-                                        double flow_kbps) {
+                                        double flow_kbps,
+                                        std::string* metrics_json) {
   PaperTopologyConfig cfg;
   cfg.seed = base.seed;
   cfg.scheme.mode = base.mode;
@@ -168,6 +171,9 @@ std::vector<FlowOutcome> run_rate_probe(const QosDropParams& base,
   for (const FlowSpec& f : flows) {
     out.push_back(outcome_for(topo.simulation(), f.id, /*samples=*/false));
   }
+  if (metrics_json != nullptr) {
+    *metrics_json = topo.simulation().metrics().to_json();
+  }
   return out;
 }
 
@@ -175,7 +181,8 @@ std::vector<FlowOutcome> run_rate_probe(const QosDropParams& base,
 // Figures 4.7–4.10
 // ---------------------------------------------------------------------------
 
-DelayCaptureResult run_delay_capture(const DelayCaptureParams& p) {
+DelayCaptureResult run_delay_capture(const DelayCaptureParams& p,
+                                     std::string* metrics_json) {
   PaperTopologyConfig cfg;
   cfg.seed = p.seed;
   cfg.par_nar_delay = p.par_nar_delay;
@@ -216,6 +223,9 @@ DelayCaptureResult run_delay_capture(const DelayCaptureParams& p) {
   if (first == UINT32_MAX) first = 3;
   r.seq_begin = first > 3 ? first - 3 : 0;
   r.seq_end = r.seq_begin + 30;
+  if (metrics_json != nullptr) {
+    *metrics_json = topo.simulation().metrics().to_json();
+  }
   return r;
 }
 

@@ -74,16 +74,21 @@ struct QosDropResult {
   std::vector<FlowOutcome> flows;
 };
 
-QosDropResult run_qos_drop_experiment(const QosDropParams& p);
+/// When `metrics_json` is non-null it receives the run's metrics-registry
+/// export (obs::MetricsRegistry::to_json()); same for the other runners.
+QosDropResult run_qos_drop_experiment(const QosDropParams& p,
+                                      std::string* metrics_json = nullptr);
 
 // ---------------------------------------------------------------------------
 // Figure 4.6 — per-class drops in one handoff vs. data rate.
 // ---------------------------------------------------------------------------
 
 /// Runs one handoff at the given per-flow rate; returns drops per flow
-/// (F1, F2, F3).
+/// (F1, F2, F3). When `metrics_json` is non-null it receives the run's
+/// metrics-registry export (obs::MetricsRegistry::to_json()).
 std::vector<FlowOutcome> run_rate_probe(const QosDropParams& base,
-                                        double flow_kbps);
+                                        double flow_kbps,
+                                        std::string* metrics_json = nullptr);
 
 // ---------------------------------------------------------------------------
 // Figures 4.7–4.10 — per-packet end-to-end delay around one handoff.
@@ -108,7 +113,8 @@ struct DelayCaptureResult {
   std::uint32_t seq_end = 0;
 };
 
-DelayCaptureResult run_delay_capture(const DelayCaptureParams& p);
+DelayCaptureResult run_delay_capture(const DelayCaptureParams& p,
+                                     std::string* metrics_json = nullptr);
 
 /// Extracts delay-vs-sequence series (one per flow) limited to the window.
 std::vector<Series> delay_series(const DelayCaptureResult& r);

@@ -2,6 +2,8 @@
 
 namespace fhmip {
 
-Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
+Simulation::Simulation(std::uint64_t seed) : rng_(seed) {
+  timeline_.set_registry(&metrics_);
+}
 
 }  // namespace fhmip

@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "sim/logging.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
@@ -26,6 +28,10 @@ class Simulation {
   const StatsHub& stats() const { return stats_; }
   Logger& logger() { return logger_; }
   PacketTrace& trace() { return trace_; }
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  obs::HandoverTimeline& timeline() { return timeline_; }
+  const obs::HandoverTimeline& timeline() const { return timeline_; }
 
   SimTime now() const { return scheduler_.now(); }
   EventId at(SimTime t, Scheduler::Action fn) {
@@ -52,6 +58,8 @@ class Simulation {
   StatsHub stats_;
   Logger logger_;
   PacketTrace trace_;
+  obs::MetricsRegistry metrics_;
+  obs::HandoverTimeline timeline_;
   std::uint64_t next_uid_ = 1;
 };
 

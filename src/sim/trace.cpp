@@ -6,6 +6,8 @@ namespace fhmip {
 
 const char* to_string(TraceKind kind) {
   switch (kind) {
+    case TraceKind::kCreate:
+      return "n";
     case TraceKind::kTransmit:
       return "+";
     case TraceKind::kDeliver:
@@ -14,6 +16,12 @@ const char* to_string(TraceKind kind) {
       return "f";
     case TraceKind::kLocalDeliver:
       return "^";
+    case TraceKind::kBufferEnter:
+      return "B";
+    case TraceKind::kBufferExit:
+      return "b";
+    case TraceKind::kDiscard:
+      return "x";
     case TraceKind::kDrop:
       return "d";
   }
@@ -22,16 +30,19 @@ const char* to_string(TraceKind kind) {
 
 std::string format_trace_line(const TraceEvent& e) {
   char buf[192];
-  if (e.kind == TraceKind::kDrop) {
+  // Guard against fields that point nowhere when an event is hand-built.
+  const char* where = e.where != nullptr ? e.where : "?";
+  const char* msg = e.msg != nullptr ? e.msg : "?";
+  if (e.reason.has_value()) {
     std::snprintf(buf, sizeof(buf),
                   "%s %.6f %s %s uid %llu flow %d seq %u %uB (%s)",
-                  to_string(e.kind), e.at.sec(), e.where, e.msg,
+                  to_string(e.kind), e.at.sec(), where, msg,
                   static_cast<unsigned long long>(e.uid), e.flow, e.seq,
-                  e.bytes, to_string(e.reason));
+                  e.bytes, to_string(*e.reason));
   } else {
     std::snprintf(buf, sizeof(buf),
                   "%s %.6f %s %s uid %llu flow %d seq %u %uB",
-                  to_string(e.kind), e.at.sec(), e.where, e.msg,
+                  to_string(e.kind), e.at.sec(), where, msg,
                   static_cast<unsigned long long>(e.uid), e.flow, e.seq,
                   e.bytes);
   }

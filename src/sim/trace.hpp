@@ -2,7 +2,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
@@ -12,10 +15,14 @@ namespace fhmip {
 /// Packet-level trace events, the equivalent of ns-2's trace file. Disabled
 /// (and free) unless a sink is attached.
 enum class TraceKind {
+  kCreate,        // packet stamped with a uid (make_packet / clone)
   kTransmit,      // serialization onto a link began
   kDeliver,       // handed to the receiving node
   kForward,       // routed through a node
   kLocalDeliver,  // consumed at its destination node
+  kBufferEnter,   // parked in a handoff buffer
+  kBufferExit,    // released from a handoff buffer (drain/evict/flush)
+  kDiscard,       // destroyed without flow accounting (unclaimed control)
   kDrop,          // died, with a DropReason
 };
 
@@ -32,29 +39,68 @@ struct TraceEvent {
   std::uint32_t seq = 0;
   std::uint32_t bytes = 0;
   const char* msg = "";  // message-type name ("data", "FBU", ...)
-  DropReason reason = DropReason::kQueueOverflow;  // valid for kDrop only
+  /// Set for kDrop (and optionally kBufferExit when the exit is itself a
+  /// drop); empty for every other kind, so sinks cannot misread a stale
+  /// reason on non-drop events.
+  std::optional<DropReason> reason;
 };
 
 /// ns-2-flavoured one-line rendering:
 ///   "d 11.312000 par data uid 42 flow 1 seq 917 160B (unattached)".
+/// Robust to out-of-range enum values (renders "?").
 std::string format_trace_line(const TraceEvent& e);
 
 /// Trace hub owned by the Simulation. `emit` is called from the packet
-/// pipeline; with no sink attached it is a branch and a return.
+/// pipeline; with no sink attached it is a branch and a return. Several
+/// sinks can be attached at once (file writer + ledger + test collector);
+/// each emitted event fans out to all of them in attachment order.
 class PacketTrace {
  public:
   using Sink = std::function<void(const TraceEvent&)>;
+  using SinkId = std::uint32_t;
+  static constexpr SinkId kNoSink = 0;
 
-  void set_sink(Sink sink) { sink_ = std::move(sink); }
-  void clear() { sink_ = nullptr; }
-  bool enabled() const { return static_cast<bool>(sink_); }
+  /// Attaches a sink and returns its id for later removal.
+  SinkId add_sink(Sink sink) {
+    sinks_.emplace_back(next_id_, std::move(sink));
+    return next_id_++;
+  }
+
+  /// Detaches one sink; unknown ids are ignored.
+  void remove_sink(SinkId id) {
+    for (std::size_t i = 0; i < sinks_.size(); ++i) {
+      if (sinks_[i].first == id) {
+        sinks_.erase(sinks_.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+
+  /// Legacy single-sink interface: replaces the sink installed by the last
+  /// set_sink() call, leaving add_sink() attachments (ledgers, file
+  /// writers) untouched.
+  void set_sink(Sink sink) {
+    if (legacy_id_ != kNoSink) remove_sink(legacy_id_);
+    legacy_id_ = add_sink(std::move(sink));
+  }
+  /// Removes the set_sink() sink (legacy name kept for existing callers).
+  void clear() {
+    if (legacy_id_ != kNoSink) remove_sink(legacy_id_);
+    legacy_id_ = kNoSink;
+  }
+
+  bool enabled() const { return !sinks_.empty(); }
+  std::size_t sink_count() const { return sinks_.size(); }
 
   void emit(const TraceEvent& e) {
-    if (sink_) sink_(e);
+    // Index loop: a sink may add/remove sinks while handling an event.
+    for (std::size_t i = 0; i < sinks_.size(); ++i) sinks_[i].second(e);
   }
 
  private:
-  Sink sink_;
+  std::vector<std::pair<SinkId, Sink>> sinks_;
+  SinkId next_id_ = 1;
+  SinkId legacy_id_ = kNoSink;
 };
 
 }  // namespace fhmip

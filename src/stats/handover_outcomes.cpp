@@ -34,8 +34,9 @@ const char* to_string(HandoverCause c) {
 
 void HandoverOutcomeRecorder::record(MhId mh, SimTime at,
                                      HandoverOutcome outcome,
-                                     HandoverCause cause) {
-  attempts_.push_back({mh, at, outcome, cause});
+                                     HandoverCause cause,
+                                     const PhaseBreakdown& phases) {
+  attempts_.push_back({mh, at, outcome, cause, phases});
   ++by_outcome_[static_cast<int>(outcome)];
   ++by_cause_[static_cast<int>(cause)];
 }
@@ -74,6 +75,38 @@ std::string HandoverOutcomeRecorder::format_table(
   std::snprintf(line, sizeof(line), "  %-18s %7.2f%%\n", "success rate",
                 100.0 * success_rate());
   out += line;
+  // Mean per-phase latencies over the attempts that exhibited the phase
+  // (populated when a handover timeline fed the recorder).
+  struct Span {
+    const char* name;
+    double sum_ms = 0;
+    std::uint64_t n = 0;
+  } spans[4] = {{"anticipation"}, {"fbu-fback"}, {"blackout"}, {"total"}};
+  for (const auto& a : attempts_) {
+    if (a.phases.has_anticipation) {
+      spans[0].sum_ms += a.phases.anticipation.millis_f();
+      ++spans[0].n;
+    }
+    if (a.phases.has_fbu_fback) {
+      spans[1].sum_ms += a.phases.fbu_fback.millis_f();
+      ++spans[1].n;
+    }
+    if (a.phases.has_blackout) {
+      spans[2].sum_ms += a.phases.blackout.millis_f();
+      ++spans[2].n;
+    }
+    if (a.phases.has_total) {
+      spans[3].sum_ms += a.phases.total.millis_f();
+      ++spans[3].n;
+    }
+  }
+  for (const auto& s : spans) {
+    if (s.n == 0) continue;
+    std::snprintf(line, sizeof(line), "  phase/%-12s %7.2fms (n=%llu)\n",
+                  s.name, s.sum_ms / static_cast<double>(s.n),
+                  static_cast<unsigned long long>(s.n));
+    out += line;
+  }
   return out;
 }
 

@@ -42,6 +42,21 @@ const char* to_string(HandoverCause c);
 inline constexpr int kNumHandoverOutcomes = 3;
 inline constexpr int kNumHandoverCauses = 5;
 
+/// Per-attempt latency decomposition, produced by the handover timeline
+/// (src/obs/timeline.hpp). A span is only meaningful when its `has_` flag is
+/// set: e.g. a reactive attempt has no anticipation span, a predictive one
+/// whose radio never dropped has no blackout.
+struct PhaseBreakdown {
+  SimTime anticipation;  // L2 trigger -> PrRtAdv received
+  SimTime fbu_fback;     // first FBU sent -> FBack received
+  SimTime blackout;      // L2 detach -> L2 attach
+  SimTime total;         // attempt start -> resolution
+  bool has_anticipation = false;
+  bool has_fbu_fback = false;
+  bool has_blackout = false;
+  bool has_total = false;  // false when no timeline observed the attempt
+};
+
 /// One resolved handover attempt.
 struct HandoverAttempt {
   MhId mh = kNoNode;
@@ -49,6 +64,7 @@ struct HandoverAttempt {
                // for reactive/failed)
   HandoverOutcome outcome = HandoverOutcome::kPredictive;
   HandoverCause cause = HandoverCause::kNone;
+  PhaseBreakdown phases;  // all-flags-false when no timeline was attached
 };
 
 /// Collects per-attempt handover outcomes so scenarios and benches can
@@ -57,7 +73,7 @@ struct HandoverAttempt {
 class HandoverOutcomeRecorder {
  public:
   void record(MhId mh, SimTime at, HandoverOutcome outcome,
-              HandoverCause cause);
+              HandoverCause cause, const PhaseBreakdown& phases = {});
 
   std::uint64_t attempts() const { return attempts_.size(); }
   std::uint64_t count(HandoverOutcome o) const {

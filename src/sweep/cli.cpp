@@ -52,6 +52,8 @@ ParseResult parse_args(int argc, const char* const* argv) {
       r.options.json_path = v;
     } else if (arg == "--smoke") {
       r.options.smoke = true;
+    } else if (arg == "--metrics") {
+      r.options.metrics = true;
     } else {
       r.error = "unknown argument '" + arg + "'";
       return r;
@@ -62,11 +64,13 @@ ParseResult parse_args(int argc, const char* const* argv) {
 
 std::string usage(const std::string& argv0) {
   return "usage: " + argv0 +
-         " [--jobs N] [--json PATH] [--smoke]\n"
+         " [--jobs N] [--json PATH] [--smoke] [--metrics]\n"
          "  --jobs N, -jN  worker threads for the sweep "
          "(default: hardware concurrency)\n"
          "  --json PATH    write the machine-readable sweep report to PATH\n"
-         "  --smoke        tiny grid for CI smoke runs\n";
+         "  --smoke        tiny grid for CI smoke runs\n"
+         "  --metrics      embed each run's metrics registry in the JSON "
+         "report\n";
 }
 
 }  // namespace fhmip::sweep

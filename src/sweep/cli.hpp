@@ -9,13 +9,16 @@ namespace fhmip::sweep {
 ///   --jobs N      worker threads (default: hardware concurrency; 1 = serial)
 ///   --json PATH   write the machine-readable sweep report to PATH
 ///   --smoke       shrink the parameter grid to a seconds-long CI sanity run
+///   --metrics     embed each run's metrics-registry JSON in the report
 ///
 /// Aggregate stdout is byte-identical for every --jobs value; only wall
-/// times (stderr + JSON) differ.
+/// times (stderr + JSON) differ. The per-run metrics payloads are derived
+/// purely from the simulation, so they too are identical at any job count.
 struct Options {
   int jobs = 0;  // 0 = hardware concurrency
   std::string json_path;
   bool smoke = false;
+  bool metrics = false;
 };
 
 /// Outcome of parsing: on failure `error` is non-empty and `usage` holds

@@ -67,7 +67,13 @@ std::string report_to_json(const std::string& bench_name,
     const RunRecord& r = report.runs[i];
     os << (i == 0 ? "\n" : ",\n");
     os << "    {\"index\": " << r.index << ", \"label\": \""
-       << escape(r.label) << "\", \"wall_ms\": " << num(r.wall_ms) << "}";
+       << escape(r.label) << "\", \"wall_ms\": " << num(r.wall_ms);
+    if (!r.metrics_json.empty()) {
+      // Already a JSON object (obs::MetricsRegistry::to_json()); embedded
+      // raw, not as a string.
+      os << ", \"metrics\": " << r.metrics_json;
+    }
+    os << "}";
   }
   os << (report.runs.empty() ? "]\n" : "\n  ]\n");
   os << "}\n";

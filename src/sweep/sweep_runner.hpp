@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <exception>
 #include <functional>
@@ -15,6 +16,9 @@ struct RunRecord {
   std::size_t index = 0;
   std::string label;
   double wall_ms = 0;
+  /// The run's metrics-registry export (obs::MetricsRegistry::to_json()),
+  /// attached by the bench under --metrics; empty otherwise.
+  std::string metrics_json;
 };
 
 /// Timing report for one SweepRunner::run() call. Per-run wall times vary
@@ -77,6 +81,16 @@ class SweepRunner {
 
   /// Timing/label report of the most recent run() call.
   const SweepReport& report() const { return report_; }
+
+  /// Attaches per-run metrics payloads (index-aligned with the grid) to the
+  /// most recent report, for `write_json` to embed. Extra entries are
+  /// ignored; missing ones leave the run without a metrics field.
+  void attach_metrics(std::vector<std::string> per_run) {
+    const std::size_t n = std::min(per_run.size(), report_.runs.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      report_.runs[i].metrics_json = std::move(per_run[i]);
+    }
+  }
 
  private:
   /// Type-erased core: executes body(0..n-1) across the pool, records per-

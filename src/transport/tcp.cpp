@@ -70,6 +70,7 @@ void TcpSender::send_segment(std::uint32_t seq, bool retransmission) {
   seg.seq = seq;
   seg.len = cfg_.mss;
   p->msg = seg;
+  trace_packet(sim, TraceKind::kCreate, node_.name().c_str(), *p);
   sim.stats().record_sent(cfg_.flow);
   send_trace_.push_back({sim.now(), seq});
   // RTT sampling: one sample at a time, never on retransmissions (Karn).
@@ -216,6 +217,7 @@ void TcpSink::send_ack(Address to, std::uint16_t to_port) {
   a.is_ack = true;
   a.ack = rcv_nxt_;
   ack->msg = a;
+  trace_packet(sim, TraceKind::kCreate, node_.name().c_str(), *ack);
   if (ack_flow_ != kNoFlow) sim.stats().record_sent(ack_flow_);
   ++acks_sent_;
   ack_pending_ = false;

@@ -21,6 +21,7 @@ void UdpAgent::send_to(Address dst, std::uint16_t dst_port,
   p->tclass = tclass;
   p->flow = flow;
   p->seq = seq;
+  trace_packet(node_.sim(), TraceKind::kCreate, node_.name().c_str(), *p);
   if (record) node_.sim().stats().record_sent(flow);
   node_.send(std::move(p));
 }

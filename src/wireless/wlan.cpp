@@ -5,7 +5,12 @@
 namespace fhmip {
 
 WlanManager::WlanManager(Simulation& sim, WlanConfig cfg)
-    : sim_(sim), cfg_(cfg) {}
+    : sim_(sim), cfg_(cfg) {
+  obs::MetricsRegistry& m = sim_.metrics();
+  m_handoffs_ = &m.counter("wlan/handoffs");
+  m_blackout_ms_ = &m.histogram(
+      "wlan/blackout_ms", {10, 20, 50, 100, 200, 300, 400, 500, 1000});
+}
 
 AccessPoint& WlanManager::add_ap(Node& ar_node, Vec2 pos, double radius_m,
                                  ArAttachListener* listener) {
@@ -130,6 +135,8 @@ void WlanManager::start_handoff(MhId mh, MhRecord& rec, AccessPoint& target) {
                                ? cfg_.l2_phase_model->sample(sim_.rng()).total()
                                : cfg_.l2_handoff_delay;
   last_blackout_ = blackout;
+  m_handoffs_->inc();
+  m_blackout_ms_->observe(blackout.millis_f());
   if (rec.cb) rec.cb->on_predisconnect(target.id(), target.ar_node());
   const NodeId target_id = target.id();
   oneshot_evs_.push_back(

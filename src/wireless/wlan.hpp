@@ -8,6 +8,7 @@
 
 #include "net/link.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
 #include "wireless/access_point.hpp"
 #include "wireless/l2_phases.hpp"
 #include "wireless/mobility.hpp"
@@ -119,6 +120,8 @@ class WlanManager {
   std::vector<EventId> oneshot_evs_;
   std::size_t handoffs_ = 0;
   SimTime last_blackout_;
+  obs::Counter* m_handoffs_ = nullptr;       // wlan/handoffs
+  obs::Histogram* m_blackout_ms_ = nullptr;  // wlan/blackout_ms
   NodeId next_ap_id_ = 10000;  // AP ids live in a separate space from nodes
 };
 

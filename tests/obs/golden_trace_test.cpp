@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "obs/trace_file.hpp"
+#include "scenario/paper_topology.hpp"
+#include "transport/cbr.hpp"
+#include "transport/sink.hpp"
+
+namespace fhmip {
+namespace {
+
+using namespace timeliterals;
+
+#ifndef FHMIP_SOURCE_DIR
+#error "obs_tests must be compiled with FHMIP_SOURCE_DIR"
+#endif
+
+constexpr const char* kGoldenPath =
+    FHMIP_SOURCE_DIR "/tests/golden/predictive_handover.trace";
+
+/// Accepts the fast-handover control plane plus every buffer and death
+/// event: the packet-level choreography the golden file locks in. Periodic
+/// background control (router advertisements, binding updates) is filtered
+/// out so the golden stays focused on the §2/§3 message sequence.
+bool golden_filter(const TraceEvent& e) {
+  if (e.kind == TraceKind::kBufferEnter || e.kind == TraceKind::kBufferExit ||
+      e.kind == TraceKind::kDrop || e.kind == TraceKind::kDiscard) {
+    return true;
+  }
+  static constexpr std::string_view kControl[] = {
+      "RtSolPr", "PrRtAdv", "HI", "HAck",       "FBU", "FBAck",
+      "FNA",     "FNAAck",  "BF", "BufferFull", "BI",  "BA"};
+  const std::string_view msg = e.msg != nullptr ? e.msg : "";
+  for (const std::string_view m : kControl) {
+    if (msg == m) return true;
+  }
+  return false;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// The canonical predictive handover: default Figure 4.1 network, one CBR
+/// flow, one PAR->NAR pass with dual buffering. Returns the filtered packet
+/// trace plus the handover timeline, the exact bytes the golden file holds.
+std::string run_canonical_scenario() {
+  PaperTopologyConfig cfg;  // seed 1, 200 ms blackout, 10 m/s
+  cfg.scheme.mode = BufferMode::kDual;
+  cfg.scheme.classify = false;
+  cfg.scheme.pool_pkts = 40;
+  cfg.scheme.request_pkts = 40;
+  PaperTopology topo(cfg);
+  Simulation& sim = topo.simulation();
+
+  // Unique per process AND per call: ctest -j runs the two GoldenTrace
+  // tests as concurrent processes sharing TempDir(), and this helper runs
+  // twice inside the determinism test.
+  static std::atomic<int> run_seq{0};
+  const std::string tmp = testing::TempDir() + "fhmip_golden_run." +
+                          std::to_string(::getpid()) + "." +
+                          std::to_string(run_seq.fetch_add(1)) + ".tr";
+  std::string trace_text;
+  {
+    obs::TraceFileWriter writer(sim, tmp, golden_filter);
+    auto& m = topo.mobile(0);
+    UdpSink sink(*m.node, 7000);
+    CbrSource::Config c;
+    c.dst = m.regional;
+    c.dst_port = 7000;
+    c.packet_bytes = 160;
+    c.interval = 10_ms;
+    c.flow = 1;
+    CbrSource src(topo.cn(), 5000, c);
+    src.start(2_s);
+    src.stop(16_s);
+    topo.start();
+    sim.run_until(20_s);
+  }  // writer flushes and detaches here
+  trace_text = slurp(tmp);
+  std::remove(tmp.c_str());
+  return trace_text + "--- timeline ---\n" +
+         topo.simulation().timeline().format_timeline();
+}
+
+/// Byte-exact regression lock on the canonical predictive handover. Any
+/// change to message ordering, buffer fill/drain timing, drop accounting,
+/// trace formatting, or the timeline renderer shows up as a diff here.
+/// Deliberate behaviour changes regenerate the file with:
+///   UPDATE_GOLDEN=1 ./obs_tests --gtest_filter='GoldenTrace.*'
+TEST(GoldenTrace, PredictiveHandoverMatchesCheckedInTrace) {
+  const std::string actual = run_canonical_scenario();
+  ASSERT_FALSE(actual.empty());
+
+  if (std::getenv("UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(kGoldenPath, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << kGoldenPath;
+    out << actual;
+    out.close();
+    GTEST_SKIP() << "golden regenerated at " << kGoldenPath;
+  }
+
+  const std::string golden = slurp(kGoldenPath);
+  ASSERT_FALSE(golden.empty())
+      << "missing golden file " << kGoldenPath
+      << " — regenerate with UPDATE_GOLDEN=1";
+  if (actual != golden) {
+    // Find the first diverging line for a readable failure.
+    std::istringstream a(actual), g(golden);
+    std::string la, lg;
+    int line = 1;
+    while (std::getline(a, la) && std::getline(g, lg) && la == lg) ++line;
+    FAIL() << "golden trace mismatch at line " << line << "\n  golden: " << lg
+           << "\n  actual: " << la
+           << "\n(UPDATE_GOLDEN=1 regenerates after a deliberate change)";
+  }
+}
+
+/// The scenario itself is deterministic: two runs in one process produce
+/// byte-identical trace + timeline output. Guards the golden test against
+/// flakiness blamed on the checked-in file.
+TEST(GoldenTrace, CanonicalScenarioIsRunToRunDeterministic) {
+  EXPECT_EQ(run_canonical_scenario(), run_canonical_scenario());
+}
+
+}  // namespace
+}  // namespace fhmip

@@ -5,8 +5,10 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/simulation.hpp"
 #include "sweep/cli.hpp"
 #include "sweep/json.hpp"
@@ -48,6 +50,79 @@ TEST(SweepRunner, ResultsAreIndexOrderedAndDeterministicAcrossJobCounts) {
     const auto got = parallel.run(grid_of(24));
     EXPECT_EQ(got, expected) << "jobs=" << jobs;  // byte-identical aggregate
   }
+}
+
+/// A share-nothing run that also exercises the metrics registry, returning
+/// (numeric result, metrics JSON) the way the --metrics benches do.
+std::pair<std::uint64_t, std::string> metric_experiment(std::uint64_t seed) {
+  Simulation sim(seed);
+  obs::Counter& events = sim.metrics().counter("test/events");
+  obs::Histogram& delay =
+      sim.metrics().histogram("test/delay_ms", {1, 5, 10, 50});
+  std::uint64_t acc = 0;
+  for (int i = 0; i < 40; ++i) {
+    sim.in(SimTime::millis(1 + static_cast<std::int64_t>(seed % 5)) * i,
+           [&, i] {
+             acc = acc * 31 + sim.rng().next_u64() % 1000 + i;
+             events.inc();
+             delay.observe(static_cast<double>(acc % 60));
+           });
+  }
+  sim.run();
+  sim.metrics().gauge("test/final").set(static_cast<std::int64_t>(acc % 97));
+  return {acc, sim.metrics().to_json()};
+}
+
+std::vector<SweepRunner::Job<std::pair<std::uint64_t, std::string>>>
+metric_grid(int n) {
+  std::vector<SweepRunner::Job<std::pair<std::uint64_t, std::string>>> grid;
+  for (int i = 0; i < n; ++i) {
+    const auto seed = static_cast<std::uint64_t>(i) * 977 + 13;
+    grid.push_back({"seed=" + std::to_string(seed),
+                    [seed] { return metric_experiment(seed); }});
+  }
+  return grid;
+}
+
+/// Runs the metrics grid on `jobs` workers and renders the full report
+/// (per-run metrics embedded) exactly as a --metrics --json bench would.
+std::string metrics_report_json(int jobs) {
+  SweepRunner runner(jobs);
+  auto results = runner.run(metric_grid(12));
+  std::vector<std::string> per_run;
+  per_run.reserve(results.size());
+  for (auto& r : results) per_run.push_back(std::move(r.second));
+  runner.attach_metrics(std::move(per_run));
+  SweepReport rep = runner.report();
+  // Wall-clock timings differ run to run by nature, and the jobs field
+  // records the worker count by design; normalize both so the comparison
+  // isolates the deterministic payload.
+  rep.total_wall_ms = 0;
+  rep.jobs = 1;
+  for (auto& run : rep.runs) run.wall_ms = 0;
+  return report_to_json("metrics_determinism", rep);
+}
+
+TEST(SweepRunner, MetricsPayloadsAreByteIdenticalAcrossJobCounts) {
+  const std::string expected = metrics_report_json(1);
+  EXPECT_NE(expected.find("\"metrics\": {\"counters\""), std::string::npos);
+  EXPECT_NE(expected.find("test/delay_ms"), std::string::npos);
+  for (const int jobs : {2, 8}) {
+    EXPECT_EQ(metrics_report_json(jobs), expected) << "jobs=" << jobs;
+  }
+  // Repeated same-seed serial runs are byte-identical too.
+  EXPECT_EQ(metrics_report_json(1), expected);
+}
+
+TEST(SweepRunner, AttachMetricsToleratesLengthMismatch) {
+  SweepRunner r(1);
+  r.run(grid_of(3));
+  // Shorter and longer vectors must not over- or under-run the report.
+  r.attach_metrics({"{}"});
+  EXPECT_EQ(r.report().runs[0].metrics_json, "{}");
+  EXPECT_TRUE(r.report().runs[2].metrics_json.empty());
+  r.attach_metrics({"{}", "{}", "{}", "{\"extra\":1}"});
+  EXPECT_EQ(r.report().runs[2].metrics_json, "{}");
 }
 
 TEST(SweepRunner, EmptyGridIsANoop) {

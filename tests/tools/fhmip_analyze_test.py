@@ -97,6 +97,14 @@ class TestSemanticRules(FixtureRoot):
         # suppressed; the collect-then-sort snapshot variant is silent.
         self.assert_findings("DET-02", p, [11], [16])
 
+    def test_det02_covers_obs_export_surfaces(self):
+        # emit()/to_json()-style renderings are byte-compared by the
+        # golden-trace and sweep determinism tests, so feeding them from a
+        # hash-ordered loop must fire like any print; the sorted-snapshot
+        # variant stays silent.
+        p = self.stage("det02_obs.hpp")
+        self.assert_findings("DET-02", p, [12], [17])
+
     def test_aud01_fires_and_suppresses(self):
         p = self.stage("aud01.hpp")
         # bump() mutates without auditing; bump_quiet() is NOLINTed;

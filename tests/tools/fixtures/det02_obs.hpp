@@ -1,0 +1,37 @@
+#pragma once
+// DET-02 fixture for the observability export surfaces: emitting trace or
+// JSON output while iterating an unordered container is hash-order
+// dependent and breaks the byte-compared golden/sweep exports. Covers the
+// positive, the inline-suppressed twin, and the sorted-snapshot idiom.
+
+namespace fix {
+
+class HashOrderExporter {
+ public:
+  void export_all() {
+    for (const auto& [uid, ev] : live_) {
+      sink_.emit(ev);
+    }
+  }
+  void export_suppressed() {
+    for (const auto& [uid, ev] : live_) {  // NOLINT-FHMIP(DET-02)
+      sink_.emit(ev);
+    }
+  }
+  void export_sorted() {
+    std::vector<int> uids;
+    for (const auto& [uid, ev] : live_) {
+      uids.push_back(uid);
+    }
+    std::sort(uids.begin(), uids.end());
+    for (int uid : uids) {
+      sink_.emit(live_.at(uid));
+    }
+  }
+
+ private:
+  std::unordered_map<int, int> live_;
+  Sink sink_;
+};
+
+}  // namespace fix

@@ -33,6 +33,12 @@ _OUTPUT_CALLS = {
     "printf", "fprintf", "snprintf", "sprintf", "vprintf", "puts", "fputs",
     "fwrite", "add_row", "append", "print", "render", "write",
     "print_series_table", "print_series_csv",
+    # Deterministic-export surfaces of the observability layer (src/obs):
+    # these renderings are byte-compared by the golden-trace and sweep
+    # --jobs determinism tests, so feeding them from hash-ordered
+    # iteration is an output-order bug like any print.
+    "to_json", "format_text", "format_timeline", "format_trace_line",
+    "emit",
 }
 _ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^="}
 
