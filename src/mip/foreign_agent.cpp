@@ -63,6 +63,8 @@ bool ForeignAgent::handle_control(PacketPtr& p) {
     RegistrationRequestMsg relay = *req;
     relay.coa = care_of_address();  // FA-CoA mode
     ++relayed_;
+    // The relay is per-message stateless; the originating MH owns
+    // retransmission and re-elicits a lost relay. NOLINT-FHMIP(PROTO-01)
     node_.send(make_control(sim, address(), req->home_agent, relay));
     return true;
   }

@@ -18,6 +18,8 @@ void MobileIpClient::send_binding_update(Address lcoa, SimTime lifetime) {
   bu.lcoa = lcoa;
   bu.lifetime = lifetime;
   ++updates_sent_;
+  // Baseline MIP: a lost BU is recovered by the periodic lifetime-driven
+  // refresh, not a per-message timer. NOLINT-FHMIP(PROTO-01)
   node_.send(make_control(node_.sim(), lcoa, map_, bu));
 }
 
@@ -29,6 +31,8 @@ void MobileIpClient::send_binding_update_to(Address correspondent,
   bu.lcoa = lcoa;
   bu.lifetime = lifetime;
   ++updates_sent_;
+  // Route-optimization BU to a CN is best-effort; traffic falls back to
+  // the HA tunnel until the next refresh. NOLINT-FHMIP(PROTO-01)
   node_.send(make_control(node_.sim(), lcoa, correspondent, bu));
 }
 
@@ -42,6 +46,8 @@ void MobileIpClient::send_simultaneous_binding(Address lcoa,
   bu.simultaneous = true;
   ++updates_sent_;
   // Sent from the *current* address; the new LCoA is not usable yet.
+  // Simultaneous binding is an optimization: loss degrades to the plain
+  // handover path, recovered at the next refresh. NOLINT-FHMIP(PROTO-01)
   node_.send(make_control(node_.sim(), regional_, map_, bu));
 }
 
@@ -55,6 +61,8 @@ void MobileIpClient::send_registration(Address via, Address home_agent,
   req.coa = coa;
   req.lifetime = lifetime;
   ++registrations_sent_;
+  // Baseline MIP registration relies on lifetime refresh for recovery;
+  // experiments drive retries from the scenario. NOLINT-FHMIP(PROTO-01)
   node_.send(make_control(node_.sim(), coa, via, req));
 }
 

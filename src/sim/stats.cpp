@@ -33,30 +33,45 @@ const char* to_string(DropReason reason) {
   return "?";
 }
 
-void StatsHub::record_sent(FlowId flow) { ++flows_[flow].sent; }
+std::size_t StatsHub::index_of(FlowId flow) {
+  return static_cast<std::size_t>(flow - kNoFlow);
+}
+
+FlowCounters& StatsHub::slot(FlowId flow) {
+  const std::size_t i = index_of(flow);
+  if (i >= flows_.size())
+    flows_.resize(i + 1);  // NOLINT-FHMIP(PERF-01) first sight of a new flow id only, never per packet
+  return flows_[i];
+}
+
+void StatsHub::record_sent(FlowId flow) { ++slot(flow).sent; }
 
 void StatsHub::record_delivery(FlowId flow, SimTime at, std::uint32_t seq,
                                SimTime delay, std::uint32_t bytes) {
-  auto& f = flows_[flow];
+  auto& f = slot(flow);
   ++f.delivered;
   f.bytes_delivered += bytes;
-  if (keep_samples_) samples_[flow].push_back({at, seq, delay});
+  if (keep_samples_) {
+    const std::size_t i = index_of(flow);
+    if (i >= samples_.size()) samples_.resize(i + 1);
+    samples_[i].push_back({at, seq, delay});
+  }
 }
 
 void StatsHub::record_drop(FlowId flow, DropReason reason) {
-  auto& f = flows_[flow];
+  auto& f = slot(flow);
   ++f.dropped;
   ++f.drops_by_reason[static_cast<int>(reason)];
 }
 
 const FlowCounters& StatsHub::flow(FlowId id) const {
-  auto it = flows_.find(id);
-  return it == flows_.end() ? kEmpty : it->second;
+  const std::size_t i = index_of(id);
+  return i < flows_.size() ? flows_[i] : kEmpty;
 }
 
 FlowCounters StatsHub::totals() const {
   FlowCounters t;
-  for (const auto& [id, f] : flows_) {
+  for (const auto& f : flows_) {
     t.sent += f.sent;
     t.delivered += f.delivered;
     t.dropped += f.dropped;
@@ -68,20 +83,23 @@ FlowCounters StatsHub::totals() const {
 }
 
 const std::vector<DeliverySample>& StatsHub::samples(FlowId id) const {
-  auto it = samples_.find(id);
-  return it == samples_.end() ? kNoSamples : it->second;
+  const std::size_t i = index_of(id);
+  return i < samples_.size() ? samples_[i] : kNoSamples;
 }
 
 std::vector<FlowId> StatsHub::flows() const {
   std::vector<FlowId> out;
-  out.reserve(flows_.size());
-  for (const auto& [id, f] : flows_) out.push_back(id);
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    const auto& f = flows_[i];
+    if (f.sent != 0 || f.delivered != 0 || f.dropped != 0)
+      out.push_back(static_cast<FlowId>(i) + kNoFlow);
+  }
   return out;
 }
 
 std::uint64_t StatsHub::total_drops(DropReason reason) const {
   std::uint64_t n = 0;
-  for (const auto& [id, f] : flows_)
+  for (const auto& f : flows_)
     n += f.drops_by_reason[static_cast<int>(reason)];
   return n;
 }

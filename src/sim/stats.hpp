@@ -1,7 +1,7 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -72,8 +72,16 @@ class StatsHub {
   void reset();
 
  private:
-  std::map<FlowId, FlowCounters> flows_;
-  std::map<FlowId, std::vector<DeliverySample>> samples_;
+  // Flat per-flow storage indexed by flow - kNoFlow (slot 0 is kNoFlow).
+  // Flow ids are dense and small, so the per-packet record_* calls are a
+  // bounds check plus an index instead of a std::map node walk (and a node
+  // allocation on first sight). Slots grow only when a new flow id first
+  // appears, never per packet. Iterating slots in index order reproduces
+  // the old map order (-1, 0, 1, ...) byte for byte.
+  static std::size_t index_of(FlowId flow);
+  FlowCounters& slot(FlowId flow);
+  std::vector<FlowCounters> flows_;
+  std::vector<std::vector<DeliverySample>> samples_;
   bool keep_samples_ = false;
   static const FlowCounters kEmpty;
   static const std::vector<DeliverySample> kNoSamples;

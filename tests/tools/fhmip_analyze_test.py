@@ -122,6 +122,95 @@ class TestSemanticRules(FixtureRoot):
         self.assert_findings("banned-random", p, [8], [12])
 
 
+class TestLexerCorners(FixtureRoot):
+    def test_raw_strings_separators_and_slashes_in_strings(self):
+        # Raw-string body (with a quote, a //, and a rand()) is inert and
+        # keeps line numbers in sync for the NOLINT after it; // inside a
+        # regular string does not comment out the rest of the line; a
+        # digit separator does not open a char literal.
+        p = self.stage("lex_corners.hpp")
+        self.assert_findings("banned-random", p, [17, 21], [13])
+
+
+ROOTS = ("--roots", str(FIXTURES / "roots_fixture.toml"))
+
+
+class TestCallGraphRules(FixtureRoot):
+    def test_perf01_reachable_allocations(self):
+        # Map subscript, vector growth, and a configured alloc call, all
+        # reachable from the declared root; the unreachable cold_path and
+        # the NOLINTed scratch vector stay out.
+        p = self.stage("perf01.hpp")
+        self.assert_findings("PERF-01", p, [22, 27, 28], [37], extra=ROOTS)
+
+    def test_perf01_multi_hop_reachability_path(self):
+        # The store() findings sit two hops below the root; both the text
+        # report and the SARIF codeFlow carry the full chain.
+        self.stage("perf01.hpp")
+        code, out, _ = run_analyze(self.root, "--no-baseline",
+                                   "--rules", "PERF-01", *ROOTS)
+        self.assertEqual(code, 1, out)
+        chain = "Forwarder::transmit -> Forwarder::enqueue -> Forwarder::store"
+        self.assertIn("reachable via: " + chain, out)
+        doc = json.loads((self.root / "out.json").read_text())
+        flows = [loc["location"]["message"]["text"]
+                 for r in doc["runs"][0]["results"]
+                 if r.get("codeFlows")
+                 for loc in r["codeFlows"][0]["threadFlows"][0]["locations"]]
+        self.assertIn("Forwarder::store", flows, out)
+
+    def test_perf01_unmatched_root_is_a_finding(self):
+        self.stage("perf01.hpp")
+        bad = self.root / "bad_roots.toml"
+        bad.write_text('[PERF-01]\nroots = ["Gone::away"]\n')
+        code, out, findings = run_analyze(
+            self.root, "--no-baseline", "--rules", "PERF-01",
+            "--roots", str(bad))
+        self.assertEqual(code, 1, out)
+        self.assertIn(("PERF-01", "tools/analyze/roots.toml", 1, False),
+                      findings, out)
+
+    def test_conc01_sweep_reachable_global_state(self):
+        # helper() touches the bare global via the sweep root; the atomic
+        # twin is silent and the justified touch is suppressed.
+        p = self.stage("conc01.hpp")
+        self.assert_findings("CONC-01", p, [11], [19], extra=ROOTS)
+
+    def test_proto01_send_guard_pairing(self):
+        # BareSender sends an unguarded request (active); GuardedSender's
+        # class arms a timer (silent); Responder only names the type as a
+        # template argument (exempt); JustifiedSender is NOLINTed.
+        p = self.stage("proto01.hpp", "fastho/proto01.hpp")
+        self.assert_findings("PROTO-01", p, [26], [66], extra=ROOTS)
+
+
+class TestTokenCacheIdentity(FixtureRoot):
+    def test_cached_and_cold_runs_produce_identical_findings(self):
+        self.stage("perf01.hpp")
+        self.stage("conc01.hpp")
+        self.stage("lex_corners.hpp")
+        cold = run_analyze(self.root, "--no-baseline", "--no-cache", *ROOTS)
+        warm_fill = run_analyze(self.root, "--no-baseline", *ROOTS)
+        warm_hit = run_analyze(self.root, "--no-baseline", *ROOTS)
+        cache_dir = self.root / "build" / "analyze_cache"
+        self.assertTrue(any(cache_dir.rglob("*.pkl")),
+                        "cache produced no entries")
+        self.assertEqual(cold[2], warm_fill[2], warm_fill[1])
+        self.assertEqual(cold[2], warm_hit[2], warm_hit[1])
+        self.assertEqual(cold[0], warm_hit[0])
+
+    def test_edited_file_invalidates_its_entry(self):
+        p = self.stage("conc01.hpp")
+        before = run_analyze(self.root, "--no-baseline",
+                             "--rules", "CONC-01", *ROOTS)
+        src = self.root / p
+        src.write_text("\n" + src.read_text())  # shift every line by one
+        after = run_analyze(self.root, "--no-baseline",
+                            "--rules", "CONC-01", *ROOTS)
+        shifted = [(r, pp, l + 1, s) for r, pp, l, s in before[2]]
+        self.assertEqual(sorted(shifted), sorted(after[2]), after[1])
+
+
 class TestNodeScratchRedetection(FixtureRoot):
     def test_life01_redetects_pr1_dangling_handler(self):
         # Scratch copy of the real header plus a client that reintroduces

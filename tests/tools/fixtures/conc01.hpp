@@ -1,0 +1,24 @@
+#pragma once
+
+#include <atomic>
+
+namespace fx_conc {
+
+int g_counter = 0;             // mutable namespace-scope, unprotected
+std::atomic<int> g_atomic{0};  // protected: atomic
+
+inline void helper() {
+  ++g_counter;  // active, via run_case -> helper
+  ++g_atomic;   // silent: atomic
+}
+
+// Sweep-root per-run closure (fixture roots.toml).
+inline void run_case() { helper(); }
+
+inline void touch_quiet() {
+  ++g_counter;  // NOLINT-FHMIP(CONC-01) serialized by the fixture barrier
+}
+
+inline void run_quiet() { touch_quiet(); }
+
+}  // namespace fx_conc

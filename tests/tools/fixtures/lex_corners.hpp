@@ -1,0 +1,23 @@
+#pragma once
+
+namespace fx_lex {
+
+// Raw string: the body below holds a quote, a // marker, and a rand()
+// call — all inert. Line numbering must survive the embedded newlines
+// so the NOLINT after it still lands on its own line.
+inline const char* kDoc = R"(line one
+  "quoted" // rand() inside a raw string is not a call
+  still raw
+)";
+
+inline int after_raw() { return rand(); }  // NOLINT-FHMIP(banned-random) fixture: proves lines stay in sync after a raw string
+
+// A // inside a regular string must not start a comment: mis-stripping
+// would delete the call after the semicolon and miss the finding.
+inline const char* kUrl = "http://x"; inline int in_line() { return rand(); }
+
+// A digit separator must not open a char literal: mishandling would
+// swallow everything up to the next apostrophe, including the call.
+inline constexpr long kBig = 1'000'000; inline int sep() { return rand(); }
+
+}  // namespace fx_lex

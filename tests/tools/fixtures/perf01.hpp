@@ -1,0 +1,47 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace fx_perf {
+
+struct Packet {
+  int id = 0;
+};
+
+class Forwarder {
+ public:
+  // Root (fixture roots.toml). Two hops below it, store() allocates.
+  void transmit(int id) {
+    enqueue(id);
+    scratch(id);
+  }
+
+  void enqueue(int id) {
+    counts_[id] += 1;  // active: map operator[] inserts on miss
+    store(id);
+  }
+
+  void store(int id) {
+    q_.push_back(id);                     // active: vector growth
+    auto p = std::make_shared<Packet>();  // active: configured alloc call
+    (void)p;
+  }
+
+  void cold_path(int id) {
+    log_.push_back(id);  // unreachable from the root: silent
+  }
+
+  void scratch(int id) {
+    scratch_.push_back(id);  // NOLINT-FHMIP(PERF-01) pre-sized in ctor
+  }
+
+ private:
+  std::vector<int> q_;
+  std::vector<int> log_;
+  std::vector<int> scratch_;
+  std::map<int, int> counts_;
+};
+
+}  // namespace fx_perf

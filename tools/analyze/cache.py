@@ -1,0 +1,95 @@
+"""Incremental per-file token cache for fhmip_analyze.
+
+Lexing is the analyzer's hottest loop (a char-by-char Python scan); the
+symbol model and all rules derive from the token stream. This cache
+stores, per source file, the lexed artifacts keyed by a content hash, so
+re-runs on an unchanged tree skip the lexer entirely. Cache entries live
+under `<root>/build/analyze_cache/` (the build tree is gitignored and
+disposable), one pickle per file keyed by the repo-relative path.
+
+Invalidation is entirely content-driven:
+  * the entry embeds the sha1 of the file's text — any edit misses;
+  * the cache directory is versioned by the sha1 of cpplex.py itself, so
+    changing the lexer invalidates everything without a manual bump.
+
+The cache is an optimization only: a corrupt/unreadable entry or an
+unwritable build tree degrades to a cold lex, never to an error, and
+`--no-cache` bypasses it (the fixture suite proves cold and cached runs
+produce byte-identical findings).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from pathlib import Path
+
+from cpplex import LexedFile, Tok
+
+_FORMAT = 2  # bump when the pickled shape changes
+
+
+def _lexer_version() -> str:
+    src = Path(__file__).resolve().parent / "cpplex.py"
+    try:
+        return hashlib.sha1(src.read_bytes()).hexdigest()[:12]
+    except OSError:
+        return "unknown"
+
+
+class TokenCache:
+    def __init__(self, root: Path, enabled: bool = True):
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self.dir = root / "build" / "analyze_cache" / \
+            f"v{_FORMAT}-{_lexer_version()}"
+        if enabled:
+            try:
+                self.dir.mkdir(parents=True, exist_ok=True)
+            except OSError:
+                self.enabled = False
+
+    def _entry_path(self, rel: str) -> Path:
+        return self.dir / (hashlib.sha1(rel.encode()).hexdigest() + ".pkl")
+
+    def get(self, rel: str, text: str) -> LexedFile | None:
+        if not self.enabled:
+            return None
+        p = self._entry_path(rel)
+        try:
+            with p.open("rb") as fh:
+                entry = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, ValueError):
+            return None
+        digest = hashlib.sha1(text.encode("utf-8")).hexdigest()
+        if entry.get("hash") != digest or entry.get("rel") != rel:
+            return None
+        self.hits += 1
+        lf = LexedFile.__new__(LexedFile)
+        lf.path = rel
+        lf.tokens = [Tok(k, t, ln) for k, t, ln in entry["tokens"]]
+        lf.line_comments = dict(entry["line_comments"])
+        lf.pp_directives = list(entry["pp_directives"])
+        lf.num_lines = entry["num_lines"]
+        return lf
+
+    def put(self, rel: str, text: str, lexed: LexedFile):
+        if not self.enabled:
+            return
+        self.misses += 1
+        entry = {
+            "hash": hashlib.sha1(text.encode("utf-8")).hexdigest(),
+            "rel": rel,
+            "tokens": [(t.kind, t.text, t.line) for t in lexed.tokens],
+            "line_comments": lexed.line_comments,
+            "pp_directives": lexed.pp_directives,
+            "num_lines": lexed.num_lines,
+        }
+        tmp = self._entry_path(rel).with_suffix(".tmp")
+        try:
+            with tmp.open("wb") as fh:
+                pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            tmp.replace(self._entry_path(rel))
+        except OSError:
+            self.enabled = False

@@ -1,0 +1,569 @@
+"""Whole-program call graph for fhmip_analyze.
+
+Builds, from the per-unit symbol models (cppmodel), a repo-wide call
+graph: every function/method definition becomes a node; call sites are
+extracted from body token streams and resolved by name + arity, narrowed
+by receiver type where the model knows it (locals, params, fields,
+`using` aliases like PacketPtr -> Packet). Resolution is deliberately
+conservative:
+
+  * a call through a receiver whose type resolves to a program class goes
+    to that class's methods; if any program class declares the method
+    virtual, the edge fans out to every program method of that name
+    (interface dispatch is over-approximated, never missed);
+  * a member call whose receiver type is unknown (chained calls, opaque
+    expressions) fans out to every program method of that name;
+  * an unqualified call resolves to the enclosing class's method, else to
+    free functions of that name, else is treated as external (std::);
+  * std::function invocations are NOT edges — but lambda bodies are
+    attributed to the function that wrote the lambda, so allocations in a
+    callback are charged to its creation site. Callbacks installed by
+    setup code and invoked on a hot path are the known under-
+    approximation; roots.toml can add the installee as an extra root.
+
+Reachability queries run BFS from declared root sets (roots.toml) and
+keep parent pointers so every finding can print its root -> ... -> sink
+path. The graph also carries the mutable-global inventory (namespace-
+scope variables, function-local statics, class-static fields) that
+CONC-01 checks against sweep-closure reachability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from cpplex import ID
+
+# Identifier tokens that look like calls but never are.
+_NOT_CALLS = {
+    "if", "while", "for", "switch", "return", "catch", "sizeof", "alignof",
+    "decltype", "static_cast", "dynamic_cast", "reinterpret_cast",
+    "const_cast", "static_assert", "throw", "new", "delete", "defined",
+    "noexcept", "assert", "typeid", "co_await", "co_return", "operator",
+}
+
+# std:: container/vocabulary types: a receiver of one of these is an
+# external call (no program edge), but PERF-01 inspects the type text.
+_STD_CONTAINERS = {
+    "vector", "map", "unordered_map", "set", "unordered_set", "multimap",
+    "deque", "list", "array", "string", "basic_string", "queue",
+    "priority_queue", "stack", "optional", "variant", "span", "pair",
+    "tuple", "function", "bitset", "initializer_list", "string_view",
+    "ostringstream", "istringstream", "stringstream",
+}
+# Wrappers we look *through* to find the pointee/wrapped class.
+_TYPE_WRAPPERS = {
+    "std", "const", "static", "mutable", "volatile", "inline", "typename",
+    "struct", "class", "unique_ptr", "shared_ptr", "weak_ptr",
+    "reference_wrapper", "not_null", "atomic",
+}
+
+_SYNC_TYPE_WORDS = ("atomic", "mutex", "thread_local", "once_flag",
+                    "condition_variable", "atomic_flag", "latch", "barrier")
+
+_NS_STMT_SKIP = {
+    "using", "typedef", "template", "friend", "static_assert", "extern",
+    "namespace", "enum", "class", "struct", "union", "public", "private",
+    "protected", "operator", "asm",
+}
+
+
+@dataclass
+class CallSite:
+    name: str
+    arity: int
+    kind: str  # plain | class | unknown-recv | container | external
+    recv_class: str = ""  # for kind == class
+    recv_type: str = ""  # declared type text of the receiver, if known
+    recv_name: str = ""  # receiver identifier, if a plain name
+    line: int = 0
+    tok_index: int = 0
+    has_lambda_arg: bool = False
+
+
+@dataclass
+class FuncNode:
+    idx: int
+    fn: object  # cppmodel.FunctionInfo
+    unit: object
+    cls: str  # owner class name or ""
+    sites: list[CallSite] = field(default_factory=list)
+    targets: list[int] = field(default_factory=list)  # resolved node idxs
+
+    @property
+    def name(self) -> str:
+        return self.fn.name
+
+    @property
+    def qual(self) -> str:
+        return f"{self.cls}::{self.fn.name}" if self.cls else self.fn.name
+
+    @property
+    def path(self) -> str:
+        return self.fn.file.lexed.path
+
+    @property
+    def line(self) -> int:
+        return self.fn.line
+
+
+@dataclass
+class GlobalVar:
+    name: str
+    type_text: str
+    path: str
+    line: int
+    kind: str  # namespace-scope | local-static | class-static
+    owner: str = ""  # defining function/class qual, for statics
+
+    def is_protected(self) -> bool:
+        low = self.type_text
+        return any(w in low for w in _SYNC_TYPE_WORDS)
+
+
+@dataclass
+class ReachResult:
+    """BFS result for one root set: reached node idx -> parent idx (or -1
+    for a root), plus the root name each reached node traces back to."""
+
+    parents: dict[int, int]
+    root_name: dict[int, str]
+    unmatched_roots: list[str]
+
+    def __contains__(self, idx: int) -> bool:
+        return idx in self.parents
+
+    def path(self, program: "Program", idx: int) -> list[str]:
+        chain = []
+        cur = idx
+        seen = set()
+        while cur != -1 and cur not in seen:
+            seen.add(cur)
+            chain.append(program.nodes[cur].qual)
+            cur = self.parents.get(cur, -1)
+        return list(reversed(chain))
+
+
+class Program:
+    """All units merged: nodes, indices, resolved edges, global-variable
+    inventory, `using` aliases, and cached reachability queries."""
+
+    def __init__(self, units, config: dict | None = None):
+        self.units = units
+        self.config = config or {}
+        self.nodes: list[FuncNode] = []
+        self.free: dict[str, list[FuncNode]] = {}
+        self.methods: dict[str, list[FuncNode]] = {}
+        self.by_class: dict[tuple[str, str], list[FuncNode]] = {}
+        self.class_names: set[str] = set()
+        self.class_fields: dict[str, dict[str, str]] = {}
+        self.class_methods: dict[str, list[FuncNode]] = {}
+        self.virtual_names: set[str] = set()
+        self.aliases: dict[str, str] = {}  # alias -> program class
+        self.alias_text: dict[str, str] = {}  # alias -> full rhs text
+        self.globals: list[GlobalVar] = []
+        self._by_fn: dict[int, FuncNode] = {}
+        self._reach_cache: dict[tuple, ReachResult] = {}
+        self._collect_symbols()
+        self._collect_aliases()
+        self._collect_globals()
+        self._extract_sites()
+        self._resolve_edges()
+
+    # -- construction --------------------------------------------------------
+
+    def _collect_symbols(self):
+        for unit in self.units:
+            for m in unit.models:
+                for cname, ci in m.classes.items():
+                    if ci.scope is None and not ci.fields and not ci.decls:
+                        continue  # phantom class seen only via X::f
+                    self.class_names.add(cname)
+                    self.class_fields.setdefault(cname, {}).update(ci.fields)
+                    for d in ci.decls:
+                        if d.is_virtual:
+                            self.virtual_names.add(d.name)
+            for fn in unit.functions():
+                owner = getattr(fn, "owner", None)
+                cls = owner.name if owner is not None else ""
+                node = FuncNode(len(self.nodes), fn, unit, cls)
+                self.nodes.append(node)
+                self._by_fn[id(fn)] = node
+                if cls:
+                    self.class_names.add(cls)
+                    self.methods.setdefault(fn.name, []).append(node)
+                    self.by_class.setdefault((cls, fn.name), []).append(node)
+                    self.class_methods.setdefault(cls, []).append(node)
+                    if getattr(fn.scope, "is_virtual", False):
+                        self.virtual_names.add(fn.name)
+                else:
+                    self.free.setdefault(fn.name, []).append(node)
+
+    def _collect_aliases(self):
+        for unit in self.units:
+            for m in unit.models:
+                toks = m.lexed.tokens
+                n = len(toks)
+                for i, t in enumerate(toks):
+                    if t.kind != ID or t.text != "using" or i + 2 >= n:
+                        continue
+                    if toks[i + 1].kind != ID or toks[i + 2].text != "=":
+                        continue
+                    name = toks[i + 1].text
+                    j = i + 3
+                    rhs = []
+                    while j < n and toks[j].text != ";":
+                        rhs.append(toks[j].text)
+                        j += 1
+                    text = " ".join(rhs)
+                    self.alias_text.setdefault(name, text)
+        # Resolve alias -> class through wrappers (PacketPtr -> Packet).
+        for name, text in self.alias_text.items():
+            cls = self._scan_type_words(text)
+            if cls:
+                self.aliases[name] = cls
+
+    def _scan_type_words(self, type_text: str) -> str:
+        for sep in ("<", ">", "::", "*", "&", ",", "(", ")"):
+            type_text = type_text.replace(sep, " ")
+        for w in type_text.split():
+            if w in self.class_names:
+                return w
+            if w in self.aliases:
+                return self.aliases[w]
+            if w in _TYPE_WRAPPERS:
+                continue
+            if w in _STD_CONTAINERS:
+                return ""  # std container receiver: external
+            # unknown word (size_t, int, ...): keep scanning
+        return ""
+
+    def type_class(self, type_text: str) -> str:
+        """Program class a declared type ultimately designates, looking
+        through aliases, smart pointers and cv-qualifiers; "" when the
+        type is external or a std container."""
+        if not type_text:
+            return ""
+        first = type_text.split()[0] if type_text.split() else ""
+        if first in self.aliases:
+            return self.aliases[first]
+        return self._scan_type_words(type_text)
+
+    def expanded_type(self, type_text: str) -> str:
+        """Type text with a leading single-word alias expanded, so
+        container probes see through e.g. `using Grid = std::vector<Job>`."""
+        words = type_text.split()
+        if words and words[0] in self.alias_text:
+            return self.alias_text[words[0]] + " " + " ".join(words[1:])
+        return type_text
+
+    # -- globals (CONC-01 inventory) -----------------------------------------
+
+    def _collect_globals(self):
+        for unit in self.units:
+            for m in unit.models:
+                self._scan_ns_scope(m, m.root)
+                for cname, ci in m.classes.items():
+                    for fname, ftype in ci.fields.items():
+                        w = ftype.split()
+                        if "static" in w and "const" not in w \
+                                and "constexpr" not in w:
+                            self.globals.append(GlobalVar(
+                                fname, ftype, m.lexed.path,
+                                ci.field_lines.get(fname, 1),
+                                "class-static", cname))
+        for node in self.nodes:
+            self._scan_local_statics(node)
+
+    def _scan_ns_scope(self, model, scope):
+        if scope.kind not in ("namespace", "block") or scope.name not in (
+                "", "<file>") and scope.kind == "block":
+            return
+        toks = model.lexed.tokens
+        spans = sorted((c.head_start, c.body_end) for c in scope.children)
+        i = scope.body_start
+        stmt = []
+        si = 0
+        while i < scope.body_end:
+            while si < len(spans) and spans[si][1] < i:
+                si += 1
+            if si < len(spans) and spans[si][0] <= i <= spans[si][1]:
+                i = spans[si][1] + 1
+                stmt = []
+                continue
+            t = toks[i]
+            if t.text == ";":
+                self._record_ns_stmt(model, stmt)
+                stmt = []
+            else:
+                stmt.append(t)
+            i += 1
+        for c in scope.children:
+            if c.kind == "namespace":
+                self._scan_ns_scope(model, c)
+
+    def _record_ns_stmt(self, model, stmt):
+        while stmt and stmt[0].text in ("inline", "static", "thread_local",
+                                        "constinit", "__extension__",
+                                        "__attribute__"):
+            stmt = stmt[1:]
+        if not stmt or stmt[0].kind != ID or stmt[0].text in _NS_STMT_SKIP:
+            return
+        words = [t.text for t in stmt]
+        if "const" in words or "constexpr" in words or "typedef" in words \
+                or "using" in words:
+            return
+        # Function declaration, not a variable: '(' before any initializer.
+        for t in stmt:
+            if t.text == "(":
+                return
+            if t.text in ("=", "{"):
+                break
+        from cppmodel import _parse_decl
+        d = _parse_decl(stmt)
+        if d is None:
+            return
+        name, ttype, line = d
+        self.globals.append(GlobalVar(name, ttype, model.lexed.path, line,
+                                      "namespace-scope"))
+
+    def _scan_local_statics(self, node):
+        fn = node.fn
+        toks = fn.file.lexed.tokens
+        i = fn.scope.body_start
+        end = fn.scope.body_end
+        stmt = []
+        while i < end:
+            t = toks[i]
+            if t.text in (";", "{", "}"):
+                if stmt and stmt[0].text in ("static", "thread_local") \
+                        and len(stmt) > 1:
+                    words = [s.text for s in stmt]
+                    if "const" not in words and "constexpr" not in words \
+                            and "thread_local" not in words[:1]:
+                        from cppmodel import _parse_decl
+                        d = _parse_decl(stmt[1:])
+                        if d is not None and "(" not in words[:words.index(
+                                d[0]) if d[0] in words else len(words)]:
+                            self.globals.append(GlobalVar(
+                                d[0], "static " + d[1], node.path, d[2],
+                                "local-static", node.qual))
+                stmt = []
+            else:
+                stmt.append(t)
+            i += 1
+
+    # -- call sites ----------------------------------------------------------
+
+    def _extract_sites(self):
+        for node in self.nodes:
+            fn = node.fn
+            toks = fn.file.lexed.tokens
+            lo, hi = fn.scope.body_start, fn.scope.body_end
+            i = lo
+            while i < hi:
+                t = toks[i]
+                if t.kind != ID or t.text in _NOT_CALLS:
+                    i += 1
+                    continue
+                lp = -1
+                if i + 1 < hi and toks[i + 1].text == "(":
+                    lp = i + 1
+                elif i + 1 < hi and toks[i + 1].text == "<":
+                    # templated call: name<...>( — bounded balanced scan.
+                    depth, j = 1, i + 2
+                    limit = min(hi, i + 64)
+                    while j < limit and depth > 0:
+                        tx = toks[j].text
+                        if tx == "<":
+                            depth += 1
+                        elif tx == ">":
+                            depth -= 1
+                        elif tx == ">>":
+                            depth -= 2
+                        elif tx in (";", "{", "}"):
+                            break
+                        j += 1
+                    if depth <= 0 and j < hi and toks[j].text == "(":
+                        lp = j
+                if lp == -1:
+                    i += 1
+                    continue
+                close = self._match_paren(toks, lp, hi)
+                if close == -1:
+                    i += 1
+                    continue
+                arity, has_lambda = self._scan_args(toks, lp, close)
+                site = CallSite(t.text, arity, "plain", line=t.line,
+                                tok_index=i, has_lambda_arg=has_lambda)
+                prev = toks[i - 1] if i > 0 else None
+                if prev is not None and prev.text in (".", "->"):
+                    base = toks[i - 2] if i >= 2 else None
+                    if base is not None and base.text == "this":
+                        site.kind = "class"
+                        site.recv_class = node.cls
+                    elif base is not None and base.kind == ID:
+                        site.recv_name = base.text
+                        ty = self._entity_type(node, base.text)
+                        site.recv_type = ty
+                        cls = self.type_class(ty)
+                        if cls:
+                            site.kind = "class"
+                            site.recv_class = cls
+                        elif ty:
+                            exp = self.expanded_type(ty)
+                            if any(c in exp.split() or c + " <" in exp
+                                   or c + "<" in exp
+                                   for c in _STD_CONTAINERS):
+                                site.kind = "container"
+                            else:
+                                site.kind = "unknown-recv"
+                        else:
+                            site.kind = "unknown-recv"
+                    else:
+                        site.kind = "unknown-recv"
+                elif prev is not None and prev.text == "::":
+                    qual = toks[i - 2].text if i >= 2 else ""
+                    if qual in self.class_names:
+                        site.kind = "class"
+                        site.recv_class = qual
+                    else:
+                        site.kind = "external"
+                node.sites.append(site)
+                i += 1
+
+    @staticmethod
+    def _match_paren(toks, lp, hi):
+        depth = 0
+        j = lp
+        while j < hi:
+            if toks[j].text == "(":
+                depth += 1
+            elif toks[j].text == ")":
+                depth -= 1
+                if depth == 0:
+                    return j
+            j += 1
+        return -1
+
+    @staticmethod
+    def _scan_args(toks, lp, close):
+        if close == lp + 1:
+            return 0, False
+        depth = 0
+        commas = 0
+        has_lambda = False
+        for j in range(lp, close):
+            tx = toks[j].text
+            if tx in ("(", "[", "{"):
+                depth += 1
+            elif tx in (")", "]", "}"):
+                depth -= 1
+            elif tx == "," and depth == 1:
+                commas += 1
+            if tx == "[" and j > lp and toks[j - 1].text in ("(", ","):
+                has_lambda = True
+        return commas + 1, has_lambda
+
+    def _entity_type(self, node, name: str) -> str:
+        fn = node.fn
+        if name in fn.locals:
+            return fn.locals[name]
+        if name in fn.params:
+            return fn.params[name]
+        if node.cls:
+            fields = self.class_fields.get(node.cls, {})
+            if name in fields:
+                return fields[name]
+        return ""
+
+    # -- resolution ----------------------------------------------------------
+
+    def _resolve_edges(self):
+        for node in self.nodes:
+            out = set()
+            for site in node.sites:
+                for tgt in self.resolve_site(node, site):
+                    out.add(tgt.idx)
+            node.targets = sorted(out)
+
+    def resolve_site(self, node, site) -> list[FuncNode]:
+        name = site.name
+        if site.kind == "external" or site.kind == "container":
+            return []
+        if site.kind == "class":
+            cands = list(self.by_class.get((site.recv_class, name), []))
+            if name in self.virtual_names:
+                have = {c.idx for c in cands}
+                cands += [c for c in self.methods.get(name, [])
+                          if c.idx not in have]
+            if cands:
+                return self._arity_filter(cands, site)
+            # Unmodeled base class: fall back to any method of that name.
+            return self._arity_filter(self.methods.get(name, []), site)
+        if site.kind == "unknown-recv":
+            return self._arity_filter(self.methods.get(name, []), site)
+        # plain: own class first, then free functions, else external.
+        if node.cls:
+            cands = self.by_class.get((node.cls, name), [])
+            if cands:
+                return self._arity_filter(cands, site)
+        cands = self.free.get(name, [])
+        if cands:
+            return self._arity_filter(cands, site)
+        return []
+
+    @staticmethod
+    def _arity_filter(cands, site):
+        kept = [c for c in cands
+                if c.fn.n_params - c.fn.n_defaults <= site.arity
+                <= c.fn.n_params]
+        # Param parsing is heuristic; when the filter empties the set keep
+        # everything rather than silently dropping an edge.
+        return kept if kept else list(cands)
+
+    # -- reachability --------------------------------------------------------
+
+    def node_for(self, fn) -> FuncNode | None:
+        """The graph node wrapping a cppmodel FunctionInfo, if any."""
+        return self._by_fn.get(id(fn))
+
+    def lookup(self, qual: str) -> list[FuncNode]:
+        """Root-set name resolution: `Cls::name` or a bare free-function /
+        method name."""
+        if "::" in qual:
+            cls, name = qual.split("::", 1)
+            return list(self.by_class.get((cls, name), []))
+        return list(self.free.get(qual, [])) or \
+            list(self.methods.get(qual, []))
+
+    def reach(self, root_names: list[str]) -> ReachResult:
+        key = tuple(root_names)
+        if key in self._reach_cache:
+            return self._reach_cache[key]
+        parents: dict[int, int] = {}
+        root_of: dict[int, str] = {}
+        unmatched: list[str] = []
+        queue: list[int] = []
+        for rname in root_names:
+            nodes = self.lookup(rname)
+            if not nodes:
+                unmatched.append(rname)
+                continue
+            for nd in sorted(nodes, key=lambda n: (n.path, n.line)):
+                if nd.idx not in parents:
+                    parents[nd.idx] = -1
+                    root_of[nd.idx] = rname
+                    queue.append(nd.idx)
+        qi = 0
+        while qi < len(queue):
+            cur = queue[qi]
+            qi += 1
+            for tgt in self.nodes[cur].targets:
+                if tgt not in parents:
+                    parents[tgt] = cur
+                    root_of[tgt] = root_of[cur]
+                    queue.append(tgt)
+        res = ReachResult(parents, root_of, unmatched)
+        self._reach_cache[key] = res
+        return res

@@ -113,7 +113,8 @@ class LexedFile:
                     j += 1
                 word = text[i:j]
                 if word in _STRING_PREFIXES and j < n and text[j] == '"':
-                    i = self._lex_string(text, j, line, raw=word.endswith("R"))
+                    i, line = self._lex_string(text, j, line,
+                                               raw=word.endswith("R"))
                     continue
                 toks.append(Tok(ID, word, line))
                 i = j
@@ -135,13 +136,14 @@ class LexedFile:
                 i = j
                 continue
             if c == '"':
-                i = self._lex_string(text, i, line, raw=False)
+                i, line = self._lex_string(text, i, line, raw=False)
                 continue
             if c == "'":
                 j = i + 1
                 while j < n and text[j] != "'":
                     j += 2 if text[j] == "\\" else 1
                 toks.append(Tok(CHAR, text[i : j + 1], line))
+                line += text.count("\n", i, min(j + 1, n))
                 i = j + 1
                 continue
             # Punctuator.
@@ -153,27 +155,34 @@ class LexedFile:
                 toks.append(Tok(PUNCT, c, line))
                 i += 1
 
-    def _lex_string(self, text: str, i: int, line: int, raw: bool) -> int:
-        """Lexes a string literal starting at the opening quote; returns the
-        index just past the closing quote. Emits one STR token (content
-        elided — rules never look inside string literals)."""
+    def _lex_string(self, text: str, i: int, line: int,
+                    raw: bool) -> tuple[int, int]:
+        """Lexes a string literal starting at the opening quote; returns
+        (index just past the closing quote, updated line number). Emits one
+        STR token (content elided — rules never look inside string
+        literals). Raw strings may span lines; the newlines they swallow
+        must still advance the line counter or every token after the
+        literal is misattributed (and NOLINT lookup breaks)."""
         n = len(text)
         if raw:
             # R"delim( ... )delim"
             j = text.find("(", i + 1)
             if j == -1:
                 self.tokens.append(Tok(STR, '""', line))
-                return n
+                return n, line + text.count("\n", i, n)
             delim = text[i + 1 : j]
             close = text.find(")" + delim + '"', j + 1)
             close = n if close == -1 else close + len(delim) + 2
             self.tokens.append(Tok(STR, '""', line))
-            return close
+            return close, line + text.count("\n", i, close)
         j = i + 1
         while j < n and text[j] not in '"\n':
             j += 2 if text[j] == "\\" else 1
         self.tokens.append(Tok(STR, '""', line))
-        return j + 1
+        # An escaped backslash-newline inside the literal is skipped by the
+        # j += 2 branch above; recount so `line` stays exact.
+        end = min(j + 1, n)
+        return end, line + text.count("\n", i, end)
 
     # -- suppression lookup --------------------------------------------------
 

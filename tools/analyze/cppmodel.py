@@ -71,6 +71,7 @@ class MethodDecl:
     is_const: bool
     is_static: bool
     line: int
+    is_virtual: bool = False  # virtual / override / final / = 0
 
 
 @dataclass
@@ -121,6 +122,8 @@ class FunctionInfo:
     lambdas: list[LambdaInfo] = field(default_factory=list)
     calls: set[str] = field(default_factory=set)
     try_spans: list[tuple[int, int]] = field(default_factory=list)
+    n_params: int = 0  # declared parameter-group count (incl. unnamed)
+    n_defaults: int = 0  # how many of those carry a default argument
 
     @property
     def line(self) -> int:
@@ -535,10 +538,15 @@ class FileModel:
                     elif toks[j].text == "}":
                         depth -= 1
                     j += 1
-                # was this a method definition? record access on the scope
+                # was this a method definition? record access (and whether
+                # the head marks it virtual/override) on the scope
                 for c in cls.children:
                     if c.body_start == i + 1 and c.kind == "function":
                         c.access = access
+                        head = toks[c.head_start : c.body_start - 1]
+                        c.is_virtual = any(  # type: ignore[attr-defined]
+                            t.text in ("virtual", "override", "final")
+                            for t in head)
                 i = j
                 stmt = []
                 continue
@@ -588,8 +596,10 @@ class FileModel:
         if stmt[0].text == "static":
             is_static = True
         if is_method and name:
+            is_virtual = any(t.text in ("virtual", "override", "final")
+                             for t in stmt)
             ci.decls.append(MethodDecl(name, access, is_const, is_static,
-                                       stmt[0].line))
+                                       stmt[0].line, is_virtual))
             return
         # Field declaration: type tokens then name, optionally `= init`.
         decl = _parse_decl(stmt)
@@ -703,9 +713,13 @@ class FileModel:
                 group.append(t)
         if group:
             groups.append(group)
+        groups = [g for g in groups if any(t.text != "void" for t in g)]
+        fn.n_params = len(groups)
         for g in groups:
             # name = last id before a default '='
             eq = next((idx for idx, t in enumerate(g) if t.text == "="), len(g))
+            if eq < len(g):
+                fn.n_defaults += 1
             ids = [t for t in g[:eq] if t.kind == ID]
             if len(ids) >= 2:
                 fn.params[ids[-1].text] = " ".join(t.text for t in g[:eq][:-1])

@@ -12,6 +12,11 @@ Options:
   --write-baseline   (re)write the baseline skeleton from current findings
   --rules R1,R2      run only these rules
   --list-rules       print the rule catalogue and exit
+  --roots FILE       call-graph root sets (default:
+                     <root>/tools/analyze/roots.toml)
+  --no-cache         bypass the build/analyze_cache token cache
+  --explain-stale    print a readable diff for stale baseline entries
+                     (nearest current findings per stale entry)
 
 Exit status: 0 clean, 1 active findings or stale baseline entries,
 2 usage/configuration error.
@@ -19,9 +24,12 @@ Exit status: 0 clean, 1 active findings or stale baseline entries,
 Architecture: a C++ lexer (cpplex) feeds a brace/scope tracker that builds
 a per-file symbol model (cppmodel); .cpp files are merged with their
 paired headers into translation units so rules see a class together with
-its out-of-line methods. Rules live in rule modules (rules_lint: the
-former fhmip_lint conventions; rules_semantic: LIFE-01/DET-01/DET-02/
-AUD-01/EXC-01) registered on a shared registry. Findings are suppressed
+its out-of-line methods; a whole-program call graph over the merged
+units (callgraph.py) drives reachability-based rules. Rules live in rule
+modules (rules_lint: the former fhmip_lint conventions; rules_semantic:
+LIFE-01/DET-01/DET-02/AUD-01/EXC-01; rules_callgraph: PERF-01/CONC-01/
+PROTO-01 rooted in roots.toml) registered on a shared registry. Findings
+are suppressed
 inline with `// NOLINT-FHMIP(rule)` (same line or line above) or via the
 checked-in baseline, whose unmatched entries fail the run (stale
 detection). See DESIGN.md § Static analysis.
@@ -35,9 +43,12 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
+import rules_callgraph
 import rules_lint
 import rules_semantic
 from baseline import Baseline, write_baseline
+from cache import TokenCache
+from callgraph import Program
 from cpplex import LexedFile
 from cppmodel import FileModel, Unit
 from registry import Registry, line_fingerprint
@@ -51,8 +62,10 @@ EXCLUDED = ("tests/tools/fixtures",)
 class Context:
     """Shared caches handed to every rule."""
 
-    def __init__(self, root: Path):
+    def __init__(self, root: Path, cache: TokenCache | None = None):
         self.root = root
+        self.cache = cache
+        self.program: Program | None = None
         self._raw: dict[str, str] = {}
         self._stripped: dict[str, str] = {}
         self._lexed: dict[str, LexedFile] = {}
@@ -70,7 +83,13 @@ class Context:
 
     def lexed(self, rel: str) -> LexedFile:
         if rel not in self._lexed:
-            self._lexed[rel] = LexedFile(rel, self.raw_text(rel))
+            text = self.raw_text(rel)
+            lf = self.cache.get(rel, text) if self.cache else None
+            if lf is None:
+                lf = LexedFile(rel, text)
+                if self.cache:
+                    self.cache.put(rel, text, lf)
+            self._lexed[rel] = lf
         return self._lexed[rel]
 
     def fingerprint(self, rel: str, lineno: int) -> str:
@@ -125,15 +144,28 @@ def build_registry() -> Registry:
     registry = Registry()
     rules_lint.register(registry)
     rules_semantic.register(registry)
+    rules_callgraph.register(registry)
     return registry
 
 
+def load_roots_config(path: Path) -> dict:
+    """Parses roots.toml; an absent file means no call-graph rules run
+    (fixture scratch roots stage their own)."""
+    if not path.exists():
+        return {}
+    import tomllib
+    with path.open("rb") as fh:
+        return tomllib.load(fh)
+
+
 def run(root: Path, subdirs: list[str], registry: Registry,
-        rule_filter: set[str] | None = None):
+        rule_filter: set[str] | None = None,
+        roots_config: dict | None = None,
+        cache: TokenCache | None = None):
     """Runs every (selected) rule; returns (findings, num_files). Inline
     NOLINT suppression is applied here; baseline matching is the caller's
     job."""
-    ctx = Context(root)
+    ctx = Context(root, cache)
     files = collect_files(root, subdirs)
     findings = []
     seen = set()
@@ -147,6 +179,9 @@ def run(root: Path, subdirs: list[str], registry: Registry,
                         seen.add((f.rule_id, f.path, f.line, f.message))
                         findings.append(f)
     units = build_units(ctx, files)
+    # The whole-program view is built before unit rules run so they can
+    # use call-graph context (transitive delegation, cross-unit sinks).
+    ctx.program = Program(units, roots_config or {})
     for rule in registry.rules:
         if rule_filter is not None and rule.rule_id not in rule_filter:
             continue
@@ -156,8 +191,18 @@ def run(root: Path, subdirs: list[str], registry: Registry,
                     if (f.rule_id, f.path, f.line, f.message) not in seen:
                         seen.add((f.rule_id, f.path, f.line, f.message))
                         findings.append(f)
+    for rule in registry.rules:
+        if rule_filter is not None and rule.rule_id not in rule_filter:
+            continue
+        if rule.check_program is not None:
+            for f in rule.check_program(ctx, ctx.program) or ():
+                if (f.rule_id, f.path, f.line, f.message) not in seen:
+                    seen.add((f.rule_id, f.path, f.line, f.message))
+                    findings.append(f)
     # Inline suppression.
     for f in findings:
+        if not f.path.endswith((".hpp", ".cpp")):
+            continue  # e.g. findings anchored at roots.toml
         if f.rule_id in ctx.lexed(f.path).nolint_rules(f.line):
             f.suppressed = "nolint"
     return findings, len(files)
@@ -173,12 +218,16 @@ def main(argv: list[str]) -> int:
     ap.add_argument("--write-baseline", action="store_true")
     ap.add_argument("--rules", metavar="IDS")
     ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("--roots", metavar="FILE")
+    ap.add_argument("--no-cache", action="store_true")
+    ap.add_argument("--explain-stale", action="store_true")
     args = ap.parse_args(argv)
 
     registry = build_registry()
     if args.list_rules:
         for r in registry.rules:
-            kind = "file" if r.check_file else "unit"
+            kind = "file" if r.check_file else (
+                "unit" if r.check_unit else "program")
             print(f"{r.rule_id:20s} {r.severity:8s} [{kind}] {r.description}")
         return 0
 
@@ -197,7 +246,17 @@ def main(argv: list[str]) -> int:
                   file=sys.stderr)
             return 2
 
-    findings, num_files = run(root, subdirs, registry, rule_filter)
+    roots_path = Path(args.roots) if args.roots \
+        else root / "tools" / "analyze" / "roots.toml"
+    try:
+        roots_config = load_roots_config(roots_path)
+    except Exception as exc:  # tomllib.TOMLDecodeError and friends
+        print(f"fhmip_analyze: cannot parse {roots_path}: {exc}",
+              file=sys.stderr)
+        return 2
+    cache = TokenCache(root, enabled=not args.no_cache)
+    findings, num_files = run(root, subdirs, registry, rule_filter,
+                              roots_config, cache)
 
     baseline_path = Path(args.baseline) if args.baseline \
         else root / "tools" / "analyze" / "baseline.txt"
@@ -222,10 +281,35 @@ def main(argv: list[str]) -> int:
         stale = bl.stale_entries()
 
     print_text(findings, stale, num_files, sys.stdout)
+    if args.explain_stale and stale:
+        print_stale_diff(stale, findings, baseline_path, sys.stdout)
     if args.json:
         write_sarif(Path(args.json), findings, stale, registry)
     active = [f for f in findings if not f.suppressed]
     return 1 if (active or stale) else 0
+
+
+def print_stale_diff(stale, findings, baseline_path, out):
+    """Readable triage output for stale baseline entries: shows each stale
+    line and the nearest current findings of the same rule/file (their
+    fingerprints are what the entry should be updated to, if the finding
+    merely moved)."""
+    print(f"\nstale baseline entries in {baseline_path}:", file=out)
+    for e in stale:
+        print(f"  - line {e.lineno}: {e.rule_id}  {e.path}  "
+              f"{e.fingerprint}  # {e.justification}", file=out)
+        near = [f for f in findings
+                if f.rule_id == e.rule_id and f.path == e.path]
+        if near:
+            print(f"    current {e.rule_id} findings in {e.path} "
+                  f"(update the fingerprint if the code moved):", file=out)
+            for f in sorted(near, key=lambda f: f.line):
+                print(f"      {f.fingerprint}  L{f.line}: {f.message}",
+                      file=out)
+        else:
+            print(f"    no current {e.rule_id} findings in {e.path} — the "
+                  f"code this entry excused is gone; delete the entry",
+                  file=out)
 
 
 if __name__ == "__main__":

@@ -28,6 +28,9 @@ class Finding:
     message: str
     fingerprint: str = ""  # crc32 of the normalized source line
     suppressed: str = ""  # "", "nolint" or "baseline"
+    # Call-graph evidence for reachability rules: the qualified-name chain
+    # root -> ... -> flagged function, rendered in text and SARIF output.
+    path_trace: list[str] = field(default_factory=list)
 
     def key(self) -> tuple[str, str, str]:
         return (self.rule_id, self.path, self.fingerprint)
@@ -49,6 +52,9 @@ class Rule:
     scope_dirs: tuple[str, ...] = ()  # empty = all scanned dirs
     check_file: object = None  # callable(ctx, path) -> iterable[Finding]
     check_unit: object = None  # callable(ctx, unit) -> iterable[Finding]
+    # Whole-program rules (call-graph reachability): run once against the
+    # merged Program after every unit is built.
+    check_program: object = None  # callable(ctx, program) -> iter[Finding]
 
 
 class Registry:

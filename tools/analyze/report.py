@@ -13,6 +13,9 @@ def print_text(findings, stale, num_files, out):
     for f in sorted(active, key=lambda f: (f.path, f.line, f.rule_id)):
         print(f"{f.path}:{f.line}: [{f.rule_id}] {f.severity}: {f.message}",
               file=out)
+        if f.path_trace:
+            print(f"    reachable via: {' -> '.join(f.path_trace)}",
+                  file=out)
     for e in stale:
         print(f"{e.rule_id}  {e.path}  {e.fingerprint}: stale baseline "
               f"entry (line {e.lineno}) — no current finding matches; "
@@ -39,6 +42,16 @@ def write_sarif(path: Path, findings, stale, registry):
             }],
             "fingerprints": {"fhmipLine/v1": f.fingerprint},
         }
+        if f.path_trace:
+            # Reachability evidence: root -> ... -> finding, one codeFlow
+            # location per hop (SARIF codeFlows subset).
+            r["codeFlows"] = [{
+                "threadFlows": [{
+                    "locations": [{
+                        "location": {"message": {"text": hop}}
+                    } for hop in f.path_trace]
+                }]
+            }]
         if f.suppressed:
             r["suppressions"] = [{
                 "kind": "inSource" if f.suppressed == "nolint" else "external",

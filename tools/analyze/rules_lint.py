@@ -15,9 +15,37 @@ import re
 from registry import Finding, Rule
 
 
+def _is_digit_separator(text: str, i: int) -> bool:
+    """True when the apostrophe at `text[i]` is a C++14 digit separator
+    (`1'000'000`), i.e. it sits inside a pp-number: the alnum run ending
+    just before it starts with a digit, and a digit/hex-digit follows.
+    `u8'x'` is a char literal (run starts with a letter), `1'000` is not."""
+    j = i - 1
+    while j >= 0 and (text[j].isalnum() or text[j] in "._"):
+        j -= 1
+    run = text[j + 1 : i]
+    return (bool(run) and run[0].isdigit()
+            and i + 1 < len(text) and text[i + 1].isalnum())
+
+
+def _raw_string_prefix(text: str, i: int) -> bool:
+    """True when the `"` at `text[i]` opens a raw string literal, i.e. the
+    identifier run ending just before it is R / u8R / uR / UR / LR."""
+    j = i - 1
+    while j >= 0 and (text[j].isalnum() or text[j] == "_"):
+        j -= 1
+    run = text[j + 1 : i]
+    return run in ("R", "u8R", "uR", "UR", "LR")
+
+
 def strip_comments_and_strings(text: str) -> str:
     """Blanks out comments and string/char literals, preserving line
-    structure so reported line numbers match the source."""
+    structure so reported line numbers match the source.
+
+    Handles raw strings (`R"delim(...)delim"` — a `"` or `//` inside one
+    must not terminate the literal or start a comment) and digit
+    separators (`1'000'000` — the `'` is part of the number, not a char
+    literal, so it must not swallow the rest of the line)."""
     out = []
     i, n = 0, len(text)
     while i < n:
@@ -34,12 +62,29 @@ def strip_comments_and_strings(text: str) -> str:
             seg = text[i : j + 2]
             out.append("".join(ch if ch == "\n" else " " for ch in seg))
             i = j + 2
+        elif c == '"' and _raw_string_prefix(text, i):
+            lparen = text.find("(", i + 1)
+            if lparen == -1:
+                out.append('"')
+                i += 1
+                continue
+            delim = text[i + 1 : lparen]
+            close = text.find(")" + delim + '"', lparen + 1)
+            close = n if close == -1 else close + len(delim) + 2
+            seg = text[i:close]
+            out.append('"' + "".join(ch if ch == "\n" else " "
+                                     for ch in seg[1:-1]) + '"')
+            i = close
+        elif c == "'" and _is_digit_separator(text, i):
+            out.append(c)
+            i += 1
         elif c in "\"'":
             quote = c
             j = i + 1
             while j < n and text[j] != quote:
                 j += 2 if text[j] == "\\" else 1
-            out.append(quote + " " * (j - i - 1) + quote)
+            out.append(quote + "".join(ch if ch == "\n" else " "
+                                       for ch in text[i + 1 : j]) + quote)
             i = j + 1
         else:
             out.append(c)

@@ -97,19 +97,27 @@ _TIMER_CALLS = {"in", "at", "schedule_in", "schedule_at"}
 
 
 def _dtor_reaches(cls, dtor, token_text) -> bool:
+    """Transitive same-class closure: true when the destructor — directly
+    or through any chain of this class's methods — reaches the cancelling
+    token. (Was one-level delegation before the call-graph PR; transitive
+    reach only removes false positives.)"""
     if dtor is None:
         return False
-    body = dtor.body_tokens()
-    names = {t.text for t in body if t.kind == ID}
-    if token_text in names:
-        return True
-    # One level of delegation into the same class.
+    by_name: dict[str, list] = {}
     for m in cls.methods:
-        if m is dtor or m.name not in names:
+        by_name.setdefault(m.name, []).append(m)
+    seen: set[int] = set()
+    stack = [dtor]
+    while stack:
+        m = stack.pop()
+        if id(m) in seen:
             continue
-        if any(t.kind == ID and t.text == token_text
-               for t in m.body_tokens()):
+        seen.add(id(m))
+        names = {t.text for t in m.body_tokens() if t.kind == ID}
+        if token_text in names:
             return True
+        for nm in sorted(names & set(by_name)):
+            stack.extend(by_name[nm])
     return False
 
 
@@ -221,6 +229,51 @@ def _iterated_names(unit) -> set[str]:
     return names
 
 
+def _program_iterated(ctx) -> set[str] | None:
+    """Range-for'd names across the whole program (call-graph context):
+    a pointer-keyed unordered container declared in one unit but iterated
+    from another is just as nondeterministic."""
+    prog = getattr(ctx, "program", None)
+    if prog is None:
+        return None
+    cached = getattr(prog, "_iterated_names", None)
+    if cached is None:
+        cached = set()
+        for node in prog.nodes:
+            for rf in node.fn.range_fors:
+                base = _range_base(rf)
+                if base:
+                    cached.add(base)
+        prog._iterated_names = cached
+    return cached
+
+
+def _printing_helpers(ctx) -> frozenset:
+    """Names of program functions that directly call an output surface —
+    a depth-1 interprocedural sink set for DET-02: an unordered loop that
+    calls such a helper writes output just as surely as one that calls
+    printf itself."""
+    prog = getattr(ctx, "program", None)
+    if prog is None:
+        return frozenset()
+    cached = getattr(prog, "_printing_helpers", None)
+    if cached is None:
+        names = set()
+        for node in prog.nodes:
+            fn = node.fn
+            toks = fn.file.lexed.tokens
+            lo, hi = fn.scope.body_start, fn.scope.body_end
+            for i in range(lo, hi):
+                t = toks[i]
+                if t.kind == ID and t.text in _OUTPUT_CALLS \
+                        and i + 1 < hi and toks[i + 1].text == "(":
+                    names.add(fn.name)
+                    break
+        cached = frozenset(names)
+        prog._printing_helpers = cached
+    return cached
+
+
 def _range_base(rf) -> str:
     ids = [t for t in rf.expr if t.kind == ID and t.text != "this"]
     if not ids:
@@ -255,7 +308,9 @@ def check_det01(ctx, unit):
                           f"{t.text}(): wall clock breaks run-to-run "
                           f"determinism")
     # Pointer-keyed containers.
-    iterated = _iterated_names(unit)
+    prog_iterated = _program_iterated(ctx)
+    iterated = prog_iterated if prog_iterated is not None \
+        else _iterated_names(unit)
     for path, line, name, type_text, m in _decl_sites(unit):
         if not _in_src(path):
             continue
@@ -371,6 +426,11 @@ def check_det02(ctx, unit):
                         sink = (t.line, f"builds an ordered sequence via "
                                         f"{t.text}()")
                         break
+                    if t.text in _printing_helpers(ctx) \
+                            and t.text not in ("push_back", "emplace_back"):
+                        sink = (t.line, f"calls {t.text}(), which writes "
+                                        f"output (interprocedural sink)")
+                        break
             if sink is None:
                 line = _fp_accumulation(toks, lo, hi, fn, unit)
                 if line is not None:
@@ -446,7 +506,19 @@ def check_aud01(ctx, unit):
         audited = [m for m in cls.methods if _has_audit(m)]
         if not audited:
             continue
+        # Transitive delegation closure within the class: a method counts
+        # as auditing when any same-class call chain from it reaches an
+        # FHMIP_AUDIT (was one level before the call-graph PR).
         audit_names = {m.name for m in audited}
+        changed = True
+        while changed:
+            changed = False
+            for m in cls.methods:
+                if m.name in audit_names:
+                    continue
+                if m.calls & audit_names:
+                    audit_names.add(m.name)
+                    changed = True
         for fn in cls.methods:
             if not _in_src(_fn_file(fn)):
                 continue
@@ -472,23 +544,62 @@ def check_aud01(ctx, unit):
 
 # -- EXC-01 ------------------------------------------------------------------
 
+def _throws_directly(prog, fn) -> bool:
+    cache = getattr(prog, "_throws_cache", None)
+    if cache is None:
+        cache = {}
+        prog._throws_cache = cache
+    k = id(fn)
+    if k not in cache:
+        toks = fn.file.lexed.tokens
+        hit = False
+        for i in range(fn.scope.body_start, fn.scope.body_end):
+            t = toks[i]
+            if t.kind == ID and t.text in ("throw", "rethrow_exception") \
+                    and not any(lo <= i < hi for lo, hi in fn.try_spans):
+                hit = True
+                break
+        cache[k] = hit
+    return cache[k]
+
+
 def check_exc01(ctx, unit):
+    prog = getattr(ctx, "program", None)
     for fn in unit.functions():
         sc = fn.scope
         if not (sc.is_dtor or sc.is_noexcept):
             continue
         if sc.is_dtor and getattr(sc, "is_noexcept_false", False):
             continue
+        where = "destructor" if sc.is_dtor else "noexcept function"
         toks = fn.file.lexed.tokens
         for i in range(sc.body_start, sc.body_end):
             t = toks[i]
             if t.kind == ID and t.text in ("throw", "rethrow_exception"):
                 if any(lo <= i < hi for lo, hi in fn.try_spans):
                     continue
-                where = "destructor" if sc.is_dtor else "noexcept function"
                 yield _mk(ctx, "EXC-01", "error", fn, t.line,
                           f"{t.text} inside {where} {fn.name} — escapes "
                           f"call std::terminate")
+        # Call-graph context (depth 1): a call, outside any try, into a
+        # project function whose body throws at top level.
+        node = prog.node_for(fn) if prog is not None else None
+        if node is None:
+            continue
+        reported = set()
+        for site in node.sites:
+            if any(lo <= site.tok_index < hi for lo, hi in fn.try_spans):
+                continue
+            for tgt in prog.resolve_site(node, site):
+                if tgt.fn is fn or tgt.fn.scope.is_noexcept:
+                    continue
+                if _throws_directly(prog, tgt.fn) \
+                        and (site.line, tgt.qual) not in reported:
+                    reported.add((site.line, tgt.qual))
+                    yield _mk(ctx, "EXC-01", "error", fn, site.line,
+                              f"{where} {fn.name} calls {tgt.qual}(), "
+                              f"which throws outside any try — escapes "
+                              f"call std::terminate")
 
 
 def register(registry):
