@@ -1,0 +1,243 @@
+// Extension figure — overload-graceful buffering under pool pressure.
+//
+// Not part of the thesis evaluation: this sweep drives N mobile hosts
+// through a *simultaneous* handover (identical mobility, so every BR hits
+// the shared pool in the same anticipation window) while the per-router
+// pool is sized to a fraction of the aggregate demand (N x request_pkts).
+// Partial grants and per-MH quotas are on, so the routers degrade by
+// shrinking or refusing grants instead of crashing or wedging; zero-grant
+// hosts must still complete their handover through the no-buffer policy
+// column, and the per-attempt watchdog converts anything that would wedge
+// into a typed failure.
+//
+// Reported per pool level (averaged over the seeds), one table per N:
+//   rt loss%     real-time packets dropped / sent, all hosts
+//   be loss%     best-effort packets dropped / sent, all hosts
+//   partial%     share of admission decisions that shrank the request
+//   deny%        share refused outright (the zero-grant column)
+//   failed%      failed handover attempts / attempts
+//
+// The graceful-degradation bar: at pool = 25% of demand every attempt
+// still resolves, and classification keeps real-time loss below
+// best-effort loss.
+
+#include "bench_common.hpp"
+#include "obs/timeline.hpp"
+#include "scenario/paper_topology.hpp"
+#include "sim/check.hpp"
+#include "transport/cbr.hpp"
+#include "transport/sink.hpp"
+
+using namespace fhmip;
+using namespace fhmip::timeliterals;
+
+namespace {
+
+struct RunResult {
+  std::uint64_t attempts = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t grants = 0, shrinks = 0, denies = 0;
+  std::uint64_t rt_sent = 0, rt_dropped = 0;
+  std::uint64_t be_sent = 0, be_dropped = 0;
+  std::uint64_t unresolved = 0;      // attempts that never closed (must be 0)
+  std::uint64_t conservation = 0;    // flows where sent != delivered+dropped
+  std::uint64_t leaked_leases = 0;   // leases still held after quiesce
+  std::string metrics_json;
+};
+
+RunResult run_once(int n_mhs, int pool_pct, std::uint64_t seed,
+                   bool metrics) {
+  PaperTopologyConfig cfg;
+  cfg.seed = seed;
+  cfg.num_mhs = n_mhs;
+  cfg.watchdog = 2_s;  // wedges become typed failures, never hangs
+  cfg.scheme.classify = true;
+  cfg.scheme.allow_partial_grant = true;
+  cfg.scheme.request_pkts = 20;
+  // Quota: one host may hold both its PAR and NAR allocations, nothing
+  // beyond — overload fairness without starving the dual-buffer scheme.
+  cfg.scheme.quota_pkts = 2 * cfg.scheme.request_pkts;
+  const std::uint32_t demand = n_mhs * cfg.scheme.request_pkts;
+  cfg.scheme.pool_pkts =
+      std::max<std::uint32_t>(1, demand * pool_pct / 100);
+  PaperTopology topo(cfg);
+  Simulation& sim = topo.simulation();
+
+  // Two flows per host: real-time (flow 100+i) and best-effort (200+i).
+  std::vector<std::unique_ptr<UdpSink>> sinks;
+  std::vector<std::unique_ptr<CbrSource>> sources;
+  for (int i = 0; i < n_mhs; ++i) {
+    auto& m = topo.mobile(i);
+    sinks.push_back(std::make_unique<UdpSink>(*m.node, 7000));
+    for (const bool rt : {true, false}) {
+      CbrSource::Config c;
+      c.dst = m.regional;
+      c.dst_port = 7000;
+      c.packet_bytes = 160;
+      c.interval = 10_ms;
+      c.tclass = rt ? TrafficClass::kRealTime : TrafficClass::kBestEffort;
+      c.flow = (rt ? 100 : 200) + i;
+      sources.push_back(std::make_unique<CbrSource>(topo.cn(), 5000, c));
+      sources.back()->start(2_s);
+      sources.back()->stop(16_s);
+    }
+  }
+  topo.start();
+  sim.run_until(20_s);
+
+  RunResult r;
+  const HandoverOutcomeRecorder& rec = topo.outcomes();
+  r.attempts = rec.attempts();
+  r.completed = rec.completed();
+  r.failed = rec.count(HandoverOutcome::kFailed);
+  r.unresolved = rec.attempts() - rec.completed() -
+                 rec.count(HandoverOutcome::kFailed);
+  for (const obs::HoEventRecord& e : sim.timeline().records()) {
+    switch (e.kind) {
+      case obs::HoEventKind::kBufferGrant: ++r.grants; break;
+      case obs::HoEventKind::kBufferShrink: ++r.shrinks; break;
+      case obs::HoEventKind::kBufferDeny: ++r.denies; break;
+      default: break;
+    }
+  }
+  for (int i = 0; i < n_mhs; ++i) {
+    const FlowCounters& rt = sim.stats().flow(100 + i);
+    const FlowCounters& be = sim.stats().flow(200 + i);
+    r.rt_sent += rt.sent;
+    r.rt_dropped += rt.dropped;
+    r.be_sent += be.sent;
+    r.be_dropped += be.dropped;
+    if (rt.sent != rt.delivered + rt.dropped) ++r.conservation;
+    if (be.sent != be.delivered + be.dropped) ++r.conservation;
+  }
+  r.leaked_leases = topo.par_agent().buffers().leased() +
+                    topo.nar_agent().buffers().leased();
+  if (metrics) r.metrics_json = sim.metrics().to_json();
+  return r;
+}
+
+double pct(std::uint64_t part, std::uint64_t whole) {
+  return whole == 0 ? 0.0
+                    : 100.0 * static_cast<double>(part) /
+                          static_cast<double>(whole);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sweep::Options opts;
+  if (!bench::parse_sweep_cli(argc, argv, opts)) return 2;
+
+  bench::header("Extension — overload sweep",
+                "N simultaneous handovers vs. shared pool size");
+  bench::note("partial grants + per-MH quotas on; pool sized to a % of the "
+              "aggregate BR demand; identical mobility makes every BR "
+              "contend in the same window");
+
+  std::vector<std::uint64_t> seeds = {3, 17, 41};
+  std::vector<int> mh_counts = {2, 4, 8};
+  std::vector<int> pool_pcts = {25, 50, 100};
+  if (opts.smoke) {
+    seeds = {3};
+    mh_counts = {4};
+    pool_pcts = {25, 100};
+  }
+
+  const std::uint64_t audits_before = AuditHub::instance().violations();
+
+  // Grid order: N, then pool %, then seed — the aggregation below walks
+  // the index-ordered results in the same nesting, so stdout is
+  // byte-identical at any --jobs value.
+  std::vector<sweep::SweepRunner::Job<RunResult>> grid;
+  for (const int n : mh_counts) {
+    for (const int pool : pool_pcts) {
+      for (const std::uint64_t seed : seeds) {
+        char label[64];
+        std::snprintf(label, sizeof label, "mhs=%d pool=%d%% seed=%llu", n,
+                      pool, static_cast<unsigned long long>(seed));
+        grid.push_back({label, [n, pool, seed, metrics = opts.metrics] {
+                          return run_once(n, pool, seed, metrics);
+                        }});
+      }
+    }
+  }
+  sweep::SweepRunner runner(opts.jobs);
+  std::vector<RunResult> results = runner.run(std::move(grid));
+  {
+    std::vector<std::string> metrics;
+    metrics.reserve(results.size());
+    for (auto& r : results) metrics.push_back(std::move(r.metrics_json));
+    runner.attach_metrics(std::move(metrics));
+  }
+
+  bool graceful = true;
+  std::size_t next = 0;
+  for (const int n : mh_counts) {
+    Series rt_loss("rt loss%");
+    Series be_loss("be loss%");
+    Series partial("partial%");
+    Series deny("deny%");
+    Series failed("failed%");
+    for (const int pool : pool_pcts) {
+      RunResult sum;
+      for (std::size_t s = 0; s < seeds.size(); ++s) {
+        const RunResult& a = results[next++];
+        sum.attempts += a.attempts;
+        sum.completed += a.completed;
+        sum.failed += a.failed;
+        sum.grants += a.grants;
+        sum.shrinks += a.shrinks;
+        sum.denies += a.denies;
+        sum.rt_sent += a.rt_sent;
+        sum.rt_dropped += a.rt_dropped;
+        sum.be_sent += a.be_sent;
+        sum.be_dropped += a.be_dropped;
+        sum.unresolved += a.unresolved;
+        sum.conservation += a.conservation;
+        sum.leaked_leases += a.leaked_leases;
+      }
+      rt_loss.add(pool, pct(sum.rt_dropped, sum.rt_sent));
+      be_loss.add(pool, pct(sum.be_dropped, sum.be_sent));
+      const std::uint64_t decisions = sum.grants + sum.shrinks + sum.denies;
+      partial.add(pool, pct(sum.shrinks, decisions));
+      deny.add(pool, pct(sum.denies, decisions));
+      failed.add(pool, pct(sum.failed, sum.attempts));
+      if (sum.unresolved != 0 || sum.conservation != 0 ||
+          sum.leaked_leases != 0) {
+        graceful = false;
+        std::printf("VIOLATION at mhs=%d pool=%d%%: unresolved=%llu "
+                    "conservation=%llu leaked=%llu\n",
+                    n, pool,
+                    static_cast<unsigned long long>(sum.unresolved),
+                    static_cast<unsigned long long>(sum.conservation),
+                    static_cast<unsigned long long>(sum.leaked_leases));
+      }
+      // The degradation bar at the tightest pool: per-class treatment must
+      // still privilege real-time over best-effort when anything is lost.
+      if (pool == pool_pcts.front() && sum.rt_sent > 0 &&
+          sum.be_dropped > 0 &&
+          pct(sum.rt_dropped, sum.rt_sent) >=
+              pct(sum.be_dropped, sum.be_sent)) {
+        graceful = false;
+        std::printf("VIOLATION at mhs=%d pool=%d%%: rt loss not below be "
+                    "loss\n", n, pool);
+      }
+    }
+    char title[64];
+    std::snprintf(title, sizeof title, "Overload degradation, %d hosts", n);
+    print_series_table(title, "pool %",
+                       {rt_loss, be_loss, partial, deny, failed});
+    std::printf("\n");
+  }
+
+  const bool audits_clean =
+      AuditHub::instance().violations() == audits_before;
+  std::printf("graceful degradation: %s (attempts all resolved, "
+              "conservation holds, no leaked leases, audits %s)\n",
+              graceful && audits_clean ? "PASS" : "FAIL",
+              audits_clean ? "clean" : "VIOLATED");
+
+  bench::report_sweep("fig_ext_overload_sweep", runner, opts);
+  return graceful && audits_clean ? 0 : 1;
+}

@@ -1,6 +1,7 @@
 #include "buffer/buffer_manager.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "sim/check.hpp"
@@ -8,32 +9,64 @@
 
 namespace fhmip {
 
+BufferManager::~BufferManager() {
+  if (sim_ != nullptr && reaper_event_ != kInvalidEvent)
+    sim_->cancel(reaper_event_);
+}
+
 void BufferManager::set_observer(Simulation* sim, const std::string& name) {
+  if (sim_ != nullptr && sim != sim_ && reaper_event_ != kInvalidEvent) {
+    sim_->cancel(reaper_event_);
+    reaper_event_ = kInvalidEvent;
+  }
   sim_ = sim;
   obs_name_ = name;
   if (sim_ == nullptr) {
     grants_metric_ = rejections_metric_ = nullptr;
+    partial_grants_metric_ = reaped_metric_ = nullptr;
     leased_metric_ = occupancy_metric_ = nullptr;
     return;
   }
   obs::MetricsRegistry& m = sim_->metrics();
   grants_metric_ = &m.counter("buffer/" + name + "/grants");
   rejections_metric_ = &m.counter("buffer/" + name + "/rejections");
+  partial_grants_metric_ = &m.counter("buffer/" + name + "/partial_grants");
+  reaped_metric_ = &m.counter("buffer/" + name + "/leases_reaped");
   leased_metric_ = &m.gauge("buffer/" + name + "/leased_slots");
   occupancy_metric_ = &m.gauge("buffer/" + name + "/occupancy_pkts");
   for (auto& [k, buf] : leases_)
     buf.set_observer(sim_, obs_name_, occupancy_metric_,
                      static_cast<MhId>(k >> 2));
+  ensure_reaper();
 }
 
-std::uint32_t BufferManager::allocate(LeaseKey k, std::uint32_t requested) {
+std::uint32_t BufferManager::leased_by(MhId mh) const {
+  std::uint32_t sum = 0;
+  // All roles of one MH share the top LeaseKey bits; the map orders them
+  // contiguously.
+  auto it = leases_.lower_bound(key(mh, ArRole::kPar));
+  for (; it != leases_.end() && lease_mh(it->first) == mh; ++it)
+    sum += it->second.capacity();
+  return sum;
+}
+
+std::uint32_t BufferManager::allocate(LeaseKey k, std::uint32_t requested,
+                                      SimTime expires) {
   release(k);
   if (requested == 0) return 0;
+  // The quota caps this MH's aggregate holding across roles; the pool caps
+  // everyone's. The effective ceiling is the tighter of the two.
+  std::uint32_t ceiling = available();
+  if (quota_ > 0) {
+    const std::uint32_t held = leased_by(lease_mh(k));
+    const std::uint32_t quota_room = held >= quota_ ? 0 : quota_ - held;
+    ceiling = std::min(ceiling, quota_room);
+  }
   std::uint32_t grant = 0;
-  if (available() >= requested) {
+  if (ceiling >= requested) {
     grant = requested;
-  } else if (allow_partial_ && available() > 0) {
-    grant = available();
+  } else if (allow_partial_ && ceiling > 0) {
+    grant = ceiling;
   }
   if (grant == 0) {
     ++rejections_;
@@ -48,10 +81,35 @@ std::uint32_t BufferManager::allocate(LeaseKey k, std::uint32_t requested) {
                             static_cast<MhId>(k >> 2));
   ++grants_;
   if (grants_metric_ != nullptr) grants_metric_->inc();
+  if (grant < requested) {
+    ++partial_grants_;
+    if (partial_grants_metric_ != nullptr) partial_grants_metric_->inc();
+  }
   if (leased_metric_ != nullptr)
     leased_metric_->set(static_cast<std::int64_t>(leased_));
+  if (!expires.is_zero()) {
+    deadlines_[k] = expires;
+    ensure_reaper();
+  }
   audit_invariants();
   return grant;
+}
+
+bool BufferManager::renew(LeaseKey k, SimTime expires) {
+  if (leases_.count(k) == 0) return false;
+  if (expires.is_zero()) {
+    deadlines_.erase(k);
+  } else {
+    deadlines_[k] = expires;
+    ensure_reaper();
+  }
+  ++renewals_;
+  return true;
+}
+
+SimTime BufferManager::lease_deadline(LeaseKey k) const {
+  auto it = deadlines_.find(k);
+  return it == deadlines_.end() ? SimTime() : it->second;
 }
 
 void BufferManager::release(LeaseKey k) {
@@ -67,9 +125,34 @@ void BufferManager::release(LeaseKey k) {
     occupancy_metric_->add(-static_cast<std::int64_t>(it->second.size()));
   leased_ -= it->second.capacity();
   leases_.erase(it);
+  deadlines_.erase(k);
   if (leased_metric_ != nullptr)
     leased_metric_->set(static_cast<std::int64_t>(leased_));
   audit_invariants();
+}
+
+void BufferManager::ensure_reaper() {
+  if (sim_ == nullptr || deadlines_.empty()) return;
+  if (reaper_event_ != kInvalidEvent) return;
+  reaper_event_ = sim_->in(reap_period_, [this] { reap_sweep(); });
+}
+
+void BufferManager::reap_sweep() {
+  reaper_event_ = kInvalidEvent;
+  const SimTime now = sim_->now();
+  // Collect first: the handler tears down agent contexts, which release
+  // leases and mutate both maps under us.
+  std::vector<LeaseKey> expired;
+  for (const auto& [k, deadline] : deadlines_)
+    if (now > deadline) expired.push_back(k);
+  for (LeaseKey k : expired) {
+    if (leases_.count(k) == 0) continue;  // handler of an earlier key won
+    ++reaped_;
+    if (reaped_metric_ != nullptr) reaped_metric_->inc();
+    if (reap_handler_) reap_handler_(k);
+    if (leases_.count(k) > 0) release(k);  // handler didn't — force it
+  }
+  ensure_reaper();
 }
 
 HandoffBuffer* BufferManager::buffer(LeaseKey k) {
@@ -92,6 +175,9 @@ void BufferManager::audit_invariants() const {
   FHMIP_AUDIT2_MSG("buffer", sum == leased_,
                    "lease sum=" + std::to_string(sum) +
                        " leased=" + std::to_string(leased_));
+  for (const auto& [key, deadline] : deadlines_)
+    FHMIP_AUDIT2_MSG("buffer", leases_.count(key) > 0,
+                     "deadline for unleased key " + std::to_string(key));
 #endif
 }
 

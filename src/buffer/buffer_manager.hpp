@@ -1,12 +1,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 
 #include "buffer/handoff_buffer.hpp"
 #include "buffer/policy.hpp"
 #include "net/messages.hpp"
+#include "sim/scheduler.hpp"
 
 namespace fhmip {
 
@@ -22,27 +24,75 @@ enum class ArRole : std::uint8_t { kPar = 0, kNar = 1, kIntra = 2 };
 /// Per-access-router buffer pool. Mobile hosts lease buffer space out of a
 /// shared pool of `pool_pkts` slots (the scarce resource whose utilization
 /// Figure 4.2 measures). Grants are all-or-nothing as in the thesis unless
-/// `allow_partial` is set (listed as future work in §5).
+/// `allow_partial` is set (listed as future work in §5), in which case the
+/// pool answers overload with partial grants instead of rejections.
+///
+/// Two overload protections layer on top of the pool:
+///  - a per-MH quota (`quota_pkts`, 0 = unlimited) bounding the total slots
+///    one host can hold across all roles, so a single aggressive requester
+///    cannot starve its neighbours;
+///  - allocation leases: a grant may carry a deadline, after which a reaper
+///    sweep reclaims it if the protocol exchange that should have renewed or
+///    released it never happened (AR crash, retry exhaustion, vanished MH).
 class BufferManager {
  public:
   using LeaseKey = std::uint64_t;
+  /// Called by the reaper for each expired lease before force-release, so
+  /// the owning agent can flush packets into an accounted drop bucket and
+  /// tear down its per-MH context.
+  using ReapHandler = std::function<void(LeaseKey)>;
+
   static LeaseKey key(MhId mh, ArRole role) {
     return (static_cast<LeaseKey>(mh) << 2) | static_cast<LeaseKey>(role);
   }
+  static MhId lease_mh(LeaseKey k) { return static_cast<MhId>(k >> 2); }
+  static ArRole lease_role(LeaseKey k) {
+    return static_cast<ArRole>(k & 0x3);
+  }
 
-  BufferManager(std::uint32_t pool_pkts, bool allow_partial = false)
-      : pool_(pool_pkts), allow_partial_(allow_partial) {}
+  BufferManager(std::uint32_t pool_pkts, bool allow_partial = false,
+                std::uint32_t quota_pkts = 0)
+      : pool_(pool_pkts), allow_partial_(allow_partial), quota_(quota_pkts) {}
+  ~BufferManager();
+
+  BufferManager(const BufferManager&) = delete;
+  BufferManager& operator=(const BufferManager&) = delete;
 
   /// Wires this pool into `sim`'s observability plane under
   /// `buffer/<name>/...`: grant/rejection counters, a leased-slots gauge,
   /// and a shared occupancy gauge fed by every leased HandoffBuffer, whose
-  /// stores/removals also emit kBufferEnter/kBufferExit trace events.
+  /// stores/removals also emit kBufferEnter/kBufferExit trace events. Also
+  /// required for lease deadlines: the reaper schedules on this simulation.
   void set_observer(Simulation* sim, const std::string& name);
 
-  /// Tries to lease `requested` slots. Returns the granted size (0 = none).
+  /// The owning agent's reclaim hook; without one, expired leases are
+  /// force-released (buffered packets destroyed unaccounted — tests only).
+  void set_reap_handler(ReapHandler handler) {
+    reap_handler_ = std::move(handler);
+  }
+  /// Period of the reaper sweep (only runs while deadline-bearing leases
+  /// exist). Must be set before the first deadline allocation to take
+  /// effect for it.
+  void set_reap_period(SimTime period) { reap_period_ = period; }
+
+  /// Tries to lease `requested` slots, bounded by pool headroom and the
+  /// per-MH quota. Returns the granted size (0 = none); a grant below
+  /// `requested` is a partial grant (only with `allow_partial`).
   /// Re-allocating an existing lease releases the old one first (its
   /// contents are discarded through `flush` by the caller beforehand).
-  std::uint32_t allocate(LeaseKey k, std::uint32_t requested);
+  /// A non-zero `expires` puts the lease on the reaper's watch list; it is
+  /// reclaimed if not renewed or released by then (strictly after —
+  /// an exact-deadline release still wins).
+  std::uint32_t allocate(LeaseKey k, std::uint32_t requested,
+                         SimTime expires = SimTime());
+
+  /// Pushes an existing lease's deadline (piggybacked on protocol exchanges
+  /// that prove the peer is alive). Zero clears the deadline. Returns false
+  /// if no such lease exists.
+  bool renew(LeaseKey k, SimTime expires);
+
+  /// The lease's deadline (zero when none, or no such lease).
+  SimTime lease_deadline(LeaseKey k) const;
 
   /// Returns the lease's slots to the pool. Any packets still buffered are
   /// destroyed; callers flush first if they need them.
@@ -54,12 +104,18 @@ class BufferManager {
   bool has_lease(LeaseKey k) const { return leases_.count(k) > 0; }
 
   std::uint32_t pool_pkts() const { return pool_; }
+  std::uint32_t quota_pkts() const { return quota_; }
   std::uint32_t leased() const { return leased_; }
   std::uint32_t available() const { return pool_ - leased_; }
   std::size_t active_leases() const { return leases_.size(); }
+  /// Slots currently leased to `mh` summed across all of its roles.
+  std::uint32_t leased_by(MhId mh) const;
 
   std::uint64_t total_grants() const { return grants_; }
   std::uint64_t total_rejections() const { return rejections_; }
+  std::uint64_t total_partial_grants() const { return partial_grants_; }
+  std::uint64_t total_renewals() const { return renewals_; }
+  std::uint64_t total_reaped() const { return reaped_; }
   std::uint32_t peak_leased() const { return peak_leased_; }
 
   /// Pool/lease accounting audits (no-op at audit level 0): leased ≤ pool
@@ -72,17 +128,32 @@ class BufferManager {
   // subclass and prove the audits catch deliberate accounting corruption.
   std::uint32_t pool_;
   bool allow_partial_;
+  std::uint32_t quota_;
   std::uint32_t leased_ = 0;
   std::uint32_t peak_leased_ = 0;
   std::map<LeaseKey, HandoffBuffer> leases_;
+  std::map<LeaseKey, SimTime> deadlines_;
   std::uint64_t grants_ = 0;
   std::uint64_t rejections_ = 0;
+  std::uint64_t partial_grants_ = 0;
+  std::uint64_t renewals_ = 0;
+  std::uint64_t reaped_ = 0;
   Simulation* sim_ = nullptr;
   std::string obs_name_;
   obs::Counter* grants_metric_ = nullptr;
   obs::Counter* rejections_metric_ = nullptr;
+  obs::Counter* partial_grants_metric_ = nullptr;
+  obs::Counter* reaped_metric_ = nullptr;
   obs::Gauge* leased_metric_ = nullptr;
   obs::Gauge* occupancy_metric_ = nullptr;
+
+ private:
+  void ensure_reaper();
+  void reap_sweep();
+
+  ReapHandler reap_handler_;
+  SimTime reap_period_ = SimTime::millis(500);
+  EventId reaper_event_ = kInvalidEvent;
 };
 
 }  // namespace fhmip

@@ -62,6 +62,17 @@ struct BufferSchemeConfig {
   /// Grant less than the full request when the pool is low (extension; the
   /// thesis negotiates all-or-nothing, see §5 future work).
   bool allow_partial_grant = false;
+  /// Per-MH ceiling on aggregate leased slots across all roles (overload
+  /// fairness: one host cannot starve the shared pool). 0 = unlimited.
+  std::uint32_t quota_pkts = 0;
+  /// Grace added on top of `lifetime` before the allocation-lease reaper may
+  /// reclaim an unreleased grant. The slack keeps the reaper strictly a
+  /// backstop: the per-context lifetime timer (an accounted, graceful
+  /// teardown) always gets to fire first when the agent is healthy.
+  SimTime lease_grace = SimTime::seconds(1);
+  /// How often the lease reaper sweeps for expired grants (only while
+  /// deadline-bearing leases exist).
+  SimTime lease_reap_period = SimTime::millis(500);
   /// Buffer allocation lifetime (BI lifetime field). Must cover the whole
   /// anticipation window: from the L2 trigger (overlap entry) through the
   /// blackout and release — pedestrian speeds need several seconds.

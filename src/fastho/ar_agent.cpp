@@ -9,7 +9,7 @@ ArAgent::ArAgent(Node& node, BufferSchemeConfig cfg, RetransmitPolicy rtx)
     : node_(node),
       cfg_(cfg),
       rtx_(rtx),
-      buffers_(cfg.pool_pkts, cfg.allow_partial_grant) {
+      buffers_(cfg.pool_pkts, cfg.allow_partial_grant, cfg.quota_pkts) {
   // Everything addressed into this router's subnet that is not the router
   // itself flows through the agent (LCoA delivery, handoff redirection).
   node_.routes().set_prefix_route(
@@ -18,6 +18,25 @@ ArAgent::ArAgent(Node& node, BufferSchemeConfig cfg, RetransmitPolicy rtx)
   ctrl_id_ = node_.add_control_handler(
       [this](PacketPtr& p) { return handle_control(p); });
   Simulation& sim = node_.sim();
+  buffers_.set_reap_period(cfg_.lease_reap_period);
+  // The reaper is the backstop behind the per-context lifetime timers: if a
+  // lease outlives its deadline (timer lost to a bug or tampering, context
+  // torn down without release), its packets are flushed into an accounted
+  // drop bucket and the context goes with it.
+  buffers_.set_reap_handler([this](BufferManager::LeaseKey k) {
+    const MhId mh = BufferManager::lease_mh(k);
+    switch (BufferManager::lease_role(k)) {
+      case ArRole::kPar:
+        teardown_par(mh, DropReason::kLeaseReclaimed);
+        break;
+      case ArRole::kNar:
+        teardown_nar(mh, DropReason::kLeaseReclaimed);
+        break;
+      case ArRole::kIntra:
+        teardown_intra(mh, DropReason::kLeaseReclaimed);
+        break;
+    }
+  });
   buffers_.set_observer(&sim, node_.name());
   obs::MetricsRegistry& m = sim.metrics();
   m_buffered_ = &m.counter("fastho/" + node_.name() + "/buffered_pkts");
@@ -170,16 +189,17 @@ void ArAgent::on_rtsolpr(const RtSolPrMsg& m, Address src) {
     ctx.mh = m.mh;
     ctx.rtsolpr_seq = m.seq;
     if (m.has_bi) {
+      const SimTime life =
+          m.bi.lifetime.is_zero() ? cfg_.lifetime : m.bi.lifetime;
       ctx.grant = buffers_.allocate(BufferManager::key(m.mh, ArRole::kIntra),
-                                    m.bi.size_pkts);
+                                    m.bi.size_pkts,
+                                    sim.now() + life + cfg_.lease_grace);
       if (m.bi.start_time > sim.now()) {
         ctx.start_timer = sim.at(m.bi.start_time, [this, mh = m.mh] {
           auto it = intra_.find(mh);
           if (it != intra_.end()) it->second.buffering = true;
         });
       }
-      const SimTime life =
-          m.bi.lifetime.is_zero() ? cfg_.lifetime : m.bi.lifetime;
       ctx.lifetime_timer =
           sim.in(life, [this, mh = m.mh] { teardown_intra(mh); });
     }
@@ -229,6 +249,7 @@ void ArAgent::on_rtsolpr(const RtSolPrMsg& m, Address src) {
   }
   const SimTime life =
       ctx.request.lifetime.is_zero() ? cfg_.lifetime : ctx.request.lifetime;
+  ctx.lease_deadline = sim.now() + life + cfg_.lease_grace;
   ctx.lifetime_timer = sim.in(life, [this, mh = m.mh] { teardown_par(mh); });
 
   HiMsg hi;
@@ -346,16 +367,27 @@ void ArAgent::on_hi(const HiMsg& m) {
     }
     ncoa = make_coa(prefix(), host);
   }
+  const SimTime life =
+      (m.has_br && !m.br.lifetime.is_zero()) ? m.br.lifetime : cfg_.lifetime;
   if (m.has_br) {
+    Simulation& sim = node_.sim();
     ctx.grant = buffers_.allocate(BufferManager::key(m.mh, ArRole::kNar),
-                                  m.br.size_pkts);
+                                  m.br.size_pkts,
+                                  sim.now() + life + cfg_.lease_grace);
     // BA grants never exceed the BR request, even with partial grants.
     FHMIP_AUDIT_MSG("fastho", ctx.grant <= m.br.size_pkts,
                     "granted " + std::to_string(ctx.grant) + " of " +
                         std::to_string(m.br.size_pkts));
+    if (m.br.size_pkts > 0) {
+      // Export the admission decision: did pool pressure shrink or refuse
+      // this BR? The grant itself travels back in the HAck(+BA).
+      const obs::HoEventKind kind =
+          ctx.grant == 0            ? obs::HoEventKind::kBufferDeny
+          : ctx.grant < m.br.size_pkts ? obs::HoEventKind::kBufferShrink
+                                       : obs::HoEventKind::kBufferGrant;
+      sim.timeline().record(sim.now(), m.mh, kind, node_.name());
+    }
   }
-  const SimTime life =
-      (m.has_br && !m.br.lifetime.is_zero()) ? m.br.lifetime : cfg_.lifetime;
   ctx.lifetime_timer =
       node_.sim().in(life, [this, mh = m.mh] { teardown_nar(mh); });
   // Host route for the PCoA: packets tunneled here with the old address
@@ -437,8 +469,16 @@ void ArAgent::on_hack(const HackMsg& m) {
     const bool need_local = cfg_.mode == BufferMode::kParOnly ||
                             cfg_.classify || ctx.nar_grant == 0;
     if (need_local) {
-      ctx.par_grant = buffers_.allocate(
-          BufferManager::key(m.mh, ArRole::kPar), ctx.request.size_pkts);
+      ctx.par_grant =
+          buffers_.allocate(BufferManager::key(m.mh, ArRole::kPar),
+                            ctx.request.size_pkts, ctx.lease_deadline);
+      const obs::HoEventKind kind =
+          ctx.par_grant == 0 ? obs::HoEventKind::kBufferDeny
+          : ctx.par_grant < ctx.request.size_pkts
+              ? obs::HoEventKind::kBufferShrink
+              : obs::HoEventKind::kBufferGrant;
+      node_.sim().timeline().record(node_.sim().now(), m.mh, kind,
+                                    node_.name());
     }
   }
 
@@ -508,6 +548,7 @@ void ArAgent::on_fbu(const FbuMsg& m) {
     ctx.nar_addr = m.nar_addr;
     ctx.redirecting = true;
     ctx.last_fbu_seq = m.seq;
+    ctx.lease_deadline = node_.sim().now() + cfg_.lifetime + cfg_.lease_grace;
     ctx.lifetime_timer =
         node_.sim().in(cfg_.lifetime, [this, mh = m.mh] { teardown_par(mh); });
     it = par_.emplace(m.mh, std::move(ctx)).first;
@@ -522,6 +563,11 @@ void ArAgent::on_fbu(const FbuMsg& m) {
   }
   ParContext& ctx = it->second;
   ctx.redirecting = true;
+  // The FBU proves the MH is alive and committed to this handover: push the
+  // PAR-side lease deadline out (renewal piggybacked on the exchange — the
+  // lifetime timer still owns the graceful teardown).
+  ctx.lease_deadline = node_.sim().now() + cfg_.lifetime + cfg_.lease_grace;
+  buffers_.renew(BufferManager::key(m.mh, ArRole::kPar), ctx.lease_deadline);
   if (ctx.start_timer != kInvalidEvent) {
     node_.sim().cancel(ctx.start_timer);
     ctx.start_timer = kInvalidEvent;
@@ -561,6 +607,10 @@ void ArAgent::on_fna(const FnaMsg& m, Address src) {
     ctx.last_fna_seq = m.seq;
   }
   ctx.mh_here = true;
+  // FNA = the MH arrived at this NAR; renew the buffer lease so the drain
+  // (paced by drain_gap) can never race the reaper.
+  buffers_.renew(BufferManager::key(m.mh, ArRole::kNar),
+                 node_.sim().now() + cfg_.lifetime + cfg_.lease_grace);
   if (m.has_bf) {
     BfMsg bf;
     bf.mh = m.mh;
@@ -604,8 +654,18 @@ void ArAgent::on_bi(const BiMsg& m) {
   Simulation& sim = node_.sim();
   IntraContext ctx;
   ctx.mh = m.mh;
+  const SimTime life =
+      m.req.lifetime.is_zero() ? cfg_.lifetime : m.req.lifetime;
   ctx.grant = buffers_.allocate(BufferManager::key(m.mh, ArRole::kIntra),
-                                m.req.size_pkts);
+                                m.req.size_pkts,
+                                sim.now() + life + cfg_.lease_grace);
+  if (m.req.size_pkts > 0) {
+    const obs::HoEventKind kind =
+        ctx.grant == 0                ? obs::HoEventKind::kBufferDeny
+        : ctx.grant < m.req.size_pkts ? obs::HoEventKind::kBufferShrink
+                                      : obs::HoEventKind::kBufferGrant;
+    sim.timeline().record(sim.now(), m.mh, kind, node_.name());
+  }
   if (m.req.start_time > sim.now()) {
     ctx.start_timer = sim.at(m.req.start_time, [this, mh = m.mh] {
       auto it = intra_.find(mh);
@@ -614,7 +674,6 @@ void ArAgent::on_bi(const BiMsg& m) {
   } else {
     ctx.buffering = ctx.grant > 0;
   }
-  const SimTime life = m.req.lifetime.is_zero() ? cfg_.lifetime : m.req.lifetime;
   ctx.lifetime_timer = sim.in(life, [this, mh = m.mh] { teardown_intra(mh); });
   BaMsg ba;
   ba.mh = m.mh;
@@ -744,7 +803,7 @@ void ArAgent::par_buffer_local(ParContext& ctx, PacketPtr p) {
     // path): allocate one now if the pool allows it.
     const std::uint32_t want =
         ctx.request.size_pkts > 0 ? ctx.request.size_pkts : cfg_.request_pkts;
-    ctx.par_grant = buffers_.allocate(k, want);
+    ctx.par_grant = buffers_.allocate(k, want, ctx.lease_deadline);
     buf = buffers_.buffer(k);
   }
   if (buf == nullptr || buf->push(p) != HandoffBuffer::PushResult::kStored) {

@@ -126,6 +126,7 @@ class ArAgent : public ArAttachListener {
     bool bf_received = false;      // NAR released; stop buffering
     bool draining = false;
     BufferRequest request;
+    SimTime lease_deadline;        // reaper backstop for local allocations
     EventId start_timer = kInvalidEvent;
     EventId lifetime_timer = kInvalidEvent;
     // Reliability: the solicitation transaction this context answers, the

@@ -31,14 +31,63 @@ void MhAgent::cancel_timers() {
   if (rtsolpr_timer_ != kInvalidEvent) sim.cancel(rtsolpr_timer_);
   if (fbu_timer_ != kInvalidEvent) sim.cancel(fbu_timer_);
   if (fna_timer_ != kInvalidEvent) sim.cancel(fna_timer_);
-  rtsolpr_timer_ = fbu_timer_ = fna_timer_ = kInvalidEvent;
+  if (watchdog_timer_ != kInvalidEvent) sim.cancel(watchdog_timer_);
+  rtsolpr_timer_ = fbu_timer_ = fna_timer_ = watchdog_timer_ = kInvalidEvent;
   fbu_phase_ = FbuPhase::kIdle;
+}
+
+void MhAgent::arm_watchdog() {
+  if (cfg_.watchdog.is_zero() || intra_pending_) return;
+  if (watchdog_timer_ != kInvalidEvent) return;  // per-attempt, first wins
+  watchdog_rearmed_ = false;
+  watchdog_timer_ =
+      node_.sim().in(cfg_.watchdog, [this] { watchdog_fired(); });
+}
+
+void MhAgent::disarm_watchdog() {
+  if (watchdog_timer_ != kInvalidEvent) node_.sim().cancel(watchdog_timer_);
+  watchdog_timer_ = kInvalidEvent;
+  watchdog_rearmed_ = false;
+}
+
+void MhAgent::watchdog_fired() {
+  watchdog_timer_ = kInvalidEvent;
+  ++counters_.watchdog_fired;
+  mark(HoEventKind::kWatchdogFired);
+  // One legal self-repair before declaring failure: attached with an
+  // unconfirmed predictive FBU and no reactive reissue in flight — re-enter
+  // the §2.3.2 path and grant it a second deadline.
+  if (!watchdog_rearmed_ && link_up_ && fbu_old_seq_ != kNoCtrlSeq &&
+      !fback_received_ && fbu_new_seq_ == kNoCtrlSeq && outcome_pending_) {
+    watchdog_rearmed_ = true;
+    send_reactive_fbu();
+    watchdog_timer_ =
+        node_.sim().in(cfg_.watchdog, [this] { watchdog_fired(); });
+    return;
+  }
+  // Wedged: no retransmission timer left that could make progress (or the
+  // radio never came back). Tear the attempt down and record the typed
+  // cause; the AR-side state follows via lifetime timers and the lease
+  // reaper.
+  ++counters_.watchdog_failed;
+  cancel_timers();
+  watchdog_rearmed_ = false;
+  // Detach-and-vanish wedges never reach on_attached, so no outcome was
+  // opened there — open it now; the attempt must close, never stay wedged.
+  outcome_pending_ = true;
+  resolve_outcome(HandoverOutcome::kFailed, HandoverCause::kWatchdog);
+  anticipated_ = false;
+  prrtadv_timed_out_ = false;
+  fbu_sent_on_old_link_ = false;
+  fbu_old_seq_ = fbu_new_seq_ = kNoCtrlSeq;
+  target_ap_ = kNoNode;
 }
 
 void MhAgent::resolve_outcome(HandoverOutcome outcome, HandoverCause cause) {
   if (!outcome_pending_) return;
   outcome_pending_ = false;
   pending_cause_ = HandoverCause::kNone;
+  disarm_watchdog();
   Simulation& sim = node_.sim();
   const PhaseBreakdown phases =
       sim.timeline().resolve(sim.now(), id(), outcome, cause);
@@ -147,6 +196,7 @@ void MhAgent::on_l2_trigger(NodeId target_ap, Node& target_ar) {
   fbu_sent_on_old_link_ = false;
   fback_received_ = false;
   anticipated_ = true;
+  arm_watchdog();
   send_rtsolpr(target_ap);
 }
 
@@ -301,6 +351,7 @@ void MhAgent::on_predisconnect(NodeId target_ap, Node& target_ar) {
     // anticipation flag is only ever set by a sent RtSolPr (BI ordering).
     FHMIP_AUDIT("fastho", counters_.rtsolpr_sent > 0);
     fback_received_ = false;
+    arm_watchdog();
     send_fbu(current_ar_addr_, target_ar.address(), /*from_new_link=*/false);
     fbu_sent_on_old_link_ = true;
   } else {
@@ -312,11 +363,18 @@ void MhAgent::on_predisconnect(NodeId target_ap, Node& target_ar) {
     target_ar_addr_ = target_ar.address();
     intra_pending_ = target_ar_addr_ == current_ar_addr_;
     anticipated_ = false;
+    arm_watchdog();
   }
 }
 
 void MhAgent::on_detached() {
-  if (first_attach_done_) mark(HoEventKind::kBlackoutStart);
+  link_up_ = false;
+  if (first_attach_done_) {
+    mark(HoEventKind::kBlackoutStart);
+    // A blackout with no watchdog is the canonical wedge: if the radio
+    // never reattaches, nothing else will ever close this attempt.
+    if (cfg_.use_fast_handover) arm_watchdog();
+  }
   // The old link is gone: retransmitting on it could only feed the drop
   // counters. Unconfirmed exchanges are settled at attachment.
   if (rtsolpr_timer_ != kInvalidEvent) node_.sim().cancel(rtsolpr_timer_);
@@ -359,6 +417,7 @@ void MhAgent::fna_timeout() {
 }
 
 void MhAgent::on_attached(NodeId /*ap*/, Node& ar) {
+  link_up_ = true;
   const Address ar_addr = ar.address();
   // Use the NAR-validated NCoA when one was negotiated for this subnet
   // (it differs from the default when the proposal collided, §2.3.2).
@@ -384,7 +443,10 @@ void MhAgent::on_attached(NodeId /*ap*/, Node& ar) {
 
   if (ar_addr == current_ar_addr_) {
     // §3.2.2.4: pure link-layer handoff under the same access router —
-    // FNA+BF releases the locally buffered packets.
+    // FNA+BF releases the locally buffered packets. No outcome is recorded
+    // for intra attempts, so any watchdog armed for a target that turned
+    // out to be intra must stand down here.
+    disarm_watchdog();
     ++counters_.intra_handoffs;
     if (cfg_.use_fast_handover) {
       send_fna(pcoa_, current_ar_addr_);
@@ -404,6 +466,7 @@ void MhAgent::on_attached(NodeId /*ap*/, Node& ar) {
       resolve_outcome(HandoverOutcome::kFailed, HandoverCause::kNoFback);
     }
     outcome_pending_ = true;
+    arm_watchdog();
     if (!fbu_sent_on_old_link_) {
       // Non-anticipated handoff: FBU from the new link toward the PAR.
       ++counters_.non_anticipated;

@@ -59,6 +59,14 @@ class MhAgent : public L2Callbacks {
     /// Control-message retransmission/backoff (rtx.enabled = false
     /// restores fire-and-forget signaling).
     RetransmitPolicy rtx;
+    /// Per-attempt liveness deadline (zero = disabled). Armed when an
+    /// inter-AR attempt starts (L2 trigger / predisconnect / detach) and
+    /// disarmed at resolution; if it fires, the wedged choreography is torn
+    /// down and the attempt recorded as kFailed/kWatchdog — after one legal
+    /// reactive retry (§2.3.2) when the host is attached with an
+    /// unconfirmed predictive FBU. Must cover the whole attempt: the
+    /// anticipation window plus the blackout plus the FNA exchange.
+    SimTime watchdog;
     /// Per-attempt handover outcome sink (optional; not owned).
     HandoverOutcomeRecorder* outcomes = nullptr;
   };
@@ -81,6 +89,8 @@ class MhAgent : public L2Callbacks {
     std::uint32_t fbu_exhausted = 0;      // reactive FBU unacknowledged
     std::uint32_t reactive_fbu = 0;    // FBU reissued from the new link
                                        // after an unconfirmed predictive one
+    std::uint32_t watchdog_fired = 0;  // liveness deadline expiries
+    std::uint32_t watchdog_failed = 0; // attempts it resolved kFailed
   };
 
   MhAgent(Node& node, Config cfg, MobileIpClient* mip);
@@ -131,6 +141,11 @@ class MhAgent : public L2Callbacks {
   void fna_timeout();
   void arm(EventId& timer, std::uint32_t attempt, void (MhAgent::*fn)());
   void cancel_timers();
+  /// Starts the liveness deadline for the in-flight inter-AR attempt
+  /// (no-op when disabled, already armed, or the attempt is intra-AR).
+  void arm_watchdog();
+  void disarm_watchdog();
+  void watchdog_fired();
   /// Records the current attempt's outcome (no-op when already resolved).
   void resolve_outcome(HandoverOutcome outcome, HandoverCause cause);
   /// Lands a handover-timeline record for this MH at the current sim time.
@@ -177,6 +192,11 @@ class MhAgent : public L2Callbacks {
   Address fna_dst_;
   EventId fna_timer_ = kInvalidEvent;
   std::uint32_t fna_sends_ = 0;
+
+  // Liveness watchdog state.
+  EventId watchdog_timer_ = kInvalidEvent;
+  bool link_up_ = false;           // radio currently attached to an AP
+  bool watchdog_rearmed_ = false;  // the one reactive retry was spent
 
   // Outcome bookkeeping for the in-flight inter-AR attempt.
   bool outcome_pending_ = false;

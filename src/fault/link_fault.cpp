@@ -10,7 +10,11 @@ LinkFaultInjector::LinkFaultInjector(Simulation& sim, SimplexLink& link)
   link_.set_tx_filter([this](const Packet& p) { return should_drop(p); });
 }
 
-LinkFaultInjector::~LinkFaultInjector() { link_.set_tx_filter({}); }
+LinkFaultInjector::~LinkFaultInjector() {
+  link_.set_tx_filter({});
+  for (EventId ev : pending_evs_) sim_.cancel(ev);
+  for (Held& h : held_) sim_.cancel(h.fallback);
+}
 
 void LinkFaultInjector::drop_nth(std::uint64_t n, PacketPredicate match) {
   Rule r;
@@ -41,6 +45,39 @@ void LinkFaultInjector::bernoulli(double p, std::uint64_t seed,
   rules_.push_back(std::move(r));
 }
 
+void LinkFaultInjector::duplicate_nth(std::uint64_t n, PacketPredicate match,
+                                      SimTime gap) {
+  Rule r;
+  r.kind = Rule::Kind::kDuplicate;
+  r.match = std::move(match);
+  r.n = n;
+  r.spent = n == 0;
+  r.delay = gap;
+  rules_.push_back(std::move(r));
+}
+
+void LinkFaultInjector::delay_nth(std::uint64_t n, SimTime delay,
+                                  PacketPredicate match) {
+  Rule r;
+  r.kind = Rule::Kind::kDelay;
+  r.match = std::move(match);
+  r.n = n;
+  r.spent = n == 0;
+  r.delay = delay;
+  rules_.push_back(std::move(r));
+}
+
+void LinkFaultInjector::reorder_nth(std::uint64_t n, PacketPredicate match,
+                                    SimTime max_hold) {
+  Rule r;
+  r.kind = Rule::Kind::kReorder;
+  r.match = std::move(match);
+  r.n = n;
+  r.spent = n == 0;
+  r.delay = max_hold;
+  rules_.push_back(std::move(r));
+}
+
 void LinkFaultInjector::down_window(SimTime from, SimTime until) {
   SimplexLink* link = &link_;
   sim_.at(from, [link] { link->set_up(false); });
@@ -48,6 +85,12 @@ void LinkFaultInjector::down_window(SimTime from, SimTime until) {
 }
 
 bool LinkFaultInjector::should_drop(const Packet& p) {
+  // Copies we injected ourselves are exempt from rule processing, so a
+  // duplicate can't be re-duplicated and a delayed copy can't be re-delayed.
+  if (passthrough_.erase(p.uid) > 0) {
+    release_held();
+    return false;
+  }
   for (Rule& r : rules_) {
     if (r.spent) continue;
     if (r.match && !r.match(p)) continue;
@@ -83,9 +126,87 @@ bool LinkFaultInjector::should_drop(const Packet& p) {
           return true;
         }
         break;
+      case Rule::Kind::kDuplicate:
+        if (++r.seen == r.n) {
+          r.spent = true;
+          ++duplicated_;
+          schedule_copy(p, r.delay);
+          release_held();
+          return false;  // the original goes through untouched
+        }
+        break;
+      case Rule::Kind::kDelay:
+        if (++r.seen == r.n) {
+          r.spent = true;
+          ++delayed_;
+          ++dropped_;
+          m_dropped_->inc();
+          schedule_copy(p, r.delay);
+          return true;  // the original dies; its copy arrives late
+        }
+        break;
+      case Rule::Kind::kReorder:
+        if (++r.seen == r.n) {
+          r.spent = true;
+          ++reordered_;
+          ++dropped_;
+          m_dropped_->inc();
+          hold_copy(p, r.delay);
+          return true;  // the copy re-enters behind the next passer
+        }
+        break;
     }
   }
+  release_held();
   return false;
+}
+
+void LinkFaultInjector::schedule_copy(const Packet& p, SimTime after) {
+  auto copy = std::shared_ptr<Packet>(p.clone(sim_.next_uid()).release());
+  pending_evs_.push_back(
+      sim_.in(after, [this, copy] { inject(copy); }));
+}
+
+void LinkFaultInjector::hold_copy(const Packet& p, SimTime max_hold) {
+  Held h;
+  h.copy = std::shared_ptr<Packet>(p.clone(sim_.next_uid()).release());
+  // Bound the wait: with no successor traffic the copy still arrives, just
+  // late — a reorder degrades to a delay instead of a silent loss.
+  const std::uint64_t uid = h.copy->uid;
+  h.fallback = sim_.in(max_hold, [this, uid] {
+    for (auto it = held_.begin(); it != held_.end(); ++it) {
+      if (it->copy->uid != uid) continue;
+      std::shared_ptr<Packet> copy = it->copy;
+      held_.erase(it);
+      inject(copy);
+      return;
+    }
+  });
+  held_.push_back(std::move(h));
+}
+
+void LinkFaultInjector::release_held() {
+  if (held_.empty()) return;
+  // Inject after the passing packet has entered the link (we are inside its
+  // transmit call right now), i.e. on the next scheduler slot.
+  for (Held& h : held_) {
+    sim_.cancel(h.fallback);
+    pending_evs_.push_back(
+        sim_.in(SimTime(), [this, copy = h.copy] { inject(copy); }));
+  }
+  held_.clear();
+}
+
+void LinkFaultInjector::inject(const std::shared_ptr<Packet>& copy) {
+  auto p = std::make_unique<Packet>(std::move(*copy));
+  passthrough_.insert(p->uid);
+  // The copy is a new packet as far as conservation accounting goes: it gets
+  // its own kCreate (the ledger then expects a terminal event for it) and,
+  // for data packets, a fresh flow-level "sent" so delivered+dropped can
+  // still reconcile against sent.
+  trace_packet(sim_, TraceKind::kCreate, "fault", *p);
+  if (p->flow != kNoFlow) sim_.stats().record_sent(p->flow);
+  link_.transmit(std::move(p));
 }
 
 }  // namespace fhmip::fault

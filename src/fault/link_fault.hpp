@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <set>
 #include <vector>
 
 #include "fault/filters.hpp"
@@ -14,11 +16,23 @@ namespace fhmip::fault {
 ///
 /// The injector installs a single transmit filter on the target link and
 /// evaluates its rules in insertion order against every packet handed to
-/// the link; the first rule that fires kills the packet, accounted as a
-/// DropReason::kFaultInjected drop. Rules are deterministic: drop-nth and
-/// drop-matching depend only on the offered packet sequence, and the
-/// Bernoulli rule draws from its own seeded generator (advanced only on
-/// matching packets), independent of the simulation-wide RNG.
+/// the link; the first rule that fires acts on the packet. Drop rules kill
+/// it, accounted as a DropReason::kFaultInjected drop. Rules are
+/// deterministic: the nth-match rules depend only on the offered packet
+/// sequence, and the Bernoulli rule draws from its own seeded generator
+/// (advanced only on matching packets), independent of the simulation-wide
+/// RNG.
+///
+/// Beyond loss, three reordering-class faults model a misbehaving path:
+///  * duplicate_nth — the packet passes AND a deep copy (fresh uid, kCreate
+///    traced, flow-sent accounted) is transmitted a little later;
+///  * delay_nth — the packet is killed (a fault-injected drop) and its copy
+///    re-transmitted after `delay`, so the protocol sees the message late;
+///  * reorder_nth — the packet is killed and its copy held until right
+///    after the next packet passes the filter (or `max_hold`, whichever
+///    comes first), so the two swap places on the wire.
+/// Copies are injected through the link's normal transmit path and are
+/// exempt from further rule processing, so faults cannot cascade.
 ///
 /// Timed outages (down_window) reuse the link's up/down machinery, so they
 /// behave exactly like a wireless blackout: queued packets die with the
@@ -44,6 +58,22 @@ class LinkFaultInjector {
   void bernoulli(double p, std::uint64_t seed,
                  PacketPredicate match = any_packet());
 
+  /// Duplicates the nth (1-based) matching packet: the original passes and
+  /// a copy follows `gap` later.
+  void duplicate_nth(std::uint64_t n, PacketPredicate match = any_packet(),
+                     SimTime gap = SimTime::micros(50));
+
+  /// Delays the nth (1-based) matching packet by `delay`: the original is
+  /// killed (fault-injected drop) and a copy re-transmitted late.
+  void delay_nth(std::uint64_t n, SimTime delay,
+                 PacketPredicate match = any_packet());
+
+  /// Reorders the nth (1-based) matching packet behind the next packet
+  /// that passes the filter; `max_hold` bounds the wait when no successor
+  /// shows up.
+  void reorder_nth(std::uint64_t n, PacketPredicate match = any_packet(),
+                   SimTime max_hold = SimTime::millis(50));
+
   /// Takes the link down at `from` and back up at `until`. Both edges are
   /// scheduled immediately; windows may overlap other rules.
   void down_window(SimTime from, SimTime until);
@@ -51,31 +81,62 @@ class LinkFaultInjector {
   /// Removes every rule (the window events already scheduled still fire).
   void clear() { rules_.clear(); }
 
-  /// Packets this injector has killed so far.
+  /// Packets this injector has killed so far (delay/reorder originals
+  /// count: they die on the wire even though a copy follows).
   std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t duplicated() const { return duplicated_; }
+  std::uint64_t delayed() const { return delayed_; }
+  std::uint64_t reordered() const { return reordered_; }
 
   SimplexLink& link() { return link_; }
 
  private:
   struct Rule {
-    enum class Kind { kNth, kMatching, kBernoulli };
+    enum class Kind {
+      kNth,
+      kMatching,
+      kBernoulli,
+      kDuplicate,
+      kDelay,
+      kReorder,
+    };
     Kind kind = Kind::kMatching;
     PacketPredicate match;
-    std::uint64_t n = 0;          // kNth: which match to kill
-    std::uint64_t seen = 0;       // kNth: matches observed so far
+    std::uint64_t n = 0;          // nth-match rules: which match fires
+    std::uint64_t seen = 0;       // nth-match rules: matches observed
     std::uint64_t remaining = 0;  // kMatching: budget (if not unlimited)
     bool unlimited = false;
     double p = 0.0;               // kBernoulli
     Rng rng;                      // kBernoulli: private seeded stream
+    SimTime delay;                // kDuplicate gap / kDelay / kReorder hold
     bool spent = false;
+  };
+  struct Held {
+    std::shared_ptr<Packet> copy;
+    EventId fallback = kInvalidEvent;
   };
 
   bool should_drop(const Packet& p);
+  /// Schedules a deep copy of `p` for (re-)transmission `after` from now.
+  void schedule_copy(const Packet& p, SimTime after);
+  /// Parks a copy of `p` until the next passing packet or `max_hold`.
+  void hold_copy(const Packet& p, SimTime max_hold);
+  /// Re-injects every held copy (a packet just passed the filter).
+  void release_held();
+  /// Puts a copy on the wire: fresh kCreate trace, flow-sent accounting,
+  /// and a passthrough mark so rules never process it again.
+  void inject(const std::shared_ptr<Packet>& copy);
 
   Simulation& sim_;
   SimplexLink& link_;
   std::vector<Rule> rules_;
   std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t delayed_ = 0;
+  std::uint64_t reordered_ = 0;
+  std::set<std::uint64_t> passthrough_;  // uids of injected copies
+  std::vector<Held> held_;
+  std::vector<EventId> pending_evs_;  // cancelled in the dtor
   obs::Counter* m_dropped_ = nullptr;  // fault/injected_drops (shared name)
 };
 

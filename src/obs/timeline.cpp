@@ -53,6 +53,14 @@ const char* to_string(HoEventKind kind) {
       return "drain-end";
     case HoEventKind::kResolved:
       return "resolved";
+    case HoEventKind::kBufferGrant:
+      return "buffer-grant";
+    case HoEventKind::kBufferShrink:
+      return "buffer-shrink";
+    case HoEventKind::kBufferDeny:
+      return "buffer-deny";
+    case HoEventKind::kWatchdogFired:
+      return "watchdog-fired";
   }
   return "?";
 }

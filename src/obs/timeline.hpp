@@ -36,6 +36,10 @@ enum class HoEventKind : std::uint8_t {
   kDrainStart,     // an AR began releasing a buffer toward the MH
   kDrainEnd,       // that buffer ran empty
   kResolved,       // attempt classified (predictive/reactive/failed)
+  kBufferGrant,    // a router granted the full requested buffer space
+  kBufferShrink,   // partial grant: pool pressure shrank the request
+  kBufferDeny,     // request refused outright (zero grant)
+  kWatchdogFired,  // the MH's per-attempt liveness deadline expired
 };
 
 const char* to_string(HoEventKind kind);

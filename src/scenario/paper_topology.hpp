@@ -59,6 +59,9 @@ struct PaperTopologyConfig {
   bool simultaneous_binding = false;
   std::uint64_t auth_key = 0;
   SimTime start_time_offset;
+  /// Per-attempt handover liveness deadline for every MH agent (zero =
+  /// disabled; see MhAgent::Config::watchdog).
+  SimTime watchdog;
   /// Control-plane retransmission/backoff, shared by the MH agents and both
   /// ARs (rtx.enabled = false restores fire-and-forget signaling).
   RetransmitPolicy rtx;

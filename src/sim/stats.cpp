@@ -29,6 +29,8 @@ const char* to_string(DropReason reason) {
       return "random-loss";
     case DropReason::kFaultInjected:
       return "fault-injected";
+    case DropReason::kLeaseReclaimed:
+      return "lease-reclaimed";
   }
   return "?";
 }

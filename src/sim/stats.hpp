@@ -25,10 +25,12 @@ enum class DropReason {
   kBufferExpired,    // buffer lifetime elapsed before release
   kRandomLoss,       // injected per-packet loss (wireless corruption model)
   kFaultInjected,    // killed by a scripted fault (src/fault)
+  kLeaseReclaimed,   // buffered packets reclaimed by the allocation-lease
+                     // reaper (orphaned grant past its deadline)
 };
 
 const char* to_string(DropReason reason);
-inline constexpr int kNumDropReasons = 11;
+inline constexpr int kNumDropReasons = 12;
 
 /// A delivered packet's end-to-end record; benches turn these into the
 /// per-sequence delay plots (Figures 4.7-4.10).

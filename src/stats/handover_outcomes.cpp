@@ -28,6 +28,8 @@ const char* to_string(HandoverCause c) {
       return "target-changed";
     case HandoverCause::kNoFback:
       return "no-fback";
+    case HandoverCause::kWatchdog:
+      return "watchdog";
   }
   return "?";
 }

@@ -35,12 +35,15 @@ enum class HandoverCause : std::uint8_t {
   kTargetChanged = 3,
   /// Reactive FBU retries exhausted without an FBack (kFailed attempts).
   kNoFback = 4,
+  /// The per-attempt liveness watchdog expired with the choreography wedged
+  /// (no retransmission timer left to make progress) and tore it down.
+  kWatchdog = 5,
 };
 
 const char* to_string(HandoverOutcome o);
 const char* to_string(HandoverCause c);
 inline constexpr int kNumHandoverOutcomes = 3;
-inline constexpr int kNumHandoverCauses = 5;
+inline constexpr int kNumHandoverCauses = 6;
 
 /// Per-attempt latency decomposition, produced by the handover timeline
 /// (src/obs/timeline.hpp). A span is only meaningful when its `has_` flag is

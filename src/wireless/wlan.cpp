@@ -174,6 +174,18 @@ void WlanManager::attach(MhId mh, MhRecord& rec, AccessPoint& target) {
   if (rec.cb) rec.cb->on_attached(target.id(), target.ar_node());
 }
 
+SimplexLink* WlanManager::uplink(NodeId ap_id, MhId mh) {
+  AccessPoint* a = ap(ap_id);
+  if (a == nullptr || mhs_.count(mh) == 0) return nullptr;
+  return radio(*a, mh).up.get();
+}
+
+SimplexLink* WlanManager::downlink(NodeId ap_id, MhId mh) {
+  AccessPoint* a = ap(ap_id);
+  if (a == nullptr || mhs_.count(mh) == 0) return nullptr;
+  return radio(*a, mh).down.get();
+}
+
 WlanManager::RadioPair& WlanManager::radio(const AccessPoint& ap, MhId mh) {
   const auto key = std::make_pair(ap.id(), mh);
   auto it = radios_.find(key);

@@ -75,6 +75,13 @@ class WlanManager {
   NodeId attached_ap(MhId mh) const;  // kNoNode while detached
   bool in_handoff(MhId mh) const;
   AccessPoint* ap(NodeId id);
+  /// The MH→AR radio link for `(ap, mh)`, created on demand like the
+  /// association path would — fault harnesses attach TxFilters to it to
+  /// kill/duplicate/delay MH-originated control messages. nullptr when the
+  /// AP or MH is unknown.
+  SimplexLink* uplink(NodeId ap, MhId mh);
+  /// The AR→MH counterpart (PrRtAdv, FBack, FnaAck, drained packets).
+  SimplexLink* downlink(NodeId ap, MhId mh);
   std::size_t handoffs_started() const { return handoffs_; }
   /// Blackout actually used by the most recent handoff (fixed or sampled).
   SimTime last_blackout() const { return last_blackout_; }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "sim/simulation.hpp"
 
 namespace fhmip {
@@ -89,6 +91,124 @@ TEST(BufferManager, PeakLeasedTracksHighWater) {
   EXPECT_EQ(m.peak_leased(), 20u);
   EXPECT_EQ(m.leased(), 10u);
   EXPECT_EQ(m.total_grants(), 2u);
+}
+
+TEST(BufferManager, QuotaCapsOneHostAcrossRoles) {
+  BufferManager m(100, /*allow_partial=*/false, /*quota_pkts=*/15);
+  EXPECT_EQ(m.allocate(BufferManager::key(1, ArRole::kPar), 10), 10u);
+  // 5 quota slots remain for MH 1: an all-or-nothing 10 is refused even
+  // though the pool has 90 free.
+  EXPECT_EQ(m.allocate(BufferManager::key(1, ArRole::kNar), 10), 0u);
+  EXPECT_EQ(m.total_rejections(), 1u);
+  // Another host is unaffected by its neighbour's quota.
+  EXPECT_EQ(m.allocate(BufferManager::key(2, ArRole::kNar), 10), 10u);
+  EXPECT_EQ(m.leased_by(1), 10u);
+  EXPECT_EQ(m.leased_by(2), 10u);
+}
+
+TEST(BufferManager, QuotaClampsPartialGrants) {
+  BufferManager m(100, /*allow_partial=*/true, /*quota_pkts=*/15);
+  EXPECT_EQ(m.allocate(BufferManager::key(1, ArRole::kPar), 10), 10u);
+  EXPECT_EQ(m.allocate(BufferManager::key(1, ArRole::kNar), 10), 5u);
+  EXPECT_EQ(m.total_partial_grants(), 1u);
+  EXPECT_EQ(m.leased_by(1), 15u);
+  // Quota exhausted: even partial policy has nothing left to give.
+  EXPECT_EQ(m.allocate(BufferManager::key(1, ArRole::kIntra), 4), 0u);
+}
+
+TEST(BufferManager, PartialGrantTakesTighterOfPoolAndQuota) {
+  BufferManager m(12, /*allow_partial=*/true, /*quota_pkts=*/50);
+  EXPECT_EQ(m.allocate(BufferManager::key(1, ArRole::kPar), 8), 8u);
+  // Pool headroom (4) binds before the quota (42).
+  EXPECT_EQ(m.allocate(BufferManager::key(2, ArRole::kNar), 10), 4u);
+}
+
+TEST(BufferManager, ReallocationDoesNotDoubleCountAgainstQuota) {
+  BufferManager m(100, /*allow_partial=*/false, /*quota_pkts=*/20);
+  const auto k = BufferManager::key(1, ArRole::kNar);
+  EXPECT_EQ(m.allocate(k, 15), 15u);
+  // The old 15 is released first, so 20 fits inside the quota.
+  EXPECT_EQ(m.allocate(k, 20), 20u);
+  EXPECT_EQ(m.leased_by(1), 20u);
+}
+
+TEST(BufferManager, RenewPushesDeadlineAndReleaseClearsIt) {
+  Simulation sim;
+  BufferManager m(20);
+  m.set_observer(&sim, "test");
+  const auto k = BufferManager::key(1, ArRole::kNar);
+  m.allocate(k, 5, SimTime::seconds(2));
+  EXPECT_EQ(m.lease_deadline(k), SimTime::seconds(2));
+  EXPECT_TRUE(m.renew(k, SimTime::seconds(5)));
+  EXPECT_EQ(m.lease_deadline(k), SimTime::seconds(5));
+  EXPECT_EQ(m.total_renewals(), 1u);
+  // Renewing to zero takes the lease off the reaper's watch list.
+  EXPECT_TRUE(m.renew(k, SimTime()));
+  EXPECT_TRUE(m.lease_deadline(k).is_zero());
+  m.release(k);
+  EXPECT_FALSE(m.renew(k, SimTime::seconds(9)));  // gone
+}
+
+TEST(BufferManager, ReaperReclaimsOrphanedLease) {
+  Simulation sim;
+  BufferManager m(20);
+  m.set_observer(&sim, "test");
+  m.set_reap_period(SimTime::millis(100));
+  std::vector<BufferManager::LeaseKey> reaped;
+  m.set_reap_handler([&](BufferManager::LeaseKey k) { reaped.push_back(k); });
+  const auto k = BufferManager::key(3, ArRole::kNar);
+  m.allocate(k, 5, SimTime::seconds(1));
+  sim.run_until(SimTime::seconds(2));
+  ASSERT_EQ(reaped.size(), 1u);
+  EXPECT_EQ(BufferManager::lease_mh(reaped[0]), 3u);
+  EXPECT_EQ(BufferManager::lease_role(reaped[0]), ArRole::kNar);
+  EXPECT_FALSE(m.has_lease(k));  // handler didn't release, so the pool did
+  EXPECT_EQ(m.available(), 20u);
+  EXPECT_EQ(m.total_reaped(), 1u);
+}
+
+TEST(BufferManager, RenewedLeaseOutlivesItsOriginalDeadline) {
+  Simulation sim;
+  BufferManager m(20);
+  m.set_observer(&sim, "test");
+  m.set_reap_period(SimTime::millis(100));
+  const auto k = BufferManager::key(1, ArRole::kPar);
+  m.allocate(k, 5, SimTime::seconds(1));
+  // A protocol exchange at 0.9 s proves the peer alive and pushes the lease.
+  sim.at(SimTime::millis(900), [&] { m.renew(k, SimTime::seconds(3)); });
+  sim.run_until(SimTime::seconds(2));
+  EXPECT_TRUE(m.has_lease(k));
+  EXPECT_EQ(m.total_reaped(), 0u);
+  sim.run_until(SimTime::seconds(4));
+  EXPECT_FALSE(m.has_lease(k));
+  EXPECT_EQ(m.total_reaped(), 1u);
+}
+
+TEST(BufferManager, ExactDeadlineReleaseBeatsTheReaper) {
+  Simulation sim;
+  BufferManager m(20);
+  m.set_observer(&sim, "test");
+  m.set_reap_period(SimTime::millis(100));
+  const auto k = BufferManager::key(1, ArRole::kNar);
+  m.allocate(k, 5, SimTime::seconds(1));
+  // A lifetime timer firing exactly at the deadline must win: the reaper
+  // only takes leases strictly past due (it is a backstop, not the owner).
+  sim.at(SimTime::seconds(1), [&] { m.release(k); });
+  sim.run_until(SimTime::seconds(2));
+  EXPECT_EQ(m.total_reaped(), 0u);
+  EXPECT_EQ(m.available(), 20u);
+}
+
+TEST(BufferManager, LeaseWithoutDeadlineNeverReaped) {
+  Simulation sim;
+  BufferManager m(20);
+  m.set_observer(&sim, "test");
+  m.set_reap_period(SimTime::millis(100));
+  const auto k = BufferManager::key(1, ArRole::kNar);
+  m.allocate(k, 5);  // no expiry: reaper stays asleep
+  sim.run_until(SimTime::seconds(5));
+  EXPECT_TRUE(m.has_lease(k));
+  EXPECT_EQ(m.total_reaped(), 0u);
 }
 
 TEST(BufferManager, ReleasedLeaseDiscardsContents) {

@@ -138,6 +138,40 @@ TEST_F(RobustnessFixture, SampledBlackoutsKeepInvariants) {
   EXPECT_EQ(c.dropped, 0u);  // 60-packet lease covers even 400 ms at 100 p/s
 }
 
+TEST_F(RobustnessFixture, NarAllocationReclaimedWhenFnaNeverArrives) {
+  // The mirror image of PAR-side retry exhaustion: HI/HAck completed, so
+  // the NAR holds a granted allocation with redirected packets in it — and
+  // then the MH's FNA (every retry of it) is black-holed on the new radio
+  // link. The NAR must reclaim the orphaned grant on its own (lifetime
+  // expiry, with the lease reaper as backstop), flushing the contents into
+  // an accounted drop bucket rather than leaking the lease.
+  build();
+  Simulation& sim = topo->simulation();
+  fault::LinkFaultInjector up_inj(
+      sim, *topo->wlan().uplink(topo->ap_nar().id(), mh_id()));
+  up_inj.drop_matching(fault::message_named("FNA"));
+  // Handover at ~11 s, NAR lifetime ~10 s by default: run past expiry plus
+  // the lease grace so every reclamation path has had its chance.
+  sim.run_until(25_s);
+  EXPECT_GT(up_inj.dropped(), 1u);  // the FNA and its retries all died
+  EXPECT_EQ(topo->nar_agent().buffers().leased(), 0u)
+      << "orphaned NAR allocation leaked";
+  EXPECT_EQ(topo->par_agent().buffers().leased(), 0u);
+  // The buffered redirected packets (and tunneled FBack) were drained into
+  // accounted buckets, so conservation still closes.
+  EXPECT_GT(sim.stats().total_drops(DropReason::kBufferExpired) +
+                sim.stats().total_drops(DropReason::kLeaseReclaimed),
+            0u);
+  const FlowCounters& c = sim.stats().flow(1);
+  EXPECT_EQ(c.sent, c.delivered + c.dropped);
+  // The attempt itself still settles (reactive repair or typed failure) —
+  // never wedged.
+  EXPECT_EQ(topo->outcomes().attempts(),
+            topo->outcomes().completed() +
+                topo->outcomes().count(HandoverOutcome::kFailed));
+  EXPECT_GE(topo->outcomes().attempts(), 1u);
+}
+
 TEST_F(RobustnessFixture, RetransmittedHiDoesNotDoubleAllocate) {
   // Kill the first HAck on the inter-AR link: the PAR retransmits the HI,
   // so the NAR sees the same transaction twice. It must re-elicit the

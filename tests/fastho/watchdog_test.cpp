@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "fault/link_fault.hpp"
+#include "scenario/paper_topology.hpp"
+#include "transport/cbr.hpp"
+#include "transport/sink.hpp"
+
+namespace fhmip {
+namespace {
+
+using namespace timeliterals;
+
+/// The per-attempt liveness watchdog (MhAgent::Config::watchdog): it must
+/// stay silent on healthy runs, close wedges nothing else would (detach
+/// with no re-attach), and prefer the one legal self-repair — a reactive
+/// FBU — over declaring failure when the link is up and only the FBack is
+/// missing.
+struct WatchdogFixture : ::testing::Test {
+  PaperTopologyConfig cfg;
+  std::unique_ptr<PaperTopology> topo;
+  std::unique_ptr<UdpSink> sink;
+  std::unique_ptr<CbrSource> source;
+
+  void build(SimTime traffic_stop = SimTime::seconds(16)) {
+    topo = std::make_unique<PaperTopology>(cfg);
+    auto& m = topo->mobile(0);
+    sink = std::make_unique<UdpSink>(*m.node, 7000);
+    CbrSource::Config c;
+    c.dst = m.regional;
+    c.dst_port = 7000;
+    c.packet_bytes = 160;
+    c.interval = 10_ms;
+    c.tclass = TrafficClass::kHighPriority;
+    c.flow = 1;
+    source = std::make_unique<CbrSource>(topo->cn(), 5000, c);
+    source->start(2_s);
+    source->stop(traffic_stop);
+    topo->start();
+  }
+
+  const MhAgent::Counters& mh_counters() {
+    return topo->mobile(0).agent->counters();
+  }
+};
+
+TEST_F(WatchdogFixture, SilentOnHealthyHandover) {
+  // A deadline generous enough for the whole anticipation + blackout + FNA
+  // choreography of the default geometry must never fire.
+  cfg.watchdog = 3_s;
+  build();
+  topo->simulation().run_until(20_s);
+  EXPECT_EQ(mh_counters().watchdog_fired, 0u);
+  EXPECT_EQ(mh_counters().watchdog_failed, 0u);
+  EXPECT_EQ(topo->outcomes().attempts(), 1u);
+  EXPECT_EQ(topo->outcomes().count(HandoverOutcome::kPredictive), 1u);
+  const FlowCounters& c = topo->simulation().stats().flow(1);
+  EXPECT_EQ(c.sent, c.delivered + c.dropped);
+  EXPECT_EQ(c.dropped, 0u);
+}
+
+TEST_F(WatchdogFixture, ClosesDetachAndVanishWedge) {
+  // Shrink the radios so the coverage areas no longer overlap: the MH walks
+  // off the PAR's edge into a dead zone and stays dark for ~9 s. Nothing in
+  // the protocol can close that attempt — no timer is pending, the radio is
+  // simply gone. This models an MH crashing mid-blackout.
+  cfg.ap_radius_m = 60;  // gap from x=60 to x=152
+  cfg.watchdog = 1_s;
+  build(/*traffic_stop=*/9_s);  // quiesce in-flight packets before the check
+  Simulation& sim = topo->simulation();
+  // Detach at ~6.1 s (x = 60 m at 10 m/s); run until well inside the gap
+  // but before NAR coverage at ~15.3 s.
+  sim.run_until(10_s);
+  EXPECT_EQ(mh_counters().watchdog_fired, 1u);
+  EXPECT_EQ(mh_counters().watchdog_failed, 1u);
+  // The wedge became a *visible* typed failure within one deadline.
+  EXPECT_EQ(topo->outcomes().attempts(), 1u);
+  EXPECT_EQ(topo->outcomes().count(HandoverOutcome::kFailed), 1u);
+  EXPECT_EQ(topo->outcomes().count(HandoverCause::kWatchdog), 1u);
+  // Blackhole traffic is accounted, not lost to bookkeeping.
+  const FlowCounters& c = sim.stats().flow(1);
+  EXPECT_EQ(c.sent, c.delivered + c.dropped);
+}
+
+TEST_F(WatchdogFixture, WithoutWatchdogTheSameWedgeStaysInvisible) {
+  // Control run for the test above: with the watchdog disabled (the
+  // default), the identical scenario records *no* attempt at all — the
+  // wedge exists but nothing ever observes it. This is the blind spot the
+  // watchdog exists to close.
+  cfg.ap_radius_m = 60;
+  cfg.watchdog = SimTime();  // disabled
+  build();
+  topo->simulation().run_until(10_s);
+  EXPECT_EQ(mh_counters().watchdog_fired, 0u);
+  EXPECT_EQ(topo->outcomes().attempts(), 0u);
+}
+
+TEST_F(WatchdogFixture, SelfRepairsLostFbackWithReactiveFbu) {
+  // Kill the predictive FBAck on every path to the MH: the PAR answers an
+  // old-link FBU with two copies that both cross the inter-AR link (the
+  // tunneled PCoA copy the NAR would drain after FNA, and the NAR-addressed
+  // copy it holds) — drop exactly those two, plus anything on the old-link
+  // radio. Stretch the rto so the MH's own verify-phase fallback sits far
+  // in the future (~800 ms after attach), then place the watchdog deadline
+  // between attach and that fallback. The watchdog finds the link up, the
+  // old-link FBU unanswered and no reactive FBU sent yet — the legal
+  // §2.3.2 move — so it repairs instead of failing, and the later reactive
+  // FBAck copies pass untouched.
+  cfg.watchdog = SimTime::millis(1'800);  // armed at trigger ~10.1 s
+  cfg.rtx.rto = SimTime::millis(400);     // verify fallback at ~12.1 s
+  build();
+  Simulation& sim = topo->simulation();
+  const MhId mh = topo->mobile(0).node->id();
+  fault::LinkFaultInjector down_inj(
+      sim, *topo->wlan().downlink(topo->ap_par().id(), mh));
+  down_inj.drop_matching(fault::message_named("FBAck"));
+  fault::LinkFaultInjector tun_inj(sim, topo->par_nar_link().a_to_b());
+  tun_inj.drop_nth(1, fault::message_named("FBAck"));  // tunneled PCoA copy
+  tun_inj.drop_nth(1, fault::message_named("FBAck"));  // NAR-held copy
+  sim.run_until(20_s);
+  EXPECT_EQ(mh_counters().watchdog_fired, 1u);
+  EXPECT_EQ(mh_counters().watchdog_failed, 0u);  // repaired, not declared dead
+  EXPECT_EQ(mh_counters().reactive_fbu, 1u);
+  EXPECT_EQ(topo->outcomes().attempts(), 1u);
+  EXPECT_EQ(topo->outcomes().count(HandoverOutcome::kReactive), 1u);
+  EXPECT_EQ(topo->outcomes().count(HandoverOutcome::kFailed), 0u);
+  // No leaked leases on either router once the dust settles.
+  EXPECT_EQ(topo->par_agent().buffers().leased(), 0u);
+  EXPECT_EQ(topo->nar_agent().buffers().leased(), 0u);
+  const FlowCounters& c = sim.stats().flow(1);
+  EXPECT_EQ(c.sent, c.delivered + c.dropped);
+}
+
+TEST_F(WatchdogFixture, ExhaustionPathsStillResolveWithoutWatchdogHelp) {
+  // 30% control loss: every attempt must still settle through the existing
+  // rtx/reactive machinery, and a generous watchdog must not steal those
+  // resolutions (its counter stays zero).
+  cfg.bounce = true;
+  cfg.watchdog = 5_s;
+  build();
+  Simulation& sim = topo->simulation();
+  topo->par_nar_link().a_to_b().set_loss_rate(0.3);
+  topo->par_nar_link().b_to_a().set_loss_rate(0.3);
+  sim.run_until(cfg.mobility_start + topo->leg_duration() * 4 + 5_s);
+  const HandoverOutcomeRecorder& rec = topo->outcomes();
+  EXPECT_GE(rec.attempts(), 3u);
+  EXPECT_EQ(rec.completed(), rec.attempts());
+  EXPECT_EQ(mh_counters().watchdog_failed, 0u);
+  const FlowCounters& c = sim.stats().flow(1);
+  EXPECT_EQ(c.sent, c.delivered + c.dropped);
+}
+
+}  // namespace
+}  // namespace fhmip

@@ -30,6 +30,8 @@ struct Params {
   std::uint32_t pool; // handoff buffer pool (0 = grants always denied)
   std::uint64_t seed;
   bool crash;         // scripted PAR crashes mid-run
+  int lifetime_ms;    // buffer lifetime override (0 = scheme default);
+                      // short values expire allocations mid-blackout
 };
 
 class LedgerConservation : public ::testing::TestWithParam<Params> {};
@@ -44,6 +46,9 @@ TEST_P(LedgerConservation, HoldsAtBoundariesAndTeardown) {
   cfg.scheme.classify = false;
   cfg.scheme.pool_pkts = p.pool;
   cfg.scheme.request_pkts = p.pool;
+  if (p.lifetime_ms > 0) {
+    cfg.scheme.lifetime = SimTime::millis(p.lifetime_ms);
+  }
   PaperTopology topo(cfg);
   Simulation& sim = topo.simulation();
 
@@ -106,6 +111,12 @@ TEST_P(LedgerConservation, HoldsAtBoundariesAndTeardown) {
   if (p.crash) {
     EXPECT_EQ(crash.crashes(), 2u);
   }
+  if (p.lifetime_ms > 0) {
+    // The expiry-heavy config must actually exercise the lifetime-expiry
+    // drain: expired buffer contents land in their dedicated bucket (and
+    // by the loop above, agree with the stats hub).
+    EXPECT_GT(ledger.dropped(DropReason::kBufferExpired), 0u);
+  }
   if (p.loss > 0) {
     // The injector's own count and the fault-injected ledger bucket cover
     // the same kills (crashes add buffered-packet kills on top).
@@ -122,14 +133,17 @@ TEST_P(LedgerConservation, HoldsAtBoundariesAndTeardown) {
 
 INSTANTIATE_TEST_SUITE_P(
     LossBlackoutPoolGrid, LedgerConservation,
-    ::testing::Values(Params{0.0, 200, 40, 1, false},   // clean baseline
-                      Params{0.0, 200, 40, 1, true},    // crashes only
-                      Params{0.05, 200, 40, 2, false},  // loss only
-                      Params{0.05, 100, 10, 3, true},   // loss + crash, small
-                                                        // pool
-                      Params{0.02, 300, 0, 4, true},    // no buffer grants
-                      Params{0.10, 300, 20, 5, false}   // heavy loss, long
-                                                        // blackout
+    ::testing::Values(Params{0.0, 200, 40, 1, false, 0},   // clean baseline
+                      Params{0.0, 200, 40, 1, true, 0},    // crashes only
+                      Params{0.05, 200, 40, 2, false, 0},  // loss only
+                      Params{0.05, 100, 10, 3, true, 0},   // loss + crash,
+                                                           // small pool
+                      Params{0.02, 300, 0, 4, true, 0},    // no buffer grants
+                      Params{0.10, 300, 20, 5, false, 0},  // heavy loss, long
+                                                           // blackout
+                      Params{0.0, 400, 40, 6, false, 1200} // expiry-heavy:
+                                                           // allocations die
+                                                           // mid-blackout
                       ));
 
 /// The ledger must also balance when it is attached alongside other sinks
