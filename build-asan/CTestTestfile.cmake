@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-asan
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(fhmip_analyze "/root/.pyenv/shims/python3" "/root/repo/tools/analyze/fhmip_analyze.py" "/root/repo")
+set_tests_properties(fhmip_analyze PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;61;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(fhmip_lint "/root/.pyenv/shims/python3" "/root/repo/tools/analyze/fhmip_analyze.py" "/root/repo")
+set_tests_properties(fhmip_lint PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;67;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(fhmip_analyze_fixtures "/root/.pyenv/shims/python3" "/root/repo/tests/tools/fhmip_analyze_test.py")
+set_tests_properties(fhmip_analyze_fixtures PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;73;add_test;/root/repo/CMakeLists.txt;0;")
+subdirs("src")
+subdirs("tests")
+subdirs("bench")
+subdirs("examples")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_adaptive_allocation.dir/ablation_adaptive_allocation.cpp.o"
+  "CMakeFiles/ablation_adaptive_allocation.dir/ablation_adaptive_allocation.cpp.o.d"
+  "ablation_adaptive_allocation"
+  "ablation_adaptive_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adaptive_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

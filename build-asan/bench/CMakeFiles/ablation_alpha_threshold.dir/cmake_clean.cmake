@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_alpha_threshold.dir/ablation_alpha_threshold.cpp.o"
+  "CMakeFiles/ablation_alpha_threshold.dir/ablation_alpha_threshold.cpp.o.d"
+  "ablation_alpha_threshold"
+  "ablation_alpha_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_alpha_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

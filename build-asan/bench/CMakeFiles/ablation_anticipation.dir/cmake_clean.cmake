@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_anticipation.dir/ablation_anticipation.cpp.o"
+  "CMakeFiles/ablation_anticipation.dir/ablation_anticipation.cpp.o.d"
+  "ablation_anticipation"
+  "ablation_anticipation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_anticipation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_anticipation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_drain_pacing.dir/ablation_drain_pacing.cpp.o"
+  "CMakeFiles/ablation_drain_pacing.dir/ablation_drain_pacing.cpp.o.d"
+  "ablation_drain_pacing"
+  "ablation_drain_pacing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_drain_pacing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

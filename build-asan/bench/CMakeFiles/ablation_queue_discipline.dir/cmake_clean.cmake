@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_queue_discipline.dir/ablation_queue_discipline.cpp.o"
+  "CMakeFiles/ablation_queue_discipline.dir/ablation_queue_discipline.cpp.o.d"
+  "ablation_queue_discipline"
+  "ablation_queue_discipline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_queue_discipline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_simultaneous_binding.dir/ablation_simultaneous_binding.cpp.o"
+  "CMakeFiles/ablation_simultaneous_binding.dir/ablation_simultaneous_binding.cpp.o.d"
+  "ablation_simultaneous_binding"
+  "ablation_simultaneous_binding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_simultaneous_binding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_02_buffer_utilization.dir/fig4_02_buffer_utilization.cpp.o"
+  "CMakeFiles/fig4_02_buffer_utilization.dir/fig4_02_buffer_utilization.cpp.o.d"
+  "fig4_02_buffer_utilization"
+  "fig4_02_buffer_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_02_buffer_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

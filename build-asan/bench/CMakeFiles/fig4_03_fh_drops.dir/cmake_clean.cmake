@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_03_fh_drops.dir/fig4_03_fh_drops.cpp.o"
+  "CMakeFiles/fig4_03_fh_drops.dir/fig4_03_fh_drops.cpp.o.d"
+  "fig4_03_fh_drops"
+  "fig4_03_fh_drops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_03_fh_drops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

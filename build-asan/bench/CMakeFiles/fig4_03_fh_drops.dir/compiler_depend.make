@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_03_fh_drops.
+# This may be replaced when dependencies are built.

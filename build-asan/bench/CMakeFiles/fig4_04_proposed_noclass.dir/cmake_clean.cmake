@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_04_proposed_noclass.dir/fig4_04_proposed_noclass.cpp.o"
+  "CMakeFiles/fig4_04_proposed_noclass.dir/fig4_04_proposed_noclass.cpp.o.d"
+  "fig4_04_proposed_noclass"
+  "fig4_04_proposed_noclass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_04_proposed_noclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_05_proposed_class.dir/fig4_05_proposed_class.cpp.o"
+  "CMakeFiles/fig4_05_proposed_class.dir/fig4_05_proposed_class.cpp.o.d"
+  "fig4_05_proposed_class"
+  "fig4_05_proposed_class.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_05_proposed_class.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_07_delay_fh.dir/fig4_07_delay_fh.cpp.o"
+  "CMakeFiles/fig4_07_delay_fh.dir/fig4_07_delay_fh.cpp.o.d"
+  "fig4_07_delay_fh"
+  "fig4_07_delay_fh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_07_delay_fh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_07_delay_fh.
+# This may be replaced when dependencies are built.

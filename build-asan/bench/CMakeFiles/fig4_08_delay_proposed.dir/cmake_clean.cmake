@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_08_delay_proposed.dir/fig4_08_delay_proposed.cpp.o"
+  "CMakeFiles/fig4_08_delay_proposed.dir/fig4_08_delay_proposed.cpp.o.d"
+  "fig4_08_delay_proposed"
+  "fig4_08_delay_proposed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_08_delay_proposed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_09_delay_lowlink.dir/fig4_09_delay_lowlink.cpp.o"
+  "CMakeFiles/fig4_09_delay_lowlink.dir/fig4_09_delay_lowlink.cpp.o.d"
+  "fig4_09_delay_lowlink"
+  "fig4_09_delay_lowlink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_09_delay_lowlink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_09_delay_lowlink.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_09_delay_lowlink.
+# This may be replaced when dependencies are built.

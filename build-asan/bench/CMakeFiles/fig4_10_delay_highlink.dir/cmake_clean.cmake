@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_10_delay_highlink.dir/fig4_10_delay_highlink.cpp.o"
+  "CMakeFiles/fig4_10_delay_highlink.dir/fig4_10_delay_highlink.cpp.o.d"
+  "fig4_10_delay_highlink"
+  "fig4_10_delay_highlink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_10_delay_highlink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_12_tcp_seq_nobuffer.dir/fig4_12_tcp_seq_nobuffer.cpp.o"
+  "CMakeFiles/fig4_12_tcp_seq_nobuffer.dir/fig4_12_tcp_seq_nobuffer.cpp.o.d"
+  "fig4_12_tcp_seq_nobuffer"
+  "fig4_12_tcp_seq_nobuffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_12_tcp_seq_nobuffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_12_tcp_seq_nobuffer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_13_tcp_seq_buffered.dir/fig4_13_tcp_seq_buffered.cpp.o"
+  "CMakeFiles/fig4_13_tcp_seq_buffered.dir/fig4_13_tcp_seq_buffered.cpp.o.d"
+  "fig4_13_tcp_seq_buffered"
+  "fig4_13_tcp_seq_buffered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_13_tcp_seq_buffered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_14_tcp_throughput.dir/fig4_14_tcp_throughput.cpp.o"
+  "CMakeFiles/fig4_14_tcp_throughput.dir/fig4_14_tcp_throughput.cpp.o.d"
+  "fig4_14_tcp_throughput"
+  "fig4_14_tcp_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_14_tcp_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_ext_control_loss_sweep.dir/fig_ext_control_loss_sweep.cpp.o"
+  "CMakeFiles/fig_ext_control_loss_sweep.dir/fig_ext_control_loss_sweep.cpp.o.d"
+  "fig_ext_control_loss_sweep"
+  "fig_ext_control_loss_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_ext_control_loss_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_1_service_classes.dir/table3_1_service_classes.cpp.o"
+  "CMakeFiles/table3_1_service_classes.dir/table3_1_service_classes.cpp.o.d"
+  "table3_1_service_classes"
+  "table3_1_service_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_1_service_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_3_policy_matrix.dir/table3_3_policy_matrix.cpp.o"
+  "CMakeFiles/table3_3_policy_matrix.dir/table3_3_policy_matrix.cpp.o.d"
+  "table3_3_policy_matrix"
+  "table3_3_policy_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_3_policy_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

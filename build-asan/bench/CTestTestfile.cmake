@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build-asan/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke_fig4_06_datarate_sweep "/root/repo/build-asan/bench/fig4_06_datarate_sweep" "--smoke" "--jobs" "2")
+set_tests_properties(bench_smoke_fig4_06_datarate_sweep PROPERTIES  LABELS "bench-smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;25;fhmip_sweep_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig_ext_control_loss_sweep "/root/repo/build-asan/bench/fig_ext_control_loss_sweep" "--smoke" "--jobs" "2")
+set_tests_properties(bench_smoke_fig_ext_control_loss_sweep PROPERTIES  LABELS "bench-smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;35;fhmip_sweep_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig_ext_overload_sweep "/root/repo/build-asan/bench/fig_ext_overload_sweep" "--smoke" "--jobs" "2")
+set_tests_properties(bench_smoke_fig_ext_overload_sweep PROPERTIES  LABELS "bench-smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;36;fhmip_sweep_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_ablation_alpha_threshold "/root/repo/build-asan/bench/ablation_alpha_threshold" "--smoke" "--jobs" "2")
+set_tests_properties(bench_smoke_ablation_alpha_threshold PROPERTIES  LABELS "bench-smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;39;fhmip_sweep_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_ablation_simultaneous_binding "/root/repo/build-asan/bench/ablation_simultaneous_binding" "--smoke" "--jobs" "2")
+set_tests_properties(bench_smoke_ablation_simultaneous_binding PROPERTIES  LABELS "bench-smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;40;fhmip_sweep_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_ablation_anticipation "/root/repo/build-asan/bench/ablation_anticipation" "--smoke" "--jobs" "2")
+set_tests_properties(bench_smoke_ablation_anticipation PROPERTIES  LABELS "bench-smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;41;fhmip_sweep_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_ablation_adaptive_allocation "/root/repo/build-asan/bench/ablation_adaptive_allocation" "--smoke" "--jobs" "2")
+set_tests_properties(bench_smoke_ablation_adaptive_allocation PROPERTIES  LABELS "bench-smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;42;fhmip_sweep_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_ablation_queue_discipline "/root/repo/build-asan/bench/ablation_queue_discipline" "--smoke" "--jobs" "2")
+set_tests_properties(bench_smoke_ablation_queue_discipline PROPERTIES  LABELS "bench-smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;43;fhmip_sweep_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_ablation_drain_pacing "/root/repo/build-asan/bench/ablation_drain_pacing" "--smoke" "--jobs" "2")
+set_tests_properties(bench_smoke_ablation_drain_pacing PROPERTIES  LABELS "bench-smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;44;fhmip_sweep_bench;/root/repo/bench/CMakeLists.txt;0;")

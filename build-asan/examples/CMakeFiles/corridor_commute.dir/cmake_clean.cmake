@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corridor_commute.dir/corridor_commute.cpp.o"
+  "CMakeFiles/corridor_commute.dir/corridor_commute.cpp.o.d"
+  "corridor_commute"
+  "corridor_commute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corridor_commute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smooth_baseline.dir/smooth_baseline.cpp.o"
+  "CMakeFiles/smooth_baseline.dir/smooth_baseline.cpp.o.d"
+  "smooth_baseline"
+  "smooth_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smooth_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

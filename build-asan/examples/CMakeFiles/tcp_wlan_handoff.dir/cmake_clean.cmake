@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_wlan_handoff.dir/tcp_wlan_handoff.cpp.o"
+  "CMakeFiles/tcp_wlan_handoff.dir/tcp_wlan_handoff.cpp.o.d"
+  "tcp_wlan_handoff"
+  "tcp_wlan_handoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_wlan_handoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voip_roaming.dir/voip_roaming.cpp.o"
+  "CMakeFiles/voip_roaming.dir/voip_roaming.cpp.o.d"
+  "voip_roaming"
+  "voip_roaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voip_roaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,75 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/buffer/buffer_manager.cpp" "src/CMakeFiles/fhmip.dir/buffer/buffer_manager.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/buffer/buffer_manager.cpp.o.d"
+  "/root/repo/src/buffer/handoff_buffer.cpp" "src/CMakeFiles/fhmip.dir/buffer/handoff_buffer.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/buffer/handoff_buffer.cpp.o.d"
+  "/root/repo/src/buffer/policy.cpp" "src/CMakeFiles/fhmip.dir/buffer/policy.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/buffer/policy.cpp.o.d"
+  "/root/repo/src/buffer/rate_estimator.cpp" "src/CMakeFiles/fhmip.dir/buffer/rate_estimator.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/buffer/rate_estimator.cpp.o.d"
+  "/root/repo/src/buffer/traffic_class.cpp" "src/CMakeFiles/fhmip.dir/buffer/traffic_class.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/buffer/traffic_class.cpp.o.d"
+  "/root/repo/src/fastho/ar_agent.cpp" "src/CMakeFiles/fhmip.dir/fastho/ar_agent.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/fastho/ar_agent.cpp.o.d"
+  "/root/repo/src/fastho/auth.cpp" "src/CMakeFiles/fhmip.dir/fastho/auth.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/fastho/auth.cpp.o.d"
+  "/root/repo/src/fastho/messages.cpp" "src/CMakeFiles/fhmip.dir/fastho/messages.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/fastho/messages.cpp.o.d"
+  "/root/repo/src/fastho/mh_agent.cpp" "src/CMakeFiles/fhmip.dir/fastho/mh_agent.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/fastho/mh_agent.cpp.o.d"
+  "/root/repo/src/fastho/reliability.cpp" "src/CMakeFiles/fhmip.dir/fastho/reliability.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/fastho/reliability.cpp.o.d"
+  "/root/repo/src/fault/link_fault.cpp" "src/CMakeFiles/fhmip.dir/fault/link_fault.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/fault/link_fault.cpp.o.d"
+  "/root/repo/src/mip/binding.cpp" "src/CMakeFiles/fhmip.dir/mip/binding.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/mip/binding.cpp.o.d"
+  "/root/repo/src/mip/correspondent.cpp" "src/CMakeFiles/fhmip.dir/mip/correspondent.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/mip/correspondent.cpp.o.d"
+  "/root/repo/src/mip/foreign_agent.cpp" "src/CMakeFiles/fhmip.dir/mip/foreign_agent.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/mip/foreign_agent.cpp.o.d"
+  "/root/repo/src/mip/home_agent.cpp" "src/CMakeFiles/fhmip.dir/mip/home_agent.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/mip/home_agent.cpp.o.d"
+  "/root/repo/src/mip/map_agent.cpp" "src/CMakeFiles/fhmip.dir/mip/map_agent.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/mip/map_agent.cpp.o.d"
+  "/root/repo/src/mip/mobile_ip.cpp" "src/CMakeFiles/fhmip.dir/mip/mobile_ip.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/mip/mobile_ip.cpp.o.d"
+  "/root/repo/src/net/address.cpp" "src/CMakeFiles/fhmip.dir/net/address.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/net/address.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/CMakeFiles/fhmip.dir/net/link.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/net/link.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/fhmip.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/node.cpp" "src/CMakeFiles/fhmip.dir/net/node.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/net/node.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/CMakeFiles/fhmip.dir/net/packet.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/net/packet.cpp.o.d"
+  "/root/repo/src/net/priority_queue.cpp" "src/CMakeFiles/fhmip.dir/net/priority_queue.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/net/priority_queue.cpp.o.d"
+  "/root/repo/src/net/queue.cpp" "src/CMakeFiles/fhmip.dir/net/queue.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/net/queue.cpp.o.d"
+  "/root/repo/src/net/routing.cpp" "src/CMakeFiles/fhmip.dir/net/routing.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/net/routing.cpp.o.d"
+  "/root/repo/src/obs/ledger.cpp" "src/CMakeFiles/fhmip.dir/obs/ledger.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/obs/ledger.cpp.o.d"
+  "/root/repo/src/obs/metrics.cpp" "src/CMakeFiles/fhmip.dir/obs/metrics.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/obs/metrics.cpp.o.d"
+  "/root/repo/src/obs/timeline.cpp" "src/CMakeFiles/fhmip.dir/obs/timeline.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/obs/timeline.cpp.o.d"
+  "/root/repo/src/obs/trace_file.cpp" "src/CMakeFiles/fhmip.dir/obs/trace_file.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/obs/trace_file.cpp.o.d"
+  "/root/repo/src/scenario/corridor_topology.cpp" "src/CMakeFiles/fhmip.dir/scenario/corridor_topology.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/scenario/corridor_topology.cpp.o.d"
+  "/root/repo/src/scenario/experiment.cpp" "src/CMakeFiles/fhmip.dir/scenario/experiment.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/scenario/experiment.cpp.o.d"
+  "/root/repo/src/scenario/paper_topology.cpp" "src/CMakeFiles/fhmip.dir/scenario/paper_topology.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/scenario/paper_topology.cpp.o.d"
+  "/root/repo/src/scenario/wlan_topology.cpp" "src/CMakeFiles/fhmip.dir/scenario/wlan_topology.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/scenario/wlan_topology.cpp.o.d"
+  "/root/repo/src/sim/check.cpp" "src/CMakeFiles/fhmip.dir/sim/check.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/sim/check.cpp.o.d"
+  "/root/repo/src/sim/logging.cpp" "src/CMakeFiles/fhmip.dir/sim/logging.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/sim/logging.cpp.o.d"
+  "/root/repo/src/sim/random.cpp" "src/CMakeFiles/fhmip.dir/sim/random.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/sim/random.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/CMakeFiles/fhmip.dir/sim/scheduler.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/sim/scheduler.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/CMakeFiles/fhmip.dir/sim/simulation.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/sim/simulation.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/fhmip.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/sim/time.cpp" "src/CMakeFiles/fhmip.dir/sim/time.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/sim/time.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/fhmip.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/stats/flow_table.cpp" "src/CMakeFiles/fhmip.dir/stats/flow_table.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/stats/flow_table.cpp.o.d"
+  "/root/repo/src/stats/handover_outcomes.cpp" "src/CMakeFiles/fhmip.dir/stats/handover_outcomes.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/stats/handover_outcomes.cpp.o.d"
+  "/root/repo/src/stats/recorder.cpp" "src/CMakeFiles/fhmip.dir/stats/recorder.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/stats/recorder.cpp.o.d"
+  "/root/repo/src/stats/table.cpp" "src/CMakeFiles/fhmip.dir/stats/table.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/stats/table.cpp.o.d"
+  "/root/repo/src/sweep/cli.cpp" "src/CMakeFiles/fhmip.dir/sweep/cli.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/sweep/cli.cpp.o.d"
+  "/root/repo/src/sweep/json.cpp" "src/CMakeFiles/fhmip.dir/sweep/json.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/sweep/json.cpp.o.d"
+  "/root/repo/src/sweep/sweep_runner.cpp" "src/CMakeFiles/fhmip.dir/sweep/sweep_runner.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/sweep/sweep_runner.cpp.o.d"
+  "/root/repo/src/transport/cbr.cpp" "src/CMakeFiles/fhmip.dir/transport/cbr.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/transport/cbr.cpp.o.d"
+  "/root/repo/src/transport/diffserv.cpp" "src/CMakeFiles/fhmip.dir/transport/diffserv.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/transport/diffserv.cpp.o.d"
+  "/root/repo/src/transport/sink.cpp" "src/CMakeFiles/fhmip.dir/transport/sink.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/transport/sink.cpp.o.d"
+  "/root/repo/src/transport/tcp.cpp" "src/CMakeFiles/fhmip.dir/transport/tcp.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/transport/tcp.cpp.o.d"
+  "/root/repo/src/transport/udp.cpp" "src/CMakeFiles/fhmip.dir/transport/udp.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/transport/udp.cpp.o.d"
+  "/root/repo/src/wireless/access_point.cpp" "src/CMakeFiles/fhmip.dir/wireless/access_point.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/wireless/access_point.cpp.o.d"
+  "/root/repo/src/wireless/l2_phases.cpp" "src/CMakeFiles/fhmip.dir/wireless/l2_phases.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/wireless/l2_phases.cpp.o.d"
+  "/root/repo/src/wireless/mobility.cpp" "src/CMakeFiles/fhmip.dir/wireless/mobility.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/wireless/mobility.cpp.o.d"
+  "/root/repo/src/wireless/wlan.cpp" "src/CMakeFiles/fhmip.dir/wireless/wlan.cpp.o" "gcc" "src/CMakeFiles/fhmip.dir/wireless/wlan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

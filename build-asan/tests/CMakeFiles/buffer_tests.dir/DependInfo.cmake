@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/buffer/buffer_manager_test.cpp" "tests/CMakeFiles/buffer_tests.dir/buffer/buffer_manager_test.cpp.o" "gcc" "tests/CMakeFiles/buffer_tests.dir/buffer/buffer_manager_test.cpp.o.d"
+  "/root/repo/tests/buffer/handoff_buffer_test.cpp" "tests/CMakeFiles/buffer_tests.dir/buffer/handoff_buffer_test.cpp.o" "gcc" "tests/CMakeFiles/buffer_tests.dir/buffer/handoff_buffer_test.cpp.o.d"
+  "/root/repo/tests/buffer/policy_test.cpp" "tests/CMakeFiles/buffer_tests.dir/buffer/policy_test.cpp.o" "gcc" "tests/CMakeFiles/buffer_tests.dir/buffer/policy_test.cpp.o.d"
+  "/root/repo/tests/buffer/rate_estimator_test.cpp" "tests/CMakeFiles/buffer_tests.dir/buffer/rate_estimator_test.cpp.o" "gcc" "tests/CMakeFiles/buffer_tests.dir/buffer/rate_estimator_test.cpp.o.d"
+  "/root/repo/tests/buffer/traffic_class_test.cpp" "tests/CMakeFiles/buffer_tests.dir/buffer/traffic_class_test.cpp.o" "gcc" "tests/CMakeFiles/buffer_tests.dir/buffer/traffic_class_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/fhmip.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

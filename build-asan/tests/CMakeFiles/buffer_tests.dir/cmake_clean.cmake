@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_tests.dir/buffer/buffer_manager_test.cpp.o"
+  "CMakeFiles/buffer_tests.dir/buffer/buffer_manager_test.cpp.o.d"
+  "CMakeFiles/buffer_tests.dir/buffer/handoff_buffer_test.cpp.o"
+  "CMakeFiles/buffer_tests.dir/buffer/handoff_buffer_test.cpp.o.d"
+  "CMakeFiles/buffer_tests.dir/buffer/policy_test.cpp.o"
+  "CMakeFiles/buffer_tests.dir/buffer/policy_test.cpp.o.d"
+  "CMakeFiles/buffer_tests.dir/buffer/rate_estimator_test.cpp.o"
+  "CMakeFiles/buffer_tests.dir/buffer/rate_estimator_test.cpp.o.d"
+  "CMakeFiles/buffer_tests.dir/buffer/traffic_class_test.cpp.o"
+  "CMakeFiles/buffer_tests.dir/buffer/traffic_class_test.cpp.o.d"
+  "buffer_tests"
+  "buffer_tests.pdb"
+  "buffer_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

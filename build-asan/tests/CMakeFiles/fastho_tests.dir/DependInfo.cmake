@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fastho/extensions_test.cpp" "tests/CMakeFiles/fastho_tests.dir/fastho/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/fastho_tests.dir/fastho/extensions_test.cpp.o.d"
+  "/root/repo/tests/fastho/handover_test.cpp" "tests/CMakeFiles/fastho_tests.dir/fastho/handover_test.cpp.o" "gcc" "tests/CMakeFiles/fastho_tests.dir/fastho/handover_test.cpp.o.d"
+  "/root/repo/tests/fastho/intra_handoff_test.cpp" "tests/CMakeFiles/fastho_tests.dir/fastho/intra_handoff_test.cpp.o" "gcc" "tests/CMakeFiles/fastho_tests.dir/fastho/intra_handoff_test.cpp.o.d"
+  "/root/repo/tests/fastho/mh_agent_test.cpp" "tests/CMakeFiles/fastho_tests.dir/fastho/mh_agent_test.cpp.o" "gcc" "tests/CMakeFiles/fastho_tests.dir/fastho/mh_agent_test.cpp.o.d"
+  "/root/repo/tests/fastho/ncoa_validation_test.cpp" "tests/CMakeFiles/fastho_tests.dir/fastho/ncoa_validation_test.cpp.o" "gcc" "tests/CMakeFiles/fastho_tests.dir/fastho/ncoa_validation_test.cpp.o.d"
+  "/root/repo/tests/fastho/negotiation_test.cpp" "tests/CMakeFiles/fastho_tests.dir/fastho/negotiation_test.cpp.o" "gcc" "tests/CMakeFiles/fastho_tests.dir/fastho/negotiation_test.cpp.o.d"
+  "/root/repo/tests/fastho/robustness_test.cpp" "tests/CMakeFiles/fastho_tests.dir/fastho/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/fastho_tests.dir/fastho/robustness_test.cpp.o.d"
+  "/root/repo/tests/fastho/watchdog_test.cpp" "tests/CMakeFiles/fastho_tests.dir/fastho/watchdog_test.cpp.o" "gcc" "tests/CMakeFiles/fastho_tests.dir/fastho/watchdog_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/fhmip.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

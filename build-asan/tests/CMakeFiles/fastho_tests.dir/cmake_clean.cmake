@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastho_tests.dir/fastho/extensions_test.cpp.o"
+  "CMakeFiles/fastho_tests.dir/fastho/extensions_test.cpp.o.d"
+  "CMakeFiles/fastho_tests.dir/fastho/handover_test.cpp.o"
+  "CMakeFiles/fastho_tests.dir/fastho/handover_test.cpp.o.d"
+  "CMakeFiles/fastho_tests.dir/fastho/intra_handoff_test.cpp.o"
+  "CMakeFiles/fastho_tests.dir/fastho/intra_handoff_test.cpp.o.d"
+  "CMakeFiles/fastho_tests.dir/fastho/mh_agent_test.cpp.o"
+  "CMakeFiles/fastho_tests.dir/fastho/mh_agent_test.cpp.o.d"
+  "CMakeFiles/fastho_tests.dir/fastho/ncoa_validation_test.cpp.o"
+  "CMakeFiles/fastho_tests.dir/fastho/ncoa_validation_test.cpp.o.d"
+  "CMakeFiles/fastho_tests.dir/fastho/negotiation_test.cpp.o"
+  "CMakeFiles/fastho_tests.dir/fastho/negotiation_test.cpp.o.d"
+  "CMakeFiles/fastho_tests.dir/fastho/robustness_test.cpp.o"
+  "CMakeFiles/fastho_tests.dir/fastho/robustness_test.cpp.o.d"
+  "CMakeFiles/fastho_tests.dir/fastho/watchdog_test.cpp.o"
+  "CMakeFiles/fastho_tests.dir/fastho/watchdog_test.cpp.o.d"
+  "fastho_tests"
+  "fastho_tests.pdb"
+  "fastho_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastho_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

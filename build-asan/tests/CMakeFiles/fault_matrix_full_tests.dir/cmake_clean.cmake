@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_matrix_full_tests.dir/fault/fault_matrix_test.cpp.o"
+  "CMakeFiles/fault_matrix_full_tests.dir/fault/fault_matrix_test.cpp.o.d"
+  "fault_matrix_full_tests"
+  "fault_matrix_full_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_matrix_full_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

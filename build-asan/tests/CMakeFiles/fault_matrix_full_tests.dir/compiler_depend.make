@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fault_matrix_full_tests.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_matrix_tests.dir/fault/fault_matrix_test.cpp.o"
+  "CMakeFiles/fault_matrix_tests.dir/fault/fault_matrix_test.cpp.o.d"
+  "fault_matrix_tests"
+  "fault_matrix_tests.pdb"
+  "fault_matrix_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_matrix_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

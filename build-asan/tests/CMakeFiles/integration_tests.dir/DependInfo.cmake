@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/corridor_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/corridor_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/corridor_test.cpp.o.d"
+  "/root/repo/tests/integration/figures_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/figures_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/figures_test.cpp.o.d"
+  "/root/repo/tests/integration/invariants_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/invariants_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/invariants_test.cpp.o.d"
+  "/root/repo/tests/integration/model_based_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/model_based_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/model_based_test.cpp.o.d"
+  "/root/repo/tests/integration/roaming_fuzz_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/roaming_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/roaming_fuzz_test.cpp.o.d"
+  "/root/repo/tests/integration/scenario_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/scenario_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/scenario_test.cpp.o.d"
+  "/root/repo/tests/integration/stats_util_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/stats_util_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/stats_util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/fhmip.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

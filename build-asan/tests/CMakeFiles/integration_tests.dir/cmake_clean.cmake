@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_tests.dir/integration/corridor_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/corridor_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/figures_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/figures_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/invariants_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/invariants_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/model_based_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/model_based_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/roaming_fuzz_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/roaming_fuzz_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/scenario_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/scenario_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/stats_util_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/stats_util_test.cpp.o.d"
+  "integration_tests"
+  "integration_tests.pdb"
+  "integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

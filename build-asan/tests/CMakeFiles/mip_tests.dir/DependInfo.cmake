@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mip/binding_test.cpp" "tests/CMakeFiles/mip_tests.dir/mip/binding_test.cpp.o" "gcc" "tests/CMakeFiles/mip_tests.dir/mip/binding_test.cpp.o.d"
+  "/root/repo/tests/mip/correspondent_test.cpp" "tests/CMakeFiles/mip_tests.dir/mip/correspondent_test.cpp.o" "gcc" "tests/CMakeFiles/mip_tests.dir/mip/correspondent_test.cpp.o.d"
+  "/root/repo/tests/mip/foreign_agent_test.cpp" "tests/CMakeFiles/mip_tests.dir/mip/foreign_agent_test.cpp.o" "gcc" "tests/CMakeFiles/mip_tests.dir/mip/foreign_agent_test.cpp.o.d"
+  "/root/repo/tests/mip/home_agent_test.cpp" "tests/CMakeFiles/mip_tests.dir/mip/home_agent_test.cpp.o" "gcc" "tests/CMakeFiles/mip_tests.dir/mip/home_agent_test.cpp.o.d"
+  "/root/repo/tests/mip/map_agent_test.cpp" "tests/CMakeFiles/mip_tests.dir/mip/map_agent_test.cpp.o" "gcc" "tests/CMakeFiles/mip_tests.dir/mip/map_agent_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/fhmip.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mip_tests.dir/mip/binding_test.cpp.o"
+  "CMakeFiles/mip_tests.dir/mip/binding_test.cpp.o.d"
+  "CMakeFiles/mip_tests.dir/mip/correspondent_test.cpp.o"
+  "CMakeFiles/mip_tests.dir/mip/correspondent_test.cpp.o.d"
+  "CMakeFiles/mip_tests.dir/mip/foreign_agent_test.cpp.o"
+  "CMakeFiles/mip_tests.dir/mip/foreign_agent_test.cpp.o.d"
+  "CMakeFiles/mip_tests.dir/mip/home_agent_test.cpp.o"
+  "CMakeFiles/mip_tests.dir/mip/home_agent_test.cpp.o.d"
+  "CMakeFiles/mip_tests.dir/mip/map_agent_test.cpp.o"
+  "CMakeFiles/mip_tests.dir/mip/map_agent_test.cpp.o.d"
+  "mip_tests"
+  "mip_tests.pdb"
+  "mip_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mip_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

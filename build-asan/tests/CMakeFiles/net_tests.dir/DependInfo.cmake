@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/address_test.cpp" "tests/CMakeFiles/net_tests.dir/net/address_test.cpp.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/address_test.cpp.o.d"
+  "/root/repo/tests/net/format_determinism_test.cpp" "tests/CMakeFiles/net_tests.dir/net/format_determinism_test.cpp.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/format_determinism_test.cpp.o.d"
+  "/root/repo/tests/net/link_test.cpp" "tests/CMakeFiles/net_tests.dir/net/link_test.cpp.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/link_test.cpp.o.d"
+  "/root/repo/tests/net/network_test.cpp" "tests/CMakeFiles/net_tests.dir/net/network_test.cpp.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/network_test.cpp.o.d"
+  "/root/repo/tests/net/node_test.cpp" "tests/CMakeFiles/net_tests.dir/net/node_test.cpp.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/node_test.cpp.o.d"
+  "/root/repo/tests/net/packet_test.cpp" "tests/CMakeFiles/net_tests.dir/net/packet_test.cpp.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/packet_test.cpp.o.d"
+  "/root/repo/tests/net/priority_queue_test.cpp" "tests/CMakeFiles/net_tests.dir/net/priority_queue_test.cpp.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/priority_queue_test.cpp.o.d"
+  "/root/repo/tests/net/queue_test.cpp" "tests/CMakeFiles/net_tests.dir/net/queue_test.cpp.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/queue_test.cpp.o.d"
+  "/root/repo/tests/net/routing_test.cpp" "tests/CMakeFiles/net_tests.dir/net/routing_test.cpp.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/routing_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/fhmip.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

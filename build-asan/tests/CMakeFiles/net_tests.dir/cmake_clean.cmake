@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_tests.dir/net/address_test.cpp.o"
+  "CMakeFiles/net_tests.dir/net/address_test.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/format_determinism_test.cpp.o"
+  "CMakeFiles/net_tests.dir/net/format_determinism_test.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/link_test.cpp.o"
+  "CMakeFiles/net_tests.dir/net/link_test.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/network_test.cpp.o"
+  "CMakeFiles/net_tests.dir/net/network_test.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/node_test.cpp.o"
+  "CMakeFiles/net_tests.dir/net/node_test.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/packet_test.cpp.o"
+  "CMakeFiles/net_tests.dir/net/packet_test.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/priority_queue_test.cpp.o"
+  "CMakeFiles/net_tests.dir/net/priority_queue_test.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/queue_test.cpp.o"
+  "CMakeFiles/net_tests.dir/net/queue_test.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/routing_test.cpp.o"
+  "CMakeFiles/net_tests.dir/net/routing_test.cpp.o.d"
+  "net_tests"
+  "net_tests.pdb"
+  "net_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/obs/golden_trace_test.cpp" "tests/CMakeFiles/obs_tests.dir/obs/golden_trace_test.cpp.o" "gcc" "tests/CMakeFiles/obs_tests.dir/obs/golden_trace_test.cpp.o.d"
+  "/root/repo/tests/obs/ledger_test.cpp" "tests/CMakeFiles/obs_tests.dir/obs/ledger_test.cpp.o" "gcc" "tests/CMakeFiles/obs_tests.dir/obs/ledger_test.cpp.o.d"
+  "/root/repo/tests/obs/metrics_test.cpp" "tests/CMakeFiles/obs_tests.dir/obs/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/obs_tests.dir/obs/metrics_test.cpp.o.d"
+  "/root/repo/tests/obs/timeline_test.cpp" "tests/CMakeFiles/obs_tests.dir/obs/timeline_test.cpp.o" "gcc" "tests/CMakeFiles/obs_tests.dir/obs/timeline_test.cpp.o.d"
+  "/root/repo/tests/obs/trace_obs_test.cpp" "tests/CMakeFiles/obs_tests.dir/obs/trace_obs_test.cpp.o" "gcc" "tests/CMakeFiles/obs_tests.dir/obs/trace_obs_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/fhmip.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

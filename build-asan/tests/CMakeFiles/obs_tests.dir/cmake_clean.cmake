@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_tests.dir/obs/golden_trace_test.cpp.o"
+  "CMakeFiles/obs_tests.dir/obs/golden_trace_test.cpp.o.d"
+  "CMakeFiles/obs_tests.dir/obs/ledger_test.cpp.o"
+  "CMakeFiles/obs_tests.dir/obs/ledger_test.cpp.o.d"
+  "CMakeFiles/obs_tests.dir/obs/metrics_test.cpp.o"
+  "CMakeFiles/obs_tests.dir/obs/metrics_test.cpp.o.d"
+  "CMakeFiles/obs_tests.dir/obs/timeline_test.cpp.o"
+  "CMakeFiles/obs_tests.dir/obs/timeline_test.cpp.o.d"
+  "CMakeFiles/obs_tests.dir/obs/trace_obs_test.cpp.o"
+  "CMakeFiles/obs_tests.dir/obs/trace_obs_test.cpp.o.d"
+  "obs_tests"
+  "obs_tests.pdb"
+  "obs_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

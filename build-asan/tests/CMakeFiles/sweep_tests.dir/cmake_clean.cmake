@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_tests.dir/sweep/sweep_runner_test.cpp.o"
+  "CMakeFiles/sweep_tests.dir/sweep/sweep_runner_test.cpp.o.d"
+  "sweep_tests"
+  "sweep_tests.pdb"
+  "sweep_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

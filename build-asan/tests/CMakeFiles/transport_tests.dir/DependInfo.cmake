@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/transport/cbr_test.cpp" "tests/CMakeFiles/transport_tests.dir/transport/cbr_test.cpp.o" "gcc" "tests/CMakeFiles/transport_tests.dir/transport/cbr_test.cpp.o.d"
+  "/root/repo/tests/transport/tcp_test.cpp" "tests/CMakeFiles/transport_tests.dir/transport/tcp_test.cpp.o" "gcc" "tests/CMakeFiles/transport_tests.dir/transport/tcp_test.cpp.o.d"
+  "/root/repo/tests/transport/tcp_timer_test.cpp" "tests/CMakeFiles/transport_tests.dir/transport/tcp_timer_test.cpp.o" "gcc" "tests/CMakeFiles/transport_tests.dir/transport/tcp_timer_test.cpp.o.d"
+  "/root/repo/tests/transport/udp_test.cpp" "tests/CMakeFiles/transport_tests.dir/transport/udp_test.cpp.o" "gcc" "tests/CMakeFiles/transport_tests.dir/transport/udp_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/fhmip.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transport_tests.dir/transport/cbr_test.cpp.o"
+  "CMakeFiles/transport_tests.dir/transport/cbr_test.cpp.o.d"
+  "CMakeFiles/transport_tests.dir/transport/tcp_test.cpp.o"
+  "CMakeFiles/transport_tests.dir/transport/tcp_test.cpp.o.d"
+  "CMakeFiles/transport_tests.dir/transport/tcp_timer_test.cpp.o"
+  "CMakeFiles/transport_tests.dir/transport/tcp_timer_test.cpp.o.d"
+  "CMakeFiles/transport_tests.dir/transport/udp_test.cpp.o"
+  "CMakeFiles/transport_tests.dir/transport/udp_test.cpp.o.d"
+  "transport_tests"
+  "transport_tests.pdb"
+  "transport_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transport_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

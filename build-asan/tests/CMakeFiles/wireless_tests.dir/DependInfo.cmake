@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/wireless/coverage_test.cpp" "tests/CMakeFiles/wireless_tests.dir/wireless/coverage_test.cpp.o" "gcc" "tests/CMakeFiles/wireless_tests.dir/wireless/coverage_test.cpp.o.d"
+  "/root/repo/tests/wireless/l2_phases_test.cpp" "tests/CMakeFiles/wireless_tests.dir/wireless/l2_phases_test.cpp.o" "gcc" "tests/CMakeFiles/wireless_tests.dir/wireless/l2_phases_test.cpp.o.d"
+  "/root/repo/tests/wireless/mobility_test.cpp" "tests/CMakeFiles/wireless_tests.dir/wireless/mobility_test.cpp.o" "gcc" "tests/CMakeFiles/wireless_tests.dir/wireless/mobility_test.cpp.o.d"
+  "/root/repo/tests/wireless/wlan_test.cpp" "tests/CMakeFiles/wireless_tests.dir/wireless/wlan_test.cpp.o" "gcc" "tests/CMakeFiles/wireless_tests.dir/wireless/wlan_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/fhmip.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wireless_tests.dir/wireless/coverage_test.cpp.o"
+  "CMakeFiles/wireless_tests.dir/wireless/coverage_test.cpp.o.d"
+  "CMakeFiles/wireless_tests.dir/wireless/l2_phases_test.cpp.o"
+  "CMakeFiles/wireless_tests.dir/wireless/l2_phases_test.cpp.o.d"
+  "CMakeFiles/wireless_tests.dir/wireless/mobility_test.cpp.o"
+  "CMakeFiles/wireless_tests.dir/wireless/mobility_test.cpp.o.d"
+  "CMakeFiles/wireless_tests.dir/wireless/wlan_test.cpp.o"
+  "CMakeFiles/wireless_tests.dir/wireless/wlan_test.cpp.o.d"
+  "wireless_tests"
+  "wireless_tests.pdb"
+  "wireless_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wireless_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build-asan/tests/net_tests[1]_include.cmake")
+include("/root/repo/build-asan/tests/wireless_tests[1]_include.cmake")
+include("/root/repo/build-asan/tests/transport_tests[1]_include.cmake")
+include("/root/repo/build-asan/tests/mip_tests[1]_include.cmake")
+include("/root/repo/build-asan/tests/buffer_tests[1]_include.cmake")
+include("/root/repo/build-asan/tests/fastho_tests[1]_include.cmake")
+include("/root/repo/build-asan/tests/fault_tests[1]_include.cmake")
+include("/root/repo/build-asan/tests/fault_matrix_tests[1]_include.cmake")
+include("/root/repo/build-asan/tests/sweep_tests[1]_include.cmake")
+include("/root/repo/build-asan/tests/obs_tests[1]_include.cmake")
+include("/root/repo/build-asan/tests/integration_tests[1]_include.cmake")
+if(CTEST_CONFIGURATION_TYPE MATCHES "^([Ff][Uu][Ll][Ll])$")
+  add_test(fault_matrix_full "/root/repo/build-asan/tests/fault_matrix_full_tests")
+  set_tests_properties(fault_matrix_full PROPERTIES  LABELS "fault-matrix-full" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;91;add_test;/root/repo/tests/CMakeLists.txt;0;")
+endif()
