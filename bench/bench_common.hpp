@@ -78,4 +78,27 @@ inline void report_sweep(const char* bench_id, const sweep::SweepRunner& runner,
   }
 }
 
+/// report_sweep plus the peak-RSS gate: resolves --rss-budget-mb against
+/// the bench's default budget (flag absent keeps the default; 0 disables),
+/// stamps it into the report, and returns false when the sweep's process
+/// peak RSS exceeded the budget (mains then exit nonzero). The verdict
+/// itself is wall-state, so it never touches stdout.
+inline bool report_sweep_gated(const char* bench_id,
+                               sweep::SweepRunner& runner,
+                               const sweep::Options& opts,
+                               double default_budget_mb) {
+  const double budget = opts.rss_budget_mb >= 0
+                            ? static_cast<double>(opts.rss_budget_mb)
+                            : default_budget_mb;
+  runner.set_rss_budget_mb(budget);
+  report_sweep(bench_id, runner, opts);
+  if (!runner.report().rss_within_budget()) {
+    std::fprintf(stderr, "%s: peak RSS %.1f MiB exceeds budget %.1f MiB\n",
+                 bench_id, runner.report().peak_rss_mb,
+                 runner.report().rss_budget_mb);
+    return false;
+  }
+  return true;
+}
+
 }  // namespace fhmip::bench

@@ -1,7 +1,11 @@
 // Microbenchmarks of the hot core data structures (google-benchmark):
-// the event scheduler, drop-tail queue, handoff buffer and policy decision.
+// the event scheduler, drop-tail queue, handoff buffer, policy decision,
+// and the per-MH scaling hot paths flushed out by scale_population_sweep
+// (lease-reaper sweeps, the WLAN tick loop, waypoint position sampling).
 
 #include <benchmark/benchmark.h>
+
+#include <memory>
 
 #include "buffer/buffer_manager.hpp"
 #include "buffer/policy.hpp"
@@ -10,6 +14,8 @@
 #include "net/queue.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/simulation.hpp"
+#include "wireless/mobility.hpp"
+#include "wireless/wlan.hpp"
 
 namespace fhmip {
 namespace {
@@ -117,6 +123,108 @@ void BM_BufferManagerAllocateRelease(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_BufferManagerAllocateRelease);
+
+void BM_BufferManagerReapIdleSweeps(benchmark::State& state) {
+  // The common steady state of a big deployment: thousands of live leases,
+  // none of them expiring. Sweep cost must scale with the leases that
+  // actually expire, not with the watch-list size — this holds the reap
+  // period's worth of sweeps against n far-future deadlines.
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    // Setup and teardown both happen under a paused timer: destroying n
+    // leases is itself O(n) and would otherwise drown out the sweeps.
+    state.PauseTiming();
+    auto sim = std::make_unique<Simulation>();
+    auto m = std::make_unique<BufferManager>(1 << 26);
+    m->set_observer(sim.get(), "bench");
+    for (int i = 0; i < n; ++i) {
+      m->allocate(BufferManager::key(static_cast<MhId>(i), ArRole::kNar), 1,
+                  SimTime::seconds(3600));
+    }
+    state.ResumeTiming();
+    sim->run_until(SimTime::seconds(60));  // 120 sweeps at the 500ms period
+    benchmark::DoNotOptimize(m->leased());
+    state.PauseTiming();
+    m.reset();  // before the simulation: the dtor cancels its reaper event
+    sim.reset();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * 120);
+}
+BENCHMARK(BM_BufferManagerReapIdleSweeps)->Arg(50)->Arg(5000);
+
+struct NullL2 final : L2Callbacks {
+  void on_l2_trigger(NodeId, Node&) override {}
+  void on_predisconnect(NodeId, Node&) override {}
+  void on_attached(NodeId, Node&) override {}
+  void on_detached() override {}
+};
+
+void BM_WlanTickStaticField(benchmark::State& state) {
+  // One second of WLAN ticks over a 10x10 AP grid with n stationary,
+  // attached hosts: the per-tick association scan that dominated the
+  // city-scale runs. Hosts sit at cell centers, so no triggers or handoffs
+  // fire — this isolates the evaluate() cost itself.
+  const int n = static_cast<int>(state.range(0));
+  const double spacing = 212, radius = 112;
+  NullL2 cb;
+  for (auto _ : state) {
+    // Field construction and teardown stay outside the timed region; only
+    // the tick loop is measured.
+    state.PauseTiming();
+    auto sim = std::make_unique<Simulation>();
+    WlanConfig cfg;
+    cfg.send_router_adv = false;
+    auto wlan = std::make_unique<WlanManager>(*sim, cfg);
+    std::vector<std::unique_ptr<Node>> nodes;
+    for (int r = 0; r < 10; ++r) {
+      for (int c = 0; c < 10; ++c) {
+        nodes.push_back(std::make_unique<Node>(
+            *sim, static_cast<NodeId>(nodes.size() + 1), "ar"));
+        wlan->add_ap(*nodes.back(), Vec2{c * spacing, r * spacing}, radius,
+                     nullptr);
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      nodes.push_back(std::make_unique<Node>(
+          *sim, static_cast<NodeId>(1000 + i), "mh"));
+      const Vec2 at{(i % 10) * spacing, ((i / 10) % 10) * spacing};
+      wlan->add_mh(*nodes.back(), std::make_unique<StaticPosition>(at), &cb);
+    }
+    wlan->start();
+    state.ResumeTiming();
+    sim->run_until(SimTime::seconds(1));  // 100 ticks at the 10ms default
+    benchmark::DoNotOptimize(wlan->handoffs_started());
+    state.PauseTiming();
+    wlan.reset();
+    nodes.clear();
+    sim.reset();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * 100 * n);
+}
+BENCHMARK(BM_WlanTickStaticField)->Arg(100)->Arg(1000);
+
+void BM_WaypointMobilityPosition(benchmark::State& state) {
+  // Random-waypoint walks hold hundreds of segments; position() runs once
+  // per MH per tick, sampling later and later times as the run advances.
+  const int n = static_cast<int>(state.range(0));
+  std::vector<WaypointMobility::Leg> legs;
+  legs.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    legs.push_back({Vec2{static_cast<double>((i * 37) % 500),
+                         static_cast<double>((i * 59) % 500)},
+                    10.0});
+  }
+  const WaypointMobility walk(Vec2{0, 0}, std::move(legs));
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    t = (t + 7'919'000'000) % 10'000'000'000'000;  // hop around the walk
+    benchmark::DoNotOptimize(walk.position(SimTime::nanos(t)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WaypointMobilityPosition)->Arg(16)->Arg(256);
 
 }  // namespace
 }  // namespace fhmip

@@ -1,0 +1,216 @@
+// Scale harness — population sweep over the city-scale scenario.
+//
+// Not a thesis figure: this sweep exists to flush out per-MH scaling bugs.
+// One CityTopology run drives N mobile hosts on random-waypoint walks
+// across an AR field sized to the population (rows = cols =
+// ceil(sqrt(N/12)), clamped to [2,16]), with a quarter of the hosts
+// carrying a classified CBR flow. The deterministic stdout table reports
+// correctness aggregates per population size; throughput (handovers/sec)
+// and peak RSS are wall-state and go to stderr + the JSON report only.
+//
+// The pass bar, at every N:
+//   * every handover attempt resolves (completed or typed failure — the
+//     per-attempt watchdog forbids wedges),
+//   * per-flow packet conservation holds (sent == delivered + dropped),
+//   * no buffer lease survives quiesce,
+//   * the audit hub stays clean,
+// and the process peak RSS stays under the budget (--rss-budget-mb,
+// default 4096 MiB; 0 disables).
+//
+// Grid: N in {10, 100, 1000, 5000}; --smoke caps at 100. Stdout is
+// byte-identical for every --jobs value.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "scenario/city_topology.hpp"
+#include "sim/check.hpp"
+
+using namespace fhmip;
+using namespace fhmip::timeliterals;
+
+namespace {
+
+struct RunResult {
+  std::uint64_t ars = 0;
+  std::uint64_t maps = 0;
+  std::uint64_t handoffs = 0;       // L2 handoffs started (wlan layer)
+  std::uint64_t attempts = 0;       // protocol-level handover attempts
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t unresolved = 0;     // must be 0: watchdog forbids wedges
+  std::uint64_t flows = 0;
+  std::uint64_t sent = 0, delivered = 0, dropped = 0;
+  std::uint64_t conservation = 0;   // flows where sent != delivered+dropped
+  std::uint64_t leaked_leases = 0;  // leases still held after quiesce
+  std::string metrics_json;
+};
+
+// Field size that keeps the offered handover load per AR roughly constant
+// as the population grows.
+int field_cols(int n_mhs) {
+  const int c = static_cast<int>(
+      std::ceil(std::sqrt(static_cast<double>(n_mhs) / 12.0)));
+  return std::min(16, std::max(2, c));
+}
+
+RunResult run_once(int n_mhs, std::uint64_t seed, bool metrics) {
+  CityConfig cfg;
+  cfg.seed = seed;
+  cfg.ar_rows = cfg.ar_cols = field_cols(n_mhs);
+  cfg.num_maps = std::max(1, cfg.ar_cols / 4);
+  cfg.layout = CityConfig::Layout::kGrid;
+  cfg.wlan.tick = 20_ms;
+  cfg.watchdog = 2_s;  // wedged attempts become typed failures, not hangs
+  cfg.scheme.classify = true;
+  cfg.scheme.allow_partial_grant = true;
+  cfg.scheme.quota_pkts = 2 * cfg.scheme.request_pkts;
+
+  cfg.population.num_mhs = n_mhs;
+  cfg.population.speed_min_mps = 5;
+  cfg.population.speed_max_mps = 20;
+  cfg.population.active_fraction = 0.25;
+  cfg.population.flow_kbps = 16;
+  cfg.population.packet_bytes = 160;
+  cfg.population.horizon = 20_s;
+  cfg.population.traffic_start = 1_s;
+  cfg.population.traffic_stop = 20_s;
+
+  CityTopology topo(cfg);
+  Simulation& sim = topo.simulation();
+  // Raw timeline records are only inspected on failure; cap them so
+  // timeline memory stays flat across the population axis (the derived
+  // attempts and metrics this report reads are unaffected).
+  sim.timeline().set_record_cap(65536);
+  topo.start();
+  // Hosts freeze and sources stop at the horizon. Quiesce past the last
+  // possible lease deadline (lifetime + grace) plus slack beyond the
+  // watchdog, so every attempt has resolved and every lease either drained
+  // gracefully or hit its lifetime teardown — anything still leased after
+  // this point is a genuine leak.
+  sim.run_until(cfg.population.horizon + cfg.scheme.lifetime +
+                cfg.scheme.lease_grace + 3_s);
+
+  RunResult r;
+  r.ars = topo.num_ars();
+  r.maps = topo.num_maps();
+  r.handoffs = topo.wlan().handoffs_started();
+  const HandoverOutcomeRecorder& rec = topo.outcomes();
+  r.attempts = rec.attempts();
+  r.completed = rec.completed();
+  r.failed = rec.count(HandoverOutcome::kFailed);
+  r.unresolved = r.attempts - r.completed - r.failed;
+  for (std::size_t i = 0; i < topo.num_mobiles(); ++i) {
+    const FlowId flow = topo.mobile(i).flow;
+    if (flow == 0) continue;
+    const FlowCounters& fc = sim.stats().flow(flow);
+    ++r.flows;
+    r.sent += fc.sent;
+    r.delivered += fc.delivered;
+    r.dropped += fc.dropped;
+    if (fc.sent != fc.delivered + fc.dropped) ++r.conservation;
+  }
+  r.leaked_leases = topo.leased_total();
+  if (metrics) r.metrics_json = sim.metrics().to_json();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sweep::Options opts;
+  if (!bench::parse_sweep_cli(argc, argv, opts)) return 2;
+
+  bench::header("Scale — population sweep",
+                "city-scale scenario vs. population size");
+  bench::note("random-waypoint walks over an AR field sized to the "
+              "population; quarter of the hosts carry a classified flow; "
+              "watchdog + ledger + lease books audited per run");
+
+  std::vector<int> populations = {10, 100, 1000, 5000};
+  if (opts.smoke) populations = {10, 100};
+  const std::uint64_t seed = 1;
+
+  const std::uint64_t audits_before = AuditHub::instance().violations();
+
+  std::vector<sweep::SweepRunner::Job<RunResult>> grid;
+  for (const int n : populations) {
+    char label[32];
+    std::snprintf(label, sizeof label, "mhs=%d", n);
+    grid.push_back({label, [n, seed, metrics = opts.metrics] {
+                      return run_once(n, seed, metrics);
+                    }});
+  }
+  sweep::SweepRunner runner(opts.jobs);
+  std::vector<RunResult> results = runner.run(std::move(grid));
+  {
+    std::vector<std::string> metrics;
+    metrics.reserve(results.size());
+    for (auto& r : results) metrics.push_back(std::move(r.metrics_json));
+    runner.attach_metrics(std::move(metrics));
+  }
+
+  bool sound = true;
+  std::printf("%8s %5s %5s %9s %9s %10s %7s %11s %7s %7s\n", "mhs", "ars",
+              "maps", "handoffs", "attempts", "completed", "failed",
+              "unresolved", "consrv", "leaked");
+  for (std::size_t i = 0; i < populations.size(); ++i) {
+    const RunResult& r = results[i];
+    std::printf("%8d %5llu %5llu %9llu %9llu %10llu %7llu %11llu %7llu "
+                "%7llu\n",
+                populations[i], static_cast<unsigned long long>(r.ars),
+                static_cast<unsigned long long>(r.maps),
+                static_cast<unsigned long long>(r.handoffs),
+                static_cast<unsigned long long>(r.attempts),
+                static_cast<unsigned long long>(r.completed),
+                static_cast<unsigned long long>(r.failed),
+                static_cast<unsigned long long>(r.unresolved),
+                static_cast<unsigned long long>(r.conservation),
+                static_cast<unsigned long long>(r.leaked_leases));
+    if (r.unresolved != 0 || r.conservation != 0 || r.leaked_leases != 0) {
+      sound = false;
+      std::printf("VIOLATION at mhs=%d: unresolved=%llu conservation=%llu "
+                  "leaked=%llu\n",
+                  populations[i],
+                  static_cast<unsigned long long>(r.unresolved),
+                  static_cast<unsigned long long>(r.conservation),
+                  static_cast<unsigned long long>(r.leaked_leases));
+    }
+  }
+  std::printf("\n");
+  for (std::size_t i = 0; i < populations.size(); ++i) {
+    const RunResult& r = results[i];
+    std::printf("mhs=%d: %llu flows, %llu sent, %llu delivered, %llu "
+                "dropped\n",
+                populations[i], static_cast<unsigned long long>(r.flows),
+                static_cast<unsigned long long>(r.sent),
+                static_cast<unsigned long long>(r.delivered),
+                static_cast<unsigned long long>(r.dropped));
+  }
+
+  const bool audits_clean =
+      AuditHub::instance().violations() == audits_before;
+  std::printf("scale soundness: %s (attempts all resolved, conservation "
+              "holds, no leaked leases, audits %s)\n",
+              sound && audits_clean ? "PASS" : "FAIL",
+              audits_clean ? "clean" : "VIOLATED");
+
+  // Throughput is wall-state: handovers/sec per run on stderr + JSON only.
+  const sweep::SweepReport& rep = runner.report();
+  for (std::size_t i = 0;
+       i < rep.runs.size() && i < populations.size(); ++i) {
+    const double secs = rep.runs[i].wall_ms / 1000.0;
+    const double hps =
+        secs > 0 ? static_cast<double>(results[i].handoffs) / secs : 0;
+    std::fprintf(stderr,
+                 "run %s: %llu handovers in %.0f ms => %.0f handovers/sec, "
+                 "peak rss %.1f MiB\n",
+                 rep.runs[i].label.c_str(),
+                 static_cast<unsigned long long>(results[i].handoffs),
+                 rep.runs[i].wall_ms, hps, rep.runs[i].peak_rss_mb);
+  }
+
+  const bool rss_ok = bench::report_sweep_gated("scale_population_sweep",
+                                                runner, opts, 4096.0);
+  return sound && audits_clean && rss_ok ? 0 : 1;
+}

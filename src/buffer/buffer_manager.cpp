@@ -88,7 +88,7 @@ std::uint32_t BufferManager::allocate(LeaseKey k, std::uint32_t requested,
   if (leased_metric_ != nullptr)
     leased_metric_->set(static_cast<std::int64_t>(leased_));
   if (!expires.is_zero()) {
-    deadlines_[k] = expires;
+    index_deadline(k, expires);
     ensure_reaper();
   }
   audit_invariants();
@@ -98,13 +98,36 @@ std::uint32_t BufferManager::allocate(LeaseKey k, std::uint32_t requested,
 bool BufferManager::renew(LeaseKey k, SimTime expires) {
   if (leases_.count(k) == 0) return false;
   if (expires.is_zero()) {
-    deadlines_.erase(k);
+    if (auto it = deadlines_.find(k); it != deadlines_.end()) {
+      unindex_deadline(k, it->second);
+      deadlines_.erase(it);
+    }
   } else {
-    deadlines_[k] = expires;
+    index_deadline(k, expires);
     ensure_reaper();
   }
   ++renewals_;
   return true;
+}
+
+void BufferManager::index_deadline(LeaseKey k, SimTime deadline) {
+  if (auto it = deadlines_.find(k); it != deadlines_.end()) {
+    unindex_deadline(k, it->second);
+    it->second = deadline;
+  } else {
+    deadlines_.emplace(k, deadline);
+  }
+  deadline_index_.emplace(deadline, k);
+}
+
+void BufferManager::unindex_deadline(LeaseKey k, SimTime deadline) {
+  const auto [lo, hi] = deadline_index_.equal_range(deadline);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second == k) {
+      deadline_index_.erase(it);
+      return;
+    }
+  }
 }
 
 SimTime BufferManager::lease_deadline(LeaseKey k) const {
@@ -125,7 +148,10 @@ void BufferManager::release(LeaseKey k) {
     occupancy_metric_->add(-static_cast<std::int64_t>(it->second.size()));
   leased_ -= it->second.capacity();
   leases_.erase(it);
-  deadlines_.erase(k);
+  if (auto dit = deadlines_.find(k); dit != deadlines_.end()) {
+    unindex_deadline(k, dit->second);
+    deadlines_.erase(dit);
+  }
   if (leased_metric_ != nullptr)
     leased_metric_->set(static_cast<std::int64_t>(leased_));
   audit_invariants();
@@ -141,10 +167,16 @@ void BufferManager::reap_sweep() {
   reaper_event_ = kInvalidEvent;
   const SimTime now = sim_->now();
   // Collect first: the handler tears down agent contexts, which release
-  // leases and mutate both maps under us.
+  // leases and mutate the maps under us. The deadline index is sorted, so
+  // only the expired prefix is visited (strictly now > deadline, exactly
+  // like the old full walk); keys are then re-sorted so the handler runs
+  // in the same LeaseKey order the deadline-map walk used to produce.
   std::vector<LeaseKey> expired;
-  for (const auto& [k, deadline] : deadlines_)
-    if (now > deadline) expired.push_back(k);
+  for (auto it = deadline_index_.begin();
+       it != deadline_index_.end() && now > it->first; ++it) {
+    expired.push_back(it->second);
+  }
+  std::sort(expired.begin(), expired.end());
   for (LeaseKey k : expired) {
     if (leases_.count(k) == 0) continue;  // handler of an earlier key won
     ++reaped_;
@@ -178,6 +210,20 @@ void BufferManager::audit_invariants() const {
   for (const auto& [key, deadline] : deadlines_)
     FHMIP_AUDIT2_MSG("buffer", leases_.count(key) > 0,
                      "deadline for unleased key " + std::to_string(key));
+  // The sorted index must mirror deadlines_ exactly: same cardinality and
+  // every (key -> deadline) entry present at its deadline.
+  FHMIP_AUDIT2_MSG("buffer", deadline_index_.size() == deadlines_.size(),
+                   "deadline index size " +
+                       std::to_string(deadline_index_.size()) + " != " +
+                       std::to_string(deadlines_.size()));
+  for (const auto& [key, deadline] : deadlines_) {
+    bool indexed = false;
+    const auto [lo, hi] = deadline_index_.equal_range(deadline);
+    for (auto it = lo; it != hi; ++it) indexed |= it->second == key;
+    FHMIP_AUDIT2_MSG("buffer", indexed,
+                     "deadline for key " + std::to_string(key) +
+                         " missing from the sorted index");
+  }
 #endif
 }
 

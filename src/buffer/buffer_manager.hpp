@@ -150,10 +150,18 @@ class BufferManager {
  private:
   void ensure_reaper();
   void reap_sweep();
+  void index_deadline(LeaseKey k, SimTime deadline);
+  void unindex_deadline(LeaseKey k, SimTime deadline);
 
   ReapHandler reap_handler_;
   SimTime reap_period_ = SimTime::millis(500);
   EventId reaper_event_ = kInvalidEvent;
+  /// deadlines_ mirrored in deadline order, so a reap sweep walks only the
+  /// expired prefix instead of every watched lease — sweep cost scales
+  /// with what expires, not with the deployment size. Kept private (the
+  /// tampering-test subclass mutates `deadlines_`; the level-2 audit
+  /// cross-checks the two against each other).
+  std::multimap<SimTime, LeaseKey> deadline_index_;
 };
 
 }  // namespace fhmip

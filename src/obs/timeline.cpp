@@ -149,7 +149,17 @@ void HandoverTimeline::record(SimTime at, MhId mh, HoEventKind kind,
         break;
     }
   }
-  records_.push_back({at, mh, kind, where, ordinal});
+  append_record({at, mh, kind, where, ordinal});
+}
+
+void HandoverTimeline::append_record(HoEventRecord&& r) {
+  records_.push_back(std::move(r));
+  if (record_cap_ > 0 && records_.size() > 2 * record_cap_) {
+    const std::size_t drop = records_.size() - record_cap_;
+    records_.erase(records_.begin(),
+                   records_.begin() + static_cast<std::ptrdiff_t>(drop));
+    dropped_records_ += drop;
+  }
 }
 
 PhaseBreakdown HandoverTimeline::resolve(SimTime at, MhId mh,
@@ -158,8 +168,8 @@ PhaseBreakdown HandoverTimeline::resolve(SimTime at, MhId mh,
   OpenAttempt& a = open_for(at, mh);
   a.phases.total = at - a.started;
   a.phases.has_total = true;
-  records_.push_back({at, mh, HoEventKind::kResolved, to_string(outcome),
-                      a.ordinal});
+  append_record({at, mh, HoEventKind::kResolved, to_string(outcome),
+                 a.ordinal});
 
   HoAttempt done;
   done.mh = mh;

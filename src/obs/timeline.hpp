@@ -78,6 +78,16 @@ class HandoverTimeline {
 
   /// Registers the `handover/phase/*_ms` histograms and outcome counters.
   void set_registry(MetricsRegistry* registry);
+  /// Bounds the raw record log: with a cap (> 0) only the most recent
+  /// `cap` records are kept (amortized — the log grows to 2*cap, then the
+  /// oldest half is trimmed in one move), and `dropped_records()` counts
+  /// the discarded prefix. Zero (the default) keeps everything. Long
+  /// population runs set a cap so timeline memory stays flat; the derived
+  /// attempts/metrics are unaffected — only `records()`/`format_timeline()`
+  /// lose their oldest entries.
+  void set_record_cap(std::size_t cap) { record_cap_ = cap; }
+  std::size_t record_cap() const { return record_cap_; }
+  std::uint64_t dropped_records() const { return dropped_records_; }
   /// Invoked after every attempt closes — property tests use this to check
   /// ledger conservation at each handover boundary.
   void set_resolve_hook(ResolveHook hook) { resolve_hook_ = std::move(hook); }
@@ -112,8 +122,11 @@ class HandoverTimeline {
   };
 
   OpenAttempt& open_for(SimTime at, MhId mh);
+  void append_record(HoEventRecord&& r);
 
   std::vector<HoEventRecord> records_;
+  std::size_t record_cap_ = 0;
+  std::uint64_t dropped_records_ = 0;
   std::vector<HoAttempt> attempts_;
   std::map<MhId, OpenAttempt> open_;
   std::map<MhId, std::uint32_t> next_ordinal_;

@@ -1,0 +1,71 @@
+#include "scenario/population.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace fhmip {
+
+PopulationDraw draw_member(Rng& rng, const PopulationConfig& cfg,
+                           const RoamBox& box) {
+  PopulationDraw d;
+  d.spawn = Vec2{rng.uniform(box.lo.x, box.hi.x),
+                 rng.uniform(box.lo.y, box.hi.y)};
+  d.speed_mps = rng.uniform(cfg.speed_min_mps, cfg.speed_max_mps);
+  d.active = rng.uniform() < cfg.active_fraction;
+  const double wr = std::max(0.0, cfg.mix_realtime);
+  const double wh = std::max(0.0, cfg.mix_highprio);
+  const double wb = std::max(0.0, cfg.mix_besteffort);
+  const double total = wr + wh + wb;
+  // A degenerate all-zero mix falls through to best effort.
+  const double u = total > 0 ? rng.uniform(0.0, total) : 0.0;
+  if (total > 0 && u < wr) {
+    d.tclass = TrafficClass::kRealTime;
+  } else if (total > 0 && u < wr + wh) {
+    d.tclass = TrafficClass::kHighPriority;
+  } else {
+    d.tclass = TrafficClass::kBestEffort;
+  }
+  return d;
+}
+
+std::unique_ptr<MobilityModel> make_random_waypoint_walk(
+    Rng& rng, const PopulationConfig& cfg, const RoamBox& box, Vec2 spawn,
+    double speed_mps) {
+  std::vector<WaypointMobility::Leg> legs;
+  Vec2 cur = spawn;
+  SimTime covered;
+  // Walking only begins at mobility_start, so the legs span the remainder
+  // of the horizon.
+  const SimTime span = cfg.horizon > cfg.mobility_start
+                           ? cfg.horizon - cfg.mobility_start
+                           : SimTime();
+  while (covered < span) {
+    Vec2 next{rng.uniform(box.lo.x, box.hi.x),
+              rng.uniform(box.lo.y, box.hi.y)};
+    double d = distance(cur, next);
+    if (d <= 0 || speed_mps <= 0) break;
+    // Clip the final leg at the horizon so the whole population freezes
+    // there — scale harnesses quiesce a fixed slack after it, and a leg
+    // running long past the horizon would keep triggering handovers (and
+    // renewing buffer leases) indefinitely.
+    const SimTime leg = SimTime::from_seconds(d / speed_mps);
+    if (covered + leg > span) {
+      const double frac = (span - covered).sec() / leg.sec();
+      next = Vec2{cur.x + (next.x - cur.x) * frac,
+                  cur.y + (next.y - cur.y) * frac};
+      d *= frac;
+    }
+    legs.push_back({next, speed_mps});
+    covered += SimTime::from_seconds(d / speed_mps);
+    cur = next;
+  }
+  return std::make_unique<WaypointMobility>(spawn, std::move(legs),
+                                            cfg.mobility_start);
+}
+
+SimTime population_packet_interval(const PopulationConfig& cfg) {
+  const double kbps = std::max(0.1, cfg.flow_kbps);
+  return SimTime::from_seconds(cfg.packet_bytes * 8.0 / (kbps * 1000.0));
+}
+
+}  // namespace fhmip

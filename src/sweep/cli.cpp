@@ -54,6 +54,15 @@ ParseResult parse_args(int argc, const char* const* argv) {
       r.options.smoke = true;
     } else if (arg == "--metrics") {
       r.options.metrics = true;
+    } else if (arg == "--rss-budget-mb") {
+      const char* v = take_value("--rss-budget-mb");
+      if (v == nullptr) return r;
+      if (!parse_int(v, r.options.rss_budget_mb) ||
+          r.options.rss_budget_mb < 0) {
+        r.error = "--rss-budget-mb expects a non-negative integer, got '" +
+                  std::string(v) + "'";
+        return r;
+      }
     } else {
       r.error = "unknown argument '" + arg + "'";
       return r;
@@ -64,13 +73,17 @@ ParseResult parse_args(int argc, const char* const* argv) {
 
 std::string usage(const std::string& argv0) {
   return "usage: " + argv0 +
-         " [--jobs N] [--json PATH] [--smoke] [--metrics]\n"
+         " [--jobs N] [--json PATH] [--smoke] [--metrics]"
+         " [--rss-budget-mb N]\n"
          "  --jobs N, -jN  worker threads for the sweep "
          "(default: hardware concurrency)\n"
          "  --json PATH    write the machine-readable sweep report to PATH\n"
          "  --smoke        tiny grid for CI smoke runs\n"
          "  --metrics      embed each run's metrics registry in the JSON "
-         "report\n";
+         "report\n"
+         "  --rss-budget-mb N\n"
+         "                 fail when process peak RSS exceeds N MiB "
+         "(0 disables the gate)\n";
 }
 
 }  // namespace fhmip::sweep

@@ -10,6 +10,10 @@ namespace fhmip::sweep {
 ///   --json PATH   write the machine-readable sweep report to PATH
 ///   --smoke       shrink the parameter grid to a seconds-long CI sanity run
 ///   --metrics     embed each run's metrics-registry JSON in the report
+///   --rss-budget-mb N
+///                 fail (exit nonzero) when the sweep's process peak RSS
+///                 exceeds N MiB; overrides the bench's default budget
+///                 (0 disables the gate)
 ///
 /// Aggregate stdout is byte-identical for every --jobs value; only wall
 /// times (stderr + JSON) differ. The per-run metrics payloads are derived
@@ -19,6 +23,9 @@ struct Options {
   std::string json_path;
   bool smoke = false;
   bool metrics = false;
+  /// Peak-RSS gate in MiB; negative = flag absent (benches keep their
+  /// default budget), 0 = gate explicitly disabled.
+  int rss_budget_mb = -1;
 };
 
 /// Outcome of parsing: on failure `error` is non-empty and `usage` holds

@@ -62,12 +62,23 @@ std::string report_to_json(const std::string& bench_name,
   os << "  \"bench\": \"" << escape(bench_name) << "\",\n";
   os << "  \"jobs\": " << report.jobs << ",\n";
   os << "  \"total_wall_ms\": " << num(report.total_wall_ms) << ",\n";
+  if (report.peak_rss_mb > 0) {
+    os << "  \"peak_rss_mb\": " << num(report.peak_rss_mb) << ",\n";
+  }
+  if (report.rss_budget_mb > 0) {
+    os << "  \"rss_budget_mb\": " << num(report.rss_budget_mb) << ",\n";
+    os << "  \"rss_within_budget\": "
+       << (report.rss_within_budget() ? "true" : "false") << ",\n";
+  }
   os << "  \"runs\": [";
   for (std::size_t i = 0; i < report.runs.size(); ++i) {
     const RunRecord& r = report.runs[i];
     os << (i == 0 ? "\n" : ",\n");
     os << "    {\"index\": " << r.index << ", \"label\": \""
        << escape(r.label) << "\", \"wall_ms\": " << num(r.wall_ms);
+    if (r.peak_rss_mb > 0) {
+      os << ", \"peak_rss_mb\": " << num(r.peak_rss_mb);
+    }
     if (!r.metrics_json.empty()) {
       // Already a JSON object (obs::MetricsRegistry::to_json()); embedded
       // raw, not as a string.

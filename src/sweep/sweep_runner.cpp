@@ -6,6 +6,10 @@
 #include <sstream>
 #include <thread>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "sim/check.hpp"
 
 namespace fhmip::sweep {
@@ -20,7 +24,23 @@ double ms_since(std::chrono::steady_clock::time_point t0) {  // NOLINT-FHMIP(DET
       .count();
 }
 
+constexpr double kBytesPerMiB = 1024.0 * 1024.0;
+
 }  // namespace
+
+std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(ru.ru_maxrss);  // bytes on Darwin
+#else
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // KiB elsewhere
+#endif
+#else
+  return 0;
+#endif
+}
 
 SweepRunner::SweepRunner(int jobs) {
   if (jobs <= 0) {
@@ -57,6 +77,8 @@ void SweepRunner::run_indexed(std::size_t n, std::vector<std::string> labels,
         errors[i] = std::current_exception();
       }
       report_.runs[i].wall_ms = ms_since(t0);
+      report_.runs[i].peak_rss_mb =
+          static_cast<double>(peak_rss_bytes()) / kBytesPerMiB;
     }
   };
 
@@ -74,6 +96,7 @@ void SweepRunner::run_indexed(std::size_t n, std::vector<std::string> labels,
     for (auto& t : pool) t.join();
   }
   report_.total_wall_ms = ms_since(sweep_t0);
+  report_.peak_rss_mb = static_cast<double>(peak_rss_bytes()) / kBytesPerMiB;
 
   // Deterministic failure order: the lowest-index exception wins, exactly
   // as a serial loop would have failed first.
@@ -103,6 +126,14 @@ std::string SweepReport::format_summary() const {
       os << ": " << runs[slowest_i].label;
     }
     os << ")\n";
+  }
+  if (peak_rss_mb > 0) {
+    os << "sweep: peak rss " << peak_rss_mb << " MiB";
+    if (rss_budget_mb > 0) {
+      os << " (budget " << rss_budget_mb << " MiB: "
+         << (rss_within_budget() ? "OK" : "EXCEEDED") << ")";
+    }
+    os << "\n";
   }
   return os.str();
 }

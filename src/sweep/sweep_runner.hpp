@@ -16,10 +16,20 @@ struct RunRecord {
   std::size_t index = 0;
   std::string label;
   double wall_ms = 0;
+  /// Process-wide peak resident set sampled when this run finished, in MiB.
+  /// Monotone over a -j1 sweep (per-run high-water marks); with parallel
+  /// jobs it is attribution-free but still bounds the whole sweep. 0 where
+  /// the platform offers no getrusage.
+  double peak_rss_mb = 0;
   /// The run's metrics-registry export (obs::MetricsRegistry::to_json()),
   /// attached by the bench under --metrics; empty otherwise.
   std::string metrics_json;
 };
+
+/// Peak resident set size of this process in bytes (getrusage ru_maxrss);
+/// 0 on platforms without it. Memory use is timing-like: report it on
+/// stderr/JSON only, never the deterministic stdout stream.
+std::uint64_t peak_rss_bytes();
 
 /// Timing report for one SweepRunner::run() call. Per-run wall times vary
 /// between executions, so none of this may reach stdout of a bench binary
@@ -30,6 +40,18 @@ struct SweepReport {
   std::vector<RunRecord> runs;  // indexed by run index
   double total_wall_ms = 0;     // whole-sweep wall time
   int jobs = 1;                 // worker count actually used
+  /// Process peak RSS after the sweep drained, in MiB (0 = unsupported).
+  double peak_rss_mb = 0;
+  /// Budget the bench gates against (--rss-budget-mb; 0 = no gate). Both
+  /// values land in the JSON report so memory-growth regressions are
+  /// visible across commits and fail loudly when gated.
+  double rss_budget_mb = 0;
+
+  /// peak_rss_mb is within the configured budget (vacuously true without
+  /// a budget or without RSS support).
+  bool rss_within_budget() const {
+    return rss_budget_mb <= 0 || peak_rss_mb <= rss_budget_mb;
+  }
 
   /// Human-readable per-run + aggregate summary (for stderr).
   std::string format_summary() const;
@@ -81,6 +103,11 @@ class SweepRunner {
 
   /// Timing/label report of the most recent run() call.
   const SweepReport& report() const { return report_; }
+
+  /// Arms the peak-RSS gate on the most recent report (MiB; <= 0 = no
+  /// gate). Benches resolve --rss-budget-mb against their default budget
+  /// and call this before serializing/checking the report.
+  void set_rss_budget_mb(double mb) { report_.rss_budget_mb = mb; }
 
   /// Attaches per-run metrics payloads (index-aligned with the grid) to the
   /// most recent report, for `write_json` to embed. Extra entries are

@@ -1,5 +1,6 @@
 #include "wireless/mobility.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace fhmip {
@@ -62,16 +63,20 @@ Vec2 WaypointMobility::position(SimTime t) const {
   if (segments_.empty() || t <= t0_) {
     return segments_.empty() ? final_ : segments_.front().from;
   }
-  for (const Segment& s : segments_) {
-    if (t < s.end) {
-      const double total = (s.end - s.begin).sec();
-      if (total <= 0) return s.to;
-      const double f = (t - s.begin).sec() / total;
-      return Vec2{s.from.x + (s.to.x - s.from.x) * f,
-                  s.from.y + (s.to.y - s.from.y) * f};
-    }
-  }
-  return final_;
+  // Segment ends are non-decreasing, so the active segment — the first one
+  // with t < end — binary-searches in O(log segments). Random-waypoint
+  // walks carry hundreds of segments and this runs once per MH per WLAN
+  // tick.
+  const auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), t,
+      [](SimTime v, const Segment& s) { return v < s.end; });
+  if (it == segments_.end()) return final_;
+  const Segment& s = *it;
+  const double total = (s.end - s.begin).sec();
+  if (total <= 0) return s.to;
+  const double f = (t - s.begin).sec() / total;
+  return Vec2{s.from.x + (s.to.x - s.from.x) * f,
+              s.from.y + (s.to.y - s.from.y) * f};
 }
 
 }  // namespace fhmip

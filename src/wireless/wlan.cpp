@@ -1,8 +1,21 @@
 #include "wireless/wlan.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <limits>
 
 namespace fhmip {
+namespace {
+
+// Spatial-hash cell key. Coordinates are truncated to 32 bits; two cells
+// collide only when their indices differ by 2^32 cells — unreachable for
+// any physical field.
+std::uint64_t cell_key(std::int64_t cx, std::int64_t cy) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+         static_cast<std::uint32_t>(cy);
+}
+
+}  // namespace
 
 WlanManager::WlanManager(Simulation& sim, WlanConfig cfg)
     : sim_(sim), cfg_(cfg) {
@@ -16,7 +29,48 @@ AccessPoint& WlanManager::add_ap(Node& ar_node, Vec2 pos, double radius_m,
                                  ArAttachListener* listener) {
   aps_.push_back(std::make_unique<AccessPoint>(next_ap_id_++, ar_node, pos,
                                                radius_m, listener));
-  return *aps_.back();
+  AccessPoint& ap = *aps_.back();
+  ap_index_[ap.id()] = &ap;
+  grid_dirty_ = true;
+  return ap;
+}
+
+void WlanManager::rebuild_ap_grid() {
+  ap_grid_.clear();
+  // Cell edge = the largest coverage radius (>= 1 m so degenerate radii
+  // don't explode the cell count). Any AP covering a point is then at most
+  // one cell away from it in either axis.
+  grid_cell_ = 1.0;
+  for (const auto& ap : aps_) grid_cell_ = std::max(grid_cell_, ap->radius());
+  for (const auto& ap : aps_) {
+    const Vec2 p = ap->position();
+    const auto cx = static_cast<std::int64_t>(std::floor(p.x / grid_cell_));
+    const auto cy = static_cast<std::int64_t>(std::floor(p.y / grid_cell_));
+    ap_grid_[cell_key(cx, cy)].push_back(ap.get());
+  }
+  grid_dirty_ = false;
+}
+
+const std::vector<AccessPoint*>& WlanManager::nearby_aps(Vec2 pos) {
+  if (grid_dirty_) rebuild_ap_grid();
+  nearby_scratch_.clear();
+  const auto cx = static_cast<std::int64_t>(std::floor(pos.x / grid_cell_));
+  const auto cy = static_cast<std::int64_t>(std::floor(pos.y / grid_cell_));
+  for (std::int64_t dx = -1; dx <= 1; ++dx) {
+    for (std::int64_t dy = -1; dy <= 1; ++dy) {
+      auto it = ap_grid_.find(cell_key(cx + dx, cy + dy));
+      if (it == ap_grid_.end()) continue;
+      nearby_scratch_.insert(nearby_scratch_.end(), it->second.begin(),
+                             it->second.end());
+    }
+  }
+  // Ids are handed out in insertion order, so id order reproduces the exact
+  // visit order of a full scan over `aps_`.
+  std::sort(nearby_scratch_.begin(), nearby_scratch_.end(),
+            [](const AccessPoint* a, const AccessPoint* b) {
+              return a->id() < b->id();
+            });
+  return nearby_scratch_;
 }
 
 void WlanManager::add_mh(Node& mh_node, std::unique_ptr<MobilityModel> mob,
@@ -60,11 +114,11 @@ void WlanManager::tick() {
 AccessPoint* WlanManager::best_candidate(Vec2 pos, NodeId exclude) {
   AccessPoint* best = nullptr;
   double best_dist = std::numeric_limits<double>::max();
-  for (auto& ap : aps_) {
+  for (AccessPoint* ap : nearby_aps(pos)) {
     if (ap->id() == exclude) continue;
     const double d = ap->distance_to(pos);
     if (d <= ap->radius() && d < best_dist) {
-      best = ap.get();
+      best = ap;
       best_dist = d;
     }
   }
@@ -86,7 +140,9 @@ void WlanManager::evaluate(MhId mh, MhRecord& rec) {
   const double d = cur->distance_to(pos);
 
   // Fire the anticipation trigger (L2-ST) once per candidate AP per visit.
-  for (auto& other : aps_) {
+  // Only APs in the 3x3 cell neighbourhood can cover us, so the grid walk
+  // fires exactly the triggers the full scan would.
+  for (AccessPoint* other : nearby_aps(pos)) {
     if (other->id() == rec.attached) continue;
     if (other->covers(pos) && !rec.triggered.count(other->id())) {
       rec.triggered.insert(other->id());
@@ -101,7 +157,7 @@ void WlanManager::evaluate(MhId mh, MhRecord& rec) {
       start_handoff(mh, rec, *target);
     } else {
       detach(mh, rec);
-      rec.attached = kNoNode;
+      set_attached(mh, rec, kNoNode);
       if (rec.cb) rec.cb->on_detached();
     }
     return;
@@ -109,7 +165,10 @@ void WlanManager::evaluate(MhId mh, MhRecord& rec) {
 
   if (d > cur->radius() - cfg_.exit_margin_m) {
     if (AccessPoint* target = best_candidate(pos, rec.attached)) {
-      start_handoff(mh, rec, *target);
+      if (cfg_.handoff_hysteresis_m <= 0 ||
+          target->distance_to(pos) + cfg_.handoff_hysteresis_m < d) {
+        start_handoff(mh, rec, *target);
+      }
     }
   }
 }
@@ -163,7 +222,7 @@ void WlanManager::attach(MhId mh, MhRecord& rec, AccessPoint& target) {
   RadioPair& pair = radio(target, mh);
   pair.down->set_up(true);
   pair.up->set_up(true);
-  rec.attached = target.id();
+  set_attached(mh, rec, target.id());
   rec.in_handoff = false;
   rec.triggered.clear();
   // The MH's way out is the uplink radio.
@@ -207,18 +266,30 @@ WlanManager::RadioPair& WlanManager::radio(const AccessPoint& ap, MhId mh) {
 
 void WlanManager::send_router_adv(AccessPoint& ap) {
   if (!running_) return;
-  for (auto& [mh, rec] : mhs_) {
-    if (rec.attached != ap.id()) continue;
-    RouterAdvMsg adv;
-    adv.ar_node = ap.ar_node().id();
-    adv.ar_addr = ap.ar_node().address();
-    adv.prefix = adv.ar_addr.net;
-    adv.buffer_capable = true;  // the "B" flag (§2.4)
-    auto p = make_control(sim_, ap.ar_node().address(),
-                          rec.node->address(), adv, 80);
-    radio(ap, mh).down->transmit(std::move(p));
+  // The per-AP set mirrors `rec.attached` exactly (including hosts whose
+  // record still points here during a handoff blackout), in MhId order —
+  // the same hosts, in the same order, a full walk of `mhs_` would hit.
+  if (auto sit = attached_mhs_.find(ap.id()); sit != attached_mhs_.end()) {
+    for (MhId mh : sit->second) {
+      MhRecord& rec = mhs_.at(mh);
+      RouterAdvMsg adv;
+      adv.ar_node = ap.ar_node().id();
+      adv.ar_addr = ap.ar_node().address();
+      adv.prefix = adv.ar_addr.net;
+      adv.buffer_capable = true;  // the "B" flag (§2.4)
+      auto p = make_control(sim_, ap.ar_node().address(),
+                            rec.node->address(), adv, 80);
+      radio(ap, mh).down->transmit(std::move(p));
+    }
   }
   ra_evs_[ap.id()] = sim_.in(cfg_.ra_interval, [this, &ap] { send_router_adv(ap); });
+}
+
+void WlanManager::set_attached(MhId mh, MhRecord& rec, NodeId new_ap) {
+  if (rec.attached == new_ap) return;
+  if (rec.attached != kNoNode) attached_mhs_[rec.attached].erase(mh);
+  if (new_ap != kNoNode) attached_mhs_[new_ap].insert(mh);
+  rec.attached = new_ap;
 }
 
 Vec2 WlanManager::mh_position(MhId mh) const {
@@ -237,10 +308,8 @@ bool WlanManager::in_handoff(MhId mh) const {
 }
 
 AccessPoint* WlanManager::ap(NodeId id) {
-  for (auto& a : aps_) {
-    if (a->id() == id) return a.get();
-  }
-  return nullptr;
+  auto it = ap_index_.find(id);
+  return it == ap_index_.end() ? nullptr : it->second;
 }
 
 }  // namespace fhmip

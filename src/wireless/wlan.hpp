@@ -1,9 +1,11 @@
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "net/link.hpp"
@@ -39,6 +41,14 @@ struct WlanConfig {
   std::optional<L2PhaseModel> l2_phase_model;
   /// Start the handoff this many meters before the coverage edge.
   double exit_margin_m = 2.0;
+  /// Margin-zone handoffs require the candidate AP to be at least this much
+  /// closer than the serving one. Without it a host lingering where two
+  /// exit margins overlap flaps A->B->A indefinitely (each flap runs the
+  /// full buffer-allocation handshake); with it every handoff strictly
+  /// shrinks the serving distance, so flap chains terminate. Zero keeps the
+  /// historical nearest-wins behaviour. Hard detaches (out of coverage)
+  /// ignore the hysteresis — any covering AP beats none.
+  double handoff_hysteresis_m = 0.0;
   /// Delay between on_predisconnect (FBU transmission) and radio-down.
   SimTime predisconnect_guard = SimTime::millis(2);
   double bandwidth_bps = 11e6;
@@ -110,12 +120,35 @@ class WlanManager {
   void attach(MhId mh, MhRecord& rec, AccessPoint& target);
   RadioPair& radio(const AccessPoint& ap, MhId mh);
   void send_router_adv(AccessPoint& ap);
+  /// Records a change of `rec.attached` in the per-AP attachment sets that
+  /// send_router_adv iterates (kNoNode = detached).
+  void set_attached(MhId mh, MhRecord& rec, NodeId new_ap);
+  void rebuild_ap_grid();
+  /// APs whose coverage disc could contain `pos` (the 3x3 cell
+  /// neighbourhood of the spatial hash), in insertion (= id) order — the
+  /// same order a full scan of `aps_` would visit them. Returns a reusable
+  /// scratch vector.
+  const std::vector<AccessPoint*>& nearby_aps(Vec2 pos);
 
   Simulation& sim_;
   WlanConfig cfg_;
   std::vector<std::unique_ptr<AccessPoint>> aps_;
   std::map<MhId, MhRecord> mhs_;
   std::map<std::pair<NodeId, MhId>, RadioPair> radios_;
+  // Scaling indexes over the flat containers above (a city-scale field has
+  // hundreds of APs and thousands of MHs; every per-tick lookup must stay
+  // O(local density), not O(field size)):
+  //  * ap_index_: id -> AP, replacing the linear ap() scan;
+  //  * ap_grid_: spatial hash of AP centers with cell = max AP radius, so
+  //    any AP covering a point lies in the 3x3 neighbourhood of its cell;
+  //  * attached_mhs_: per-AP attachment sets (MhId-ordered, matching the
+  //    old whole-map walk) for router advertisement fan-out.
+  std::unordered_map<NodeId, AccessPoint*> ap_index_;
+  std::unordered_map<std::uint64_t, std::vector<AccessPoint*>> ap_grid_;
+  double grid_cell_ = 0;
+  bool grid_dirty_ = false;
+  std::vector<AccessPoint*> nearby_scratch_;
+  std::map<NodeId, std::set<MhId>> attached_mhs_;
   bool running_ = false;
   // Pending self-scheduled events, cancelled in the destructor so no timer
   // callback can fire into a dead manager. The tick loop and each AP's RA

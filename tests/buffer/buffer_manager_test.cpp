@@ -211,6 +211,79 @@ TEST(BufferManager, LeaseWithoutDeadlineNeverReaped) {
   EXPECT_EQ(m.total_reaped(), 0u);
 }
 
+TEST(BufferManager, ReapSweepTakesOnlyTheExpiredPrefix) {
+  // 40 leases with staggered deadlines; a sweep between two deadlines must
+  // reclaim exactly the expired ones — the sorted index makes the sweep
+  // cost proportional to that prefix, but the reclaimed set has to match
+  // the old full-walk semantics exactly.
+  Simulation sim;
+  BufferManager m(1000);
+  m.set_observer(&sim, "test");
+  m.set_reap_period(SimTime::millis(100));
+  for (MhId i = 0; i < 40; ++i) {
+    m.allocate(BufferManager::key(i, ArRole::kNar), 1,
+               SimTime::seconds(1 + i));
+  }
+  sim.run_until(SimTime::millis(10'500));  // deadlines 1..10 s are past due
+  EXPECT_EQ(m.total_reaped(), 10u);
+  EXPECT_EQ(m.active_leases(), 30u);
+  for (MhId i = 0; i < 40; ++i) {
+    EXPECT_EQ(m.has_lease(BufferManager::key(i, ArRole::kNar)), i >= 10)
+        << "mh " << i;
+  }
+  m.audit_invariants();
+}
+
+TEST(BufferManager, ReapHandlerRunsInLeaseKeyOrder) {
+  // Deadlines deliberately inverted relative to keys: when one sweep
+  // collects several expired leases, the handler must still see them in
+  // ascending LeaseKey order (the order the deadline-map walk produced
+  // before the sorted index existed) so reap-driven teardown output stays
+  // byte-stable.
+  Simulation sim;
+  BufferManager m(1000);
+  m.set_observer(&sim, "test");
+  m.set_reap_period(SimTime::millis(100));
+  std::vector<MhId> reaped;
+  m.set_reap_handler([&](BufferManager::LeaseKey k) {
+    reaped.push_back(BufferManager::lease_mh(k));
+  });
+  // All five deadlines fall between the sweeps at 900 ms and 1000 ms, so a
+  // single sweep collects all of them at once.
+  for (MhId i = 0; i < 5; ++i) {
+    m.allocate(BufferManager::key(i, ArRole::kNar), 1,
+               SimTime::millis(950 - 10 * i));
+  }
+  sim.run_until(SimTime::seconds(2));
+  EXPECT_EQ(reaped, (std::vector<MhId>{0, 1, 2, 3, 4}));
+}
+
+TEST(BufferManager, DeadlineIndexSurvivesChurn) {
+  // allocate / renew / re-allocate / renew-to-zero / release churn, with
+  // the level-2 invariant sweep (index mirrors deadlines_) after each step.
+  Simulation sim;
+  BufferManager m(100);
+  m.set_observer(&sim, "test");
+  m.set_reap_period(SimTime::millis(100));
+  const auto a = BufferManager::key(1, ArRole::kPar);
+  const auto b = BufferManager::key(2, ArRole::kNar);
+  m.allocate(a, 5, SimTime::seconds(1));
+  m.allocate(b, 5, SimTime::seconds(1));  // same deadline as `a`
+  m.audit_invariants();
+  EXPECT_TRUE(m.renew(a, SimTime::seconds(4)));
+  m.audit_invariants();
+  EXPECT_TRUE(m.renew(b, SimTime()));  // off the watch list
+  m.audit_invariants();
+  EXPECT_EQ(m.allocate(a, 7, SimTime::seconds(5)), 7u);  // replaces lease
+  m.audit_invariants();
+  m.release(b);
+  m.audit_invariants();
+  sim.run_until(SimTime::seconds(6));
+  EXPECT_EQ(m.total_reaped(), 1u);  // only `a`; `b` left the list cleanly
+  EXPECT_EQ(m.available(), 100u);
+  m.audit_invariants();
+}
+
 TEST(BufferManager, ReleasedLeaseDiscardsContents) {
   Simulation sim;
   BufferManager m(10);

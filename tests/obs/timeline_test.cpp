@@ -152,6 +152,38 @@ TEST(HandoverTimeline, FormatTimelineIsOneDeterministicLinePerRecord) {
             "T 2.500000 mh 100 a1 resolved @predictive\n");
 }
 
+TEST(HandoverTimeline, RecordCapBoundsTheLogButNotTheAttempts) {
+  HandoverTimeline tl;
+  tl.set_record_cap(4);
+  for (int i = 0; i < 20; ++i) {
+    tl.record(SimTime::millis(100 * (i + 1)), 7, HoEventKind::kL2Trigger,
+              "mh7");
+    tl.resolve(SimTime::millis(100 * (i + 1) + 50), 7,
+               HandoverOutcome::kPredictive, HandoverCause::kNone);
+  }
+  // 40 records total; the log trims to the cap amortized (grows to 2*cap,
+  // then drops the oldest half), so at most 2*cap survive and everything
+  // else is accounted as dropped.
+  EXPECT_LE(tl.records().size(), 8u);
+  EXPECT_GE(tl.records().size(), 4u);
+  EXPECT_EQ(tl.records().size() + tl.dropped_records(), 40u);
+  // Survivors are the most recent records, still in order.
+  EXPECT_EQ(tl.records().back().kind, HoEventKind::kResolved);
+  for (std::size_t i = 1; i < tl.records().size(); ++i)
+    EXPECT_LE(tl.records()[i - 1].at, tl.records()[i].at);
+  // Derived attempts are untouched by the trim.
+  EXPECT_EQ(tl.attempts().size(), 20u);
+  EXPECT_EQ(tl.attempts().back().ordinal, 20u);
+}
+
+TEST(HandoverTimeline, ZeroRecordCapKeepsEverything) {
+  HandoverTimeline tl;
+  for (int i = 0; i < 100; ++i)
+    tl.record(SimTime::millis(i), 1, HoEventKind::kFbuSent, "mh1");
+  EXPECT_EQ(tl.records().size(), 100u);
+  EXPECT_EQ(tl.dropped_records(), 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Full-stack tests: the agents drive the timeline through a real handover.
 // ---------------------------------------------------------------------------

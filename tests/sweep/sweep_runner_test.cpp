@@ -94,12 +94,17 @@ std::string metrics_report_json(int jobs) {
   for (auto& r : results) per_run.push_back(std::move(r.second));
   runner.attach_metrics(std::move(per_run));
   SweepReport rep = runner.report();
-  // Wall-clock timings differ run to run by nature, and the jobs field
-  // records the worker count by design; normalize both so the comparison
-  // isolates the deterministic payload.
+  // Wall-clock timings and peak RSS are process wall-state that differs
+  // run to run by nature, and the jobs field records the worker count by
+  // design; normalize them so the comparison isolates the deterministic
+  // payload.
   rep.total_wall_ms = 0;
   rep.jobs = 1;
-  for (auto& run : rep.runs) run.wall_ms = 0;
+  rep.peak_rss_mb = 0;
+  for (auto& run : rep.runs) {
+    run.wall_ms = 0;
+    run.peak_rss_mb = 0;
+  }
   return report_to_json("metrics_determinism", rep);
 }
 
@@ -187,8 +192,8 @@ TEST(SweepJson, ReportSerializesWithEscaping) {
   SweepReport rep;
   rep.jobs = 4;
   rep.total_wall_ms = 12.3456;
-  rep.runs.push_back({0, "loss=0% \"quoted\"\n", 1.5});
-  rep.runs.push_back({1, "plain", 2.25});
+  rep.runs.push_back({0, "loss=0% \"quoted\"\n", 1.5, 0.0, {}});
+  rep.runs.push_back({1, "plain", 2.25, 0.0, {}});
   const std::string json = report_to_json("my_bench", rep);
   EXPECT_NE(json.find("\"bench\": \"my_bench\""), std::string::npos);
   EXPECT_NE(json.find("\"jobs\": 4"), std::string::npos);
@@ -212,6 +217,24 @@ TEST(SweepCli, ParsesJobsJsonAndSmoke) {
   const ParseResult r2 = parse_args(2, argv2);
   EXPECT_TRUE(r2.error.empty()) << r2.error;
   EXPECT_EQ(r2.options.jobs, 4);
+}
+
+TEST(SweepCli, ParsesRssBudget) {
+  const char* argv[] = {"bench", "--rss-budget-mb", "2048"};
+  const ParseResult r = parse_args(3, argv);
+  EXPECT_TRUE(r.error.empty()) << r.error;
+  EXPECT_EQ(r.options.rss_budget_mb, 2048);
+
+  // Zero disables the gate; omitting the flag leaves the bench default.
+  const char* zero[] = {"bench", "--rss-budget-mb", "0"};
+  EXPECT_EQ(parse_args(3, zero).options.rss_budget_mb, 0);
+  const char* absent[] = {"bench"};
+  EXPECT_EQ(parse_args(1, absent).options.rss_budget_mb, -1);
+
+  const char* neg[] = {"bench", "--rss-budget-mb", "-5"};
+  EXPECT_FALSE(parse_args(3, neg).error.empty());
+  const char* junk[] = {"bench", "--rss-budget-mb", "lots"};
+  EXPECT_FALSE(parse_args(3, junk).error.empty());
 }
 
 TEST(SweepCli, RejectsBadInput) {

@@ -84,6 +84,26 @@ TEST(WaypointMobility, EmptyLegsStayAtStart) {
   EXPECT_EQ(m.position(10_s), (Vec2{3, 4}));
 }
 
+TEST(WaypointMobility, ManyLegsSampleExactlyAtSegmentBoundaries) {
+  // A long walk exercises the binary search over segments: samples on,
+  // just before, and just after every boundary must land on the same
+  // positions the linear scan produced (a segment owns [start, end)).
+  std::vector<WaypointMobility::Leg> legs;
+  for (int i = 1; i <= 64; ++i) {
+    legs.push_back({{static_cast<double>(10 * i), 0}, 10.0});  // 1 s per leg
+  }
+  WaypointMobility m({0, 0}, legs);
+  for (int i = 1; i <= 64; ++i) {
+    const SimTime boundary = SimTime::seconds(i);
+    EXPECT_NEAR(m.position(boundary).x, 10.0 * i, 1e-9) << "leg " << i;
+    EXPECT_NEAR(m.position(boundary - 1_ms).x, 10.0 * i - 0.01, 1e-9);
+    if (i < 64) {
+      EXPECT_NEAR(m.position(boundary + 1_ms).x, 10.0 * i + 0.01, 1e-9);
+    }
+  }
+  EXPECT_EQ(m.position(1000_s), (Vec2{640, 0}));  // parked past the end
+}
+
 TEST(WaypointMobility, StartOffsetShiftsSchedule) {
   WaypointMobility m({0, 0}, {{{10, 0}, 10.0}}, 2_s);
   EXPECT_EQ(m.position(1_s), (Vec2{0, 0}));

@@ -209,6 +209,98 @@ TEST_F(WlanFixture, RouterAdvertisementsArriveAtInterval) {
   EXPECT_LE(adv_count, 11);
 }
 
+TEST_F(WlanFixture, ZeroHysteresisFlapsInOverlappingExitMargins) {
+  // Host parked exactly between two APs, inside both exit margins
+  // (d = 111, radius 112, margin 2). With the historical nearest-wins rule
+  // each evaluation hands off to the other AP, forever.
+  WlanManager wlan(sim, cfg);
+  wlan.add_ap(ar1, {0, 0}, 112, nullptr);
+  wlan.add_ap(ar2, {222, 0}, 112, nullptr);
+  wlan.add_mh(mh, std::make_unique<StaticPosition>(Vec2{111, 0}), &cb);
+  wlan.start();
+  sim.run_until(2_s);
+  EXPECT_GT(wlan.handoffs_started(), 3u);
+}
+
+TEST_F(WlanFixture, HysteresisEndsMarginFlapping) {
+  // Same geometry with hysteresis: the twin AP is not strictly closer, so
+  // the host stays attached where it first associated.
+  cfg.handoff_hysteresis_m = 4.0;
+  WlanManager wlan(sim, cfg);
+  AccessPoint& a = wlan.add_ap(ar1, {0, 0}, 112, nullptr);
+  wlan.add_ap(ar2, {222, 0}, 112, nullptr);
+  wlan.add_mh(mh, std::make_unique<StaticPosition>(Vec2{111, 0}), &cb);
+  wlan.start();
+  sim.run_until(5_s);
+  EXPECT_EQ(wlan.handoffs_started(), 0u);
+  EXPECT_EQ(wlan.attached_ap(mh.id()), a.id());
+}
+
+TEST_F(WlanFixture, HysteresisStillAllowsStrictlyCloserCandidate) {
+  // Gliding out of ar1's cell: when the margin is reached (d > 110), ar2
+  // is already ~69 m away — 69 + 4 < 111, so the handoff proceeds and then
+  // sticks (the host keeps moving deeper into ar2's cell).
+  cfg.handoff_hysteresis_m = 4.0;
+  WlanManager wlan(sim, cfg);
+  wlan.add_ap(ar1, {0, 0}, 112, nullptr);
+  AccessPoint& b = wlan.add_ap(ar2, {180, 0}, 112, nullptr);
+  wlan.add_mh(mh, std::make_unique<LinearMobility>(Vec2{80, 0}, Vec2{10, 0}),
+              &cb);
+  wlan.start();
+  sim.run_until(5_s);
+  EXPECT_EQ(wlan.handoffs_started(), 1u);
+  EXPECT_EQ(wlan.attached_ap(mh.id()), b.id());
+}
+
+TEST_F(WlanFixture, HardDetachIgnoresHysteresis) {
+  // Out of ar1's coverage entirely: any covering AP must win even when the
+  // improvement is below the hysteresis margin.
+  cfg.handoff_hysteresis_m = 50.0;
+  WlanManager wlan(sim, cfg);
+  wlan.add_ap(ar1, {0, 0}, 112, nullptr);
+  AccessPoint& b = wlan.add_ap(ar2, {222, 0}, 112, nullptr);
+  // Attach to ar1 at 100 m, then glide past its 112 m edge (~0.93 s); in
+  // the margin zone the 50 m hysteresis blocks the soft handoff, so only
+  // the hard detach switches the host over.
+  wlan.add_mh(mh, std::make_unique<LinearMobility>(Vec2{100, 0}, Vec2{13, 0}),
+              &cb);
+  wlan.start();
+  sim.run_until(2_s);
+  EXPECT_EQ(wlan.handoffs_started(), 1u);
+  EXPECT_EQ(wlan.attached_ap(mh.id()), b.id());
+}
+
+TEST_F(WlanFixture, SpatialIndexFindsApsAcrossTheWholeField) {
+  // A 30-cell row: association, triggers and lookup must behave the same
+  // no matter how far down the field the host sits (the candidate search
+  // only inspects the 3x3 cell neighbourhood around it).
+  WlanManager wlan(sim, cfg);
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 30; ++i) {
+    ids.push_back(wlan.add_ap(ar1, {i * 250.0, 0}, 112, nullptr).id());
+  }
+  wlan.add_mh(mh, std::make_unique<StaticPosition>(Vec2{25 * 250.0 + 10, 0}),
+              &cb);
+  wlan.start();
+  sim.run_until(1_s);
+  EXPECT_EQ(wlan.attached_ap(mh.id()), ids[25]);
+  EXPECT_NE(wlan.ap(ids[29]), nullptr);
+  EXPECT_EQ(wlan.ap(ids[29])->position().x, 29 * 250.0);
+  EXPECT_EQ(wlan.ap(99999u), nullptr);
+}
+
+TEST_F(WlanFixture, CoverageAcrossGridCellBoundaryStillAttaches) {
+  // The AP's center hashes into cell 0 while the host sits in cell -1;
+  // coverage reaches across the boundary and the neighbourhood walk must
+  // find it.
+  WlanManager wlan(sim, cfg);
+  AccessPoint& a = wlan.add_ap(ar1, {0, 0}, 112, nullptr);
+  wlan.add_mh(mh, std::make_unique<StaticPosition>(Vec2{-111, 0}), &cb);
+  wlan.start();
+  sim.run_until(1_s);
+  EXPECT_EQ(wlan.attached_ap(mh.id()), a.id());
+}
+
 TEST_F(WlanFixture, PositionIntrospection) {
   WlanManager wlan(sim, cfg);
   wlan.add_ap(ar1, {0, 0}, 112, nullptr);

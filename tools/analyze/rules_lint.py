@@ -11,8 +11,9 @@ a justification and goes stale loudly when the code stops matching.
 from __future__ import annotations
 
 import re
+import subprocess
 
-from registry import Finding, Rule
+from registry import Finding, Rule, line_fingerprint
 
 
 def _is_digit_separator(text: str, i: int) -> bool:
@@ -206,6 +207,46 @@ def check_direct_stdio(ctx, path):
                      "report through Logger or PacketTrace", ctx)
 
 
+# -- tracked-build-tree ------------------------------------------------------
+#
+# Build trees must never be committed (PR 7 accidentally tracked 795
+# build-asan/* files). The guard asks git for the tracked file list and
+# fails on anything that lives under a build-tree-shaped top-level
+# directory, so `cmake -B build-foo` output can't silently ride along in a
+# commit again. Runs once per analysis (check_program hook); silently does
+# nothing when the root is not a git work tree (fixture corpora).
+
+_BUILD_TREE_RE = re.compile(r"^(?:build[^/]*|out|Testing)/")
+
+
+def tracked_build_tree_paths(root):
+    """Tracked paths under a build-tree directory, [] when not a repo."""
+    try:
+        ls = subprocess.run(
+            ["git", "-C", str(root), "ls-files"],
+            capture_output=True, text=True, timeout=60, check=False)
+    except (OSError, subprocess.TimeoutExpired):
+        return []
+    if ls.returncode != 0:
+        return []
+    return [p for p in ls.stdout.splitlines() if _BUILD_TREE_RE.match(p)]
+
+
+def check_tracked_build_tree(ctx, _program):
+    offenders = tracked_build_tree_paths(ctx.root)
+    # One finding per offending tree, not per file: 795 identical findings
+    # help nobody, and the baseline should never be able to absorb them
+    # one-by-one.
+    trees = sorted({p.split("/", 1)[0] for p in offenders})
+    for tree in trees:
+        count = sum(1 for p in offenders if p.split("/", 1)[0] == tree)
+        yield Finding(
+            "tracked-build-tree", "error", tree + "/", 1,
+            f"{count} build-tree file(s) tracked by git — "
+            f"`git rm -r --cached {tree}` and check .gitignore",
+            line_fingerprint(tree))
+
+
 def register(registry):
     registry.add(Rule("pragma-once", "error",
                       "every header starts with #pragma once",
@@ -231,3 +272,6 @@ def register(registry):
     registry.add(Rule("direct-stdio", "error",
                       "src/ reports through Logger/PacketTrace, not stdio",
                       check_file=check_direct_stdio))
+    registry.add(Rule("tracked-build-tree", "error",
+                      "no build-tree files tracked by git",
+                      check_program=check_tracked_build_tree))
