@@ -34,9 +34,11 @@ void Network::compute_routes() {
   for (auto& l : links_) {
     const std::size_t ia = index.at(&l->a());
     const std::size_t ib = index.at(&l->b());
-    // Cost: propagation delay in ns plus one "hop" unit so zero-delay links
-    // still cost something and route lengths stay finite and comparable.
-    const std::int64_t cab = l->a_to_b().delay().ns() + 1000;
+    // Cost: propagation delay plus one microsecond "hop" charge so
+    // zero-delay links still cost something and route lengths stay finite
+    // and comparable.
+    const std::int64_t cab =
+        (l->a_to_b().delay() + SimTime::micros(1)).ns();
     adj[ia].push_back({ib, &l->a_to_b(), cab});
     adj[ib].push_back({ia, &l->b_to_a(), cab});
   }

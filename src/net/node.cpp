@@ -137,7 +137,9 @@ void Node::deliver_local(PacketPtr p) {
       e.kind = TraceKind::kDiscard;
       sim_.trace().emit(e);
     }
-    return;
+    // The kDiscard emit above is the terminal event; the packet dies in
+    // place (the snapshot `e`, not the packet, is what's traced).
+    return;  // NOLINT-FHMIP(FLOW-01)
   }
   auto it = ports_.find(p->dst_port);
   if (it != ports_.end()) {

@@ -5,7 +5,10 @@ namespace fhmip {
 UdpAgent::UdpAgent(Node& node, std::uint16_t port)
     : node_(node), port_(port) {
   node_.register_port(port_, [this](PacketPtr p) {
-    if (on_receive_) on_receive_(std::move(p));
+    // Post-terminal: Node::deliver_local already recorded kLocalDeliver
+    // before invoking the port callback; with no receiver attached the
+    // packet may die here without further accounting.
+    if (on_receive_) on_receive_(std::move(p));  // NOLINT-FHMIP(FLOW-01)
   });
 }
 

@@ -184,6 +184,210 @@ class TestCallGraphRules(FixtureRoot):
         self.assert_findings("PROTO-01", p, [26], [66], extra=ROOTS)
 
 
+class TestDataflowRules(FixtureRoot):
+    def test_flow01_path_shapes(self):
+        # double_terminal's second move (16), branch_divergent's merge leak
+        # (the if line, 23), overwrite (31), and the loop-carried double on
+        # the unrolled second iteration (39). move_out, accounted,
+        # null_checked, and the drop sink stay silent; the justified leak
+        # is NOLINTed at the merge line.
+        p = self.stage("flow01.hpp")
+        self.assert_findings("FLOW-01", p, [16, 23, 31, 39], [62],
+                             extra=ROOTS)
+
+    def test_unit01_shapes(self):
+        # U1 mixed views (7), U2 raw factor both operand orders (10, 11),
+        # U3 raw literal on .ns() (14), U4 float into an integer named
+        # constructor (17); the justified conversion is NOLINTed (20).
+        p = self.stage("unit01.hpp")
+        self.assert_findings("UNIT-01", p, [7, 10, 11, 14, 17], [20],
+                             extra=ROOTS)
+
+    def test_unit01_exempt_file_is_silent(self):
+        # The same violations staged under an exempt_files path (the
+        # SimTime-implementation carve-out) produce nothing.
+        p = self.stage("unit01.hpp", "unit01_exempt.hpp")
+        self.assert_findings("UNIT-01", p, [], [], extra=ROOTS)
+
+
+PROTO02 = FIXTURES / "proto02"
+
+
+class TestProtocolConformance(FixtureRoot):
+    """PROTO-02 against the scratch ping/pong tree: clean as shipped, and
+    provably failing when one leg of the reliability quad is removed."""
+
+    def stage_tree(self):
+        shutil.copytree(PROTO02 / "src", self.root / "src",
+                        dirs_exist_ok=True)
+        shutil.copytree(PROTO02 / "tests", self.root / "tests")
+        shutil.copy(PROTO02 / "protocol.toml", self.root / "protocol.toml")
+
+    def run_proto(self):
+        return run_analyze(self.root, "--no-baseline",
+                           "--rules", "PROTO-02",
+                           "--protocol", str(self.root / "protocol.toml"))
+
+    def mutate(self, rel, old, new):
+        f = self.root / rel
+        text = f.read_text()
+        self.assertIn(old, text, f"fixture drifted: {old!r} not in {rel}")
+        f.write_text(text.replace(old, new))
+
+    def test_conforming_tree_is_clean(self):
+        self.stage_tree()
+        code, out, findings = self.run_proto()
+        self.assertEqual(code, 0, out)
+        self.assertEqual([f for f in findings if not f[3]], [], out)
+
+    def test_missing_retransmit_guard_fails(self):
+        self.stage_tree()
+        self.mutate("src/agent.cpp", "  arm();\n", "")
+        code, out, findings = self.run_proto()
+        self.assertEqual(code, 1, out)
+        self.assertIn(("PROTO-02", "src/messages.hpp", 5, False),
+                      findings, out)
+        self.assertIn("retransmission-timer guard", out)
+
+    def test_missing_dedup_state_fails(self):
+        self.stage_tree()
+        for rel in ("src/agent.hpp", "src/agent.cpp"):
+            self.mutate(rel, "dup_ping_", "dup_gone_")
+        code, out, findings = self.run_proto()
+        self.assertEqual(code, 1, out)
+        self.assertIn(("PROTO-02", "src/messages.hpp", 5, False),
+                      findings, out)
+        self.assertIn("not provably duplicate-safe", out)
+
+    def test_missing_fault_matrix_row_fails(self):
+        self.stage_tree()
+        self.mutate("tests/fault_matrix.cpp", '"Ping"', '"PingRetired"')
+        code, out, findings = self.run_proto()
+        self.assertEqual(code, 1, out)
+        self.assertIn(("PROTO-02", "src/messages.hpp", 5, False),
+                      findings, out)
+        self.assertIn("fault-matrix row", out)
+
+    def test_missing_receiver_fails(self):
+        self.stage_tree()
+        self.mutate("src/agent.cpp",
+                    "std::get_if<PongMsg>(&m) != nullptr", "false")
+        code, out, findings = self.run_proto()
+        self.assertEqual(code, 1, out)
+        self.assertIn(("PROTO-02", "src/messages.hpp", 6, False),
+                      findings, out)
+        self.assertIn("has no receiver", out)
+
+    def test_uncatalogued_alternative_fails(self):
+        self.stage_tree()
+        self.mutate("src/messages.hpp", "struct LegacyMsg {};",
+                    "struct LegacyMsg {};\nstruct RogueMsg {};")
+        self.mutate("src/messages.hpp", "LegacyMsg>;",
+                    "LegacyMsg, RogueMsg>;")
+        code, out, findings = self.run_proto()
+        self.assertEqual(code, 1, out)
+        self.assertIn(("PROTO-02", "src/messages.hpp", 8, False),
+                      findings, out)
+        self.assertIn("not catalogued", out)
+
+    def test_absent_catalogue_skips(self):
+        self.stage_tree()
+        (self.root / "protocol.toml").unlink()
+        code, out, findings = self.run_proto()
+        self.assertEqual(code, 0, out)
+        self.assertEqual(findings, [], out)
+
+
+class TestTierOutput(FixtureRoot):
+    def test_json_per_tier_splits_by_tier(self):
+        self.stage("flow01.hpp")
+        self.stage("lint_legacy.hpp")
+        outdir = self.root / "sarif"
+        run_analyze(self.root, "--no-baseline",
+                    "--json-per-tier", str(outdir), *ROOTS)
+        flow = json.loads((outdir / "analyze-dataflow.sarif").read_text())
+        lint = json.loads((outdir / "analyze-lint.sarif").read_text())
+        flow_rules = {r["ruleId"] for r in flow["runs"][0]["results"]}
+        lint_rules = {r["ruleId"] for r in lint["runs"][0]["results"]}
+        self.assertIn("FLOW-01", flow_rules)
+        self.assertIn("banned-random", lint_rules)
+        self.assertNotIn("banned-random", flow_rules)
+        self.assertNotIn("FLOW-01", lint_rules)
+
+    def test_tier_filter_selects_dataflow_rules(self):
+        self.stage("flow01.hpp")
+        self.stage("lint_legacy.hpp")
+        code, out, findings = run_analyze(self.root, "--no-baseline",
+                                          "--tier", "dataflow", *ROOTS)
+        self.assertEqual(code, 1, out)
+        rules = {r for r, _, _, s in findings if not s}
+        self.assertIn("FLOW-01", rules)
+        self.assertNotIn("banned-random", rules)
+
+
+class TestFixBaseline(FixtureRoot):
+    def write_bl(self, bl):
+        subprocess.run(
+            [sys.executable, str(ANALYZE), str(self.root), "src",
+             "--write-baseline", "--baseline", str(bl)],
+            capture_output=True, text=True, check=True)
+
+    def fix_bl(self, bl):
+        return subprocess.run(
+            [sys.executable, str(ANALYZE), str(self.root), "src",
+             "--fix-baseline", "--baseline", str(bl)],
+            capture_output=True, text=True)
+
+    def test_rewrite_preserves_justifications(self):
+        src = self.root / "src" / "fixme.hpp"
+        src.write_text("#pragma once\nint jitter() { return rand(); }\n")
+        bl = self.root / "baseline.txt"
+        self.write_bl(bl)
+        bl.write_text(bl.read_text().replace(
+            "TODO: justify or fix", "reviewed: fixture scratch jitter"))
+        code, out, _ = run_analyze(self.root, "--baseline", str(bl))
+        self.assertEqual(code, 0, out)
+
+        # The flagged line changes shape: the fingerprint goes stale while
+        # the finding (same rule, same file) persists. --fix-baseline must
+        # rewrite the fingerprint in place and keep the justification.
+        src.write_text("#pragma once\nint jitter() { return rand() % 7; }\n")
+        code, out, _ = run_analyze(self.root, "--baseline", str(bl))
+        self.assertEqual(code, 1, out)
+        self.assertIn("stale", out)
+
+        proc = self.fix_bl(bl)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("1 fingerprint(s) rewritten", proc.stdout)
+        text = bl.read_text()
+        self.assertIn("reviewed: fixture scratch jitter", text)
+        self.assertNotIn("TODO", text)
+        code, out, _ = run_analyze(self.root, "--baseline", str(bl))
+        self.assertEqual(code, 0, out)
+
+    def test_deletes_dead_entries_and_appends_new_findings(self):
+        a = self.root / "src" / "a.hpp"
+        b = self.root / "src" / "b.hpp"
+        a.write_text("#pragma once\nint one() { return rand(); }\n")
+        bl = self.root / "baseline.txt"
+        self.write_bl(bl)
+        bl.write_text(bl.read_text().replace(
+            "TODO: justify or fix", "old entry for a"))
+        # a.hpp's violation disappears entirely; b.hpp gains a new one.
+        a.write_text("#pragma once\nint one() { return 1; }\n")
+        b.write_text("#pragma once\nint two() { return rand(); }\n")
+        proc = self.fix_bl(bl)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        text = bl.read_text()
+        self.assertNotIn("old entry for a", text)
+        self.assertNotIn("src/a.hpp", text)
+        self.assertIn("src/b.hpp", text)
+        self.assertIn("new findings", text)
+        self.assertIn("TODO: justify or fix", text)
+        code, out, _ = run_analyze(self.root, "--baseline", str(bl))
+        self.assertEqual(code, 0, out)
+
+
 class TestTokenCacheIdentity(FixtureRoot):
     def test_cached_and_cold_runs_produce_identical_findings(self):
         self.stage("perf01.hpp")
@@ -209,6 +413,23 @@ class TestTokenCacheIdentity(FixtureRoot):
                             "--rules", "CONC-01", *ROOTS)
         shifted = [(r, pp, l + 1, s) for r, pp, l, s in before[2]]
         self.assertEqual(sorted(shifted), sorted(after[2]), after[1])
+
+    def test_spec_edit_starts_fresh_cache_version(self):
+        # The cache directory is versioned by a digest over the analyzer
+        # sources and spec files; editing a spec passed on the command
+        # line must land in a fresh version dir and prune the old one.
+        self.stage("conc01.hpp")
+        myroots = self.root / "myroots.toml"
+        shutil.copy(FIXTURES / "roots_fixture.toml", myroots)
+        run_analyze(self.root, "--no-baseline", "--roots", str(myroots))
+        cache_root = self.root / "build" / "analyze_cache"
+        first = {d.name for d in cache_root.glob("v*")}
+        self.assertEqual(len(first), 1)
+        myroots.write_text(myroots.read_text() + "\n# touched\n")
+        run_analyze(self.root, "--no-baseline", "--roots", str(myroots))
+        second = {d.name for d in cache_root.glob("v*")}
+        self.assertEqual(len(second), 1, "superseded version not pruned")
+        self.assertNotEqual(first, second)
 
 
 class TestNodeScratchRedetection(FixtureRoot):

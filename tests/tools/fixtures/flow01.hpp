@@ -1,0 +1,67 @@
+// FLOW-01 fixture: packet-obligation dataflow shapes. The analyzer test
+// asserts exact rule/line pairs; keep edits line-stable.
+#pragma once
+
+struct Flow01 {
+  // Clean: created once, moved out on the only path.
+  void move_out() {
+    PacketPtr p = make_packet();
+    consume(std::move(p));
+  }
+
+  // Double terminal: the second move re-accounts an already-moved packet.
+  void double_terminal() {
+    PacketPtr p = make_packet();
+    consume(std::move(p));
+    consume(std::move(p));
+  }
+
+  // Branch-divergent: consumed only on the fast path; the fall-through
+  // path reaches the merge still owning the packet.
+  void branch_divergent(bool fast) {
+    PacketPtr p = make_packet();
+    if (fast) {
+      consume(std::move(p));
+    }
+  }
+
+  // Overwrite: the first packet is destroyed silently by the second.
+  void overwrite() {
+    PacketPtr p = make_packet();
+    p = make_packet();
+    consume(std::move(p));
+  }
+
+  // Loop-carried: the move runs again on the second unrolled iteration.
+  void loop_carried() {
+    PacketPtr p = make_packet();
+    do {
+      consume(std::move(p));
+    } while (again());
+  }
+
+  // Accounted in place: record_drop names the packet, so it may die at
+  // scope end without a move (the ledger idiom).
+  void accounted() {
+    PacketPtr p = make_packet();
+    record_drop(p);
+  }
+
+  // Null-refined: the fall-through path only exists when the packet is
+  // empty, so no path leaks.
+  void null_checked() {
+    PacketPtr p = maybe_packet();
+    if (p != nullptr) {
+      consume(std::move(p));
+    }
+  }
+
+  // Justified: same leak shape as branch_divergent, suppressed inline.
+  void justified(bool fast) {
+    PacketPtr p = make_packet();
+    if (fast) consume(std::move(p));  // NOLINT-FHMIP(FLOW-01) scratch probe
+  }
+};
+
+// Sink function: its by-value owning parameter is allowed to die here.
+inline void drop(PacketPtr p) { ++drop_count; }

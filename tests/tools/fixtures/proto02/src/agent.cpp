@@ -1,0 +1,23 @@
+#include "agent.hpp"
+
+void send(const MessageVariant& m);
+
+void Prober::arm() {}
+
+void Prober::probe() {
+  PingMsg ping{1};
+  send(MessageVariant{ping});
+  arm();
+}
+
+void Prober::handle_pong(const MessageVariant& m) {
+  if (std::get_if<PongMsg>(&m) != nullptr) ++pong_seen_;
+}
+
+void Echoer::handle_ping(const MessageVariant& m) {
+  if (std::get_if<PingMsg>(&m) != nullptr) {
+    ++dup_ping_;
+    PongMsg pong{1};
+    send(MessageVariant{pong});
+  }
+}

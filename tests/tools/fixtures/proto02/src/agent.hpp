@@ -1,0 +1,23 @@
+// PROTO-02 fixture agents: a guarded requester and a dedup'd responder.
+#pragma once
+#include "messages.hpp"
+
+// Requester: sends Ping under a retransmission timer, counts Pong replies.
+class Prober {
+ public:
+  void arm();
+  void probe();
+  void handle_pong(const MessageVariant& m);
+
+ private:
+  unsigned pong_seen_ = 0;
+};
+
+// Responder: answers Ping, suppressing duplicates via dup_ping_.
+class Echoer {
+ public:
+  void handle_ping(const MessageVariant& m);
+
+ private:
+  unsigned dup_ping_ = 0;
+};

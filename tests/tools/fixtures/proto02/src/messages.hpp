@@ -1,0 +1,10 @@
+// PROTO-02 fixture variant header (scratch control-plane protocol).
+#pragma once
+#include <variant>
+
+struct PingMsg { unsigned seq = 0; };
+struct PongMsg { unsigned seq = 0; };
+struct LegacyMsg {};
+
+using MessageVariant =
+    std::variant<std::monostate, PingMsg, PongMsg, LegacyMsg>;

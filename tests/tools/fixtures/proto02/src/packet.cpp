@@ -1,0 +1,10 @@
+// PROTO-02 fixture wire-name renderer.
+#include "messages.hpp"
+
+const char* message_name(int kind) {
+  switch (kind) {
+    case 1: return "Ping";
+    case 2: return "Pong";
+  }
+  return "?";
+}

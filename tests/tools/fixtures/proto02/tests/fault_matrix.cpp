@@ -1,0 +1,2 @@
+// PROTO-02 fixture single-fault matrix: one row label per wire name.
+const char* kMatrixRows[] = {"Ping", "Pong"};

@@ -1,0 +1,24 @@
+// UNIT-01 fixture: raw-literal unit conversions and unit mixing in
+// SimTime arithmetic. The analyzer test asserts exact lines.
+#pragma once
+
+struct Unit01 {
+  // U1: two different unit views joined additively.
+  long mixed(SimTime a, SimTime b) { return a.ns() + b.sec(); }
+
+  // U2: view scaled by a power-of-10 literal (both operand orders).
+  long scaled(SimTime t) { return t.ns() / 1000000; }
+  long scaled_left(SimTime t) { return 1000 * t.millis_f(); }
+
+  // U3: raw literal added to a nanosecond count.
+  long raw_add(SimTime d) { return d.ns() + 1000; }
+
+  // U4: float literal into an integer named constructor.
+  SimTime truncated() { return SimTime::millis(0.5); }
+
+  // Suppressed: deliberate conversion, justified at the site.
+  long ok(SimTime t) { return t.ns() / 1000; }  // NOLINT-FHMIP(UNIT-01) x
+
+  // Silent: non-power-of-10 factor and same-unit arithmetic.
+  long clean(SimTime t, SimTime u) { return t.sec() * 3 + u.sec(); }
+};

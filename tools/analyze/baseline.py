@@ -73,6 +73,91 @@ class Baseline:
         return [e for e in self.entries if not e.used]
 
 
+def fix_baseline(path: Path, findings) -> dict:
+    """Regenerates the baseline in place after a refactor, preserving the
+    hand-written structure (section comments, entry order) and every
+    existing justification:
+
+      * entries matching a current finding are kept verbatim;
+      * a stale entry whose rule+file still has an uncovered finding gets
+        its fingerprint rewritten in place (the code merely changed shape)
+        — justification kept, anchor comment refreshed;
+      * stale entries with nothing left to cover are deleted, along with
+        their auto-generated `# L<n>:` anchor comments;
+      * findings no existing entry covers are appended at the end with a
+        TODO justification for the committer to fill in.
+
+    `findings` must exclude inline-NOLINT-suppressed ones. Returns counts
+    {kept, rewritten, deleted, added} for the caller to report."""
+    bl = Baseline.load(path)
+    for f in findings:
+        bl.match(f)
+    covered = {(e.rule_id, e.path, e.fingerprint)
+               for e in bl.entries if e.used}
+    uncovered: dict = {}
+    for f in findings:
+        key = (f.rule_id, f.path, f.fingerprint)
+        if key in covered or (f.rule_id, f.path, "*") in covered:
+            continue
+        uncovered.setdefault(key, f)
+    pending = sorted(uncovered.values(),
+                     key=lambda f: (f.rule_id, f.path, f.line))
+
+    rewrites: dict[int, object] = {}  # baseline lineno -> new finding
+    deletes: set[int] = set()
+    for e in sorted((e for e in bl.entries if not e.used),
+                    key=lambda e: e.lineno):
+        take = next((f for f in pending
+                     if f.rule_id == e.rule_id and f.path == e.path), None)
+        if take is not None:
+            pending.remove(take)
+            rewrites[e.lineno] = take
+        else:
+            deletes.add(e.lineno)
+
+    src = path.read_text(encoding="utf-8").splitlines() \
+        if path.exists() else []
+    out = []
+    for lineno, raw in enumerate(src, 1):
+        if lineno in deletes:
+            # Drop the entry and its auto-generated anchor comment(s).
+            while out and out[-1].lstrip().startswith("# L"):
+                out.pop()
+            continue
+        if lineno in rewrites:
+            e = next(x for x in bl.entries if x.lineno == lineno)
+            f = rewrites[lineno]
+            if out and out[-1].lstrip().startswith("# L"):
+                out[-1] = f"# L{f.line}: {f.message}"
+            out.append(f"{e.rule_id}  {e.path}  {f.fingerprint}  "
+                       f"{e.justification}")
+            continue
+        out.append(raw)
+    # Collapse blank runs left by deletions.
+    collapsed = []
+    for line in out:
+        if not line.strip() and collapsed and not collapsed[-1].strip():
+            continue
+        collapsed.append(line)
+    if pending:
+        if collapsed and collapsed[-1].strip():
+            collapsed.append("")
+        collapsed.append("# --- new findings (fhmip_analyze --fix-baseline)"
+                         " — justify or fix ---")
+        for f in pending:
+            collapsed.append(f"# L{f.line}: {f.message}")
+            collapsed.append(f"{f.rule_id}  {f.path}  {f.fingerprint}  "
+                             f"TODO: justify or fix")
+    path.write_text("\n".join(collapsed).rstrip("\n") + "\n",
+                    encoding="utf-8")
+    return {
+        "kept": sum(1 for e in bl.entries if e.used),
+        "rewritten": len(rewrites),
+        "deleted": len(deletes),
+        "added": len(pending),
+    }
+
+
 def write_baseline(path: Path, findings, header: str = ""):
     """Writes a baseline covering `findings` (those not already suppressed
     inline). Groups by file for readability; justification is a TODO

@@ -9,8 +9,12 @@ disposable), one pickle per file keyed by the repo-relative path.
 
 Invalidation is entirely content-driven:
   * the entry embeds the sha1 of the file's text — any edit misses;
-  * the cache directory is versioned by the sha1 of cpplex.py itself, so
-    changing the lexer invalidates everything without a manual bump.
+  * the cache directory is versioned by a digest of the analyzer
+    configuration: every tools/analyze/*.py rule/engine module and *.toml
+    spec file (roots.toml, protocol.toml), plus any spec files passed on
+    the command line from elsewhere. Editing the lexer, a rule module, or
+    a spec invalidates everything without a manual bump — stale cached
+    results are never silently reused across analyzer changes.
 
 The cache is an optimization only: a corrupt/unreadable entry or an
 unwritable build tree degrades to a cold lex, never to an error, and
@@ -29,26 +33,43 @@ from cpplex import LexedFile, Tok
 _FORMAT = 2  # bump when the pickled shape changes
 
 
-def _lexer_version() -> str:
-    src = Path(__file__).resolve().parent / "cpplex.py"
-    try:
-        return hashlib.sha1(src.read_bytes()).hexdigest()[:12]
-    except OSError:
-        return "unknown"
+def _config_version(extra_files=()) -> str:
+    """Digest of the analyzer's own code and spec files. Any change to a
+    rule module, the lexer/model/engine, roots.toml, or protocol.toml
+    lands in a fresh cache directory."""
+    here = Path(__file__).resolve().parent
+    inputs = sorted(
+        {p.resolve() for p in list(here.glob("*.py")) + list(here.glob("*.toml"))}
+        | {Path(p).resolve() for p in extra_files})
+    h = hashlib.sha1()
+    for p in inputs:
+        h.update(p.name.encode())
+        try:
+            h.update(p.read_bytes())
+        except OSError:
+            h.update(b"<unreadable>")
+    return h.hexdigest()[:12]
 
 
 class TokenCache:
-    def __init__(self, root: Path, enabled: bool = True):
+    def __init__(self, root: Path, enabled: bool = True, extra_files=()):
         self.enabled = enabled
         self.hits = 0
         self.misses = 0
         self.dir = root / "build" / "analyze_cache" / \
-            f"v{_FORMAT}-{_lexer_version()}"
+            f"v{_FORMAT}-{_config_version(extra_files)}"
         if enabled:
             try:
                 self.dir.mkdir(parents=True, exist_ok=True)
             except OSError:
                 self.enabled = False
+        if self.enabled:
+            # One live version at a time: every analyzer/spec edit starts a
+            # fresh directory, so prune the superseded ones.
+            import shutil
+            for sibling in self.dir.parent.glob("v*"):
+                if sibling != self.dir and sibling.is_dir():
+                    shutil.rmtree(sibling, ignore_errors=True)
 
     def _entry_path(self, rel: str) -> Path:
         return self.dir / (hashlib.sha1(rel.encode()).hexdigest() + ".pkl")

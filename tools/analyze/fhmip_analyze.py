@@ -6,14 +6,24 @@ Usage:
 
 Options:
   --json FILE        write a SARIF-lite JSON report (CI artifact)
+  --json-per-tier D  write one SARIF file per analysis tier under D
+                     (analyze-lint.sarif, analyze-dataflow.sarif, ...)
   --baseline FILE    suppression baseline (default:
                      <root>/tools/analyze/baseline.txt)
   --no-baseline      ignore the baseline (fixture tests)
   --write-baseline   (re)write the baseline skeleton from current findings
+  --fix-baseline     regenerate the baseline in place: keep matching
+                     entries verbatim, rewrite fingerprints of findings
+                     that merely moved (justifications preserved), drop
+                     stale entries, append new findings with TODOs
   --rules R1,R2      run only these rules
+  --tier T1,T2       run only these tiers (lint/semantic/callgraph/
+                     dataflow); composes with --rules
   --list-rules       print the rule catalogue and exit
   --roots FILE       call-graph root sets (default:
                      <root>/tools/analyze/roots.toml)
+  --protocol FILE    PROTO-02 message catalogue (default:
+                     <root>/tools/analyze/protocol.toml; absent = skip)
   --no-cache         bypass the build/analyze_cache token cache
   --explain-stale    print a readable diff for stale baseline entries
                      (nearest current findings per stale entry)
@@ -44,15 +54,17 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 import rules_callgraph
+import rules_dataflow
 import rules_lint
+import rules_protocol
 import rules_semantic
-from baseline import Baseline, write_baseline
+from baseline import Baseline, fix_baseline, write_baseline
 from cache import TokenCache
 from callgraph import Program
 from cpplex import LexedFile
 from cppmodel import FileModel, Unit
 from registry import Registry, line_fingerprint
-from report import print_text, write_sarif
+from report import print_text, write_sarif, write_sarif_per_tier
 
 DEFAULT_DIRS = ["src", "tests", "bench", "examples", "tools"]
 # The analyzer's own test corpus: deliberately-broken snippets.
@@ -66,6 +78,10 @@ class Context:
         self.root = root
         self.cache = cache
         self.program: Program | None = None
+        # PROTO-02 catalogue (parsed protocol.toml) + its repo-relative
+        # path for finding anchors; None/empty when no catalogue exists.
+        self.protocol: dict | None = None
+        self.protocol_path: str = ""
         self._raw: dict[str, str] = {}
         self._stripped: dict[str, str] = {}
         self._lexed: dict[str, LexedFile] = {}
@@ -142,15 +158,21 @@ def build_units(ctx: Context, files: list[str]) -> list[Unit]:
 
 def build_registry() -> Registry:
     registry = Registry()
-    rules_lint.register(registry)
-    rules_semantic.register(registry)
-    rules_callgraph.register(registry)
+    for module, tier in ((rules_lint, "lint"),
+                         (rules_semantic, "semantic"),
+                         (rules_callgraph, "callgraph"),
+                         (rules_dataflow, "dataflow"),
+                         (rules_protocol, "dataflow")):
+        before = len(registry.rules)
+        module.register(registry)
+        for rule in registry.rules[before:]:
+            rule.tier = tier
     return registry
 
 
 def load_roots_config(path: Path) -> dict:
-    """Parses roots.toml; an absent file means no call-graph rules run
-    (fixture scratch roots stage their own)."""
+    """Parses roots.toml / protocol.toml; an absent file means the rules
+    it configures skip (fixture scratch roots stage their own)."""
     if not path.exists():
         return {}
     import tomllib
@@ -161,11 +183,15 @@ def load_roots_config(path: Path) -> dict:
 def run(root: Path, subdirs: list[str], registry: Registry,
         rule_filter: set[str] | None = None,
         roots_config: dict | None = None,
-        cache: TokenCache | None = None):
+        cache: TokenCache | None = None,
+        protocol_config: dict | None = None,
+        protocol_path: str = ""):
     """Runs every (selected) rule; returns (findings, num_files). Inline
     NOLINT suppression is applied here; baseline matching is the caller's
     job."""
     ctx = Context(root, cache)
+    ctx.protocol = protocol_config
+    ctx.protocol_path = protocol_path
     files = collect_files(root, subdirs)
     findings = []
     seen = set()
@@ -213,12 +239,16 @@ def main(argv: list[str]) -> int:
     ap.add_argument("root")
     ap.add_argument("subdirs", nargs="*", default=None)
     ap.add_argument("--json", metavar="FILE")
+    ap.add_argument("--json-per-tier", metavar="DIR")
     ap.add_argument("--baseline", metavar="FILE")
     ap.add_argument("--no-baseline", action="store_true")
     ap.add_argument("--write-baseline", action="store_true")
+    ap.add_argument("--fix-baseline", action="store_true")
     ap.add_argument("--rules", metavar="IDS")
+    ap.add_argument("--tier", metavar="TIER")
     ap.add_argument("--list-rules", action="store_true")
     ap.add_argument("--roots", metavar="FILE")
+    ap.add_argument("--protocol", metavar="FILE")
     ap.add_argument("--no-cache", action="store_true")
     ap.add_argument("--explain-stale", action="store_true")
     args = ap.parse_args(argv)
@@ -228,7 +258,8 @@ def main(argv: list[str]) -> int:
         for r in registry.rules:
             kind = "file" if r.check_file else (
                 "unit" if r.check_unit else "program")
-            print(f"{r.rule_id:20s} {r.severity:8s} [{kind}] {r.description}")
+            print(f"{r.rule_id:20s} {r.severity:8s} [{r.tier}/{kind}] "
+                  f"{r.description}")
         return 0
 
     root = Path(args.root).resolve()
@@ -245,21 +276,52 @@ def main(argv: list[str]) -> int:
             print(f"fhmip_analyze: unknown rule(s): {', '.join(unknown)}",
                   file=sys.stderr)
             return 2
+    if args.tier:
+        tiers = {t.strip() for t in args.tier.split(",")}
+        known = {r.tier for r in registry.rules}
+        if not tiers <= known:
+            print(f"fhmip_analyze: unknown tier(s): "
+                  f"{', '.join(sorted(tiers - known))} "
+                  f"(have: {', '.join(sorted(known))})", file=sys.stderr)
+            return 2
+        tier_ids = {r.rule_id for r in registry.rules if r.tier in tiers}
+        rule_filter = tier_ids if rule_filter is None \
+            else rule_filter & tier_ids
 
     roots_path = Path(args.roots) if args.roots \
         else root / "tools" / "analyze" / "roots.toml"
+    protocol_path = Path(args.protocol) if args.protocol \
+        else root / "tools" / "analyze" / "protocol.toml"
     try:
         roots_config = load_roots_config(roots_path)
+        protocol_config = load_roots_config(protocol_path)
     except Exception as exc:  # tomllib.TOMLDecodeError and friends
-        print(f"fhmip_analyze: cannot parse {roots_path}: {exc}",
+        print(f"fhmip_analyze: cannot parse analyzer spec: {exc}",
               file=sys.stderr)
         return 2
-    cache = TokenCache(root, enabled=not args.no_cache)
+    try:
+        protocol_rel = protocol_path.resolve().relative_to(root).as_posix()
+    except ValueError:
+        protocol_rel = protocol_path.as_posix()
+    extra_spec = [p for p in (roots_path, protocol_path) if p.exists()]
+    cache = TokenCache(root, enabled=not args.no_cache,
+                       extra_files=extra_spec)
     findings, num_files = run(root, subdirs, registry, rule_filter,
-                              roots_config, cache)
+                              roots_config, cache,
+                              protocol_config, protocol_rel)
 
     baseline_path = Path(args.baseline) if args.baseline \
         else root / "tools" / "analyze" / "baseline.txt"
+    if args.fix_baseline:
+        stats = fix_baseline(baseline_path,
+                             [f for f in findings
+                              if f.suppressed != "nolint"])
+        print(f"fhmip_analyze: baseline {baseline_path}: "
+              f"{stats['kept']} kept, {stats['rewritten']} fingerprint(s) "
+              f"rewritten in place, {stats['deleted']} stale entr(ies) "
+              f"removed, {stats['added']} new finding(s) appended "
+              f"(TODO justifications)")
+        return 0
     if args.write_baseline:
         write_baseline(baseline_path,
                        [f for f in findings if not f.suppressed])
@@ -285,6 +347,9 @@ def main(argv: list[str]) -> int:
         print_stale_diff(stale, findings, baseline_path, sys.stdout)
     if args.json:
         write_sarif(Path(args.json), findings, stale, registry)
+    if args.json_per_tier:
+        write_sarif_per_tier(Path(args.json_per_tier), findings, stale,
+                             registry)
     active = [f for f in findings if not f.suppressed]
     return 1 if (active or stale) else 0
 

@@ -49,6 +49,10 @@ class Rule:
     rule_id: str
     severity: str
     description: str
+    # Analysis tier ("lint", "semantic", "callgraph", "dataflow") — set by
+    # the driver per rule module; selects SARIF artifact grouping and the
+    # --tier filter.
+    tier: str = ""
     scope_dirs: tuple[str, ...] = ()  # empty = all scanned dirs
     check_file: object = None  # callable(ctx, path) -> iterable[Finding]
     check_unit: object = None  # callable(ctx, unit) -> iterable[Finding]

@@ -25,6 +25,24 @@ def print_text(findings, stale, num_files, out):
           f"entr{'y' if len(stale) == 1 else 'ies'}", file=out)
 
 
+def write_sarif_per_tier(outdir: Path, findings, stale, registry):
+    """One SARIF file per analysis tier (lint/semantic/callgraph/dataflow)
+    under `outdir`, so CI can upload tier-scoped artifacts. Findings and
+    stale entries are bucketed by their rule's tier; rules whose module
+    didn't declare one land in 'other'."""
+    outdir.mkdir(parents=True, exist_ok=True)
+    tier_of = {r.rule_id: (r.tier or "other") for r in registry.rules}
+    tiers = sorted({t for t in tier_of.values()})
+    for tier in tiers:
+        fs = [f for f in findings if tier_of.get(f.rule_id) == tier]
+        es = [e for e in stale if tier_of.get(e.rule_id) == tier]
+        sub = type(registry)()
+        for r in registry.rules:
+            if (r.tier or "other") == tier:
+                sub.rules.append(r)
+        write_sarif(outdir / f"analyze-{tier}.sarif", fs, es, sub)
+
+
 def write_sarif(path: Path, findings, stale, registry):
     """SARIF-lite: the subset of SARIF 2.1.0 that CI artifact viewers and
     jq one-liners actually consume."""

@@ -1,0 +1,244 @@
+"""Dataflow-tier rules: FLOW-01 (packet obligations) and UNIT-01 (time
+units). See dataflow.py for the engine and DESIGN.md § Static analysis.
+
+FLOW-01 — static packet-obligation proofs
+  Every `PacketPtr` a function creates or receives by value must be moved
+  out (deliver/drop/forward/buffer admission/send, a closure, or the
+  caller) on every control-flow path. The dataflow engine enumerates
+  branch/loop/early-return paths and reports:
+    * a path reaching scope end with the packet still definitely owned
+      (the static shape of the PR 1 in-flight leak class),
+    * a second move of an already-moved packet (double accounting),
+    * overwriting a live packet (silent drop with no accounting).
+  Configured in roots.toml [FLOW-01]: `owning_types` (move-only handle
+  type names), `creator_calls` (factories whose result is a live packet),
+  `sink_functions` (bare names of the terminal accounting functions —
+  their by-value owning params are allowed to die in the body), and
+  `src_prefixes` (where the rule applies). Absent section -> rule skips,
+  like the call-graph rules.
+
+UNIT-01 — SimTime unit hygiene
+  SimTime is integer nanoseconds with named constructors and unit-bearing
+  views; raw numeric literals mixed into that arithmetic are where unit
+  bugs live. Four shapes are flagged, per statement, in src/:
+    * mixing two different unit views in one additive expression
+      (`a.ns() + b.sec()`),
+    * scaling a unit view by a power-of-10 literal (`t.ns() / 1000000` —
+      that's spelled `t.millis_f()` or a named constructor),
+    * adding/subtracting a raw literal to a `.ns()` view (`d.ns() + 1000`
+      — 1000 *what*? use `d + SimTime::micros(1)`),
+    * passing a floating literal to an integer named constructor
+      (`SimTime::millis(0.5)` compiles and silently truncates to zero —
+      use `from_millis`/`from_seconds`).
+  `exempt_files` (the SimTime implementation itself, which legitimately
+  owns the conversion factors) come from roots.toml [UNIT-01].
+"""
+
+from __future__ import annotations
+
+from cpplex import ID, NUM
+from dataflow import FlowConfig, analyze_function
+from registry import Finding, Rule
+
+_FLOW_MESSAGES = {
+    "leak": "packet '{var}' can reach scope end still owned on some path "
+            "— no deliver/drop/forward/buffer/send accounted for it",
+    "double": "packet '{var}' moved out twice on one path "
+              "(double terminal accounting)",
+    "overwrite": "packet '{var}' overwritten while still owning a live "
+                 "packet — silent drop with no accounting",
+}
+
+
+def _flow_config(ctx):
+    cfg = (ctx.program.config if ctx.program else {}).get("FLOW-01")
+    if cfg is None:
+        return None, ()
+    return FlowConfig(
+        owning_types=tuple(cfg.get("owning_types", ["PacketPtr"])),
+        creator_calls=tuple(cfg.get("creator_calls",
+                                    ["make_packet", "make_control",
+                                     "clone"])),
+        sink_functions=tuple(cfg.get("sink_functions", ["drop"])),
+        account_calls=tuple(cfg.get("account_calls", [])),
+    ), tuple(cfg.get("src_prefixes", ["src/"]))
+
+
+def check_flow(ctx, unit):
+    config, prefixes = _flow_config(ctx)
+    if config is None:
+        return
+    for fn in unit.functions():
+        path = fn.file.lexed.path
+        if not path.startswith(prefixes):
+            continue
+        events, _analyzed = analyze_function(fn, config)
+        for ev in events:
+            yield Finding(
+                "FLOW-01", "error", path, ev.line,
+                _FLOW_MESSAGES[ev.kind].format(var=ev.var),
+                ctx.fingerprint(path, ev.line))
+
+
+# ---------------------------------------------------------------------------
+# UNIT-01
+# ---------------------------------------------------------------------------
+
+_VIEWS = {"ns": "ns", "micros_f": "us", "millis_f": "ms", "sec": "s"}
+_INT_CTORS = ("nanos", "micros", "millis", "seconds")
+_POW10 = {
+    "10", "100", "1000", "10000", "100000", "1000000", "10000000",
+    "100000000", "1000000000",
+}
+
+
+def _is_pow10(text):
+    t = text.replace("'", "").lower()
+    if t in _POW10:
+        return True
+    # scientific / float spellings of the same factors
+    try:
+        v = float(t)
+    except ValueError:
+        return False
+    if v <= 0:
+        return False
+    import math
+    lg = math.log10(v)
+    return abs(lg - round(lg)) < 1e-9 and round(lg) != 0
+
+
+def _is_float_literal(text):
+    t = text.replace("'", "").lower()
+    if t.startswith("0x"):
+        return False
+    return "." in t or ("e" in t and not t.endswith(("f", "l"))) \
+        or t.endswith(("f", "l")) and any(c.isdigit() for c in t)
+
+
+def _unit_config(ctx):
+    cfg = (ctx.program.config if ctx.program else {}).get("UNIT-01")
+    if cfg is None:
+        return None
+    return (tuple(cfg.get("src_prefixes", ["src/"])),
+            tuple(cfg.get("exempt_files", [])))
+
+
+def check_units(ctx, unit):
+    cfg = _unit_config(ctx)
+    if cfg is None:
+        return
+    prefixes, exempt = cfg
+    for model in unit.models:
+        path = model.lexed.path
+        if not path.startswith(prefixes) or path in exempt:
+            continue
+        yield from _scan_file(ctx, model.lexed)
+
+
+def _scan_file(ctx, lexed):
+    toks = lexed.tokens
+    n = len(toks)
+    chunk_start = 0
+    i = 0
+    while i <= n:
+        if i == n or toks[i].text == ";":
+            yield from _scan_chunk(ctx, lexed.path, toks, chunk_start, i)
+            chunk_start = i + 1
+        i += 1
+
+
+def _view_at(toks, i, n):
+    """Unit string when toks[i] is a `.view()` / `->view()` call."""
+    t = toks[i]
+    if t.kind != ID or t.text not in _VIEWS:
+        return None
+    if i == 0 or toks[i - 1].text not in (".", "->"):
+        return None
+    if i + 2 >= n or toks[i + 1].text != "(" or toks[i + 2].text != ")":
+        return None
+    return _VIEWS[t.text]
+
+
+def _scan_chunk(ctx, path, toks, lo, hi):
+    views = []  # (index, unit) — index of the closing ')' is idx+2
+    for i in range(lo, hi):
+        u = _view_at(toks, i, hi)
+        if u is not None:
+            views.append((i, u))
+
+    def f(line, msg):
+        return Finding("UNIT-01", "error", path, line, msg,
+                       ctx.fingerprint(path, line))
+
+    # U1: two different unit views joined additively.
+    for k in range(len(views) - 1):
+        i, u1 = views[k]
+        j, u2 = views[k + 1]
+        if u1 == u2:
+            continue
+        after = toks[i + 3] if i + 3 < hi else None
+        if after is not None and after.text in ("+", "-"):
+            yield f(toks[i].line,
+                    f"mixed time units in one expression: .{toks[i].text}() "
+                    f"({u1}) combined with .{toks[j].text}() ({u2}) — "
+                    f"convert to one unit or keep SimTime arithmetic")
+
+    for i, u in views:
+        t = toks[i]
+        close = i + 2
+        nxt = toks[close + 1] if close + 1 < hi else None
+        nxt2 = toks[close + 2] if close + 2 < hi else None
+        # U2: view scaled by a power-of-10 literal (either side).
+        if nxt is not None and nxt.text in ("*", "/") and nxt2 is not None \
+                and nxt2.kind == NUM and _is_pow10(nxt2.text):
+            yield f(t.line,
+                    f".{t.text}() {nxt.text} {nxt2.text}: unit conversion "
+                    f"via raw factor — use the SimTime view or named "
+                    f"constructor for the target unit")
+            continue
+        prev3 = toks[i - 3] if i - 3 >= lo else None
+        prev4 = toks[i - 4] if i - 4 >= lo else None
+        # `1000 * x.view()`: NUM '*' <obj> '.' view — the view token sits
+        # at i, '.'/'->' at i-1, the object at i-2, '*' at i-3, NUM at i-4
+        if prev3 is not None and prev4 is not None \
+                and prev3.text == "*" and prev4.kind == NUM \
+                and _is_pow10(prev4.text):
+            yield f(t.line,
+                    f"{prev4.text} * .{t.text}(): unit conversion via raw "
+                    f"factor — use the SimTime view or named constructor "
+                    f"for the target unit")
+            continue
+        # U3: additive raw literal on a .ns() view.
+        if u == "ns" and nxt is not None and nxt.text in ("+", "-") \
+                and nxt2 is not None and nxt2.kind == NUM \
+                and nxt2.text not in ("0", "0.0"):
+            yield f(t.line,
+                    f".ns() {nxt.text} {nxt2.text}: raw literal added to a "
+                    f"nanosecond count — keep SimTime arithmetic "
+                    f"(e.g. t + SimTime::micros(...)) so the unit is named")
+
+    # U4: float literal into an integer named constructor.
+    for i in range(lo, hi - 4):
+        if toks[i].kind == ID and toks[i].text == "SimTime" \
+                and toks[i + 1].text == "::" \
+                and toks[i + 2].kind == ID \
+                and toks[i + 2].text in _INT_CTORS \
+                and toks[i + 3].text == "(" \
+                and toks[i + 4].kind == NUM \
+                and _is_float_literal(toks[i + 4].text):
+            yield f(toks[i].line,
+                    f"SimTime::{toks[i + 2].text}({toks[i + 4].text}) "
+                    f"truncates the fraction silently (integer parameter) "
+                    f"— use SimTime::from_millis/from_seconds")
+
+
+def register(registry):
+    registry.add(Rule("FLOW-01", "error",
+                      "every PacketPtr path ends in exactly one terminal "
+                      "accounting call (static packet-obligation proof)",
+                      check_unit=check_flow))
+    registry.add(Rule("UNIT-01", "error",
+                      "no raw-literal unit conversion or unit mixing in "
+                      "SimTime arithmetic",
+                      check_unit=check_units))

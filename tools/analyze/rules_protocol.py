@@ -1,0 +1,335 @@
+"""PROTO-02: spec-driven FMIPv6/buffer-message conformance.
+
+protocol.toml is the machine-readable catalogue of the control-plane
+choreography: every alternative of the packet `MessageVariant` is either
+a catalogued `[[message]]` carrying its reliability contract, or an
+`[[exempt]]` entry with a reason. For each catalogued message the rule
+cross-checks the extracted program model against the contract's quad:
+
+  1. a receiver exists (`std::get_if<X>` / `holds_alternative<X>` in the
+     protocol sources),
+  2. the receiver is duplicate-safe: either the declared `dedup` state
+     tokens (sequence caches, dup counters) appear in a unit that also
+     handles X, or the entry carries an `idempotent` justification,
+  3. a send site exists — a function that constructs X and reaches a
+     send-family call — and, for `role = "request"`, at least one sending
+     class carries a retransmission-timer guard (PROTO-01's idiom: the
+     per-message invariant here is "someone can retransmit this", while
+     PROTO-01 separately flags each unguarded sender),
+  4. the wire name is rendered by the trace name function and the message
+     has a fault-matrix row (`row`, checked against the matrix source) or
+     an explicit `row_waiver` reason.
+
+Adding a new message type to the variant without cataloguing it, or
+cataloguing it without the quad, fails CI. Entries naming structs that no
+longer exist go stale loudly. Findings anchor at the struct definition in
+the variant header so the fix site is one click away.
+
+The catalogue path comes from `--protocol` (default
+tools/analyze/protocol.toml); with no catalogue present the rule skips,
+like the call-graph rules with no roots.toml.
+
+String-valued evidence (wire names, matrix row labels) is checked against
+the *raw* file text: the analyzer's lexer blanks string-literal contents,
+so quoted names are invisible in token streams by design.
+"""
+
+from __future__ import annotations
+
+from cpplex import ID
+from registry import Finding, Rule
+
+_RECEIVER_FNS = ("get_if", "holds_alternative")
+
+
+def _variant_alternatives(lexed, variant_name):
+    """Parses `using <variant> = std::variant<A, B, ...>` out of a token
+    stream. Returns (alternatives in order, line of the using-decl), or
+    ([], 0) when not found."""
+    toks = lexed.tokens
+    n = len(toks)
+    for i in range(n - 2):
+        if not (toks[i].kind == ID and toks[i].text == variant_name
+                and toks[i + 1].text == "="):
+            continue
+        j = i + 2
+        while j < n and toks[j].text != "<":
+            if toks[j].text == ";":
+                break
+            j += 1
+        if j >= n or toks[j].text != "<":
+            continue
+        depth = 0
+        group: list[str] = []
+        alts: list[str] = []
+
+        def flush():
+            ids = [x for x in group if x not in ("std", "::")]
+            if ids:
+                alts.append(ids[-1])
+            group.clear()
+
+        k = j
+        while k < n:
+            tx = toks[k].text
+            if tx == "<":
+                depth += 1
+            elif tx == ">":
+                depth -= 1
+                if depth == 0:
+                    flush()
+                    return alts, toks[i].line
+            elif tx == "," and depth == 1:
+                flush()
+            elif toks[k].kind == ID or tx == "::":
+                group.append(toks[k].text)
+            k += 1
+        break
+    return [], 0
+
+
+def _struct_lines(lexed):
+    """struct/class name -> definition line."""
+    out = {}
+    toks = lexed.tokens
+    for i in range(len(toks) - 1):
+        if toks[i].kind == ID and toks[i].text in ("struct", "class") \
+                and toks[i + 1].kind == ID:
+            out.setdefault(toks[i + 1].text, toks[i].line)
+    return out
+
+
+def _receiver_units(program, dirs, names):
+    """name -> list of units whose token streams contain a
+    get_if<name>/holds_alternative<name> receiver site."""
+    found = {n: [] for n in names}
+    for unit in program.units:
+        models = [m for m in unit.models
+                  if m.lexed.path.startswith(dirs)]
+        if not models:
+            continue
+        hit = set()
+        for m in models:
+            toks = m.lexed.tokens
+            for i in range(len(toks) - 2):
+                if toks[i].kind == ID and toks[i].text in _RECEIVER_FNS \
+                        and toks[i + 1].text == "<" \
+                        and toks[i + 2].text in found:
+                    hit.add(toks[i + 2].text)
+        for n in hit:
+            found[n].append(unit)
+    return found
+
+
+def _unit_has_tokens(unit, tokens):
+    """True when every token in `tokens` appears somewhere in the unit
+    (header or source) as an identifier."""
+    missing = set(tokens)
+    for m in unit.models:
+        if not missing:
+            break
+        for t in m.lexed.tokens:
+            if t.kind == ID and t.text in missing:
+                missing.discard(t.text)
+                if not missing:
+                    break
+    return not missing
+
+
+def _send_sites(program, dirs, names, send_calls):
+    """name -> list of (node, first send-site line) for functions that
+    construct the message (PROTO-01's construction idiom: the type name
+    followed by a declarator or braced temporary) and reach a send call."""
+    out = {n: [] for n in names}
+    for node in program.nodes:
+        if not node.path.startswith(dirs):
+            continue
+        fn = node.fn
+        toks = fn.file.lexed.tokens
+        lo, hi = fn.scope.body_start, fn.scope.body_end
+        constructed = set()
+        for i in range(lo, hi):
+            t = toks[i]
+            if t.kind != ID or t.text not in out:
+                continue
+            nxt = toks[i + 1] if i + 1 < hi else None
+            if nxt is not None and (nxt.kind == ID or nxt.text == "{"):
+                constructed.add(t.text)
+        if not constructed:
+            continue
+        sends = [s for s in node.sites if s.name in send_calls]
+        if not sends:
+            continue
+        for n in constructed:
+            out[n].append((node, sends[0].line))
+    return out
+
+
+def check_proto02(ctx, program):
+    spec = getattr(ctx, "protocol", None)
+    if not spec:
+        return
+    spec_path = getattr(ctx, "protocol_path", "protocol.toml")
+    meta = spec.get("meta", {})
+    variant_name = meta.get("variant", "MessageVariant")
+    variant_file = meta.get("variant_file", "")
+    name_fn_file = meta.get("name_fn_file", "")
+    matrix_file = meta.get("fault_matrix_file", "")
+    send_calls = set(meta.get("send_calls", ["send"]))
+    guard_tokens = set(meta.get("guard_tokens", ["arm"]))
+    dirs = tuple(d.rstrip("/") + "/" for d in meta.get("dirs", ["src/"]))
+    messages = spec.get("message", [])
+    exempt = spec.get("exempt", [])
+
+    def cfg_finding(msg):
+        return Finding("PROTO-02", "error", spec_path, 1, msg,
+                       ctx.fingerprint(spec_path, 1)
+                       if (ctx.root / spec_path).exists() else "")
+
+    # -- meta files must exist -------------------------------------------
+    ok = True
+    for key, rel in (("variant_file", variant_file),
+                     ("name_fn_file", name_fn_file),
+                     ("fault_matrix_file", matrix_file)):
+        if not rel or not (ctx.root / rel).exists():
+            yield cfg_finding(f"[meta] {key} = '{rel}' does not exist — "
+                              f"fix the catalogue after the move")
+            ok = False
+    if not ok:
+        return
+
+    lexed = ctx.lexed(variant_file)
+    alts, variant_line = _variant_alternatives(lexed, variant_name)
+    if not alts:
+        yield cfg_finding(f"[meta] variant '{variant_name}' not found in "
+                          f"{variant_file}")
+        return
+    struct_lines = _struct_lines(lexed)
+
+    def anchor(struct, msg):
+        line = struct_lines.get(struct, variant_line)
+        return Finding("PROTO-02", "error", variant_file, line, msg,
+                       ctx.fingerprint(variant_file, line))
+
+    catalogued = {m.get("struct", ""): m for m in messages}
+    exempt_by = {e.get("struct", ""): e for e in exempt}
+
+    # -- coverage: every alternative is catalogued or exempt -------------
+    for a in alts:
+        if a == "monostate":
+            continue
+        if a in catalogued and a in exempt_by:
+            yield cfg_finding(f"{a} is both [[message]] and [[exempt]] — "
+                              f"pick one")
+        if a not in catalogued and a not in exempt_by:
+            yield anchor(a, f"message type {a} is in {variant_name} but not "
+                            f"catalogued in {spec_path} — add a [[message]] "
+                            f"entry with its reliability contract (send "
+                            f"guard, dedup, wire name, fault-matrix row) "
+                            f"or an [[exempt]] entry with a reason")
+    # -- staleness -------------------------------------------------------
+    alt_set = set(alts)
+    for name in list(catalogued) + list(exempt_by):
+        if name and name not in alt_set:
+            yield cfg_finding(f"catalogue entry '{name}' names no "
+                              f"{variant_name} alternative — stale after a "
+                              f"rename; update {spec_path}")
+    for e in exempt:
+        if not e.get("reason"):
+            yield cfg_finding(f"[[exempt]] {e.get('struct', '?')} has no "
+                              f"reason — exemptions must be justified")
+
+    live = {n: m for n, m in catalogued.items() if n in alt_set}
+    receivers = _receiver_units(program, dirs, set(live))
+    senders = _send_sites(program, dirs, set(live), send_calls)
+    name_fn_text = ctx.raw_text(name_fn_file)
+    matrix_text = ctx.raw_text(matrix_file)
+    # Local import: the guard walker is PROTO-01's, reused verbatim so the
+    # two rules can never disagree about what "guarded" means.
+    from rules_callgraph import _class_has_guard
+
+    request_names = {n for n, m in live.items()
+                     if m.get("role") == "request"}
+    for name, m in sorted(live.items()):
+        role = m.get("role", "")
+        if role not in ("request", "response"):
+            yield cfg_finding(f"[[message]] {name}: role must be 'request' "
+                              f"or 'response', got '{role}'")
+            continue
+        # 1. receiver exists
+        units = receivers.get(name, [])
+        if not units:
+            yield anchor(name, f"{name} has no receiver: no "
+                               f"get_if<{name}>/holds_alternative<{name}> "
+                               f"under {'/'.join(d.rstrip('/') for d in dirs)}"
+                               f" — an unhandled control message is a "
+                               f"silent packet drop")
+        # 2. duplicate-safety evidence
+        dedup = list(m.get("dedup", []))
+        idem = m.get("idempotent", "")
+        if dedup and units:
+            if not any(_unit_has_tokens(u, dedup) for u in units):
+                yield anchor(name,
+                             f"{name}: declared dedup state "
+                             f"({', '.join(dedup)}) not found in any unit "
+                             f"that handles {name} — the receiver is not "
+                             f"provably duplicate-safe; update the entry "
+                             f"or restore the sequence cache")
+        elif not dedup and not idem:
+            yield anchor(name,
+                         f"{name} declares neither dedup state tokens nor "
+                         f"an idempotent justification — retransmissions "
+                         f"would replay its side effects")
+        # 3. send site + retransmission guard
+        sites = senders.get(name, [])
+        if not sites:
+            yield anchor(name,
+                         f"{name} is never constructed and handed to a "
+                         f"send-family call ({', '.join(sorted(send_calls))})"
+                         f" under {'/'.join(d.rstrip('/') for d in dirs)} — "
+                         f"catalogued messages must have a sender")
+        elif role == "request":
+            classes = sorted({n.cls for n, _ in sites if n.cls})
+            if not any(_class_has_guard(program, c, guard_tokens)
+                       for c in classes):
+                yield anchor(name,
+                             f"request {name} is sent by "
+                             f"{', '.join(classes) or 'free functions'} but "
+                             f"no sending class has a retransmission-timer "
+                             f"guard ({'/'.join(sorted(guard_tokens))}) — a "
+                             f"lost {name} stalls the handover choreography")
+        if role == "response":
+            re_by = m.get("reelicited_by", "")
+            if re_by not in request_names:
+                yield anchor(name,
+                             f"response {name}: reelicited_by = '{re_by}' "
+                             f"names no catalogued request — a response's "
+                             f"loss story is its request's retransmission")
+        # 4. wire name + fault-matrix row
+        wire = m.get("wire", "")
+        if not wire or f'"{wire}"' not in name_fn_text:
+            yield anchor(name,
+                         f"{name}: wire name '{wire}' is not rendered by "
+                         f"{name_fn_file} — traces and the fault matrix "
+                         f"address messages by this string")
+        row = m.get("row", "")
+        waiver = m.get("row_waiver", "")
+        if row:
+            if f'"{row}"' not in matrix_text:
+                yield anchor(name,
+                             f"{name}: fault-matrix row '{row}' not found "
+                             f"in {matrix_file} — every catalogued message "
+                             f"must be exercised by the single-fault matrix")
+        elif not waiver:
+            yield anchor(name,
+                         f"{name} has no fault-matrix row and no "
+                         f"row_waiver — add the matrix cells or justify "
+                         f"their absence")
+
+
+def register(registry):
+    registry.add(Rule("PROTO-02", "error",
+                      "every MessageVariant alternative is catalogued in "
+                      "protocol.toml with its reliability quad (guarded "
+                      "send, dedup'd receiver, wire name, fault-matrix row)",
+                      check_program=check_proto02))
