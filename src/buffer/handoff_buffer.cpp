@@ -7,10 +7,14 @@
 
 namespace fhmip {
 
+HandoffBuffer::~HandoffBuffer() {
+  while (head_ != nullptr) detach_head();  // PacketPtr frees on scope exit
+}
+
 void HandoffBuffer::trace_store(const Packet& p) {
-  // Called before the deque insert, so empty() reflects the pre-store
+  // Called before the chain append, so empty() reflects the pre-store
   // state: the first packet of a fill opens the timeline span.
-  if (q_.empty() && mh_ != kNoNode)
+  if (empty() && mh_ != kNoNode)
     sim_->timeline().record(sim_->now(), mh_, obs::HoEventKind::kBufferFill,
                             where_);
   trace_packet(*sim_, TraceKind::kBufferEnter, where_.c_str(), p);
@@ -25,9 +29,9 @@ void HandoffBuffer::trace_remove(const Packet& p) {
 HandoffBuffer::PushResult HandoffBuffer::push(PacketPtr& p) {
   if (full()) return PushResult::kRejected;
   if (sim_ != nullptr) trace_store(*p);
-  q_.push_back(std::move(p));
+  append(p);
   ++stored_;
-  peak_ = std::max<std::uint32_t>(peak_, size());
+  peak_ = std::max<std::uint32_t>(peak_, size_);
   audit_invariants();
   return PushResult::kStored;
 }
@@ -36,34 +40,46 @@ HandoffBuffer::PushResult HandoffBuffer::push_evict_oldest_realtime(
     PacketPtr& p, PacketPtr& evicted) {
   if (!full()) {
     if (sim_ != nullptr) trace_store(*p);
-    q_.push_back(std::move(p));
+    append(p);
     ++stored_;
-    peak_ = std::max<std::uint32_t>(peak_, size());
+    peak_ = std::max<std::uint32_t>(peak_, size_);
     audit_invariants();
     return PushResult::kStored;
   }
-  auto it = std::find_if(q_.begin(), q_.end(), [](const PacketPtr& q) {
-    return effective_class(q->tclass) == TrafficClass::kRealTime;
-  });
-  if (it == q_.end()) return PushResult::kRejected;
-  evicted = std::move(*it);
-  q_.erase(it);
+  // Walk for the oldest real-time packet, tracking the predecessor so the
+  // victim can be unlinked from the middle of the chain.
+  Packet* prev = nullptr;
+  Packet* victim = head_;
+  while (victim != nullptr &&
+         effective_class(victim->tclass) != TrafficClass::kRealTime) {
+    prev = victim;
+    victim = victim->pool_next;
+  }
+  if (victim == nullptr) return PushResult::kRejected;
+  if (prev == nullptr) {
+    head_ = victim->pool_next;
+  } else {
+    prev->pool_next = victim->pool_next;
+  }
+  if (tail_ == victim) tail_ = prev;
+  victim->pool_next = nullptr;
+  --size_;
+  evicted = PacketPtr(victim);
   ++evictions_;
   ++removed_;
   if (sim_ != nullptr) {
     trace_remove(*evicted);
     trace_store(*p);
   }
-  q_.push_back(std::move(p));
+  append(p);
   ++stored_;
   audit_invariants();
   return PushResult::kStoredEvicting;
 }
 
 PacketPtr HandoffBuffer::pop() {
-  if (q_.empty()) return nullptr;
-  PacketPtr p = std::move(q_.front());
-  q_.pop_front();
+  if (head_ == nullptr) return nullptr;
+  PacketPtr p = detach_head();
   ++removed_;
   if (sim_ != nullptr) trace_remove(*p);
   audit_invariants();

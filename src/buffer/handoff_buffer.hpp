@@ -1,7 +1,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <utility>
 
@@ -21,12 +20,40 @@ class Gauge;
 ///  * evicting the oldest *real-time* packet to admit a new one (Case 1.a /
 ///    2.a: "if buffer full, drop the first real-time packet").
 ///
+/// Buffered packets are chained intrusively through their own `pool_next`
+/// link — no per-node allocation, and a handover burst parks hundreds of
+/// packets with zero allocator traffic. Ownership semantics are unchanged:
+/// push() adopts the packet, pop()/eviction/flush() return owning handles,
+/// and the destructor releases anything still buffered.
+///
 /// Packet conservation is audited: every packet ever stored leaves exactly
 /// once, through pop(), eviction or flush() — `stored == removed + size`.
 class HandoffBuffer {
  public:
   explicit HandoffBuffer(std::uint32_t capacity_pkts)
       : capacity_(capacity_pkts) {}
+
+  HandoffBuffer(const HandoffBuffer&) = delete;
+  HandoffBuffer& operator=(const HandoffBuffer&) = delete;
+  HandoffBuffer(HandoffBuffer&& o) noexcept
+      : head_(o.head_),
+        tail_(o.tail_),
+        size_(o.size_),
+        capacity_(o.capacity_),
+        peak_(o.peak_),
+        stored_(o.stored_),
+        evictions_(o.evictions_),
+        removed_(o.removed_),
+        sim_(o.sim_),
+        where_(std::move(o.where_)),
+        occupancy_(o.occupancy_),
+        mh_(o.mh_) {
+    o.head_ = o.tail_ = nullptr;
+    o.size_ = 0;
+  }
+  HandoffBuffer& operator=(HandoffBuffer&&) = delete;
+
+  ~HandoffBuffer();
 
   enum class PushResult {
     kStored,
@@ -45,13 +72,11 @@ class HandoffBuffer {
 
   PacketPtr pop();
 
-  bool empty() const { return q_.empty(); }
-  bool full() const { return q_.size() >= capacity_; }
-  std::uint32_t size() const { return static_cast<std::uint32_t>(q_.size()); }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ >= capacity_; }
+  std::uint32_t size() const { return size_; }
   std::uint32_t capacity() const { return capacity_; }
-  std::uint32_t free_slots() const {
-    return capacity_ - static_cast<std::uint32_t>(q_.size());
-  }
+  std::uint32_t free_slots() const { return capacity_ - size_; }
 
   std::uint32_t peak_occupancy() const { return peak_; }
   std::uint64_t total_stored() const { return stored_; }
@@ -76,10 +101,9 @@ class HandoffBuffer {
   /// Empties the buffer through `fn` (used on lifetime expiry).
   template <typename Fn>
   void flush(Fn&& fn) {
-    while (!q_.empty()) {
+    while (head_ != nullptr) {
       ++removed_;
-      PacketPtr p = std::move(q_.front());
-      q_.pop_front();
+      PacketPtr p = detach_head();
       if (sim_ != nullptr) trace_remove(*p);
       fn(std::move(p));
     }
@@ -88,13 +112,20 @@ class HandoffBuffer {
 
   /// Occupancy/conservation audits (no-op at audit level 0).
   void audit_invariants() const {
-    FHMIP_AUDIT_MSG("buffer", q_.size() <= capacity_,
-                    "size=" + std::to_string(q_.size()) +
+    FHMIP_AUDIT_MSG("buffer", size_ <= capacity_,
+                    "size=" + std::to_string(size_) +
                         " capacity=" + std::to_string(capacity_));
-    FHMIP_AUDIT_MSG("buffer", stored_ == removed_ + q_.size(),
+    FHMIP_AUDIT_MSG("buffer", stored_ == removed_ + size_,
                     "stored=" + std::to_string(stored_) +
                         " removed=" + std::to_string(removed_) +
-                        " size=" + std::to_string(q_.size()));
+                        " size=" + std::to_string(size_));
+#if FHMIP_AUDIT_LEVEL >= 2
+    std::uint32_t count = 0;
+    for (const Packet* p = head_; p != nullptr; p = p->pool_next) ++count;
+    FHMIP_AUDIT2_MSG("buffer", count == size_,
+                     "chain=" + std::to_string(count) +
+                         " size=" + std::to_string(size_));
+#endif
   }
 
  private:
@@ -102,7 +133,32 @@ class HandoffBuffer {
   void trace_store(const Packet& p);
   void trace_remove(const Packet& p);
 
-  std::deque<PacketPtr> q_;
+  /// Appends an owned packet to the tail of the chain.
+  void append(PacketPtr& p) {
+    Packet* raw = p.release();
+    raw->pool_next = nullptr;
+    if (tail_ == nullptr) {
+      head_ = raw;
+    } else {
+      tail_->pool_next = raw;
+    }
+    tail_ = raw;
+    ++size_;
+  }
+
+  /// Unlinks the head packet and rewraps it in its owning handle.
+  PacketPtr detach_head() {
+    Packet* raw = head_;
+    head_ = raw->pool_next;
+    if (head_ == nullptr) tail_ = nullptr;
+    raw->pool_next = nullptr;
+    --size_;
+    return PacketPtr(raw);
+  }
+
+  Packet* head_ = nullptr;
+  Packet* tail_ = nullptr;
+  std::uint32_t size_ = 0;
   std::uint32_t capacity_;
   std::uint32_t peak_ = 0;
   std::uint64_t stored_ = 0;

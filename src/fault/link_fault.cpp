@@ -162,14 +162,16 @@ bool LinkFaultInjector::should_drop(const Packet& p) {
 }
 
 void LinkFaultInjector::schedule_copy(const Packet& p, SimTime after) {
-  auto copy = std::shared_ptr<Packet>(p.clone(sim_.next_uid()).release());
+  // shared_ptr adopts the clone's pool-aware deleter, so the slot is
+  // returned to the pool whichever event frees the copy last.
+  auto copy = std::shared_ptr<Packet>(p.clone(sim_.next_uid()));
   pending_evs_.push_back(
       sim_.in(after, [this, copy] { inject(copy); }));
 }
 
 void LinkFaultInjector::hold_copy(const Packet& p, SimTime max_hold) {
   Held h;
-  h.copy = std::shared_ptr<Packet>(p.clone(sim_.next_uid()).release());
+  h.copy = std::shared_ptr<Packet>(p.clone(sim_.next_uid()));
   // Bound the wait: with no successor traffic the copy still arrives, just
   // late — a reorder degrades to a delay instead of a silent loss.
   const std::uint64_t uid = h.copy->uid;
@@ -198,7 +200,10 @@ void LinkFaultInjector::release_held() {
 }
 
 void LinkFaultInjector::inject(const std::shared_ptr<Packet>& copy) {
-  auto p = std::make_unique<Packet>(std::move(*copy));
+  // Re-home the payload into a fresh pool slot; `copy` (which other
+  // capture contexts may still reference) is left scrubbed but valid.
+  PacketPtr p = sim_.packet_pool().acquire();
+  static_cast<PacketFields&>(*p) = std::move(static_cast<PacketFields&>(*copy));
   passthrough_.insert(p->uid);
   // The copy is a new packet as far as conservation accounting goes: it gets
   // its own kCreate (the ledger then expects a terminal event for it) and,

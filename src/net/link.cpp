@@ -117,39 +117,55 @@ void SimplexLink::start_tx(PacketPtr p) {
         trace_event(sim_.now(), TraceKind::kTransmit, name_, *p));
   }
   const SimTime tx = tx_time(p->size_bytes);
-  // Move the packet into the completion event. A shared_ptr holder (not a
-  // released raw pointer) keeps ownership inside the copyable callable, so
-  // packets in flight are reclaimed even when the simulation ends before
-  // the event fires.
-  auto holder = std::make_shared<PacketPtr>(std::move(p));
-  sim_.in(tx, [this, holder] { finish_tx(std::move(*holder)); });
+  // The link holds the packet while it occupies the transmitter; the
+  // completion event captures only `this` (no per-packet heap holder), so
+  // scheduling a hop allocates nothing. Packets still in the link when the
+  // simulation ends are reclaimed by ~SimplexLink.
+  serializing_ = std::move(p);
+  // A bare `this` capture fits std::function's inline storage (no
+  // allocation), and links outlive the event loop: topologies hold their
+  // links for the whole Simulation::run(), and unfired events are
+  // destroyed, never invoked. NOLINT-FHMIP(PERF-01,LIFE-01)
+  sim_.in(tx, [this] { finish_tx(); });  // NOLINT-FHMIP(PERF-01,LIFE-01)
 }
 
-void SimplexLink::finish_tx(PacketPtr p) {
+void SimplexLink::finish_tx() {
   // Serialization finished: the packet is committed to the air/wire and
   // will be delivered even if the link is torn down meanwhile (ns-2
   // semantics: link-down affects packets that have not started
-  // transmission, not ones already in flight).
-  auto holder = std::make_shared<PacketPtr>(std::move(p));
-  sim_.in(delay_, [this, holder] {
-    PacketPtr pkt = std::move(*holder);
-    ++delivered_;
-    bytes_delivered_ += pkt->size_bytes;
-    if (m_delivered_ != nullptr) {
-      m_delivered_->inc();
-      m_bytes_->inc(pkt->size_bytes);
-    }
-    if (sim_.trace().enabled()) {
-      sim_.trace().emit(
-          trace_event(sim_.now(), TraceKind::kDeliver, name_, *pkt));
-    }
-    to_.receive(std::move(pkt));
-  });
+  // transmission, not ones already in flight). It moves to the in-flight
+  // FIFO; the matching deliver_front() fires `delay_` later.
+  fly_append(std::move(serializing_));
+  // Same lifetime/SBO argument as start_tx's completion event.
+  sim_.in(delay_, [this] { deliver_front(); });  // NOLINT-FHMIP(PERF-01,LIFE-01)
   busy_ = false;
   if (PacketPtr next = queue_pop()) {
     if (m_queue_ != nullptr) m_queue_->add(-1);
     start_tx(std::move(next));
   }
+}
+
+void SimplexLink::deliver_front() {
+  FHMIP_AUDIT_MSG("net", fly_head_ != nullptr,
+                  "link " + name_ + ": delivery event with empty fly queue");
+  PacketPtr pkt = fly_detach_head();
+  ++delivered_;
+  bytes_delivered_ += pkt->size_bytes;
+  if (m_delivered_ != nullptr) {
+    m_delivered_->inc();
+    m_bytes_->inc(pkt->size_bytes);
+  }
+  if (sim_.trace().enabled()) {
+    sim_.trace().emit(
+        trace_event(sim_.now(), TraceKind::kDeliver, name_, *pkt));
+  }
+  to_.receive(std::move(pkt));
+}
+
+SimplexLink::~SimplexLink() {
+  // Packets still serializing or propagating when the topology is torn
+  // down (simulation ended mid-flight). `serializing_` frees itself.
+  while (fly_head_ != nullptr) fly_detach_head();
 }
 
 void SimplexLink::drop(PacketPtr p, DropReason reason) {

@@ -65,12 +65,37 @@ class SimplexLink {
   std::uint64_t bytes_delivered() const { return bytes_delivered_; }
   bool busy() const { return busy_; }
 
+  ~SimplexLink();
+
  private:
   bool queue_push(PacketPtr& p);
   PacketPtr queue_pop();
   void drop_queued();
   void start_tx(PacketPtr p);
-  void finish_tx(PacketPtr p);
+  void finish_tx();
+  void deliver_front();
+
+  /// Appends an owned packet to the in-flight (propagation) FIFO.
+  void fly_append(PacketPtr p) {
+    Packet* raw = p.release();
+    raw->pool_next = nullptr;
+    if (fly_tail_ == nullptr) {
+      fly_head_ = raw;
+    } else {
+      fly_tail_->pool_next = raw;
+    }
+    fly_tail_ = raw;
+  }
+
+  /// Unlinks the oldest in-flight packet and rewraps it.
+  PacketPtr fly_detach_head() {
+    Packet* raw = fly_head_;
+    fly_head_ = raw->pool_next;
+    if (fly_head_ == nullptr) fly_tail_ = nullptr;
+    raw->pool_next = nullptr;
+    return PacketPtr(raw);
+  }
+
   void drop(PacketPtr p, DropReason reason);
 
   Simulation& sim_;
@@ -85,6 +110,16 @@ class SimplexLink {
   obs::Counter* m_dropped_ = nullptr;    // link/<name>/dropped_pkts
   obs::Counter* m_bytes_ = nullptr;      // link/<name>/bytes
   obs::Gauge* m_queue_ = nullptr;        // link/<name>/queue_pkts
+  // Packet occupying the transmitter (set while busy_), and the intrusive
+  // FIFO of packets that finished serializing and are propagating toward
+  // `to_`. Chained through Packet::pool_next: the completion events are
+  // plain `[this]` lambdas (no per-packet heap holder), and the link — not
+  // the scheduler — owns packets in flight. Propagation delay is constant
+  // per link and serialize-end times are monotonic, so deliveries fire in
+  // FIFO order and deliver_front() always matches its event.
+  PacketPtr serializing_;
+  Packet* fly_head_ = nullptr;
+  Packet* fly_tail_ = nullptr;
   bool up_ = true;
   bool busy_ = false;
   double loss_rate_ = 0.0;

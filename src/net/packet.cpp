@@ -1,7 +1,10 @@
 #include "net/packet.hpp"
 
 #include <cassert>
+#include <string>
 
+#include "net/packet_pool.hpp"
+#include "sim/check.hpp"
 #include "sim/simulation.hpp"
 
 namespace fhmip {
@@ -64,8 +67,46 @@ TrafficClass effective_class(TrafficClass c) {
   return c == TrafficClass::kUnspecified ? TrafficClass::kBestEffort : c;
 }
 
+TunnelStack::TunnelStack(const TunnelStack& o)
+    : depth_(o.depth_), inline_(o.inline_) {
+  if (o.spill_ != nullptr) spill_ = std::make_unique<std::vector<Address>>(*o.spill_);
+}
+
+TunnelStack& TunnelStack::operator=(const TunnelStack& o) {
+  if (this == &o) return *this;
+  depth_ = o.depth_;
+  inline_ = o.inline_;
+  spill_ = o.spill_ != nullptr
+               ? std::make_unique<std::vector<Address>>(*o.spill_)
+               : nullptr;
+  return *this;
+}
+
+TunnelStack::TunnelStack(TunnelStack&& o) noexcept
+    : depth_(o.depth_), inline_(o.inline_), spill_(std::move(o.spill_)) {
+  o.depth_ = 0;
+}
+
+TunnelStack& TunnelStack::operator=(TunnelStack&& o) noexcept {
+  if (this == &o) return *this;
+  depth_ = o.depth_;
+  inline_ = o.inline_;
+  spill_ = std::move(o.spill_);
+  o.depth_ = 0;
+  return *this;
+}
+
+void TunnelStack::push_spill(Address a) {
+  // Cold overflow: FHMIP nests at most HA-over-MAP tunnels (depth 2), so
+  // the 4-slot inline array absorbs every real topology and this
+  // allocation only fires in adversarial unit tests.
+  if (spill_ == nullptr)
+    spill_ = std::make_unique<std::vector<Address>>();  // NOLINT-FHMIP(PERF-01)
+  spill_->push_back(a);
+}
+
 void Packet::encapsulate(Address outer) {
-  tunnel_stack.push_back(dst);
+  tunnel_stack.push(dst);
   dst = outer;
   size_bytes += kIpHeaderBytes;
 }
@@ -73,26 +114,24 @@ void Packet::encapsulate(Address outer) {
 void Packet::decapsulate() {
   assert(!tunnel_stack.empty());
   dst = tunnel_stack.back();
-  tunnel_stack.pop_back();
+  tunnel_stack.pop();
   size_bytes -= kIpHeaderBytes;
 }
 
 PacketPtr Packet::clone(std::uint64_t new_uid) const {
-  auto p = std::make_unique<Packet>();
+  // A clone with a recycled or zero uid would alias an existing packet in
+  // the ledger/trace stream: conservation would double-count one uid and
+  // lose the other. Callers must stamp a fresh sim.next_uid().
+  FHMIP_AUDIT_MSG("net", new_uid != 0 && new_uid != uid,
+                  "clone uid " + std::to_string(new_uid) +
+                      " not fresh (source uid " + std::to_string(uid) + ")");
+  // Poolless sources (standalone test packets) clone to the heap; the
+  // deleter branches on pool_home, so both flavours free correctly.
+  PacketPtr p =
+      pool_home != nullptr ? pool_home->acquire()
+                           : PacketPtr(new Packet);  // NOLINT-FHMIP(raw-new-delete)
+  static_cast<PacketFields&>(*p) = static_cast<const PacketFields&>(*this);
   p->uid = new_uid;
-  p->src = src;
-  p->dst = dst;
-  p->size_bytes = size_bytes;
-  p->ttl = ttl;
-  p->tclass = tclass;
-  p->flow = flow;
-  p->seq = seq;
-  p->src_port = src_port;
-  p->dst_port = dst_port;
-  p->created_at = created_at;
-  p->directive = directive;
-  p->tunnel_stack = tunnel_stack;
-  p->msg = msg;
   return p;
 }
 
@@ -114,7 +153,7 @@ void trace_packet(Simulation& sim, TraceKind kind, const char* where,
 
 PacketPtr make_packet(Simulation& sim, Address src, Address dst,
                       std::uint32_t size_bytes) {
-  auto p = std::make_unique<Packet>();
+  PacketPtr p = sim.packet_pool().acquire();
   p->uid = sim.next_uid();
   p->src = src;
   p->dst = dst;

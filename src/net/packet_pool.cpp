@@ -1,0 +1,112 @@
+#include "net/packet_pool.hpp"
+
+#include <new>
+#include <string>
+
+namespace fhmip {
+
+PacketPool::~PacketPool() {
+  // Every owner (queue, buffer, link, agent, pending event) must have
+  // returned its packets by now: the pool is the first member of
+  // Simulation, so it is destroyed after the scheduler (whose pending
+  // actions own in-flight packets), and topology objects holding packets
+  // are destroyed before their Simulation. A non-zero live count here is a
+  // leaked slot.
+  FHMIP_AUDIT_MSG("pool", live_ == 0,
+                  "destroyed with " + std::to_string(live_) +
+                      " live packet slots (leak)");
+}
+
+void PacketPool::grow() {
+  const std::size_t base = meta_.size();
+  auto chunk = std::make_unique<Packet[]>(kChunkPackets);
+  // Thread the new chunk onto the free list back-to-front so slots are
+  // handed out in index order — keeps slot assignment (and any diagnostics
+  // keyed on it) deterministic.
+  for (std::size_t i = kChunkPackets; i-- > 0;) {
+    Packet& p = chunk[i];
+    p.pool_home = this;
+    p.pool_slot = static_cast<std::uint32_t>(base + i);
+    p.pool_next = free_head_;
+    free_head_ = &p;
+  }
+  chunks_.push_back(std::move(chunk));
+  meta_.resize(base + kChunkPackets);
+  free_count_ += kChunkPackets;
+}
+
+PacketPtr PacketPool::acquire() {
+  if (free_head_ == nullptr) grow();
+  Packet* p = free_head_;
+  free_head_ = p->pool_next;
+  --free_count_;
+  p->pool_next = nullptr;
+  SlotMeta& m = meta_[p->pool_slot];
+  // Generation zero means the slot has never been released: it came from
+  // chunk growth, not recycling.
+  if (m.gen != 0) ++recycled_;
+  FHMIP_AUDIT_MSG("pool", !m.live,
+                  "free-list slot " + std::to_string(p->pool_slot) +
+                      " already live (slab corruption)");
+  m.live = true;
+  ++live_;
+  ++acquired_;
+  return PacketPtr(p);
+}
+
+void PacketPool::release(Packet* p) noexcept {
+  FHMIP_AUDIT_MSG("pool", p->pool_home == this && p->pool_slot < meta_.size(),
+                  "release of foreign packet (slot " +
+                      std::to_string(p->pool_slot) + ")");
+  SlotMeta& m = meta_[p->pool_slot];
+  FHMIP_AUDIT_MSG("pool", m.live,
+                  "double release of slot " + std::to_string(p->pool_slot));
+  m.live = false;
+  ++m.gen;  // stale every Handle taken during this incarnation
+  --live_;
+  // Scrub the payload so the next acquire starts from default fields —
+  // reuse must be indistinguishable from fresh construction. Destroy +
+  // value-init placement-new on the base subobject (rather than assigning
+  // a default-constructed temporary) frees a spilled tunnel stack, if
+  // any, and lets the compiler lower the reset to plain stores.
+  PacketFields& fields = *p;
+  fields.~PacketFields();
+  // Placement new: re-initialises the existing subobject, allocates
+  // nothing. NOLINT-FHMIP(raw-new-delete,PERF-01)
+  new (&fields) PacketFields();  // NOLINT-FHMIP(raw-new-delete,PERF-01)
+  p->pool_next = free_head_;
+  free_head_ = p;
+  ++free_count_;
+}
+
+void PacketPool::audit_invariants() const {
+  FHMIP_AUDIT_MSG("pool", live_ + free_count_ == meta_.size(),
+                  "live=" + std::to_string(live_) +
+                      " free=" + std::to_string(free_count_) +
+                      " capacity=" + std::to_string(meta_.size()));
+#if FHMIP_AUDIT_LEVEL >= 2
+  std::size_t walked = 0;
+  for (const Packet* p = free_head_; p != nullptr; p = p->pool_next) {
+    FHMIP_AUDIT2_MSG("pool", !meta_[p->pool_slot].live,
+                     "live slot " + std::to_string(p->pool_slot) +
+                         " on the free list");
+    ++walked;
+  }
+  FHMIP_AUDIT2_MSG("pool", walked == free_count_,
+                   "free-list recount=" + std::to_string(walked) +
+                       " gauge=" + std::to_string(free_count_));
+#endif
+}
+
+void PacketDeleter::operator()(Packet* p) const noexcept {
+  if (p == nullptr) return;
+  if (p->pool_home != nullptr) {
+    p->pool_home->release(p);
+  } else {
+    // The deleter IS the smart-pointer machinery: PacketPtr routes every
+    // destruction here, and poolless packets were built with plain new.
+    delete p;  // NOLINT-FHMIP(raw-new-delete)
+  }
+}
+
+}  // namespace fhmip

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/check.hpp"
+
+namespace fhmip {
+
+/// Slab allocator for packets — the scheduler-slab idiom (sim/scheduler.hpp)
+/// applied to the data plane. Packets live in fixed-size chunks with stable
+/// addresses; freed slots are recycled through an intrusive free list
+/// (Packet::pool_next), so the steady-state cost of a send is a free-list
+/// pop instead of a malloc, and the packet's tunnel stack / message storage
+/// is reused in place.
+///
+/// Ownership discipline is unchanged from the heap era: `acquire()` returns
+/// a PacketPtr (unique_ptr with a pool-aware deleter) and exactly one owner
+/// holds it until the deleter returns the slot. On top of that, every slot
+/// carries a generation counter bumped on each release, so a `Handle`
+/// (slot, generation) taken while a packet is live goes observably stale
+/// the moment the packet dies — the same protection EventId gives scheduler
+/// slots.
+///
+/// Audits (FHMIP_AUDIT, level >= 1): double-release of a slot, release of a
+/// foreign/corrupt pointer, and slot leaks at pool destruction (live packets
+/// must all have been returned — the pool outlives every owner because it is
+/// the first member of Simulation). Level 2 recounts the free list.
+///
+/// Not thread-safe; one pool per Simulation (share-nothing sweeps).
+class PacketPool {
+ public:
+  /// Weak, generation-checked reference to a pooled packet (diagnostics and
+  /// tests; ownership stays with the PacketPtr).
+  struct Handle {
+    std::uint32_t slot = 0;
+    std::uint32_t gen = 0;
+  };
+
+  PacketPool() = default;
+  PacketPool(const PacketPool&) = delete;
+  PacketPool& operator=(const PacketPool&) = delete;
+  ~PacketPool();
+
+  /// Returns an owning pointer to a fresh (default-field) packet. Recycles
+  /// a freed slot when one exists; grows the slab by one chunk otherwise.
+  PacketPtr acquire();
+
+  /// The generation-checked view of a live packet. Pre: p was acquired from
+  /// this pool and is still live.
+  Handle handle_of(const Packet& p) const {
+    FHMIP_AUDIT("pool", p.pool_home == this && p.pool_slot < meta_.size());
+    return Handle{p.pool_slot, meta_[p.pool_slot].gen};
+  }
+
+  /// Resolves a handle: the packet if that incarnation is still live,
+  /// nullptr once the slot was released (or re-acquired — the generation
+  /// bump makes the old handle stale).
+  Packet* get(Handle h) {
+    if (h.slot >= meta_.size()) return nullptr;
+    SlotMeta& m = meta_[h.slot];
+    if (!m.live || m.gen != h.gen) return nullptr;
+    return slot_ptr(h.slot);
+  }
+
+  std::size_t live() const { return live_; }
+  std::size_t free_slots() const { return free_count_; }
+  /// Total slots ever materialised (live + free).
+  std::size_t capacity() const { return meta_.size(); }
+  std::uint64_t total_acquired() const { return acquired_; }
+  /// Acquisitions served from the free list rather than slab growth.
+  std::uint64_t total_recycled() const { return recycled_; }
+
+  /// Slab consistency audits (no-op at audit level 0; free-list recount at
+  /// level 2).
+  void audit_invariants() const;
+
+ private:
+  friend struct PacketDeleter;
+
+  // 256 packets per chunk: large enough to amortise growth, small enough
+  // that paper-scale runs (tens of packets in flight) stay in one chunk.
+  static constexpr std::size_t kChunkPackets = 256;
+
+  struct SlotMeta {
+    std::uint32_t gen = 0;
+    bool live = false;
+  };
+
+  Packet* slot_ptr(std::uint32_t slot) {
+    return &chunks_[slot / kChunkPackets][slot % kChunkPackets];
+  }
+
+  void grow();
+  void release(Packet* p) noexcept;
+
+  std::vector<std::unique_ptr<Packet[]>> chunks_;
+  std::vector<SlotMeta> meta_;     // indexed by Packet::pool_slot
+  Packet* free_head_ = nullptr;    // intrusive via Packet::pool_next
+  std::size_t free_count_ = 0;
+  std::size_t live_ = 0;
+  std::uint64_t acquired_ = 0;
+  std::uint64_t recycled_ = 0;
+};
+
+}  // namespace fhmip

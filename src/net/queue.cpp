@@ -3,22 +3,29 @@
 namespace fhmip {
 
 bool DropTailQueue::push(PacketPtr& p) {
-  if (q_.size() >= limit_) {
+  if (size_ >= limit_) {
     ++rejected_;
     return false;
   }
   bytes_ += p->size_bytes;
   ++enqueued_;
-  q_.push_back(std::move(p));
+  Packet* raw = p.release();
+  raw->pool_next = nullptr;
+  if (tail_ == nullptr) {
+    head_ = raw;
+  } else {
+    tail_->pool_next = raw;
+  }
+  tail_ = raw;
+  ++size_;
   audit_invariants();
   return true;
 }
 
 PacketPtr DropTailQueue::pop() {
-  if (q_.empty()) return nullptr;
-  PacketPtr p = std::move(q_.front());
-  q_.pop_front();
+  if (head_ == nullptr) return nullptr;
   ++dequeued_;
+  PacketPtr p = detach_head();
   FHMIP_AUDIT_MSG("net", bytes_ >= p->size_bytes,
                   "byte gauge " + std::to_string(bytes_) +
                       " below packet size " + std::to_string(p->size_bytes));

@@ -1,7 +1,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 
 #include "net/packet.hpp"
 #include "sim/check.hpp"
@@ -11,23 +10,49 @@ namespace fhmip {
 /// FIFO drop-tail queue with a packet-count limit (ns-2's DropTail).
 /// Rejected packets are returned to the caller so it can account the drop.
 ///
+/// Storage is intrusive: a queued packet is chained through its own
+/// `pool_next` link, so enqueue/dequeue are pointer swings with no node
+/// allocation (the deque-of-unique_ptr this replaces allocated a block per
+/// 64 packets and touched the allocator on every growth). Ownership
+/// semantics are unchanged — push() adopts the packet, pop() returns it as
+/// an owning PacketPtr, and the destructor releases anything still queued.
+///
 /// Byte and packet accounting are audited: `enqueued == dequeued + size`
 /// and the byte gauge matches the queued packets (zero when empty; level-2
-/// audits recount the sum).
+/// audits recount the sum by walking the chain).
 class DropTailQueue {
  public:
   explicit DropTailQueue(std::size_t limit_pkts = 50) : limit_(limit_pkts) {}
+
+  DropTailQueue(const DropTailQueue&) = delete;
+  DropTailQueue& operator=(const DropTailQueue&) = delete;
+  DropTailQueue(DropTailQueue&& o) noexcept
+      : head_(o.head_),
+        tail_(o.tail_),
+        size_(o.size_),
+        limit_(o.limit_),
+        bytes_(o.bytes_),
+        enqueued_(o.enqueued_),
+        rejected_(o.rejected_),
+        dequeued_(o.dequeued_) {
+    o.head_ = o.tail_ = nullptr;
+    o.size_ = 0;
+    o.bytes_ = 0;
+  }
+  DropTailQueue& operator=(DropTailQueue&&) = delete;
+
+  ~DropTailQueue() { clear(); }
 
   /// Returns true if stored; false if the queue is full (packet untouched).
   bool push(PacketPtr& p);
 
   PacketPtr pop();
 
-  std::size_t size() const { return q_.size(); }
+  std::size_t size() const { return size_; }
   std::size_t limit() const { return limit_; }
   void set_limit(std::size_t limit_pkts) { limit_ = limit_pkts; }
-  bool empty() const { return q_.empty(); }
-  bool full() const { return q_.size() >= limit_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ >= limit_; }
   std::uint64_t bytes() const { return bytes_; }
 
   std::uint64_t total_enqueued() const { return enqueued_; }
@@ -38,10 +63,9 @@ class DropTailQueue {
   /// Drops everything currently queued, invoking `fn` per packet.
   template <typename Fn>
   void drain(Fn&& fn) {
-    while (!q_.empty()) {
+    while (head_ != nullptr) {
       ++dequeued_;
-      fn(std::move(q_.front()));
-      q_.pop_front();
+      fn(detach_head());
     }
     bytes_ = 0;
     audit_invariants();
@@ -49,23 +73,46 @@ class DropTailQueue {
 
   /// Byte/packet accounting audits (no-op at audit level 0).
   void audit_invariants() const {
-    FHMIP_AUDIT_MSG("net", enqueued_ == dequeued_ + q_.size(),
+    FHMIP_AUDIT_MSG("net", enqueued_ == dequeued_ + size_,
                     "enqueued=" + std::to_string(enqueued_) +
                         " dequeued=" + std::to_string(dequeued_) +
-                        " size=" + std::to_string(q_.size()));
-    FHMIP_AUDIT_MSG("net", !q_.empty() || bytes_ == 0,
+                        " size=" + std::to_string(size_));
+    FHMIP_AUDIT_MSG("net", size_ != 0 || bytes_ == 0,
                     "empty queue holds " + std::to_string(bytes_) + "B");
 #if FHMIP_AUDIT_LEVEL >= 2
     std::uint64_t sum = 0;
-    for (const auto& p : q_) sum += p->size_bytes;
-    FHMIP_AUDIT2_MSG("net", sum == bytes_,
+    std::size_t count = 0;
+    for (const Packet* p = head_; p != nullptr; p = p->pool_next) {
+      sum += p->size_bytes;
+      ++count;
+    }
+    FHMIP_AUDIT2_MSG("net", sum == bytes_ && count == size_,
                      "byte recount=" + std::to_string(sum) +
-                         " gauge=" + std::to_string(bytes_));
+                         " gauge=" + std::to_string(bytes_) +
+                         " chain=" + std::to_string(count) +
+                         " size=" + std::to_string(size_));
 #endif
   }
 
  private:
-  std::deque<PacketPtr> q_;
+  /// Unlinks the head packet and rewraps it in its owning handle.
+  PacketPtr detach_head() {
+    Packet* raw = head_;
+    head_ = raw->pool_next;
+    if (head_ == nullptr) tail_ = nullptr;
+    raw->pool_next = nullptr;
+    --size_;
+    return PacketPtr(raw);
+  }
+
+  void clear() {
+    while (head_ != nullptr) detach_head();  // PacketPtr frees on scope exit
+    bytes_ = 0;
+  }
+
+  Packet* head_ = nullptr;
+  Packet* tail_ = nullptr;
+  std::size_t size_ = 0;
   std::size_t limit_;
   std::uint64_t bytes_ = 0;
   std::uint64_t enqueued_ = 0;

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <string>
 
+#include "net/packet_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
 #include "sim/logging.hpp"
@@ -23,6 +24,8 @@ class Simulation {
 
   Scheduler& scheduler() { return scheduler_; }
   const Scheduler& scheduler() const { return scheduler_; }
+  PacketPool& packet_pool() { return packet_pool_; }
+  const PacketPool& packet_pool() const { return packet_pool_; }
   Rng& rng() { return rng_; }
   StatsHub& stats() { return stats_; }
   const StatsHub& stats() const { return stats_; }
@@ -53,6 +56,10 @@ class Simulation {
   }
 
  private:
+  // Declared first: the pool must outlive every other member — pending
+  // scheduler actions and topology objects own pooled packets, and their
+  // destructors return slots to the pool.
+  PacketPool packet_pool_;
   Scheduler scheduler_;
   Rng rng_;
   StatsHub stats_;

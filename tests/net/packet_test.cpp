@@ -62,6 +62,64 @@ TEST(Packet, CloneCopiesEverythingButUid) {
   EXPECT_EQ(q->tunnel_stack, p->tunnel_stack);
 }
 
+// Bicast groundwork: a MAP duplicating a packet toward PAR and NAR clones
+// a tunneled, classed, directive-carrying packet — every one of those
+// fields must arrive intact in the copy, with only the uid fresh.
+TEST(Packet, CloneCarriesTunnelClassAndDirective) {
+  Simulation sim;
+  auto p = make_packet(sim, {1, 1}, {2, 2}, 100);
+  p->tclass = TrafficClass::kRealTime;
+  p->flow = 3;
+  p->seq = 41;
+  p->ttl = 17;
+  p->src_port = 5060;
+  p->dst_port = 5061;
+  p->directive = ForwardDirective::kBufferAtNar;
+  p->msg = FbuMsg{};
+  p->encapsulate({10, 1});  // MAP tunnel
+  p->encapsulate({20, 1});  // PAR->NAR tunnel on top
+  const std::uint64_t fresh = sim.next_uid();
+  auto q = p->clone(fresh);
+  EXPECT_EQ(q->uid, fresh);
+  EXPECT_NE(q->uid, p->uid);
+  EXPECT_EQ(q->src, p->src);
+  EXPECT_EQ(q->dst, (Address{20, 1}));
+  EXPECT_EQ(q->size_bytes, 100u + 2 * kIpHeaderBytes);
+  EXPECT_EQ(q->ttl, 17);
+  EXPECT_EQ(q->tclass, TrafficClass::kRealTime);
+  EXPECT_EQ(q->flow, 3);
+  EXPECT_EQ(q->seq, 41u);
+  EXPECT_EQ(q->src_port, 5060);
+  EXPECT_EQ(q->dst_port, 5061);
+  EXPECT_EQ(q->directive, ForwardDirective::kBufferAtNar);
+  EXPECT_EQ(q->created_at, p->created_at);
+  EXPECT_STREQ(message_name(q->msg), "FBU");
+  ASSERT_EQ(q->tunnel_stack, p->tunnel_stack);
+  // The clone decapsulates independently of the original.
+  q->decapsulate();
+  EXPECT_EQ(q->dst, (Address{10, 1}));
+  EXPECT_EQ(p->dst, (Address{20, 1}));
+  q->decapsulate();
+  EXPECT_EQ(q->dst, (Address{2, 2}));
+}
+
+TEST(TunnelStack, SpillsBeyondInlineDepthAndComparesEqual) {
+  TunnelStack s;
+  TunnelStack t;
+  for (std::uint16_t i = 0; i < 7; ++i) {  // past kInlineDepth = 4
+    s.push({i, 1});
+    t.push({i, 1});
+  }
+  EXPECT_EQ(s.size(), 7u);
+  EXPECT_TRUE(s == t);
+  for (std::uint16_t i = 7; i-- > 0;) {
+    ASSERT_EQ(s.back(), (Address{i, 1}));
+    s.pop();
+  }
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s == t);
+}
+
 TEST(Packet, ControlDetection) {
   Simulation sim;
   auto data = make_packet(sim, {1, 1}, {2, 2}, 100);

@@ -1,0 +1,203 @@
+// Property tests for the intrusive-chain rewrite of DropTailQueue,
+// ClassPriorityQueue and HandoffBuffer: random push/pop/evict sequences are
+// mirrored against straightforward std::deque reference models, asserting
+// identical admission decisions and identical pop order. The models encode
+// the pre-rewrite (deque-backed) behaviour, so these tests pin the refactor
+// to it.
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <random>
+
+#include "buffer/handoff_buffer.hpp"
+#include "net/priority_queue.hpp"
+#include "net/queue.hpp"
+#include "sim/simulation.hpp"
+
+namespace fhmip {
+namespace {
+
+TrafficClass random_class(std::mt19937& rng) {
+  return static_cast<TrafficClass>(rng() % 4);  // includes kUnspecified
+}
+
+TEST(QueueProperty, DropTailMatchesDequeModel) {
+  Simulation sim;
+  std::mt19937 rng(2024);
+  DropTailQueue q(17);
+  std::deque<std::uint64_t> model;
+  std::uint64_t model_bytes = 0;
+
+  for (int step = 0; step < 30000; ++step) {
+    if (rng() % 2 == 0) {
+      PacketPtr p = make_packet(sim, {1, 1}, {2, 2}, 40 + rng() % 1460);
+      const std::uint64_t uid = p->uid;
+      const std::uint32_t bytes = p->size_bytes;
+      const bool admitted = q.push(p);
+      ASSERT_EQ(admitted, model.size() < 17u);
+      if (admitted) {
+        model.push_back(uid);
+        model_bytes += bytes;
+      } else {
+        ASSERT_NE(p, nullptr);  // rejected packets stay with the caller
+      }
+    } else {
+      PacketPtr p = q.pop();
+      if (model.empty()) {
+        ASSERT_EQ(p, nullptr);
+      } else {
+        ASSERT_NE(p, nullptr);
+        ASSERT_EQ(p->uid, model.front());  // FIFO order preserved
+        model.pop_front();
+        model_bytes -= p->size_bytes;
+      }
+    }
+    ASSERT_EQ(q.size(), model.size());
+    ASSERT_EQ(q.bytes(), model_bytes);
+  }
+}
+
+TEST(QueueProperty, DrainDeliversRemainderInFifoOrder) {
+  Simulation sim;
+  DropTailQueue q(10);
+  std::deque<std::uint64_t> model;
+  for (int i = 0; i < 10; ++i) {
+    PacketPtr p = make_packet(sim, {1, 1}, {2, 2}, 100);
+    model.push_back(p->uid);
+    ASSERT_TRUE(q.push(p));
+  }
+  q.drain([&](PacketPtr p) {
+    ASSERT_EQ(p->uid, model.front());
+    model.pop_front();
+  });
+  EXPECT_TRUE(model.empty());
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.bytes(), 0u);
+}
+
+TEST(QueueProperty, ClassPriorityMatchesThreeBandModel) {
+  Simulation sim;
+  std::mt19937 rng(7);
+  constexpr std::size_t kLimit = 15;  // 5 per band
+  ClassPriorityQueue q(kLimit);
+  std::deque<std::uint64_t> model[3];
+  const std::size_t band_limit[3] = {
+      kLimit - 2 * (kLimit / 3), kLimit / 3, kLimit / 3};
+  auto band_of = [](TrafficClass c) -> std::size_t {
+    switch (effective_class(c)) {
+      case TrafficClass::kRealTime:
+        return 0;
+      case TrafficClass::kHighPriority:
+        return 1;
+      default:
+        return 2;
+    }
+  };
+
+  for (int step = 0; step < 30000; ++step) {
+    if (rng() % 2 == 0) {
+      PacketPtr p = make_packet(sim, {1, 1}, {2, 2}, 100);
+      p->tclass = random_class(rng);
+      const std::size_t band = band_of(p->tclass);
+      const std::uint64_t uid = p->uid;
+      const bool admitted = q.push(p);
+      ASSERT_EQ(admitted, model[band].size() < band_limit[band]);
+      if (admitted) model[band].push_back(uid);
+    } else {
+      PacketPtr p = q.pop();
+      std::size_t band = 0;
+      while (band < 3 && model[band].empty()) ++band;
+      if (band == 3) {
+        ASSERT_EQ(p, nullptr);
+      } else {
+        ASSERT_NE(p, nullptr);
+        ASSERT_EQ(p->uid, model[band].front());  // strict priority + FIFO
+        model[band].pop_front();
+      }
+    }
+    ASSERT_EQ(q.size(),
+              model[0].size() + model[1].size() + model[2].size());
+  }
+}
+
+TEST(QueueProperty, HandoffBufferMatchesEvictingModel) {
+  Simulation sim;
+  std::mt19937 rng(99);
+  constexpr std::uint32_t kCap = 12;
+  HandoffBuffer buf(kCap);
+  struct Entry {
+    std::uint64_t uid;
+    TrafficClass tclass;
+  };
+  std::deque<Entry> model;
+
+  for (int step = 0; step < 30000; ++step) {
+    switch (rng() % 3) {
+      case 0: {  // plain tail-rejecting push
+        PacketPtr p = make_packet(sim, {1, 1}, {2, 2}, 100);
+        p->tclass = random_class(rng);
+        const Entry e{p->uid, p->tclass};
+        const auto r = buf.push(p);
+        if (model.size() < kCap) {
+          ASSERT_EQ(r, HandoffBuffer::PushResult::kStored);
+          model.push_back(e);
+        } else {
+          ASSERT_EQ(r, HandoffBuffer::PushResult::kRejected);
+          ASSERT_NE(p, nullptr);
+        }
+        break;
+      }
+      case 1: {  // real-time push with oldest-real-time eviction
+        PacketPtr p = make_packet(sim, {1, 1}, {2, 2}, 100);
+        p->tclass = TrafficClass::kRealTime;
+        const Entry e{p->uid, p->tclass};
+        PacketPtr evicted;
+        const auto r = buf.push_evict_oldest_realtime(p, evicted);
+        if (model.size() < kCap) {
+          ASSERT_EQ(r, HandoffBuffer::PushResult::kStored);
+          model.push_back(e);
+        } else {
+          auto victim = model.begin();
+          while (victim != model.end() &&
+                 effective_class(victim->tclass) != TrafficClass::kRealTime)
+            ++victim;
+          if (victim == model.end()) {
+            ASSERT_EQ(r, HandoffBuffer::PushResult::kRejected);
+            ASSERT_EQ(evicted, nullptr);
+          } else {
+            ASSERT_EQ(r, HandoffBuffer::PushResult::kStoredEvicting);
+            ASSERT_NE(evicted, nullptr);
+            ASSERT_EQ(evicted->uid, victim->uid);  // oldest real-time dies
+            model.erase(victim);
+            model.push_back(e);
+          }
+        }
+        break;
+      }
+      case 2: {  // pop
+        PacketPtr p = buf.pop();
+        if (model.empty()) {
+          ASSERT_EQ(p, nullptr);
+        } else {
+          ASSERT_NE(p, nullptr);
+          ASSERT_EQ(p->uid, model.front().uid);  // FIFO order preserved
+          model.pop_front();
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(buf.size(), model.size());
+  }
+
+  // Flush the remainder and check it is still in model order.
+  buf.flush([&](PacketPtr p) {
+    ASSERT_EQ(p->uid, model.front().uid);
+    model.pop_front();
+  });
+  EXPECT_TRUE(model.empty());
+  EXPECT_EQ(sim.packet_pool().live(), 0u);
+}
+
+}  // namespace
+}  // namespace fhmip
